@@ -1,0 +1,48 @@
+//! One Criterion benchmark per figure of the paper's evaluation.
+//!
+//! Each benchmark regenerates the corresponding figure's data at smoke scale (tiny caches,
+//! short traces) so `cargo bench` exercises every experiment path end-to-end. For
+//! paper-shaped output use `cargo run --release -p experiments --bin repro -- <figN>`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use experiments::{figure1, figure3, figure45, figure6, figure7, figure8};
+use workloads::StudyKind;
+
+const SCALE: experiments::ExperimentScale = adapt_bench::BENCH_SCALE;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("fig1_forced_brrip", |b| {
+        b.iter(|| black_box(figure1::run(SCALE).speedup_forced))
+    });
+    group.bench_function("fig3_16core_scurve", |b| {
+        b.iter(|| black_box(figure3::run(SCALE).curves.len()))
+    });
+    group.bench_function("fig45_per_app_impact", |b| {
+        b.iter(|| black_box(figure45::run(SCALE).thrashing.len()))
+    });
+    group.bench_function("fig6_bypass_ablation", |b| {
+        b.iter(|| black_box(figure6::run(SCALE).impacts.len()))
+    });
+    group.bench_function("fig7_large_cache_point", |b| {
+        b.iter(|| {
+            black_box(
+                figure7::run_point(SCALE, StudyKind::Cores16, 24 * 1024 * 1024, 24).adapt_speedup,
+            )
+        })
+    });
+    group.bench_function("fig8_4core_panel", |b| {
+        b.iter(|| black_box(figure8::run_studies(SCALE, &[StudyKind::Cores4]).panels.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Microbenchmarks of the simulator substrate and of ADAPT's hardware-analogue structures:
+//! full-system simulation throughput per policy, raw LLC/DRAM model throughput and the
+//! Footprint-number sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use adapt_bench::{run_scenario, smoke_scenario};
+use adapt_core::{AdaptConfig, FootprintMonitor};
+use cache_sim::addr::BlockAddr;
+use cache_sim::config::{DramConfig, SystemConfig};
+use cache_sim::dram::Dram;
+use experiments::PolicyKind;
+use llc_policies::{build_baseline, BaselineKind};
+use workloads::StudyKind;
+
+fn bench_system_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_throughput");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let scenario = smoke_scenario(StudyKind::Cores16);
+    group.throughput(Throughput::Elements(
+        scenario.instructions * scenario.config.num_cores as u64,
+    ));
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::TaDrrip,
+        PolicyKind::Ship,
+        PolicyKind::Eaf,
+        PolicyKind::AdaptBp32,
+    ] {
+        group.bench_function(format!("16core_{}", policy.label()), |b| {
+            b.iter(|| black_box(run_scenario(&scenario, policy)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_llc_lookup(c: &mut Criterion) {
+    use cache_sim::llc::SharedLlc;
+    let mut group = c.benchmark_group("llc_lookup");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let cfg = SystemConfig::tiny(4);
+    for kind in [BaselineKind::Lru, BaselineKind::TaDrrip, BaselineKind::Ship, BaselineKind::Eaf] {
+        group.bench_function(format!("access_fill_{:?}", kind), |b| {
+            let policy = build_baseline(kind, &cfg.llc, 4);
+            let mut llc = SharedLlc::new(cfg.llc, 4, 1_000_000, policy);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let block = BlockAddr(i % 8192);
+                let lookup = llc.access(0, 0x400, block, true, false, i);
+                if !lookup.hit {
+                    llc.fill(0, 0x400, block, false, i);
+                }
+                black_box(lookup.latency)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_model");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("row_hit_conflict_mix", |b| {
+        let mut dram = Dram::new(DramConfig {
+            row_hit_cycles: 180,
+            row_conflict_cycles: 340,
+            banks: 8,
+            row_bytes: 4096,
+            xor_mapping: true,
+            bank_busy_cycles: 16,
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(dram.access(BlockAddr(i * 37 % 100_000), i, i % 5 == 0).latency)
+        })
+    });
+    group.finish();
+}
+
+fn bench_footprint_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("footprint_monitor");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("observe_sampled_40_sets", |b| {
+        let mut monitor = FootprintMonitor::new(AdaptConfig::paper(), 1024, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            monitor.observe((i % 16) as usize, (i % 1024) as usize, i * 97);
+            black_box(i)
+        })
+    });
+    group.bench_function("interval_end_16_apps", |b| {
+        let mut monitor = FootprintMonitor::new(AdaptConfig::paper(), 1024, 16);
+        for i in 0..10_000u64 {
+            monitor.observe((i % 16) as usize, (i % 1024) as usize, i * 131);
+        }
+        b.iter(|| black_box(monitor.end_interval().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_system_throughput,
+    bench_llc_lookup,
+    bench_dram,
+    bench_footprint_sampler
+);
+criterion_main!(benches);

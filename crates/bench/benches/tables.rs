@@ -1,0 +1,31 @@
+//! One Criterion benchmark per table of the paper's evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use experiments::{table2, table4, table7};
+use workloads::StudyKind;
+
+const SCALE: experiments::ExperimentScale = adapt_bench::BENCH_SCALE;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("table2_hw_cost", |b| {
+        b.iter(|| black_box(table2::run_paper_exact().rows.len()))
+    });
+    group.bench_function("table4_classification", |b| {
+        b.iter(|| black_box(table4::run(SCALE).rows.len()))
+    });
+    group.bench_function("table7_metrics_4core", |b| {
+        b.iter(|| black_box(table7::run_study(SCALE, StudyKind::Cores4).weighted_speedup))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

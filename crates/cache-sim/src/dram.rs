@@ -1,0 +1,191 @@
+//! DDR2-style main-memory model (paper Table 3).
+//!
+//! Only row hits and row conflicts are modeled, like the memory model of the EAF paper the
+//! authors follow ("We use memory model for our study like [2]: only row-hits and
+//! row-conflicts are modeled"): 180 cycles for a row hit, 340 for a row conflict, 8 banks
+//! with 4 KB rows and permutation-based (XOR-mapped) page interleaving to spread conflicting
+//! rows across banks. Each bank additionally serializes requests through a busy window so
+//! that bandwidth contention from many cores is visible.
+
+use crate::addr::{BlockAddr, BLOCK_SHIFT};
+use crate::config::DramConfig;
+
+/// Per-request DRAM outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccess {
+    /// Total latency in cycles, including any bank queuing delay.
+    pub latency: u64,
+    /// True if the request hit the bank's open row.
+    pub row_hit: bool,
+    /// Bank that served the request.
+    pub bank: usize,
+}
+
+/// Statistics for the memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub row_hits: u64,
+    pub row_conflicts: u64,
+    /// Cycles spent waiting for a busy bank, summed across requests.
+    pub queue_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+/// The DRAM model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    stats: DramStats,
+}
+
+impl Dram {
+    pub fn new(config: DramConfig) -> Self {
+        Dram {
+            banks: vec![Bank { open_row: None, busy_until: 0 }; config.banks],
+            config,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Row index of a block address (rows are `row_bytes` wide).
+    fn row_of(&self, block: BlockAddr) -> u64 {
+        block.byte_addr() / self.config.row_bytes
+    }
+
+    /// Bank index, optionally permuted with higher row bits (XOR mapping, Zhang et al.).
+    fn bank_of(&self, block: BlockAddr) -> usize {
+        let bank_bits = self.config.banks.trailing_zeros();
+        let blocks_per_row = (self.config.row_bytes >> BLOCK_SHIFT) as u64;
+        let row = block.0 / blocks_per_row;
+        let naive_bank = (row as usize) & (self.config.banks - 1);
+        if self.config.xor_mapping {
+            let perm = (row >> bank_bits) as usize & (self.config.banks - 1);
+            naive_bank ^ perm
+        } else {
+            naive_bank
+        }
+    }
+
+    /// Issue a demand read (or a write-back when `is_write`) at absolute cycle `now`.
+    pub fn access(&mut self, block: BlockAddr, now: u64, is_write: bool) -> DramAccess {
+        let bank_idx = self.bank_of(block);
+        let row = self.row_of(block);
+        let bank = &mut self.banks[bank_idx];
+
+        let queue_delay = bank.busy_until.saturating_sub(now);
+        let row_hit = bank.open_row == Some(row);
+        let service = if row_hit {
+            self.config.row_hit_cycles
+        } else {
+            self.config.row_conflict_cycles
+        };
+        bank.open_row = Some(row);
+        let start = now + queue_delay;
+        bank.busy_until = start + self.config.bank_busy_cycles;
+
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        if row_hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_conflicts += 1;
+        }
+        self.stats.queue_cycles += queue_delay;
+
+        DramAccess { latency: queue_delay + service, row_hit, bank: bank_idx }
+    }
+
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig {
+            row_hit_cycles: 180,
+            row_conflict_cycles: 340,
+            banks: 8,
+            row_bytes: 4096,
+            xor_mapping: true,
+            bank_busy_cycles: 16,
+        }
+    }
+
+    #[test]
+    fn first_access_is_a_row_conflict_then_same_row_hits() {
+        let mut d = Dram::new(cfg());
+        let b = BlockAddr(100);
+        let first = d.access(b, 0, false);
+        assert!(!first.row_hit);
+        assert_eq!(first.latency, 340);
+        // Same row, long after the bank freed up.
+        let second = d.access(BlockAddr(101), 10_000, false);
+        assert!(second.row_hit);
+        assert_eq!(second.latency, 180);
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn different_rows_on_same_bank_conflict() {
+        let mut d = Dram::new(DramConfig { xor_mapping: false, ..cfg() });
+        let blocks_per_row = 4096 / 64;
+        let a = BlockAddr(0);
+        // 8 banks apart => same bank, different row (no xor mapping).
+        let b = BlockAddr(8 * blocks_per_row);
+        d.access(a, 0, false);
+        let out = d.access(b, 10_000, false);
+        assert!(!out.row_hit);
+    }
+
+    #[test]
+    fn back_to_back_requests_to_one_bank_queue() {
+        let mut d = Dram::new(cfg());
+        let b = BlockAddr(0);
+        let first = d.access(b, 0, false);
+        let second = d.access(BlockAddr(1), 0, false);
+        assert_eq!(first.latency, 340);
+        // Second arrives while the bank is busy (busy window 16) and then row-hits.
+        assert_eq!(second.latency, 16 + 180);
+        assert_eq!(d.stats().queue_cycles, 16);
+    }
+
+    #[test]
+    fn xor_mapping_spreads_consecutive_rows_across_banks() {
+        let d = Dram::new(cfg());
+        let blocks_per_row = 4096 / 64;
+        let mut banks = std::collections::HashSet::new();
+        for row in 0..64u64 {
+            banks.insert(d.bank_of(BlockAddr(row * blocks_per_row)));
+        }
+        assert_eq!(banks.len(), 8, "all banks should be used");
+    }
+
+    #[test]
+    fn reads_and_writes_are_counted_separately() {
+        let mut d = Dram::new(cfg());
+        d.access(BlockAddr(0), 0, false);
+        d.access(BlockAddr(1000), 0, true);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+    }
+}

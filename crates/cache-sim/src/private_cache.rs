@@ -1,0 +1,480 @@
+//! Private per-core cache levels (L1D, L2).
+//!
+//! These levels are not the object of study in the paper, so they use compact built-in
+//! replacement policies (LRU, SRRIP or single-set-dueling DRRIP per Table 3) rather than the
+//! pluggable trait used by the shared LLC. The hierarchy is non-inclusive and write-back
+//! (paper §4.1).
+
+use crate::addr::BlockAddr;
+use crate::config::{PrivateCacheConfig, PrivatePolicyKind};
+use crate::replacement::{RrpvArray, RRPV_MAX};
+
+/// Result of a tag lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    Hit,
+    Miss,
+}
+
+/// A line evicted by a fill, to be written back if dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    pub block: BlockAddr,
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+}
+
+/// Statistics for a private cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrivateCacheStats {
+    pub accesses: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+    pub prefetch_fills: u64,
+}
+
+impl PrivateCacheStats {
+    /// Miss ratio over all accesses (0 if no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// DRRIP set-dueling state for a private cache (single thread, so one PSEL counter).
+#[derive(Debug, Clone)]
+struct DuelState {
+    /// 10-bit policy-selection counter; >= 512 selects BRRIP, otherwise SRRIP (paper §2).
+    psel: u16,
+    /// Bimodal throttle counter for BRRIP insertions (1/32 inserted at long re-reference).
+    brip_ctr: u32,
+    num_sets: usize,
+}
+
+impl DuelState {
+    const PSEL_MAX: u16 = 1023;
+    const PSEL_THRESHOLD: u16 = 512;
+    /// 32 leader sets per policy, selected by a static hash of the set index (the paper
+    /// cites the observation that 32 sets per policy suffice).
+    const LEADER_PERIOD: usize = 32;
+
+    fn new(num_sets: usize) -> Self {
+        DuelState { psel: Self::PSEL_THRESHOLD, brip_ctr: 0, num_sets }
+    }
+
+    /// Leader-set classification: every `num_sets / 32`-th set leads SRRIP, the set right
+    /// after it leads BRRIP. Follower sets follow PSEL.
+    fn leader(&self, set: usize) -> Option<bool> {
+        let period = (self.num_sets / Self::LEADER_PERIOD).max(2);
+        match set % period {
+            0 => Some(true),  // SRRIP leader
+            1 => Some(false), // BRRIP leader
+            _ => None,
+        }
+    }
+
+    fn on_miss(&mut self, set: usize) {
+        match self.leader(set) {
+            Some(true) => self.psel = (self.psel + 1).min(Self::PSEL_MAX),
+            Some(false) => self.psel = self.psel.saturating_sub(1),
+            None => {}
+        }
+    }
+
+    /// Insertion RRPV for this set under DRRIP.
+    fn insertion_rrpv(&mut self, set: usize) -> u8 {
+        let use_srrip = match self.leader(set) {
+            Some(true) => true,
+            Some(false) => false,
+            None => self.psel < Self::PSEL_THRESHOLD,
+        };
+        if use_srrip {
+            RRPV_MAX - 1
+        } else {
+            // BRRIP: mostly distant, 1/32 long.
+            self.brip_ctr = self.brip_ctr.wrapping_add(1);
+            if self.brip_ctr % 32 == 0 {
+                RRPV_MAX - 1
+            } else {
+                RRPV_MAX
+            }
+        }
+    }
+}
+
+/// A private, set-associative, write-back cache level.
+#[derive(Debug, Clone)]
+pub struct PrivateCache {
+    config: PrivateCacheConfig,
+    num_sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    /// LRU timestamps (monotonic counter per access).
+    stamps: Vec<u64>,
+    stamp_clock: u64,
+    rrpv: RrpvArray,
+    duel: Option<DuelState>,
+    stats: PrivateCacheStats,
+}
+
+impl PrivateCache {
+    /// Build an empty cache from its configuration.
+    pub fn new(config: PrivateCacheConfig) -> Self {
+        let num_sets = config.geometry.num_sets();
+        let ways = config.geometry.ways;
+        let duel = match config.policy {
+            PrivatePolicyKind::Drrip => Some(DuelState::new(num_sets)),
+            _ => None,
+        };
+        PrivateCache {
+            config,
+            num_sets,
+            ways,
+            lines: vec![Line::default(); num_sets * ways],
+            stamps: vec![0; num_sets * ways],
+            stamp_clock: 0,
+            rrpv: RrpvArray::new(num_sets, ways),
+            duel,
+            stats: PrivateCacheStats::default(),
+        }
+    }
+
+    /// Hit latency of this level in cycles.
+    pub fn latency(&self) -> u64 {
+        self.config.latency
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &PrivateCacheStats {
+        &self.stats
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.ways;
+        base..base + self.ways
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        block.set_index(self.num_sets)
+    }
+
+    /// Look up a block; on a hit, update recency and (for writes) the dirty bit.
+    pub fn access(&mut self, block: BlockAddr, is_write: bool) -> Lookup {
+        self.stats.accesses += 1;
+        let set = self.set_of(block);
+        let tag = block.tag(self.num_sets);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            let idx = base + way;
+            if self.lines[idx].valid && self.lines[idx].tag == tag {
+                self.stats.hits += 1;
+                self.stamp_clock += 1;
+                self.stamps[idx] = self.stamp_clock;
+                self.rrpv.promote(set, way);
+                if is_write {
+                    self.lines[idx].dirty = true;
+                }
+                return Lookup::Hit;
+            }
+        }
+        self.stats.misses += 1;
+        if let Some(duel) = &mut self.duel {
+            duel.on_miss(set);
+        }
+        Lookup::Miss
+    }
+
+    /// Probe without updating any state (used by prefetch issue checks and tests).
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        let tag = block.tag(self.num_sets);
+        self.set_range(set)
+            .any(|idx| self.lines[idx].valid && self.lines[idx].tag == tag)
+    }
+
+    /// Fill a block (after a miss was resolved below), possibly evicting a line.
+    ///
+    /// `dirty` marks the fill as modified (write-allocate). `prefetch` fills are inserted at
+    /// distant priority under RRIP policies so that useless prefetches leave quickly.
+    pub fn fill(&mut self, block: BlockAddr, dirty: bool, prefetch: bool) -> Option<EvictedLine> {
+        let set = self.set_of(block);
+        let tag = block.tag(self.num_sets);
+        let base = set * self.ways;
+
+        // Already present (e.g. a racing prefetch filled it): just update state.
+        for way in 0..self.ways {
+            let idx = base + way;
+            if self.lines[idx].valid && self.lines[idx].tag == tag {
+                if dirty {
+                    self.lines[idx].dirty = true;
+                }
+                return None;
+            }
+        }
+
+        if prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+
+        // Prefer an invalid way.
+        let mut target_way = None;
+        for way in 0..self.ways {
+            if !self.lines[base + way].valid {
+                target_way = Some(way);
+                break;
+            }
+        }
+        let (way, evicted) = match target_way {
+            Some(way) => (way, None),
+            None => {
+                let way = match self.config.policy {
+                    PrivatePolicyKind::Lru => {
+                        let mut victim = 0;
+                        let mut oldest = u64::MAX;
+                        for w in 0..self.ways {
+                            if self.stamps[base + w] < oldest {
+                                oldest = self.stamps[base + w];
+                                victim = w;
+                            }
+                        }
+                        victim
+                    }
+                    PrivatePolicyKind::Srrip | PrivatePolicyKind::Drrip => self.rrpv.find_victim(set),
+                };
+                let line = self.lines[base + way];
+                self.stats.evictions += 1;
+                if line.dirty {
+                    self.stats.writebacks += 1;
+                }
+                let evicted_block =
+                    BlockAddr((line.tag << self.num_sets.trailing_zeros()) | set as u64);
+                (way, Some(EvictedLine { block: evicted_block, dirty: line.dirty }))
+            }
+        };
+
+        let idx = base + way;
+        self.lines[idx] = Line { valid: true, tag, dirty };
+        self.stamp_clock += 1;
+        self.stamps[idx] = self.stamp_clock;
+        let insert_rrpv = match self.config.policy {
+            PrivatePolicyKind::Lru => 0,
+            PrivatePolicyKind::Srrip => {
+                if prefetch {
+                    RRPV_MAX
+                } else {
+                    RRPV_MAX - 1
+                }
+            }
+            PrivatePolicyKind::Drrip => {
+                if prefetch {
+                    RRPV_MAX
+                } else {
+                    self.duel.as_mut().expect("drrip state").insertion_rrpv(set)
+                }
+            }
+        };
+        self.rrpv.set(set, way, insert_rrpv);
+        evicted
+    }
+
+    /// A write-back arriving from the level above: set the dirty bit if the block is
+    /// present. Returns true if absorbed; the caller forwards it further down otherwise.
+    pub fn writeback(&mut self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        let tag = block.tag(self.num_sets);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            let idx = base + way;
+            if self.lines[idx].valid && self.lines[idx].tag == tag {
+                self.lines[idx].dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently held (used by tests and occupancy reports).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.num_sets * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheGeometry;
+
+    fn cfg(policy: PrivatePolicyKind) -> PrivateCacheConfig {
+        PrivateCacheConfig {
+            geometry: CacheGeometry::new(4 * 1024, 4), // 16 sets x 4 ways
+            latency: 2,
+            policy,
+        }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = PrivateCache::new(cfg(PrivatePolicyKind::Lru));
+        let b = BlockAddr(42);
+        assert_eq!(c.access(b, false), Lookup::Miss);
+        assert!(c.fill(b, false, false).is_none());
+        assert_eq!(c.access(b, false), Lookup::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty_and_eviction_reports_writeback() {
+        let mut c = PrivateCache::new(cfg(PrivatePolicyKind::Lru));
+        // Fill 5 blocks mapping to set 0 of a 4-way cache: 1 eviction expected.
+        let blocks: Vec<BlockAddr> = (0..5).map(|i| BlockAddr(i * 16)).collect();
+        c.access(blocks[0], true);
+        c.fill(blocks[0], true, false);
+        for b in &blocks[1..] {
+            c.access(*b, false);
+            c.fill(*b, false, false);
+        }
+        assert_eq!(c.stats().evictions, 1);
+        // The evicted line was the dirty LRU line (blocks[0]).
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PrivateCache::new(cfg(PrivatePolicyKind::Lru));
+        let blocks: Vec<BlockAddr> = (0..4).map(|i| BlockAddr(i * 16)).collect();
+        for b in &blocks {
+            c.access(*b, false);
+            c.fill(*b, false, false);
+        }
+        // Touch block 0 so block 1 becomes LRU.
+        assert_eq!(c.access(blocks[0], false), Lookup::Hit);
+        let newcomer = BlockAddr(4 * 16);
+        c.access(newcomer, false);
+        let evicted = c.fill(newcomer, false, false).expect("must evict");
+        assert_eq!(evicted.block, blocks[1]);
+    }
+
+    #[test]
+    fn evicted_block_address_reconstruction_is_exact() {
+        let mut c = PrivateCache::new(cfg(PrivatePolicyKind::Lru));
+        let b = BlockAddr(0xabcd0);
+        c.access(b, false);
+        c.fill(b, false, false);
+        // Fill the same set with 4 more conflicting blocks; first eviction must be `b`.
+        let sets = 16u64;
+        let mut evicted = None;
+        for i in 1..=4 {
+            let conflicting = BlockAddr(b.0 + i * sets);
+            c.access(conflicting, false);
+            if let Some(e) = c.fill(conflicting, false, false) {
+                evicted = Some(e);
+                break;
+            }
+        }
+        assert_eq!(evicted.unwrap().block, b);
+    }
+
+    #[test]
+    fn srrip_prefetch_fills_are_distant() {
+        let mut c = PrivateCache::new(cfg(PrivatePolicyKind::Srrip));
+        let demand = BlockAddr(0);
+        let prefetched = BlockAddr(16);
+        c.access(demand, false);
+        c.fill(demand, false, false);
+        c.fill(prefetched, false, true);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        // Fill two more, then force an eviction: the prefetched (distant) line goes first.
+        for i in 2..4 {
+            let b = BlockAddr(i * 16);
+            c.access(b, false);
+            c.fill(b, false, false);
+        }
+        let newcomer = BlockAddr(4 * 16);
+        c.access(newcomer, false);
+        let evicted = c.fill(newcomer, false, false).unwrap();
+        assert_eq!(evicted.block, prefetched);
+    }
+
+    #[test]
+    fn drrip_learns_brrip_under_thrashing() {
+        // A cyclic working set larger than the cache thrashes SRRIP; DRRIP's PSEL should
+        // drift toward BRRIP on the BRRIP leader sets outperforming SRRIP leaders.
+        let mut c = PrivateCache::new(PrivateCacheConfig {
+            geometry: CacheGeometry::new(16 * 1024, 4), // 64 sets x 4 ways = 256 blocks
+            latency: 2,
+            policy: PrivatePolicyKind::Drrip,
+        });
+        let footprint = 1024u64; // 4x the cache
+        for round in 0..20 {
+            let _ = round;
+            for i in 0..footprint {
+                let b = BlockAddr(i);
+                if c.access(b, false) == Lookup::Miss {
+                    c.fill(b, false, false);
+                }
+            }
+        }
+        // Not asserting on PSEL internals; the cache must simply stay consistent and
+        // bounded.
+        assert!(c.occupancy() <= c.capacity_lines());
+        assert!(c.stats().misses > 0);
+    }
+
+    #[test]
+    fn duplicate_fill_does_not_duplicate_lines() {
+        let mut c = PrivateCache::new(cfg(PrivatePolicyKind::Lru));
+        let b = BlockAddr(7);
+        c.access(b, false);
+        c.fill(b, false, false);
+        c.fill(b, true, false);
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.access(b, false), Lookup::Hit);
+    }
+
+    #[test]
+    fn writeback_marks_dirty_only_when_present() {
+        let mut c = PrivateCache::new(cfg(PrivatePolicyKind::Lru));
+        let b = BlockAddr(11);
+        c.access(b, false);
+        c.fill(b, false, false);
+        assert!(c.writeback(b));
+        assert!(!c.writeback(BlockAddr(999)));
+        // Evicting the now-dirty line must produce a write-back.
+        let sets = 16u64;
+        for i in 1..=4 {
+            let conflicting = BlockAddr(b.0 + i * sets);
+            c.access(conflicting, false);
+            c.fill(conflicting, false, false);
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn probe_does_not_change_stats() {
+        let mut c = PrivateCache::new(cfg(PrivatePolicyKind::Lru));
+        let b = BlockAddr(3);
+        c.access(b, false);
+        c.fill(b, false, false);
+        let before = *c.stats();
+        assert!(c.probe(b));
+        assert!(!c.probe(BlockAddr(1000)));
+        assert_eq!(before, *c.stats());
+    }
+}

@@ -1,0 +1,434 @@
+//! Multi-core system driver.
+//!
+//! Each core owns a private L1D + L2, a next-line prefetcher and an approximate OoO timing
+//! model; all cores share one banked LLC and the DRAM. Cores are advanced in global time
+//! order through a binary heap keyed by their current cycle, so the interleaving of LLC
+//! accesses — and therefore the contention the replacement policy sees — follows the same
+//! relative order a cycle-accurate simulator would produce.
+//!
+//! Each core runs until it retires its per-core instruction target; cores that reach the
+//! target keep executing (their statistics are snapshotted at the target) so that the
+//! remaining cores continue to experience contention, exactly like the paper's methodology
+//! of re-executing finished applications.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::addr::{block_of, BlockAddr};
+use crate::config::SystemConfig;
+use crate::core_model::CoreModel;
+use crate::dram::Dram;
+use crate::llc::SharedLlc;
+use crate::prefetch::NextLinePrefetcher;
+use crate::private_cache::{Lookup, PrivateCache};
+use crate::replacement::{AccessContext, InsertionDecision, LineView, LlcReplacementPolicy, RrpvArray};
+use crate::stats::{CoreStats, SystemResults};
+use crate::trace::TraceSource;
+
+/// One core plus its private hierarchy and trace.
+struct CoreNode {
+    model: CoreModel,
+    l1d: PrivateCache,
+    l2: PrivateCache,
+    prefetcher: NextLinePrefetcher,
+    trace: Box<dyn TraceSource>,
+    dram_reads: u64,
+    snapshot: Option<CoreStats>,
+}
+
+/// The simulated multi-core system.
+pub struct MultiCoreSystem {
+    config: SystemConfig,
+    cores: Vec<CoreNode>,
+    llc: SharedLlc,
+    dram: Dram,
+}
+
+/// A simple SRRIP policy used as the default when callers do not care which policy runs
+/// (examples, smoke tests). The study's baselines live in the `llc-policies` crate.
+pub struct DefaultSrripPolicy {
+    rrpv: RrpvArray,
+}
+
+impl DefaultSrripPolicy {
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        DefaultSrripPolicy { rrpv: RrpvArray::new(num_sets, ways) }
+    }
+}
+
+impl LlcReplacementPolicy for DefaultSrripPolicy {
+    fn name(&self) -> String {
+        "SRRIP(default)".into()
+    }
+    fn on_hit(&mut self, ctx: &AccessContext, way: usize) {
+        self.rrpv.promote(ctx.set_index, way);
+    }
+    fn insertion_decision(&mut self, _ctx: &AccessContext) -> InsertionDecision {
+        InsertionDecision::insert(2)
+    }
+    fn choose_victim(&mut self, ctx: &AccessContext, _lines: &[LineView]) -> usize {
+        self.rrpv.find_victim(ctx.set_index)
+    }
+    fn on_fill(&mut self, ctx: &AccessContext, way: usize, decision: &InsertionDecision) {
+        if let InsertionDecision::Insert { rrpv } = decision {
+            if way != usize::MAX {
+                self.rrpv.set(ctx.set_index, way, *rrpv);
+            }
+        }
+    }
+}
+
+impl MultiCoreSystem {
+    /// Build a system with an explicit LLC replacement policy.
+    pub fn new(
+        config: SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        policy: Box<dyn LlcReplacementPolicy>,
+    ) -> Self {
+        config.validate().expect("invalid system configuration");
+        assert_eq!(
+            traces.len(),
+            config.num_cores,
+            "need exactly one trace source per core"
+        );
+        let llc = SharedLlc::new(config.llc, config.num_cores, config.interval_misses, policy);
+        let dram = Dram::new(config.dram);
+        let cores = traces
+            .into_iter()
+            .map(|trace| CoreNode {
+                model: CoreModel::new(config.core),
+                l1d: PrivateCache::new(config.l1d),
+                l2: PrivateCache::new(config.l2),
+                prefetcher: NextLinePrefetcher::new(config.l1_next_line_prefetch),
+                trace,
+                dram_reads: 0,
+                snapshot: None,
+            })
+            .collect();
+        MultiCoreSystem { config, cores, llc, dram }
+    }
+
+    /// Build a system with the built-in default SRRIP policy.
+    pub fn with_default_policy(config: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        let policy = DefaultSrripPolicy::new(config.llc.geometry.num_sets(), config.llc.geometry.ways);
+        Self::new(config, traces, Box::new(policy))
+    }
+
+    /// Immutable access to the shared LLC (for inspection in tests/experiments).
+    pub fn llc(&self) -> &SharedLlc {
+        &self.llc
+    }
+
+    /// Immutable access to the DRAM model.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Run until every core has retired at least `instructions_per_core` instructions;
+    /// returns statistics snapshotted at each core's target.
+    pub fn run(&mut self, instructions_per_core: u64) -> SystemResults {
+        assert!(instructions_per_core > 0);
+        let n = self.cores.len();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|i| Reverse((0, i))).collect();
+        let mut remaining = n;
+
+        while remaining > 0 {
+            let Reverse((_, core_id)) = heap.pop().expect("heap never empties while cores remain");
+            self.step_core(core_id);
+            let core = &mut self.cores[core_id];
+            if core.snapshot.is_none() && core.model.instructions >= instructions_per_core {
+                let snap = Self::snapshot_core(core_id, core, &self.llc);
+                core.snapshot = Some(snap);
+                remaining -= 1;
+            }
+            if remaining > 0 {
+                heap.push(Reverse((self.cores[core_id].model.cycle, core_id)));
+            }
+        }
+
+        let final_cycle = self
+            .cores
+            .iter()
+            .map(|c| c.snapshot.as_ref().map(|s| s.cycles).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+
+        SystemResults {
+            policy: self.llc.policy_name(),
+            per_core: self
+                .cores
+                .iter()
+                .map(|c| c.snapshot.clone().expect("all cores snapshotted"))
+                .collect(),
+            llc_global: *self.llc.global_stats(),
+            dram: *self.dram.stats(),
+            final_cycle,
+        }
+    }
+
+    fn snapshot_core(core_id: usize, core: &CoreNode, llc: &SharedLlc) -> CoreStats {
+        CoreStats {
+            core_id,
+            label: core.trace.label(),
+            instructions: core.model.instructions,
+            cycles: core.model.cycle,
+            compute_cycles: core.model.compute_cycles,
+            mem_stall_cycles: core.model.mem_stall_cycles,
+            l1d: *core.l1d.stats(),
+            l2: *core.l2.stats(),
+            llc: *llc.core_stats(core_id),
+            prefetch: *core.prefetcher.stats(),
+            dram_reads: core.dram_reads,
+        }
+    }
+
+    /// Process one trace entry for `core_id`.
+    fn step_core(&mut self, core_id: usize) {
+        let access = self.cores[core_id].trace.next_access();
+        let block = block_of(access.addr);
+        let now = self.cores[core_id].model.cycle;
+
+        let (mem_latency, prefetch_candidate) =
+            self.demand_access(core_id, block, access.pc, access.is_write, now);
+
+        if let Some(pf_block) = prefetch_candidate {
+            self.prefetch_access(core_id, pf_block, access.pc, now);
+        }
+
+        self.cores[core_id]
+            .model
+            .advance(access.non_mem_instrs as u64, mem_latency);
+    }
+
+    /// Resolve a demand access through the hierarchy; returns (latency, prefetch candidate).
+    fn demand_access(
+        &mut self,
+        core_id: usize,
+        block: BlockAddr,
+        pc: u64,
+        is_write: bool,
+        now: u64,
+    ) -> (u64, Option<BlockAddr>) {
+        let l1_latency = self.config.core.l1_hit_cycles;
+
+        // L1 lookup.
+        if self.cores[core_id].l1d.access(block, is_write) == Lookup::Hit {
+            return (l1_latency, None);
+        }
+
+        // L1 miss: consult the next-line prefetcher.
+        let prefetch_candidate = {
+            let core = &mut self.cores[core_id];
+            let l1 = &core.l1d;
+            core.prefetcher.on_demand_miss(block, |b| l1.probe(b))
+        };
+
+        // L2 lookup.
+        let l2_latency = self.cores[core_id].l2.latency();
+        let mut latency;
+        if self.cores[core_id].l2.access(block, false) == Lookup::Hit {
+            latency = l2_latency;
+        } else {
+            // L2 miss: shared LLC.
+            let llc_lookup = self.llc.access(core_id, pc, block, true, is_write, now);
+            if llc_lookup.hit {
+                latency = l2_latency + llc_lookup.latency;
+            } else {
+                // LLC miss: DRAM.
+                let dram_out = self.dram.access(block, now + llc_lookup.latency, false);
+                let mshr_stall = self.llc.reserve_mshr(now, llc_lookup.latency + dram_out.latency);
+                latency = l2_latency + llc_lookup.latency + dram_out.latency + mshr_stall;
+                self.cores[core_id].dram_reads += 1;
+
+                // Fill the LLC (the policy may bypass).
+                let fill = self.llc.fill(core_id, pc, block, false, now);
+                if let Some(evicted) = fill.evicted {
+                    if evicted.dirty {
+                        // Write-back drains in the background; costs DRAM bandwidth only.
+                        self.dram.access(evicted.block, now, true);
+                    }
+                }
+            }
+            // Fill the private L2; its dirty victim (if any) is written back below.
+            if let Some(evicted) = self.cores[core_id].l2.fill(block, false, false) {
+                if evicted.dirty {
+                    self.writeback_from_l2(core_id, evicted.block, now);
+                }
+            }
+        }
+
+        // Fill the L1; handle its dirty victim.
+        if let Some(evicted) = self.cores[core_id].l1d.fill(block, is_write, false) {
+            if evicted.dirty {
+                if !self.cores[core_id].l2.writeback(evicted.block) {
+                    self.writeback_from_l2(core_id, evicted.block, now);
+                }
+            }
+        }
+
+        // Account for the L1 miss detection itself.
+        latency += l1_latency;
+        (latency, prefetch_candidate)
+    }
+
+    /// A dirty line leaving a private L2 (or falling through it): try the LLC, then DRAM.
+    fn writeback_from_l2(&mut self, core_id: usize, block: BlockAddr, now: u64) {
+        if !self.llc.writeback(core_id, block, now) {
+            self.dram.access(block, now, true);
+        }
+    }
+
+    /// Resolve a prefetch: bring the line into L2 and L1 without charging the core and
+    /// without allocating in (or updating recency of) the shared LLC.
+    fn prefetch_access(&mut self, core_id: usize, block: BlockAddr, pc: u64, now: u64) {
+        if self.cores[core_id].l1d.probe(block) {
+            return;
+        }
+        if !self.cores[core_id].l2.probe(block) {
+            let llc_lookup = self.llc.access(core_id, pc, block, false, false, now);
+            if !llc_lookup.hit {
+                // Fetch from memory; prefetches do not allocate in the LLC.
+                self.dram.access(block, now + llc_lookup.latency, false);
+                self.cores[core_id].dram_reads += 1;
+            }
+            if let Some(evicted) = self.cores[core_id].l2.fill(block, false, true) {
+                if evicted.dirty {
+                    self.writeback_from_l2(core_id, evicted.block, now);
+                }
+            }
+        }
+        if let Some(evicted) = self.cores[core_id].l1d.fill(block, false, true) {
+            if evicted.dirty {
+                if !self.cores[core_id].l2.writeback(evicted.block) {
+                    self.writeback_from_l2(core_id, evicted.block, now);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::trace::{ReplayTrace, StridedTrace};
+
+    fn strided_traces(n: usize, region: u64) -> Vec<Box<dyn TraceSource>> {
+        (0..n)
+            .map(|i| {
+                Box::new(StridedTrace::new((i as u64) << 32, 64, region, 4)) as Box<dyn TraceSource>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_core_small_working_set_mostly_hits() {
+        let cfg = SystemConfig::tiny(1);
+        // Working set of 1 KB fits easily in the 2 KB L1.
+        let traces = strided_traces(1, 1024);
+        let mut sys = MultiCoreSystem::with_default_policy(cfg, traces);
+        let res = sys.run(50_000);
+        let c = &res.per_core[0];
+        assert!(c.instructions >= 50_000);
+        assert!(c.l1d.miss_ratio() < 0.1, "miss ratio {}", c.l1d.miss_ratio());
+        assert!(c.ipc() > 1.0, "ipc {}", c.ipc());
+    }
+
+    #[test]
+    fn streaming_core_is_memory_bound() {
+        let cfg = SystemConfig::tiny(1);
+        // 16 MB streaming region: misses everywhere.
+        let traces = strided_traces(1, 16 * 1024 * 1024);
+        let mut sys = MultiCoreSystem::with_default_policy(cfg, traces);
+        let res = sys.run(50_000);
+        let c = &res.per_core[0];
+        assert!(c.llc.demand_misses > 0);
+        assert!(c.llc_mpki() > 50.0, "llc mpki {}", c.llc_mpki());
+        assert!(c.ipc() < 1.0, "ipc {}", c.ipc());
+        assert!(c.dram_reads > 0);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let run = || {
+            let cfg = SystemConfig::tiny(2);
+            let traces = strided_traces(2, 256 * 1024);
+            let mut sys = MultiCoreSystem::with_default_policy(cfg, traces);
+            let r = sys.run(20_000);
+            (r.per_core[0].cycles, r.per_core[1].cycles, r.total_llc_demand_misses())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_cores_reach_instruction_target() {
+        let cfg = SystemConfig::tiny(4);
+        let traces = strided_traces(4, 64 * 1024);
+        let mut sys = MultiCoreSystem::with_default_policy(cfg, traces);
+        let res = sys.run(10_000);
+        assert_eq!(res.per_core.len(), 4);
+        for c in &res.per_core {
+            assert!(c.instructions >= 10_000);
+            assert!(c.cycles > 0);
+        }
+        assert!(res.final_cycle >= res.per_core.iter().map(|c| c.cycles).max().unwrap());
+    }
+
+    #[test]
+    fn shared_cache_contention_hurts_a_cache_fitting_app() {
+        // An app whose working set fits the LLC alone loses hits when co-run with a
+        // streaming app: the fundamental effect the paper studies.
+        let victim_region = 48 * 1024; // fits the 64 KB tiny LLC
+        let alone = {
+            let cfg = SystemConfig::tiny(1);
+            let traces: Vec<Box<dyn TraceSource>> =
+                vec![Box::new(StridedTrace::new(0, 64, victim_region, 4))];
+            let mut sys = MultiCoreSystem::with_default_policy(cfg, traces);
+            sys.run(40_000).per_core[0].llc_mpki()
+        };
+        let shared = {
+            let cfg = SystemConfig::tiny(2);
+            let traces: Vec<Box<dyn TraceSource>> = vec![
+                Box::new(StridedTrace::new(0, 64, victim_region, 4)),
+                Box::new(StridedTrace::new(1 << 32, 64, 8 * 1024 * 1024, 4)),
+            ];
+            let mut sys = MultiCoreSystem::with_default_policy(cfg, traces);
+            sys.run(40_000).per_core[0].llc_mpki()
+        };
+        assert!(
+            shared > alone,
+            "sharing should increase the victim's LLC MPKI (alone={alone}, shared={shared})"
+        );
+    }
+
+    #[test]
+    fn writes_eventually_reach_dram_as_writebacks() {
+        let cfg = SystemConfig::tiny(1);
+        let addrs: Vec<u64> = (0..4096u64).map(|i| i * 64).collect();
+        let mut accesses = Vec::new();
+        for a in &addrs {
+            accesses.push(crate::trace::MemAccess { addr: *a, pc: 0x10, is_write: true, non_mem_instrs: 2 });
+        }
+        let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(ReplayTrace::new("writes", accesses))];
+        let mut sys = MultiCoreSystem::new(
+            cfg.clone(),
+            traces,
+            Box::new(DefaultSrripPolicy::new(cfg.llc.geometry.num_sets(), cfg.llc.geometry.ways)),
+        );
+        let res = sys.run(30_000);
+        assert!(res.dram.writes > 0, "dirty evictions must reach memory");
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace source per core")]
+    fn trace_count_mismatch_panics() {
+        let cfg = SystemConfig::tiny(2);
+        let traces = strided_traces(1, 1024);
+        let _ = MultiCoreSystem::with_default_policy(cfg, traces);
+    }
+}

@@ -1,0 +1,180 @@
+//! Trace abstraction: the simulator consumes per-core streams of memory accesses.
+//!
+//! Sources are infinite (they wrap around / keep generating), mirroring the paper's
+//! methodology where an application that finishes its 300M-instruction slice is re-executed
+//! from the beginning so that contention on the shared cache persists until every
+//! application reaches its instruction target.
+//!
+//! The `workloads` crate provides the synthetic SPEC/PARSEC-like generators; this module
+//! only defines the interface plus a few simple sources used by tests and examples.
+
+/// One memory instruction plus the count of non-memory instructions preceding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Program counter of the memory instruction (used for SHiP-style signatures).
+    pub pc: u64,
+    /// True for stores.
+    pub is_write: bool,
+    /// Number of non-memory instructions executed since the previous memory access.
+    pub non_mem_instrs: u32,
+}
+
+/// An infinite stream of memory accesses for one core.
+pub trait TraceSource: Send {
+    /// Produce the next access. Must never terminate.
+    fn next_access(&mut self) -> MemAccess;
+
+    /// Restart the stream from the beginning (used when re-running an application).
+    fn reset(&mut self);
+
+    /// Short human-readable name for reports.
+    fn label(&self) -> String {
+        "trace".to_string()
+    }
+}
+
+impl TraceSource for Box<dyn TraceSource> {
+    fn next_access(&mut self) -> MemAccess {
+        (**self).next_access()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
+/// A strided (streaming) access pattern over a fixed-size region, wrapping around.
+#[derive(Debug, Clone)]
+pub struct StridedTrace {
+    base: u64,
+    stride: u64,
+    region_bytes: u64,
+    non_mem_instrs: u32,
+    offset: u64,
+    pc: u64,
+}
+
+impl StridedTrace {
+    /// `base`: starting byte address, `stride`: bytes between accesses, `region_bytes`:
+    /// wrap-around length, `non_mem_instrs`: compute instructions between accesses.
+    pub fn new(base: u64, stride: u64, region_bytes: u64, non_mem_instrs: u32) -> Self {
+        assert!(stride > 0 && region_bytes >= stride);
+        StridedTrace {
+            base,
+            stride,
+            region_bytes,
+            non_mem_instrs,
+            offset: 0,
+            pc: 0x4000_0000 + base,
+        }
+    }
+}
+
+impl TraceSource for StridedTrace {
+    fn next_access(&mut self) -> MemAccess {
+        let addr = self.base + self.offset;
+        self.offset = (self.offset + self.stride) % self.region_bytes;
+        MemAccess { addr, pc: self.pc, is_write: false, non_mem_instrs: self.non_mem_instrs }
+    }
+
+    fn reset(&mut self) {
+        self.offset = 0;
+    }
+
+    fn label(&self) -> String {
+        format!("strided({:#x},{})", self.base, self.stride)
+    }
+}
+
+/// Replays a fixed vector of accesses in a loop; handy for unit tests.
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    accesses: Vec<MemAccess>,
+    pos: usize,
+    name: String,
+}
+
+impl ReplayTrace {
+    pub fn new(name: impl Into<String>, accesses: Vec<MemAccess>) -> Self {
+        assert!(!accesses.is_empty(), "replay trace must not be empty");
+        ReplayTrace { accesses, pos: 0, name: name.into() }
+    }
+
+    /// Convenience: read-only accesses over the given byte addresses with a fixed gap of
+    /// non-memory instructions between them.
+    pub fn from_addrs(name: impl Into<String>, addrs: &[u64], non_mem_instrs: u32) -> Self {
+        let accesses = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| MemAccess {
+                addr,
+                pc: 0x1000 + (i as u64 % 17) * 4,
+                is_write: false,
+                non_mem_instrs,
+            })
+            .collect();
+        Self::new(name, accesses)
+    }
+}
+
+impl TraceSource for ReplayTrace {
+    fn next_access(&mut self) -> MemAccess {
+        let a = self.accesses[self.pos];
+        self.pos = (self.pos + 1) % self.accesses.len();
+        a
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_trace_wraps_around_region() {
+        let mut t = StridedTrace::new(0x1000, 64, 256, 5);
+        let addrs: Vec<u64> = (0..5).map(|_| t.next_access().addr).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10c0, 0x1000]);
+    }
+
+    #[test]
+    fn strided_trace_reset_restarts() {
+        let mut t = StridedTrace::new(0, 64, 1 << 20, 0);
+        t.next_access();
+        t.next_access();
+        t.reset();
+        assert_eq!(t.next_access().addr, 0);
+    }
+
+    #[test]
+    fn replay_trace_loops_forever() {
+        let mut t = ReplayTrace::from_addrs("x", &[1, 2, 3], 0);
+        let seq: Vec<u64> = (0..7).map(|_| t.next_access().addr).collect();
+        assert_eq!(seq, vec![1, 2, 3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_replay_trace_panics() {
+        let _ = ReplayTrace::new("empty", vec![]);
+    }
+
+    #[test]
+    fn boxed_trace_source_dispatches() {
+        let mut boxed: Box<dyn TraceSource> = Box::new(ReplayTrace::from_addrs("b", &[9], 1));
+        assert_eq!(boxed.next_access().addr, 9);
+        assert_eq!(boxed.label(), "b");
+        boxed.reset();
+    }
+}

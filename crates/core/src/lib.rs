@@ -1,0 +1,46 @@
+//! # adapt-core
+//!
+//! The paper's contribution: **ADAPT** — *Adaptive Discrete and de-prioritized Application
+//! PrioriTization* for shared last-level caches on large multicores
+//! (Sridharan & Seznec, RR-8816 / IPPS 2016).
+//!
+//! ADAPT has two components:
+//!
+//! 1. a **monitoring mechanism** ([`monitor::FootprintMonitor`]) that samples a small
+//!    number of cache sets per application and estimates each application's
+//!    *Footprint-number* — the number of unique block addresses it sends to a cache set in
+//!    an interval of one million LLC misses — using tiny tag arrays that store only 10-bit
+//!    partial tags and sit entirely off the cache's critical path, and
+//! 2. an **insertion-priority prediction algorithm** ([`priority`]) that maps each
+//!    application's Footprint-number to one of four discrete priorities (High, Medium, Low,
+//!    Least) and drives the RRPV chosen when that application's lines are inserted; the
+//!    Least-priority class is mostly *bypassed* around the LLC (1 in 32 accesses is
+//!    installed at distant priority) in the best-performing ADAPT_bp32 variant.
+//!
+//! [`policy::AdaptPolicy`] ties the two together behind the
+//! [`cache_sim::replacement::LlcReplacementPolicy`] interface so it can be dropped into the
+//! simulator exactly like the baselines in `llc-policies`. [`cost`] reproduces the hardware
+//! budget comparison of the paper's Table 2.
+//!
+//! ```
+//! use adapt_core::{AdaptConfig, AdaptPolicy};
+//! use cache_sim::config::SystemConfig;
+//!
+//! let sys = SystemConfig::tiny(4);
+//! let policy = AdaptPolicy::new(AdaptConfig::paper(), &sys.llc, 4);
+//! assert_eq!(policy.config().sampled_sets, 40);
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod footprint;
+pub mod monitor;
+pub mod policy;
+pub mod priority;
+
+pub use config::{AdaptConfig, LeastPriorityMode};
+pub use cost::{adapt_cost_bytes, table2_rows, HardwareCostRow};
+pub use footprint::{SamplerSet, FOOTPRINT_SATURATION};
+pub use monitor::FootprintMonitor;
+pub use policy::AdaptPolicy;
+pub use priority::{InsertionPriorityPredictor, PriorityLevel};

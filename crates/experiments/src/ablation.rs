@@ -1,0 +1,171 @@
+//! Ablation sweeps over ADAPT's design parameters (DESIGN.md §6).
+//!
+//! The paper fixes several constants after internal sweeps: the monitoring interval (1M
+//! LLC misses, chosen from {0.25M..4M}), 40 sampled sets, the Table 1 priority ranges
+//! (chosen from 36 range combinations) and the 1/32 bypass ratio. These functions rerun
+//! the corresponding sweeps on our substrate so the sensitivity of each choice can be
+//! inspected; the `ablations` Criterion bench and `repro ablation` drive them.
+
+use adapt_core::{AdaptConfig, AdaptPolicy};
+use serde::{Deserialize, Serialize};
+use workloads::{generate_mixes, StudyKind, WorkloadMix};
+
+use cache_sim::config::SystemConfig;
+
+use crate::policies::PolicyKind;
+use crate::report::{amean, render_table};
+use crate::runner::{evaluate_mix, evaluate_mix_with};
+use crate::scale::ExperimentScale;
+
+/// One ablation data point: a configuration label and its mean speedup over TA-DRRIP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationPoint {
+    pub label: String,
+    pub speedup_over_tadrrip: f64,
+}
+
+/// Shared sweep machinery: evaluate a list of (label, AdaptConfig) variants against the
+/// TA-DRRIP baseline on a common set of mixes and, optionally, configuration overrides.
+fn sweep_adapt_variants(
+    base_config: &SystemConfig,
+    mixes: &[WorkloadMix],
+    variants: &[(String, AdaptConfig, Option<u64>)],
+    instructions: u64,
+    seed: u64,
+) -> Vec<AblationPoint> {
+    variants
+        .iter()
+        .map(|(label, adapt_cfg, interval_override)| {
+            let mut cfg = base_config.clone();
+            if let Some(interval) = interval_override {
+                cfg.interval_misses = *interval;
+            }
+            let mut ratios = Vec::with_capacity(mixes.len());
+            for mix in mixes {
+                let baseline = evaluate_mix(&cfg, mix, PolicyKind::TaDrrip, instructions, seed);
+                let policy = Box::new(AdaptPolicy::new(*adapt_cfg, &cfg.llc, cfg.num_cores));
+                let adapt = evaluate_mix_with(
+                    &cfg,
+                    mix,
+                    PolicyKind::AdaptBp32,
+                    policy,
+                    instructions,
+                    seed,
+                );
+                let b = baseline.weighted_speedup();
+                ratios.push(if b > 0.0 { adapt.weighted_speedup() / b } else { 0.0 });
+            }
+            AblationPoint { label: label.clone(), speedup_over_tadrrip: amean(&ratios) }
+        })
+        .collect()
+}
+
+fn setup(scale: ExperimentScale, mixes: usize) -> (SystemConfig, Vec<WorkloadMix>, u64, u64) {
+    let study = StudyKind::Cores16;
+    let config = scale.system_config(study);
+    let workloads = generate_mixes(study, mixes.min(scale.mixes_for(study)).max(1), scale.seed());
+    (config, workloads, scale.instructions_per_core(), scale.seed())
+}
+
+/// Sweep the monitoring-interval length (fractions/multiples of the configured interval).
+pub fn interval_sweep(scale: ExperimentScale, mixes: usize) -> Vec<AblationPoint> {
+    let (config, workloads, instructions, seed) = setup(scale, mixes);
+    let base = config.interval_misses;
+    let variants: Vec<(String, AdaptConfig, Option<u64>)> = [0.25f64, 0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|mult| {
+            (
+                format!("interval x{mult}"),
+                AdaptConfig::paper(),
+                Some(((base as f64 * mult) as u64).max(1024)),
+            )
+        })
+        .collect();
+    sweep_adapt_variants(&config, &workloads, &variants, instructions, seed)
+}
+
+/// Sweep the number of sampled sets per application (the paper uses 40).
+pub fn sampled_sets_sweep(scale: ExperimentScale, mixes: usize) -> Vec<AblationPoint> {
+    let (config, workloads, instructions, seed) = setup(scale, mixes);
+    let variants: Vec<(String, AdaptConfig, Option<u64>)> = [8usize, 16, 40, 64, 128]
+        .iter()
+        .map(|n| {
+            (
+                format!("{n} sampled sets"),
+                AdaptConfig { sampled_sets: *n, ..AdaptConfig::paper() },
+                None,
+            )
+        })
+        .collect();
+    sweep_adapt_variants(&config, &workloads, &variants, instructions, seed)
+}
+
+/// Sweep the bypass ratio of the Least-priority class (the paper installs 1 in 32).
+pub fn bypass_ratio_sweep(scale: ExperimentScale, mixes: usize) -> Vec<AblationPoint> {
+    let (config, workloads, instructions, seed) = setup(scale, mixes);
+    let variants: Vec<(String, AdaptConfig, Option<u64>)> = [8u32, 16, 32, 64, 128]
+        .iter()
+        .map(|r| {
+            (
+                format!("bypass 1/{r}"),
+                AdaptConfig { bypass_ratio: *r, ..AdaptConfig::paper() },
+                None,
+            )
+        })
+        .collect();
+    sweep_adapt_variants(&config, &workloads, &variants, instructions, seed)
+}
+
+/// Sweep the High/Medium priority boundaries (the paper settles on [0,3] and (3,12]).
+pub fn priority_range_sweep(scale: ExperimentScale, mixes: usize) -> Vec<AblationPoint> {
+    let (config, workloads, instructions, seed) = setup(scale, mixes);
+    let mut variants = Vec::new();
+    for high_max in [2.0f64, 3.0, 5.0, 8.0] {
+        for medium_max in [10.0f64, 12.0, 14.0] {
+            if medium_max <= high_max {
+                continue;
+            }
+            variants.push((
+                format!("HP<= {high_max}, MP<= {medium_max}"),
+                AdaptConfig { high_max, medium_max, ..AdaptConfig::paper() },
+                None,
+            ));
+        }
+    }
+    sweep_adapt_variants(&config, &workloads, &variants, instructions, seed)
+}
+
+/// Render an ablation sweep.
+pub fn render(title: &str, points: &[AblationPoint]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&render_table(
+        &["configuration", "speedup over TA-DRRIP"],
+        &points
+            .iter()
+            .map(|p| vec![p.label.clone(), format!("{:.4}", p.speedup_over_tadrrip)])
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bypass_ratio_sweep_produces_one_point_per_ratio() {
+        let points = bypass_ratio_sweep(ExperimentScale::Smoke, 1);
+        assert_eq!(points.len(), 5);
+        for p in &points {
+            assert!(p.speedup_over_tadrrip > 0.0);
+        }
+        assert!(render("bypass", &points).contains("bypass 1/32"));
+    }
+
+    #[test]
+    fn priority_range_sweep_excludes_degenerate_ranges() {
+        let points = priority_range_sweep(ExperimentScale::Smoke, 1);
+        assert!(points.iter().all(|p| !p.label.is_empty()));
+        assert!(points.len() >= 9);
+    }
+}

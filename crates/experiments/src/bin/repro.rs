@@ -1,0 +1,173 @@
+//! `repro` — regenerate the ADAPT paper's figures and tables from the command line.
+//!
+//! ```text
+//! repro <experiment> [--paper-scale | --smoke]
+//!
+//! experiments:
+//!   fig1     Figure 1  : forced BRRIP motivation experiment
+//!   fig3     Figure 3  : 16-core weighted-speedup s-curves
+//!   fig45    Figures 4 & 5 : per-application MPKI / IPC impact
+//!   fig6     Figure 6  : insertion vs bypass ablation
+//!   fig7     Figure 7  : larger caches (24 MB / 32 MB)
+//!   fig8     Figure 8  : 4/8/20/24-core scalability s-curves
+//!   table2   Table 2   : hardware cost comparison
+//!   table4   Table 4   : benchmark classification, paper vs measured
+//!   table7   Table 7   : alternative multi-core metrics
+//!   ablation Design-parameter sweeps (interval, sampled sets, bypass ratio, ranges)
+//!   mixes    Print the generated workload mixes (Table 6)
+//!   diag     Per-application TA-DRRIP vs ADAPT diagnostic on one 16-core mix
+//!   all      Everything above, in order
+//! ```
+//!
+//! The default scale is `scaled` (minutes); `--paper-scale` selects the paper's full
+//! parameters (hours); `--smoke` is a seconds-long sanity run.
+
+use std::env;
+use std::process::ExitCode;
+
+use experiments::{ablation, figure1, figure3, figure45, figure6, figure7, figure8};
+use experiments::{table2, table4, table7, ExperimentScale};
+use workloads::{generate_mixes, StudyKind};
+
+fn usage() -> String {
+    "usage: repro <fig1|fig3|fig45|fig6|fig7|fig8|table2|table4|table7|ablation|mixes|diag|all> \
+     [--paper-scale|--smoke]"
+        .to_string()
+}
+
+fn print_mixes(scale: ExperimentScale) {
+    for study in StudyKind::all() {
+        let mixes = generate_mixes(study, scale.mixes_for(study), scale.seed());
+        println!(
+            "# {}-core study: {} mixes (paper uses {})",
+            study.num_cores(),
+            mixes.len(),
+            study.paper_workload_count()
+        );
+        for m in &mixes {
+            println!("mix {:>3}: {}", m.id, m.benchmarks.join(", "));
+        }
+        println!();
+    }
+}
+
+/// Diagnostic: run one 16-core mix under TA-DRRIP and ADAPT and print each application's
+/// view (accesses, misses, bypasses, IPC) side by side, plus interval statistics.
+fn diag(scale: ExperimentScale) {
+    use experiments::{evaluate_mix, PolicyKind};
+
+    let study = StudyKind::Cores16;
+    let config = scale.system_config(study);
+    let mix = generate_mixes(study, 1, scale.seed()).remove(0);
+    let instructions = scale.instructions_per_core();
+    let base = evaluate_mix(&config, &mix, PolicyKind::TaDrrip, instructions, scale.seed());
+    let adapt = evaluate_mix(&config, &mix, PolicyKind::AdaptBp32, instructions, scale.seed());
+    println!(
+        "weighted speedup: TA-DRRIP {:.4}  ADAPT_bp32 {:.4}  ratio {:.4}",
+        base.weighted_speedup(),
+        adapt.weighted_speedup(),
+        adapt.weighted_speedup() / base.weighted_speedup()
+    );
+    println!(
+        "{:<8} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "app", "thrash", "mpki_base", "mpki_adpt", "ipc_base", "ipc_adpt", "norm_base", "norm_adpt"
+    );
+    for (b, a) in base.per_app.iter().zip(&adapt.per_app) {
+        println!(
+            "{:<8} {:>6} {:>10.2} {:>10.2} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            b.name,
+            if b.is_thrashing { "yes" } else { "" },
+            b.llc_mpki,
+            a.llc_mpki,
+            b.ipc,
+            a.ipc,
+            b.normalized_ipc(),
+            a.normalized_ipc()
+        );
+    }
+}
+
+fn run_one(name: &str, scale: ExperimentScale) -> Result<(), String> {
+    match name {
+        "fig1" => print!("{}", figure1::render(&figure1::run(scale))),
+        "fig3" => print!("{}", figure3::render(&figure3::run(scale))),
+        "fig45" => print!("{}", figure45::render(&figure45::run(scale))),
+        "fig6" => print!("{}", figure6::render(&figure6::run(scale))),
+        "fig7" => print!("{}", figure7::render(&figure7::run(scale))),
+        "fig8" => print!("{}", figure8::render(&figure8::run(scale))),
+        "table2" => {
+            print!("{}", table2::render(&table2::run_paper_exact()));
+            print!("{}", table2::render(&table2::run(scale)));
+        }
+        "table4" => print!("{}", table4::render(&table4::run(scale))),
+        "table7" => print!("{}", table7::render(&table7::run(scale))),
+        "ablation" => {
+            let mixes = 4;
+            print!("{}", ablation::render("Interval-length sweep", &ablation::interval_sweep(scale, mixes)));
+            print!(
+                "{}",
+                ablation::render("Sampled-sets sweep", &ablation::sampled_sets_sweep(scale, mixes))
+            );
+            print!(
+                "{}",
+                ablation::render("Bypass-ratio sweep", &ablation::bypass_ratio_sweep(scale, mixes))
+            );
+            print!(
+                "{}",
+                ablation::render("Priority-range sweep", &ablation::priority_range_sweep(scale, mixes))
+            );
+        }
+        "mixes" => print_mixes(scale),
+        "diag" => diag(scale),
+        "all" => {
+            for exp in [
+                "table2", "table4", "fig1", "fig3", "fig45", "fig6", "fig7", "fig8", "table7",
+                "ablation",
+            ] {
+                println!("==== {exp} ====");
+                run_one(exp, scale)?;
+                println!();
+            }
+        }
+        other => return Err(format!("unknown experiment '{other}'\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let mut scale = ExperimentScale::Scaled;
+    let mut experiment = None;
+    for a in &args {
+        match a.as_str() {
+            "--paper-scale" => scale = ExperimentScale::Paper,
+            "--smoke" => scale = ExperimentScale::Smoke,
+            "--scaled" => scale = ExperimentScale::Scaled,
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') => experiment = Some(name.to_string()),
+            other => {
+                eprintln!("unknown flag '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(experiment) = experiment else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    eprintln!("[repro] running '{experiment}' at {} scale", scale.label());
+    match run_one(&experiment, scale) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # experiments
+//!
+//! Drivers that regenerate every figure and table of the ADAPT paper on top of the
+//! simulator substrate (`cache-sim`), the baseline policies (`llc-policies`), ADAPT itself
+//! (`adapt-core`), the synthetic workloads (`workloads`) and the multi-core metrics
+//! (`mc-metrics`).
+//!
+//! Each `figure*` / `table*` module exposes a `run(&ExperimentScale) -> ...Result` function
+//! returning plain data plus a `render` helper that prints the same rows/series the paper
+//! reports. The `repro` binary (in `src/bin/repro.rs`) wires them to a command-line
+//! interface; the `adapt-bench` crate wraps them in Criterion benchmarks.
+//!
+//! Absolute performance numbers differ from the paper (our substrate is an approximate
+//! trace-driven simulator fed with synthetic workloads, not BADCO running SPEC), so the
+//! reproduction target is the *shape* of every result: which policy wins, by roughly what
+//! factor, and where the crossovers lie. `EXPERIMENTS.md` records paper-vs-measured values
+//! for every experiment.
+
+pub mod ablation;
+pub mod figure1;
+pub mod figure3;
+pub mod figure45;
+pub mod figure6;
+pub mod figure7;
+pub mod figure8;
+pub mod policies;
+pub mod report;
+pub mod runner;
+pub mod scale;
+pub mod table2;
+pub mod table4;
+pub mod table7;
+
+pub use policies::PolicyKind;
+pub use runner::{evaluate_mix, evaluate_policies_on_mixes, MixEvaluation, PerAppOutcome};
+pub use scale::ExperimentScale;

@@ -1,0 +1,285 @@
+//! Workload execution engine shared by every experiment.
+//!
+//! The runner turns (system configuration, workload mix, policy) triples into
+//! [`MixEvaluation`]s: per-application IPC and MPKI plus the multi-programmed metrics of
+//! `mc-metrics`, with the weighted speedup normalized by cached single-application
+//! ("alone") runs exactly as the paper does. Independent (mix, policy) pairs are evaluated
+//! in parallel with rayon — they share nothing except the read-only configuration and the
+//! alone-run cache.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use cache_sim::config::SystemConfig;
+use cache_sim::single::run_alone;
+use cache_sim::stats::SystemResults;
+use cache_sim::system::MultiCoreSystem;
+use llc_policies::TaDrripPolicy;
+use mc_metrics::MulticoreMetrics;
+use workloads::{benchmark_by_name, WorkloadMix};
+
+use crate::policies::PolicyKind;
+
+/// Outcome for one application inside one evaluated mix.
+#[derive(Debug, Clone)]
+pub struct PerAppOutcome {
+    pub name: String,
+    pub core_id: usize,
+    pub ipc: f64,
+    pub ipc_alone: f64,
+    pub l2_mpki: f64,
+    pub llc_mpki: f64,
+    pub is_thrashing: bool,
+}
+
+impl PerAppOutcome {
+    /// IPC normalized to the application's alone run.
+    pub fn normalized_ipc(&self) -> f64 {
+        if self.ipc_alone > 0.0 {
+            self.ipc / self.ipc_alone
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Result of running one policy on one workload mix.
+#[derive(Debug, Clone)]
+pub struct MixEvaluation {
+    pub mix_id: usize,
+    pub policy: PolicyKind,
+    pub policy_label: String,
+    pub per_app: Vec<PerAppOutcome>,
+    pub metrics: MulticoreMetrics,
+}
+
+impl MixEvaluation {
+    /// Weighted speedup of this (mix, policy) pair.
+    pub fn weighted_speedup(&self) -> f64 {
+        self.metrics.weighted_speedup
+    }
+
+    /// Look up an application's outcome by benchmark name (first occurrence).
+    pub fn app(&self, name: &str) -> Option<&PerAppOutcome> {
+        self.per_app.iter().find(|a| a.name == name)
+    }
+}
+
+type AloneKey = (String, u64, usize, u64);
+
+fn alone_cache() -> &'static Mutex<HashMap<AloneKey, f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<AloneKey, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// IPC of a benchmark running alone on `config`'s hierarchy (single core, whole LLC),
+/// memoized process-wide. The paper uses the same single-run normalization for its
+/// weighted-speedup and fairness metrics.
+pub fn alone_ipc(config: &SystemConfig, benchmark: &str, instructions: u64, seed: u64) -> f64 {
+    let key: AloneKey = (
+        benchmark.to_string(),
+        config.llc.geometry.size_bytes,
+        config.llc.geometry.ways,
+        instructions,
+    );
+    if let Some(v) = alone_cache().lock().get(&key) {
+        return *v;
+    }
+    let spec = benchmark_by_name(benchmark).expect("known benchmark");
+    let llc_sets = config.llc.geometry.num_sets();
+    let trace = Box::new(spec.trace(0, llc_sets, seed));
+    let policy = Box::new(TaDrripPolicy::new(llc_sets, config.llc.geometry.ways, 1));
+    let stats = run_alone(config, trace, policy, instructions);
+    let ipc = stats.ipc();
+    alone_cache().lock().insert(key, ipc);
+    ipc
+}
+
+/// Pre-compute alone-run IPCs for every distinct benchmark in `mixes`, in parallel.
+pub fn warm_alone_cache(config: &SystemConfig, mixes: &[WorkloadMix], instructions: u64, seed: u64) {
+    let mut names: Vec<String> = mixes.iter().flat_map(|m| m.benchmarks.clone()).collect();
+    names.sort();
+    names.dedup();
+    names
+        .par_iter()
+        .for_each(|name| {
+            let _ = alone_ipc(config, name, instructions, seed);
+        });
+}
+
+/// Run one policy on one mix and summarize.
+pub fn evaluate_mix(
+    config: &SystemConfig,
+    mix: &WorkloadMix,
+    policy: PolicyKind,
+    instructions: u64,
+    seed: u64,
+) -> MixEvaluation {
+    let thrashing = mix.thrashing_slots();
+    let built = policy.build(config, &thrashing);
+    evaluate_mix_with(config, mix, policy, built, instructions, seed)
+}
+
+/// Run an explicitly constructed policy on one mix (used by ablation sweeps that need
+/// non-standard policy configurations).
+pub fn evaluate_mix_with(
+    config: &SystemConfig,
+    mix: &WorkloadMix,
+    policy: PolicyKind,
+    built: Box<dyn cache_sim::replacement::LlcReplacementPolicy>,
+    instructions: u64,
+    seed: u64,
+) -> MixEvaluation {
+    let llc_sets = config.llc.geometry.num_sets();
+    let traces = mix.trace_sources(llc_sets, seed);
+    let policy_label = built.name();
+    let mut system = MultiCoreSystem::new(config.clone(), traces, built);
+    let results: SystemResults = system.run(instructions);
+
+    let specs = mix.specs();
+    let per_app: Vec<PerAppOutcome> = results
+        .per_core
+        .iter()
+        .zip(specs.iter())
+        .map(|(core, spec)| PerAppOutcome {
+            name: spec.name.to_string(),
+            core_id: core.core_id,
+            ipc: core.ipc(),
+            ipc_alone: alone_ipc(config, spec.name, instructions, seed),
+            l2_mpki: core.l2_mpki(),
+            llc_mpki: core.llc_mpki(),
+            is_thrashing: spec.is_thrashing(),
+        })
+        .collect();
+
+    let shared: Vec<f64> = per_app.iter().map(|a| a.ipc).collect();
+    let alone: Vec<f64> = per_app.iter().map(|a| a.ipc_alone).collect();
+    let metrics = MulticoreMetrics::compute(&shared, &alone);
+
+    MixEvaluation { mix_id: mix.id, policy, policy_label, per_app, metrics }
+}
+
+/// Evaluate each policy on each mix, in parallel. Results are ordered by (mix, policy) so
+/// callers can index deterministically.
+pub fn evaluate_policies_on_mixes(
+    config: &SystemConfig,
+    mixes: &[WorkloadMix],
+    policies: &[PolicyKind],
+    instructions: u64,
+    seed: u64,
+) -> Vec<MixEvaluation> {
+    warm_alone_cache(config, mixes, instructions, seed);
+    let pairs: Vec<(usize, usize)> = (0..mixes.len())
+        .flat_map(|m| (0..policies.len()).map(move |p| (m, p)))
+        .collect();
+    let mut evals: Vec<(usize, MixEvaluation)> = pairs
+        .par_iter()
+        .map(|&(m, p)| {
+            let eval = evaluate_mix(config, &mixes[m], policies[p], instructions, seed);
+            (m * policies.len() + p, eval)
+        })
+        .collect();
+    evals.sort_by_key(|(i, _)| *i);
+    evals.into_iter().map(|(_, e)| e).collect()
+}
+
+/// Group evaluations by policy, preserving mix order: `result[policy_index][mix_index]`.
+pub fn group_by_policy(
+    evals: &[MixEvaluation],
+    policies: &[PolicyKind],
+) -> Vec<Vec<MixEvaluation>> {
+    policies
+        .iter()
+        .map(|p| evals.iter().filter(|e| e.policy == *p).cloned().collect())
+        .collect()
+}
+
+/// Per-mix speedup of `policy` over `baseline` on the weighted-speedup metric.
+pub fn speedups_over_baseline(
+    evals: &[MixEvaluation],
+    policy: PolicyKind,
+    baseline: PolicyKind,
+) -> Vec<f64> {
+    let base: HashMap<usize, f64> = evals
+        .iter()
+        .filter(|e| e.policy == baseline)
+        .map(|e| (e.mix_id, e.weighted_speedup()))
+        .collect();
+    let mut with_ids: Vec<(usize, f64)> = evals
+        .iter()
+        .filter(|e| e.policy == policy)
+        .map(|e| {
+            let b = base.get(&e.mix_id).copied().unwrap_or(0.0);
+            (e.mix_id, if b > 0.0 { e.weighted_speedup() / b } else { 0.0 })
+        })
+        .collect();
+    with_ids.sort_by_key(|(id, _)| *id);
+    with_ids.into_iter().map(|(_, s)| s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use workloads::{generate_mixes, StudyKind};
+
+    fn smoke_setup() -> (SystemConfig, Vec<WorkloadMix>) {
+        let scale = ExperimentScale::Smoke;
+        let cfg = scale.system_config(StudyKind::Cores4);
+        let mixes = generate_mixes(StudyKind::Cores4, 1, scale.seed());
+        (cfg, mixes)
+    }
+
+    #[test]
+    fn evaluate_mix_produces_per_app_outcomes() {
+        let (cfg, mixes) = smoke_setup();
+        let eval = evaluate_mix(&cfg, &mixes[0], PolicyKind::TaDrrip, 20_000, 1);
+        assert_eq!(eval.per_app.len(), 4);
+        assert!(eval.weighted_speedup() > 0.0);
+        for app in &eval.per_app {
+            assert!(app.ipc > 0.0, "{} ipc", app.name);
+            assert!(app.ipc_alone > 0.0);
+            assert!(app.normalized_ipc() <= 1.5, "sharing should not wildly exceed alone IPC");
+        }
+    }
+
+    #[test]
+    fn alone_cache_is_memoized() {
+        let (cfg, mixes) = smoke_setup();
+        let name = &mixes[0].benchmarks[0];
+        let a = alone_ipc(&cfg, name, 10_000, 1);
+        let b = alone_ipc(&cfg, name, 10_000, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sweep_covers_every_pair_in_order() {
+        let (cfg, mixes) = smoke_setup();
+        let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32];
+        let evals = evaluate_policies_on_mixes(&cfg, &mixes, &policies, 20_000, 1);
+        assert_eq!(evals.len(), mixes.len() * policies.len());
+        assert_eq!(evals[0].policy, PolicyKind::TaDrrip);
+        assert_eq!(evals[1].policy, PolicyKind::AdaptBp32);
+        let grouped = group_by_policy(&evals, &policies);
+        assert_eq!(grouped[0].len(), mixes.len());
+        let speedups = speedups_over_baseline(&evals, PolicyKind::AdaptBp32, PolicyKind::TaDrrip);
+        assert_eq!(speedups.len(), mixes.len());
+        assert!(speedups[0] > 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let (cfg, mixes) = smoke_setup();
+        let a = evaluate_mix(&cfg, &mixes[0], PolicyKind::Eaf, 15_000, 9);
+        let b = evaluate_mix(&cfg, &mixes[0], PolicyKind::Eaf, 15_000, 9);
+        assert_eq!(a.weighted_speedup(), b.weighted_speedup());
+        assert_eq!(a.per_app.len(), b.per_app.len());
+        for (x, y) in a.per_app.iter().zip(&b.per_app) {
+            assert_eq!(x.ipc, y.ipc);
+            assert_eq!(x.llc_mpki, y.llc_mpki);
+        }
+    }
+}

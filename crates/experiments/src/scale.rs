@@ -1,0 +1,154 @@
+//! Experiment scale selection.
+//!
+//! The paper simulates 300M instructions per application over 16 MB LLCs and hundreds of
+//! workload mixes — hours of simulation per figure on a software model. Three scales are
+//! provided:
+//!
+//! * [`ExperimentScale::Paper`] — the paper's cache sizes, instruction counts and mix
+//!   counts (Table 3 / Table 6). Use for a faithful, long-running reproduction.
+//! * [`ExperimentScale::Scaled`] — the default: proportionally smaller caches (same
+//!   associativities, so the `#cores >= #ways` regime is preserved), shorter traces and
+//!   fewer mixes; every figure regenerates in minutes on a laptop.
+//! * [`ExperimentScale::Smoke`] — tiny configuration for unit tests and Criterion benches.
+
+use cache_sim::config::SystemConfig;
+use serde::{Deserialize, Serialize};
+use workloads::StudyKind;
+
+/// How big the experiments should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    Paper,
+    Scaled,
+    Smoke,
+}
+
+impl ExperimentScale {
+    /// System configuration for a study at this scale.
+    pub fn system_config(&self, study: StudyKind) -> SystemConfig {
+        let cores = study.num_cores();
+        match self {
+            ExperimentScale::Paper => {
+                // 4- and 8-core studies use 4 MB / 8 MB LLCs (paper §4.3); the rest 16 MB.
+                match study {
+                    StudyKind::Cores4 => SystemConfig::paper_with_llc(cores, 4 * 1024 * 1024, 16),
+                    StudyKind::Cores8 => SystemConfig::paper_with_llc(cores, 8 * 1024 * 1024, 16),
+                    _ => SystemConfig::paper_baseline(cores),
+                }
+            }
+            ExperimentScale::Scaled => match study {
+                StudyKind::Cores4 => SystemConfig::scaled_with_llc(cores, 128 * 1024, 16),
+                StudyKind::Cores8 => SystemConfig::scaled_with_llc(cores, 256 * 1024, 16),
+                _ => SystemConfig::scaled(cores),
+            },
+            ExperimentScale::Smoke => SystemConfig::tiny(cores),
+        }
+    }
+
+    /// System configuration with an explicit LLC size/associativity (Figure 7).
+    pub fn system_config_with_llc(
+        &self,
+        study: StudyKind,
+        paper_llc_bytes: u64,
+        llc_ways: usize,
+    ) -> SystemConfig {
+        let cores = study.num_cores();
+        match self {
+            ExperimentScale::Paper => SystemConfig::paper_with_llc(cores, paper_llc_bytes, llc_ways),
+            ExperimentScale::Scaled => {
+                // Scale the paper's LLC size by the same 32x factor used by `scaled()`
+                // (16 MB -> 512 KB), preserving the paper's "same set count, larger
+                // associativity" shape for the 24 MB / 32 MB variants.
+                SystemConfig::scaled_with_llc(cores, paper_llc_bytes / 32, llc_ways)
+            }
+            ExperimentScale::Smoke => {
+                let mut cfg = SystemConfig::tiny(cores);
+                cfg.llc.geometry = cache_sim::config::CacheGeometry::new(
+                    (paper_llc_bytes / 256).max(64 * 1024),
+                    llc_ways,
+                );
+                cfg
+            }
+        }
+    }
+
+    /// Instructions simulated per application.
+    pub fn instructions_per_core(&self) -> u64 {
+        match self {
+            ExperimentScale::Paper => 300_000_000,
+            ExperimentScale::Scaled => 3_000_000,
+            ExperimentScale::Smoke => 40_000,
+        }
+    }
+
+    /// Number of workload mixes evaluated for a study.
+    pub fn mixes_for(&self, study: StudyKind) -> usize {
+        match self {
+            ExperimentScale::Paper => study.paper_workload_count(),
+            ExperimentScale::Scaled => match study {
+                StudyKind::Cores4 => 16,
+                StudyKind::Cores8 => 12,
+                StudyKind::Cores16 => 12,
+                StudyKind::Cores20 | StudyKind::Cores24 => 8,
+            },
+            ExperimentScale::Smoke => 2,
+        }
+    }
+
+    /// Seed used for mix generation and trace construction.
+    pub fn seed(&self) -> u64 {
+        0xADA9_7000 + matches!(self, ExperimentScale::Paper) as u64
+    }
+
+    /// Human-readable name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExperimentScale::Paper => "paper",
+            ExperimentScale::Scaled => "scaled",
+            ExperimentScale::Smoke => "smoke",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_table3_and_table6() {
+        let s = ExperimentScale::Paper;
+        let cfg16 = s.system_config(StudyKind::Cores16);
+        assert_eq!(cfg16.llc.geometry.size_bytes, 16 * 1024 * 1024);
+        assert_eq!(s.instructions_per_core(), 300_000_000);
+        assert_eq!(s.mixes_for(StudyKind::Cores16), 60);
+        let cfg4 = s.system_config(StudyKind::Cores4);
+        assert_eq!(cfg4.llc.geometry.size_bytes, 4 * 1024 * 1024);
+        let cfg8 = s.system_config(StudyKind::Cores8);
+        assert_eq!(cfg8.llc.geometry.size_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn scaled_and_smoke_configs_validate() {
+        for scale in [ExperimentScale::Scaled, ExperimentScale::Smoke] {
+            for study in StudyKind::all() {
+                scale.system_config(study).validate().unwrap();
+                assert!(scale.mixes_for(study) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn llc_override_keeps_requested_associativity() {
+        for scale in [ExperimentScale::Paper, ExperimentScale::Scaled, ExperimentScale::Smoke] {
+            let cfg = scale.system_config_with_llc(StudyKind::Cores20, 24 * 1024 * 1024, 24);
+            assert_eq!(cfg.llc.geometry.ways, 24);
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_cores_vs_ways_regime() {
+        let cfg = ExperimentScale::Scaled.system_config(StudyKind::Cores24);
+        assert!(cfg.num_cores >= cfg.llc.geometry.ways);
+    }
+}

@@ -1,0 +1,23 @@
+//! # adapt-llc
+//!
+//! Facade crate for the reproduction of *"Discrete Cache Insertion Policies for Shared Last
+//! Level Cache Management on Large Multicores"* (Sridharan & Seznec). It re-exports the
+//! workspace crates so applications can depend on a single crate:
+//!
+//! * [`sim`] — the multi-core cache-hierarchy simulator substrate (`cache-sim`).
+//! * [`policies`] — baseline LLC replacement policies (`llc-policies`).
+//! * [`adapt`] — the paper's contribution: Footprint-number monitoring and discrete
+//!   insertion-priority prediction (`adapt-core`).
+//! * [`workloads`] — synthetic SPEC/PARSEC-like benchmark models and workload mixes.
+//! * [`metrics`] — multi-programmed throughput/fairness metrics.
+//! * [`experiments`] — drivers that regenerate every figure and table of the paper.
+//!
+//! See `examples/` for runnable entry points and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! system inventory and the reproduction record.
+
+pub use adapt_core as adapt;
+pub use cache_sim as sim;
+pub use experiments;
+pub use llc_policies as policies;
+pub use mc_metrics as metrics;
+pub use workloads;

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use adapt_llc::adapt::{AdaptConfig, FootprintMonitor, InsertionPriorityPredictor, PriorityLevel};
+use adapt_llc::metrics as mc;
+use adapt_llc::policies::{LruPolicy, SrripPolicy};
+use adapt_llc::sim::addr::BlockAddr;
+use adapt_llc::sim::config::{CacheGeometry, PrivateCacheConfig, PrivatePolicyKind};
+use adapt_llc::sim::private_cache::{Lookup, PrivateCache};
+use adapt_llc::sim::replacement::{AccessContext, InsertionDecision, LineView, LlcReplacementPolicy, RrpvArray};
+use adapt_llc::workloads::{classify, generate_mixes, MemIntensity, StudyKind};
+
+fn ctx(core: usize, set: usize, block: u64) -> AccessContext {
+    AccessContext { core_id: core, pc: 0, block_addr: block, set_index: set, is_demand: true, is_write: false }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A private cache never reports more hits+misses than accesses, never exceeds its
+    /// capacity, and hits exactly the blocks that are present.
+    #[test]
+    fn private_cache_bookkeeping_is_consistent(
+        addrs in proptest::collection::vec(0u64..4096, 1..400),
+        write_mask in proptest::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let cfg = PrivateCacheConfig {
+            geometry: CacheGeometry::new(4 * 1024, 4),
+            latency: 1,
+            policy: PrivatePolicyKind::Lru,
+        };
+        let mut cache = PrivateCache::new(cfg);
+        for (i, addr) in addrs.iter().enumerate() {
+            let block = BlockAddr(*addr);
+            let is_write = *write_mask.get(i % write_mask.len()).unwrap_or(&false);
+            if cache.access(block, is_write) == Lookup::Miss {
+                cache.fill(block, is_write, false);
+            }
+            prop_assert!(cache.probe(block), "a just-filled block must be present");
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(cache.occupancy() <= cache.capacity_lines());
+        prop_assert!(s.writebacks <= s.evictions);
+    }
+
+    /// RRPV arrays stay within 2-bit bounds and victim search always returns a valid way.
+    #[test]
+    fn rrpv_array_invariants(ops in proptest::collection::vec((0usize..8, 0usize..8, 0u8..8), 1..200)) {
+        let mut arr = RrpvArray::new(8, 8);
+        for (set, way, value) in ops {
+            arr.set(set, way, value);
+            prop_assert!(arr.get(set, way) <= 3);
+            let victim = arr.find_victim(set);
+            prop_assert!(victim < 8);
+            prop_assert_eq!(arr.get(set, victim), 3);
+        }
+    }
+
+    /// The Footprint-number of any access stream never exceeds the number of distinct
+    /// blocks per set in that stream (no over-counting for streams that fit the sampler),
+    /// and never exceeds the saturation bound.
+    #[test]
+    fn footprint_bounded_by_distinct_blocks(
+        blocks in proptest::collection::vec(0u64..12, 1..500),
+    ) {
+        use std::collections::HashSet;
+        let sets = 4usize;
+        let mut monitor = FootprintMonitor::new(AdaptConfig::all_sets_profiler(), sets, 1);
+        let mut per_set: Vec<HashSet<u64>> = vec![HashSet::new(); sets];
+        for b in &blocks {
+            let set = (*b as usize) % sets;
+            monitor.observe(0, set, *b);
+            per_set[set].insert(*b);
+        }
+        let fpn = monitor.end_interval()[0];
+        let max_distinct = per_set.iter().map(|s| s.len()).max().unwrap_or(0) as f64;
+        prop_assert!(fpn <= max_distinct + 1e-9, "fpn {} > max distinct {}", fpn, max_distinct);
+        prop_assert!(fpn <= 32.0 + 1e-9);
+    }
+
+    /// Priority classification is monotonic in the Footprint-number and total.
+    #[test]
+    fn priority_classification_is_monotonic(a in 0.0f64..40.0, b in 0.0f64..40.0) {
+        let cfg = AdaptConfig::paper();
+        let mut pa = InsertionPriorityPredictor::new(cfg);
+        let mut pb = InsertionPriorityPredictor::new(cfg);
+        pa.update(a.min(b));
+        pb.update(a.max(b));
+        let rank = |p: PriorityLevel| match p {
+            PriorityLevel::High => 0,
+            PriorityLevel::Medium => 1,
+            PriorityLevel::Low => 2,
+            PriorityLevel::Least => 3,
+        };
+        prop_assert!(rank(pa.priority()) <= rank(pb.priority()));
+    }
+
+    /// Insertion decisions always carry a legal RRPV and only Least priority may bypass.
+    #[test]
+    fn insertion_decisions_are_legal(fpn in 0.0f64..40.0, n in 1usize..200) {
+        let mut p = InsertionPriorityPredictor::new(AdaptConfig::paper());
+        p.update(fpn);
+        for _ in 0..n {
+            match p.decide() {
+                InsertionDecision::Insert { rrpv } => prop_assert!(rrpv <= 3),
+                InsertionDecision::Bypass => {
+                    prop_assert_eq!(p.priority(), PriorityLevel::Least);
+                }
+            }
+        }
+    }
+
+    /// LRU and SRRIP victim selection always returns an in-range way.
+    #[test]
+    fn llc_policies_return_valid_victims(
+        hits in proptest::collection::vec((0usize..16, 0usize..16), 1..200),
+    ) {
+        let mut lru = LruPolicy::new(16, 16);
+        let mut srrip = SrripPolicy::new(16, 16);
+        let lines = vec![LineView { valid: true, owner: 0, block_addr: 0, dirty: false }; 16];
+        for (set, way) in hits {
+            lru.on_hit(&ctx(0, set, way as u64), way);
+            srrip.on_hit(&ctx(0, set, way as u64), way);
+            prop_assert!(lru.choose_victim(&ctx(0, set, 0), &lines) < 16);
+            prop_assert!(srrip.choose_victim(&ctx(0, set, 0), &lines) < 16);
+        }
+    }
+
+    /// Weighted speedup is bounded by the core count when no application runs faster shared
+    /// than alone, and the mean-of-IPCs ordering HM <= GM <= AM always holds.
+    #[test]
+    fn metric_bounds_hold(
+        alone in proptest::collection::vec(0.05f64..4.0, 1..24),
+        degradation in proptest::collection::vec(0.05f64..1.0, 1..24),
+    ) {
+        let n = alone.len().min(degradation.len());
+        let alone = &alone[..n];
+        let shared: Vec<f64> = alone.iter().zip(&degradation[..n]).map(|(a, d)| a * d).collect();
+        let ws = mc::weighted_speedup(&shared, alone);
+        prop_assert!(ws <= n as f64 + 1e-9);
+        prop_assert!(ws >= 0.0);
+        let hm = mc::harmonic_mean_ipc(&shared);
+        let gm = mc::geometric_mean_ipc(&shared);
+        let am = mc::arithmetic_mean_ipc(&shared);
+        prop_assert!(hm <= gm + 1e-9 && gm <= am + 1e-9);
+        let hmn = mc::harmonic_mean_normalized(&shared, alone);
+        prop_assert!(hmn <= 1.0 + 1e-9);
+    }
+
+    /// Table 5 classification is total and consistent with its thresholds.
+    #[test]
+    fn classification_is_total_and_threshold_consistent(fpn in 0.0f64..64.0, mpki in 0.0f64..100.0) {
+        let class = classify(fpn, mpki);
+        if fpn < 16.0 && mpki < 1.0 {
+            prop_assert_eq!(class, MemIntensity::VeryLow);
+        }
+        if fpn >= 16.0 && mpki > 25.0 {
+            prop_assert_eq!(class, MemIntensity::VeryHigh);
+        }
+    }
+
+    /// Workload-mix generation always satisfies Table 6's composition rules, for any seed.
+    #[test]
+    fn mix_generation_respects_composition_rules(seed in 0u64..10_000) {
+        let mixes = generate_mixes(StudyKind::Cores16, 2, seed);
+        for m in &mixes {
+            prop_assert_eq!(m.benchmarks.len(), 16);
+            for class in MemIntensity::all() {
+                let n = m.specs().iter().filter(|s| s.paper_class == class).count();
+                prop_assert!(n >= 2, "class {:?} has {} members", class, n);
+            }
+        }
+        let four = generate_mixes(StudyKind::Cores4, 2, seed);
+        for m in &four {
+            prop_assert!(!m.thrashing_slots().is_empty());
+        }
+    }
+}
