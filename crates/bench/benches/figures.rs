@@ -39,7 +39,13 @@ fn bench_figures(c: &mut Criterion) {
         })
     });
     group.bench_function("fig8_4core_panel", |b| {
-        b.iter(|| black_box(figure8::run_studies(SCALE, &[StudyKind::Cores4]).panels.len()))
+        b.iter(|| {
+            black_box(
+                figure8::run_studies(SCALE, &[StudyKind::Cores4])
+                    .panels
+                    .len(),
+            )
+        })
     });
     group.finish();
 }

@@ -45,7 +45,12 @@ fn bench_llc_lookup(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     let cfg = SystemConfig::tiny(4);
-    for kind in [BaselineKind::Lru, BaselineKind::TaDrrip, BaselineKind::Ship, BaselineKind::Eaf] {
+    for kind in [
+        BaselineKind::Lru,
+        BaselineKind::TaDrrip,
+        BaselineKind::Ship,
+        BaselineKind::Eaf,
+    ] {
         group.bench_function(format!("access_fill_{:?}", kind), |b| {
             let policy = build_baseline(kind, &cfg.llc, 4);
             let mut llc = SharedLlc::new(cfg.llc, 4, 1_000_000, policy);
@@ -81,7 +86,10 @@ fn bench_dram(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
-            black_box(dram.access(BlockAddr(i * 37 % 100_000), i, i % 5 == 0).latency)
+            black_box(
+                dram.access(BlockAddr(i * 37 % 100_000), i, i.is_multiple_of(5))
+                    .latency,
+            )
         })
     });
     group.finish();

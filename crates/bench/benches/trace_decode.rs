@@ -1,0 +1,99 @@
+//! Decode/encode throughput of the `trace-io` binary format.
+//!
+//! The acceptance bar for the subsystem is sustaining >= 10M decoded accesses/sec in
+//! release mode — comfortably above what the simulator consumes, so replay is never the
+//! experiment bottleneck. `encode` and `roundtrip_file` give the write-side and
+//! whole-file (header + framing + checksum) costs for context.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cache_sim::trace::TraceSource;
+use trace_io::{TraceCaptureOptions, TraceReader, TraceWriter};
+use workloads::{benchmark_by_name, generate_mixes, StudyKind};
+
+const LLC_SETS: usize = 1024;
+const RECORDS: u64 = 200_000;
+
+/// Capture a representative 4-core mix (sweep + stream + random patterns) to a temp file.
+fn capture_corpus(checksums: bool) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("adapt_bench_trace_decode_{checksums}.atrc"));
+    let mix = generate_mixes(StudyKind::Cores4, 1, 7).remove(0);
+    let opts = TraceCaptureOptions {
+        checksums,
+        ..Default::default()
+    };
+    let mut writer = TraceWriter::with_options(&path, mix.benchmarks.len(), "bench", opts).unwrap();
+    for (core, name) in mix.benchmarks.iter().enumerate() {
+        let spec = benchmark_by_name(name).unwrap();
+        spec.capture(&mut writer, core, LLC_SETS, 7, RECORDS)
+            .unwrap();
+    }
+    writer.finish().unwrap();
+    path
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_decode");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(RECORDS));
+    for checksums in [true, false] {
+        let path = capture_corpus(checksums);
+        group.bench_function(format!("stream_200k_checksums_{checksums}"), |b| {
+            let mut reader = TraceReader::open(&path, 0).unwrap();
+            b.iter(|| {
+                reader.reset();
+                let mut acc = 0u64;
+                for _ in 0..RECORDS {
+                    acc = acc.wrapping_add(black_box(reader.next_access().addr));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_encode");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(RECORDS));
+    group.bench_function("capture_200k_streaming_source", |b| {
+        let spec = benchmark_by_name("lbm").unwrap();
+        let path = std::env::temp_dir().join("adapt_bench_trace_encode.atrc");
+        b.iter(|| {
+            let mut writer = TraceWriter::create(&path, 1, "bench").unwrap();
+            let mut source = spec.trace(0, LLC_SETS, 3);
+            writer.capture_source(0, &mut source, RECORDS).unwrap();
+            black_box(writer.finish().unwrap().file_bytes)
+        })
+    });
+    group.finish();
+}
+
+fn bench_roundtrip_file(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_roundtrip");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let path = capture_corpus(true);
+    group.bench_function("verify_4core_file", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for core in 0..4 {
+                let mut reader = TraceReader::open(&path, core).unwrap();
+                total += reader.verify().unwrap();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_encode, bench_roundtrip_file);
+criterion_main!(benches);

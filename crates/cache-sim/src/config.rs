@@ -30,7 +30,10 @@ impl CacheGeometry {
             ways,
             line_bytes: BLOCK_BYTES,
         };
-        assert!(g.num_sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            g.num_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         g
     }
 

@@ -47,7 +47,7 @@ impl CoreModel {
     /// Returns the number of cycles the core advanced.
     pub fn advance(&mut self, non_mem_instrs: u64, mem_latency: u64) -> u64 {
         // Compute portion: issue-width-limited retirement (round up).
-        let compute = non_mem_instrs.div_ceil(self.config.issue_width).max(0);
+        let compute = non_mem_instrs.div_ceil(self.config.issue_width);
 
         // Memory portion: the L1 hit latency is hidden by the pipeline; anything longer is
         // exposed but partially overlapped with independent work in the ROB.
@@ -85,7 +85,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> CoreConfig {
-        CoreConfig { issue_width: 4, rob_size: 128, mlp_overlap: 2.0, l1_hit_cycles: 1 }
+        CoreConfig {
+            issue_width: 4,
+            rob_size: 128,
+            mlp_overlap: 2.0,
+            l1_hit_cycles: 1,
+        }
     }
 
     #[test]
@@ -101,8 +106,8 @@ mod tests {
     fn long_latencies_are_partially_overlapped() {
         let mut c = CoreModel::new(cfg());
         c.advance(0, 341); // row conflict through the whole hierarchy
-        // exposed = 340, overlapped = 170, rob bound allows hiding up to 32 cycles
-        // => stall = max(170, 340-32) = 308
+                           // exposed = 340, overlapped = 170, rob bound allows hiding up to 32 cycles
+                           // => stall = max(170, 340-32) = 308
         assert_eq!(c.mem_stall_cycles, 308);
     }
 
@@ -110,8 +115,8 @@ mod tests {
     fn moderate_latencies_use_mlp_overlap() {
         let mut c = CoreModel::new(cfg());
         c.advance(0, 25); // LLC hit
-        // exposed = 24, overlapped = 12, rob bound 32 hides everything beyond 0
-        // => stall = max(12, 0) = 12
+                          // exposed = 24, overlapped = 12, rob bound 32 hides everything beyond 0
+                          // => stall = max(12, 0) = 12
         assert_eq!(c.mem_stall_cycles, 12);
     }
 

@@ -49,7 +49,13 @@ pub struct Dram {
 impl Dram {
     pub fn new(config: DramConfig) -> Self {
         Dram {
-            banks: vec![Bank { open_row: None, busy_until: 0 }; config.banks],
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: 0
+                };
+                config.banks
+            ],
             config,
             stats: DramStats::default(),
         }
@@ -63,7 +69,7 @@ impl Dram {
     /// Bank index, optionally permuted with higher row bits (XOR mapping, Zhang et al.).
     fn bank_of(&self, block: BlockAddr) -> usize {
         let bank_bits = self.config.banks.trailing_zeros();
-        let blocks_per_row = (self.config.row_bytes >> BLOCK_SHIFT) as u64;
+        let blocks_per_row = self.config.row_bytes >> BLOCK_SHIFT;
         let row = block.0 / blocks_per_row;
         let naive_bank = (row as usize) & (self.config.banks - 1);
         if self.config.xor_mapping {
@@ -103,7 +109,11 @@ impl Dram {
         }
         self.stats.queue_cycles += queue_delay;
 
-        DramAccess { latency: queue_delay + service, row_hit, bank: bank_idx }
+        DramAccess {
+            latency: queue_delay + service,
+            row_hit,
+            bank: bank_idx,
+        }
     }
 
     pub fn stats(&self) -> &DramStats {
@@ -147,7 +157,10 @@ mod tests {
 
     #[test]
     fn different_rows_on_same_bank_conflict() {
-        let mut d = Dram::new(DramConfig { xor_mapping: false, ..cfg() });
+        let mut d = Dram::new(DramConfig {
+            xor_mapping: false,
+            ..cfg()
+        });
         let blocks_per_row = 4096 / 64;
         let a = BlockAddr(0);
         // 8 banks apart => same bank, different row (no xor mapping).

@@ -61,4 +61,4 @@ pub use config::{CacheGeometry, CoreConfig, DramConfig, LlcConfig, SystemConfig}
 pub use replacement::{AccessContext, InsertionDecision, LineView, LlcReplacementPolicy};
 pub use stats::{CoreStats, LlcStats, SystemResults};
 pub use system::MultiCoreSystem;
-pub use trace::{MemAccess, TraceSource};
+pub use trace::{capture_into, MemAccess, TraceSink, TraceSource};

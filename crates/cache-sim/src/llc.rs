@@ -130,7 +130,14 @@ impl SharedLlc {
         self.config.latency
     }
 
-    fn ctx(&self, core_id: usize, pc: u64, block: BlockAddr, is_demand: bool, is_write: bool) -> AccessContext {
+    fn ctx(
+        &self,
+        core_id: usize,
+        pc: u64,
+        block: BlockAddr,
+        is_demand: bool,
+        is_write: bool,
+    ) -> AccessContext {
         AccessContext {
             core_id,
             pc,
@@ -225,7 +232,10 @@ impl SharedLlc {
                         self.policy.on_interval();
                     }
                 }
-                LlcLookup { hit: false, latency }
+                LlcLookup {
+                    hit: false,
+                    latency,
+                }
             }
         }
     }
@@ -257,14 +267,20 @@ impl SharedLlc {
 
         // A racing fill may have already inserted the block.
         if self.find_way(set, tag).is_some() {
-            return LlcFill { bypassed: false, evicted: None };
+            return LlcFill {
+                bypassed: false,
+                evicted: None,
+            };
         }
 
         let decision = self.policy.insertion_decision(&ctx);
         if decision.is_bypass() {
             self.per_core[core_id].bypassed_fills += 1;
             self.policy.on_fill(&ctx, usize::MAX, &decision);
-            return LlcFill { bypassed: true, evicted: None };
+            return LlcFill {
+                bypassed: true,
+                evicted: None,
+            };
         }
 
         let base = set * self.ways;
@@ -297,14 +313,26 @@ impl SharedLlc {
                 }
                 (
                     w,
-                    Some(LlcEvicted { block: victim_block, dirty: victim.dirty, owner: victim.owner }),
+                    Some(LlcEvicted {
+                        block: victim_block,
+                        dirty: victim.dirty,
+                        owner: victim.owner,
+                    }),
                 )
             }
         };
 
-        self.lines[base + way] = Line { valid: true, tag, dirty: is_write, owner: core_id };
+        self.lines[base + way] = Line {
+            valid: true,
+            tag,
+            dirty: is_write,
+            owner: core_id,
+        };
         self.policy.on_fill(&ctx, way, &decision);
-        LlcFill { bypassed: false, evicted }
+        LlcFill {
+            bypassed: false,
+            evicted,
+        }
     }
 
     /// A write-back arriving from a private L2: update the line if present, otherwise the
@@ -374,7 +402,9 @@ mod tests {
 
     impl TestSrrip {
         fn new(sets: usize, ways: usize) -> Self {
-            TestSrrip { rrpv: RrpvArray::new(sets, ways) }
+            TestSrrip {
+                rrpv: RrpvArray::new(sets, ways),
+            }
         }
     }
 
@@ -509,7 +539,11 @@ mod tests {
             }
         }
         let misses = llc.global_stats().total_demand_misses;
-        let expected = if misses >= 25 { 1 + (misses - 25) / 100 } else { 0 };
+        let expected = if misses >= 25 {
+            1 + (misses - 25) / 100
+        } else {
+            0
+        };
         assert_eq!(llc.global_stats().intervals_completed, expected);
     }
 
@@ -572,7 +606,10 @@ mod tests {
         for _ in 0..10 {
             total_extra += llc.reserve_mshr(0, 1000);
         }
-        assert!(total_extra > 0, "9th/10th reservations should stall on an 8-entry MSHR");
+        assert!(
+            total_extra > 0,
+            "9th/10th reservations should stall on an 8-entry MSHR"
+        );
         assert!(llc.global_stats().mshr_full_events > 0);
     }
 }

@@ -24,7 +24,10 @@ pub struct NextLinePrefetcher {
 
 impl NextLinePrefetcher {
     pub fn new(enabled: bool) -> Self {
-        NextLinePrefetcher { enabled, stats: PrefetchStats::default() }
+        NextLinePrefetcher {
+            enabled,
+            stats: PrefetchStats::default(),
+        }
     }
 
     /// Given a demand miss on `block`, return the block to prefetch (if any).
@@ -66,14 +69,20 @@ mod tests {
     #[test]
     fn issues_next_block_on_miss() {
         let mut p = NextLinePrefetcher::new(true);
-        assert_eq!(p.on_demand_miss(BlockAddr(10), |_| false), Some(BlockAddr(11)));
+        assert_eq!(
+            p.on_demand_miss(BlockAddr(10), |_| false),
+            Some(BlockAddr(11))
+        );
         assert_eq!(p.stats().issued, 1);
     }
 
     #[test]
     fn filters_blocks_already_present() {
         let mut p = NextLinePrefetcher::new(true);
-        assert_eq!(p.on_demand_miss(BlockAddr(10), |b| b == BlockAddr(11)), None);
+        assert_eq!(
+            p.on_demand_miss(BlockAddr(10), |b| b == BlockAddr(11)),
+            None
+        );
         assert_eq!(p.stats().filtered, 1);
         assert_eq!(p.stats().issued, 0);
     }

@@ -70,7 +70,11 @@ impl DuelState {
     const LEADER_PERIOD: usize = 32;
 
     fn new(num_sets: usize) -> Self {
-        DuelState { psel: Self::PSEL_THRESHOLD, brip_ctr: 0, num_sets }
+        DuelState {
+            psel: Self::PSEL_THRESHOLD,
+            brip_ctr: 0,
+            num_sets,
+        }
     }
 
     /// Leader-set classification: every `num_sets / 32`-th set leads SRRIP, the set right
@@ -104,7 +108,7 @@ impl DuelState {
         } else {
             // BRRIP: mostly distant, 1/32 long.
             self.brip_ctr = self.brip_ctr.wrapping_add(1);
-            if self.brip_ctr % 32 == 0 {
+            if self.brip_ctr.is_multiple_of(32) {
                 RRPV_MAX - 1
             } else {
                 RRPV_MAX
@@ -250,7 +254,9 @@ impl PrivateCache {
                         }
                         victim
                     }
-                    PrivatePolicyKind::Srrip | PrivatePolicyKind::Drrip => self.rrpv.find_victim(set),
+                    PrivatePolicyKind::Srrip | PrivatePolicyKind::Drrip => {
+                        self.rrpv.find_victim(set)
+                    }
                 };
                 let line = self.lines[base + way];
                 self.stats.evictions += 1;
@@ -259,12 +265,22 @@ impl PrivateCache {
                 }
                 let evicted_block =
                     BlockAddr((line.tag << self.num_sets.trailing_zeros()) | set as u64);
-                (way, Some(EvictedLine { block: evicted_block, dirty: line.dirty }))
+                (
+                    way,
+                    Some(EvictedLine {
+                        block: evicted_block,
+                        dirty: line.dirty,
+                    }),
+                )
             }
         };
 
         let idx = base + way;
-        self.lines[idx] = Line { valid: true, tag, dirty };
+        self.lines[idx] = Line {
+            valid: true,
+            tag,
+            dirty,
+        };
         self.stamp_clock += 1;
         self.stamps[idx] = self.stamp_clock;
         let insert_rrpv = match self.config.policy {

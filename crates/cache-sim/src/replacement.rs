@@ -57,7 +57,9 @@ pub enum InsertionDecision {
 impl InsertionDecision {
     /// Convenience constructor.
     pub fn insert(rrpv: u8) -> Self {
-        InsertionDecision::Insert { rrpv: rrpv.min(RRPV_MAX) }
+        InsertionDecision::Insert {
+            rrpv: rrpv.min(RRPV_MAX),
+        }
     }
 
     /// True if this decision bypasses the cache.
@@ -180,7 +182,10 @@ mod tests {
 
     #[test]
     fn insertion_decision_clamps_rrpv() {
-        assert_eq!(InsertionDecision::insert(7), InsertionDecision::Insert { rrpv: 3 });
+        assert_eq!(
+            InsertionDecision::insert(7),
+            InsertionDecision::Insert { rrpv: 3 }
+        );
         assert!(!InsertionDecision::insert(0).is_bypass());
         assert!(InsertionDecision::Bypass.is_bypass());
     }

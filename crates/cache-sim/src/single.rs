@@ -47,10 +47,8 @@ pub fn profile_alone(
 ) -> AloneProfile {
     let mut cfg = config.clone();
     cfg.num_cores = 1;
-    let policy = crate::system::DefaultSrripPolicy::new(
-        cfg.llc.geometry.num_sets(),
-        cfg.llc.geometry.ways,
-    );
+    let policy =
+        crate::system::DefaultSrripPolicy::new(cfg.llc.geometry.num_sets(), cfg.llc.geometry.ways);
     let stats = run_alone(&cfg, trace, Box::new(policy), instructions);
     AloneProfile {
         label: stats.label.clone(),
@@ -79,8 +77,11 @@ mod tests {
     fn streaming_profile_has_higher_mpki_than_resident_profile() {
         let cfg = SystemConfig::tiny(1);
         let resident = profile_alone(&cfg, Box::new(StridedTrace::new(0, 64, 2048, 3)), 20_000);
-        let streaming =
-            profile_alone(&cfg, Box::new(StridedTrace::new(0, 64, 8 * 1024 * 1024, 3)), 20_000);
+        let streaming = profile_alone(
+            &cfg,
+            Box::new(StridedTrace::new(0, 64, 8 * 1024 * 1024, 3)),
+            20_000,
+        );
         assert!(streaming.l2_mpki > resident.l2_mpki);
         assert!(streaming.ipc < resident.ipc);
     }

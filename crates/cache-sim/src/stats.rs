@@ -146,7 +146,11 @@ mod tests {
     use super::*;
 
     fn stats_with(instr: u64, cycles: u64, llc_acc: u64, llc_miss: u64) -> CoreStats {
-        let mut s = CoreStats { instructions: instr, cycles, ..Default::default() };
+        let mut s = CoreStats {
+            instructions: instr,
+            cycles,
+            ..Default::default()
+        };
         s.llc.demand_accesses = llc_acc;
         s.llc.demand_hits = llc_acc - llc_miss;
         s.llc.demand_misses = llc_miss;

@@ -21,7 +21,9 @@ use crate::dram::Dram;
 use crate::llc::SharedLlc;
 use crate::prefetch::NextLinePrefetcher;
 use crate::private_cache::{Lookup, PrivateCache};
-use crate::replacement::{AccessContext, InsertionDecision, LineView, LlcReplacementPolicy, RrpvArray};
+use crate::replacement::{
+    AccessContext, InsertionDecision, LineView, LlcReplacementPolicy, RrpvArray,
+};
 use crate::stats::{CoreStats, SystemResults};
 use crate::trace::TraceSource;
 
@@ -52,7 +54,9 @@ pub struct DefaultSrripPolicy {
 
 impl DefaultSrripPolicy {
     pub fn new(num_sets: usize, ways: usize) -> Self {
-        DefaultSrripPolicy { rrpv: RrpvArray::new(num_sets, ways) }
+        DefaultSrripPolicy {
+            rrpv: RrpvArray::new(num_sets, ways),
+        }
     }
 }
 
@@ -105,12 +109,18 @@ impl MultiCoreSystem {
                 snapshot: None,
             })
             .collect();
-        MultiCoreSystem { config, cores, llc, dram }
+        MultiCoreSystem {
+            config,
+            cores,
+            llc,
+            dram,
+        }
     }
 
     /// Build a system with the built-in default SRRIP policy.
     pub fn with_default_policy(config: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
-        let policy = DefaultSrripPolicy::new(config.llc.geometry.num_sets(), config.llc.geometry.ways);
+        let policy =
+            DefaultSrripPolicy::new(config.llc.geometry.num_sets(), config.llc.geometry.ways);
         Self::new(config, traces, Box::new(policy))
     }
 
@@ -241,7 +251,9 @@ impl MultiCoreSystem {
             } else {
                 // LLC miss: DRAM.
                 let dram_out = self.dram.access(block, now + llc_lookup.latency, false);
-                let mshr_stall = self.llc.reserve_mshr(now, llc_lookup.latency + dram_out.latency);
+                let mshr_stall = self
+                    .llc
+                    .reserve_mshr(now, llc_lookup.latency + dram_out.latency);
                 latency = l2_latency + llc_lookup.latency + dram_out.latency + mshr_stall;
                 self.cores[core_id].dram_reads += 1;
 
@@ -264,10 +276,8 @@ impl MultiCoreSystem {
 
         // Fill the L1; handle its dirty victim.
         if let Some(evicted) = self.cores[core_id].l1d.fill(block, is_write, false) {
-            if evicted.dirty {
-                if !self.cores[core_id].l2.writeback(evicted.block) {
-                    self.writeback_from_l2(core_id, evicted.block, now);
-                }
+            if evicted.dirty && !self.cores[core_id].l2.writeback(evicted.block) {
+                self.writeback_from_l2(core_id, evicted.block, now);
             }
         }
 
@@ -303,10 +313,8 @@ impl MultiCoreSystem {
             }
         }
         if let Some(evicted) = self.cores[core_id].l1d.fill(block, false, true) {
-            if evicted.dirty {
-                if !self.cores[core_id].l2.writeback(evicted.block) {
-                    self.writeback_from_l2(core_id, evicted.block, now);
-                }
+            if evicted.dirty && !self.cores[core_id].l2.writeback(evicted.block) {
+                self.writeback_from_l2(core_id, evicted.block, now);
             }
         }
     }
@@ -335,7 +343,11 @@ mod tests {
         let res = sys.run(50_000);
         let c = &res.per_core[0];
         assert!(c.instructions >= 50_000);
-        assert!(c.l1d.miss_ratio() < 0.1, "miss ratio {}", c.l1d.miss_ratio());
+        assert!(
+            c.l1d.miss_ratio() < 0.1,
+            "miss ratio {}",
+            c.l1d.miss_ratio()
+        );
         assert!(c.ipc() > 1.0, "ipc {}", c.ipc());
     }
 
@@ -360,7 +372,11 @@ mod tests {
             let traces = strided_traces(2, 256 * 1024);
             let mut sys = MultiCoreSystem::with_default_policy(cfg, traces);
             let r = sys.run(20_000);
-            (r.per_core[0].cycles, r.per_core[1].cycles, r.total_llc_demand_misses())
+            (
+                r.per_core[0].cycles,
+                r.per_core[1].cycles,
+                r.total_llc_demand_misses(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -412,13 +428,22 @@ mod tests {
         let addrs: Vec<u64> = (0..4096u64).map(|i| i * 64).collect();
         let mut accesses = Vec::new();
         for a in &addrs {
-            accesses.push(crate::trace::MemAccess { addr: *a, pc: 0x10, is_write: true, non_mem_instrs: 2 });
+            accesses.push(crate::trace::MemAccess {
+                addr: *a,
+                pc: 0x10,
+                is_write: true,
+                non_mem_instrs: 2,
+            });
         }
-        let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(ReplayTrace::new("writes", accesses))];
+        let traces: Vec<Box<dyn TraceSource>> =
+            vec![Box::new(ReplayTrace::new("writes", accesses))];
         let mut sys = MultiCoreSystem::new(
             cfg.clone(),
             traces,
-            Box::new(DefaultSrripPolicy::new(cfg.llc.geometry.num_sets(), cfg.llc.geometry.ways)),
+            Box::new(DefaultSrripPolicy::new(
+                cfg.llc.geometry.num_sets(),
+                cfg.llc.geometry.ways,
+            )),
         );
         let res = sys.run(30_000);
         assert!(res.dram.writes > 0, "dirty evictions must reach memory");

@@ -21,18 +21,66 @@ pub struct MemAccess {
     pub non_mem_instrs: u32,
 }
 
+impl MemAccess {
+    /// Instructions this access accounts for: the memory instruction itself plus the
+    /// non-memory instructions preceding it.
+    pub fn instructions(&self) -> u64 {
+        1 + u64::from(self.non_mem_instrs)
+    }
+}
+
 /// An infinite stream of memory accesses for one core.
 pub trait TraceSource: Send {
     /// Produce the next access. Must never terminate.
     fn next_access(&mut self) -> MemAccess;
 
     /// Restart the stream from the beginning (used when re-running an application).
+    ///
+    /// # Contract
+    ///
+    /// `reset` must restore the *exact* initial stream: the sequence of accesses produced
+    /// after a `reset` must be identical to the sequence produced by a freshly constructed
+    /// source, including any internal randomness (sources must re-seed their RNGs). Trace
+    /// capture (`trace-io`) and the capture↔replay equivalence tests rely on this — a
+    /// source whose reset drifts would make a captured corpus unrepresentative of the live
+    /// generator.
     fn reset(&mut self);
 
     /// Short human-readable name for reports.
     fn label(&self) -> String {
         "trace".to_string()
     }
+}
+
+/// Receives per-core access streams during trace capture.
+///
+/// Implemented by `trace_io::TraceWriter` (binary corpus files) and by test doubles; the
+/// capture entry points in `workloads` are generic over this trait so the synthetic
+/// generators never depend on a concrete on-disk format.
+pub trait TraceSink {
+    /// Announce (or rename) the application captured on `core`.
+    fn begin_core(&mut self, core: usize, label: &str) -> std::io::Result<()>;
+
+    /// Append one access to `core`'s stream.
+    fn record(&mut self, core: usize, access: MemAccess) -> std::io::Result<()>;
+}
+
+/// Drain `accesses` accesses from `source` into `sink` under core index `core`.
+///
+/// The source is reset first so captures always start from the initial stream, keeping a
+/// captured corpus equivalent to a freshly constructed generator.
+pub fn capture_into(
+    source: &mut dyn TraceSource,
+    sink: &mut dyn TraceSink,
+    core: usize,
+    accesses: u64,
+) -> std::io::Result<()> {
+    source.reset();
+    sink.begin_core(core, &source.label())?;
+    for _ in 0..accesses {
+        sink.record(core, source.next_access())?;
+    }
+    Ok(())
 }
 
 impl TraceSource for Box<dyn TraceSource> {
@@ -78,7 +126,12 @@ impl TraceSource for StridedTrace {
     fn next_access(&mut self) -> MemAccess {
         let addr = self.base + self.offset;
         self.offset = (self.offset + self.stride) % self.region_bytes;
-        MemAccess { addr, pc: self.pc, is_write: false, non_mem_instrs: self.non_mem_instrs }
+        MemAccess {
+            addr,
+            pc: self.pc,
+            is_write: false,
+            non_mem_instrs: self.non_mem_instrs,
+        }
     }
 
     fn reset(&mut self) {
@@ -101,7 +154,11 @@ pub struct ReplayTrace {
 impl ReplayTrace {
     pub fn new(name: impl Into<String>, accesses: Vec<MemAccess>) -> Self {
         assert!(!accesses.is_empty(), "replay trace must not be empty");
-        ReplayTrace { accesses, pos: 0, name: name.into() }
+        ReplayTrace {
+            accesses,
+            pos: 0,
+            name: name.into(),
+        }
     }
 
     /// Convenience: read-only accesses over the given byte addresses with a fixed gap of
@@ -168,6 +225,39 @@ mod tests {
     #[should_panic]
     fn empty_replay_trace_panics() {
         let _ = ReplayTrace::new("empty", vec![]);
+    }
+
+    /// Sink that records everything in memory, for testing the capture plumbing.
+    struct VecSink {
+        labels: Vec<String>,
+        streams: Vec<Vec<MemAccess>>,
+    }
+
+    impl TraceSink for VecSink {
+        fn begin_core(&mut self, core: usize, label: &str) -> std::io::Result<()> {
+            self.labels[core] = label.to_string();
+            Ok(())
+        }
+
+        fn record(&mut self, core: usize, access: MemAccess) -> std::io::Result<()> {
+            self.streams[core].push(access);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn capture_into_resets_then_drains_the_source() {
+        let mut src = ReplayTrace::from_addrs("app", &[1, 2, 3], 2);
+        src.next_access(); // capture must not start mid-stream
+        let mut sink = VecSink {
+            labels: vec![String::new()],
+            streams: vec![vec![]],
+        };
+        capture_into(&mut src, &mut sink, 0, 5).unwrap();
+        assert_eq!(sink.labels[0], "app");
+        let addrs: Vec<u64> = sink.streams[0].iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![1, 2, 3, 1, 2]);
+        assert_eq!(sink.streams[0][0].instructions(), 3);
     }
 
     #[test]

@@ -85,12 +85,18 @@ impl AdaptConfig {
 
     /// The paper's ADAPT_ins variant (no bypassing; Least priority inserts at RRPV 3).
     pub fn paper_insert_only() -> Self {
-        AdaptConfig { least_mode: LeastPriorityMode::InsertDistant, ..Self::paper() }
+        AdaptConfig {
+            least_mode: LeastPriorityMode::InsertDistant,
+            ..Self::paper()
+        }
     }
 
     /// All-sets monitoring variant used to compute Table 4's Fpn(A) column.
     pub fn all_sets_profiler() -> Self {
-        AdaptConfig { sampling: SamplingMode::AllSets, ..Self::paper() }
+        AdaptConfig {
+            sampling: SamplingMode::AllSets,
+            ..Self::paper()
+        }
     }
 
     /// Short label matching the paper's figure legends.

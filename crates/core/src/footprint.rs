@@ -204,6 +204,9 @@ mod tests {
                 uniques += 1;
             }
         }
-        assert!(uniques >= 15, "at most one collision tolerated, got {uniques}");
+        assert!(
+            uniques >= 15,
+            "at most one collision tolerated, got {uniques}"
+        );
     }
 }

@@ -68,7 +68,7 @@ impl FootprintMonitor {
     /// Map a set index to its monitored slot, if the set is monitored.
     fn slot_of(&self, set_index: usize) -> Option<usize> {
         debug_assert!(set_index < self.num_sets);
-        if set_index % self.stride != 0 {
+        if !set_index.is_multiple_of(self.stride) {
             return None;
         }
         let slot = set_index / self.stride;
@@ -108,7 +108,11 @@ impl FootprintMonitor {
                     active += 1;
                 }
             }
-            let fpn = if active == 0 { 0.0 } else { sum as f64 / active as f64 };
+            let fpn = if active == 0 {
+                0.0
+            } else {
+                sum as f64 / active as f64
+            };
             self.footprints[app] = fpn;
             self.footprint_sums[app] += fpn;
             for s in sets.iter_mut() {
@@ -149,7 +153,10 @@ mod tests {
     use super::*;
 
     fn monitor(sampling: SamplingMode, num_sets: usize, apps: usize) -> FootprintMonitor {
-        let cfg = AdaptConfig { sampling, ..AdaptConfig::paper() };
+        let cfg = AdaptConfig {
+            sampling,
+            ..AdaptConfig::paper()
+        };
         FootprintMonitor::new(cfg, num_sets, apps)
     }
 

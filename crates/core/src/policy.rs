@@ -41,7 +41,9 @@ impl AdaptPolicy {
         AdaptPolicy {
             rrpv: RrpvArray::new(num_sets, ways),
             monitor: FootprintMonitor::new(config, num_sets, num_apps),
-            predictors: (0..num_apps).map(|_| InsertionPriorityPredictor::new(config)).collect(),
+            predictors: (0..num_apps)
+                .map(|_| InsertionPriorityPredictor::new(config))
+                .collect(),
             bypasses: vec![0; num_apps],
             installs: vec![0; num_apps],
             config,
@@ -93,7 +95,8 @@ impl LlcReplacementPolicy for AdaptPolicy {
         // Figure 2a: the test logic forwards only demand accesses belonging to monitored
         // sets to the application sampler.
         if ctx.is_demand {
-            self.monitor.observe(ctx.core_id, ctx.set_index, ctx.block_addr);
+            self.monitor
+                .observe(ctx.core_id, ctx.set_index, ctx.block_addr);
         }
     }
 
@@ -143,7 +146,14 @@ mod tests {
     use cache_sim::trace::{StridedTrace, TraceSource};
 
     fn ctx(core: usize, set: usize, block: u64) -> AccessContext {
-        AccessContext { core_id: core, pc: 0, block_addr: block, set_index: set, is_demand: true, is_write: false }
+        AccessContext {
+            core_id: core,
+            pc: 0,
+            block_addr: block,
+            set_index: set,
+            is_demand: true,
+            is_write: false,
+        }
     }
 
     fn tiny_policy(apps: usize) -> AdaptPolicy {
@@ -154,7 +164,10 @@ mod tests {
     #[test]
     fn policy_name_tracks_variant() {
         let sys = SystemConfig::tiny(2);
-        assert_eq!(AdaptPolicy::new(AdaptConfig::paper(), &sys.llc, 2).name(), "ADAPT_bp32");
+        assert_eq!(
+            AdaptPolicy::new(AdaptConfig::paper(), &sys.llc, 2).name(),
+            "ADAPT_bp32"
+        );
         assert_eq!(
             AdaptPolicy::new(AdaptConfig::paper_insert_only(), &sys.llc, 2).name(),
             "ADAPT_ins"
@@ -175,7 +188,7 @@ mod tests {
     fn interval_reclassifies_small_and_large_footprints() {
         let mut p = tiny_policy(2);
         let sets = 64; // tiny LLC: 64KB/64B/16 = 64 sets
-        // App 0 touches 2 blocks per monitored set; app 1 touches 30.
+                       // App 0 touches 2 blocks per monitored set; app 1 touches 30.
         for set in 0..sets {
             if !p.monitor().is_monitored(set) {
                 continue;
@@ -211,7 +224,9 @@ mod tests {
         assert_eq!(p.priority_of(0), PriorityLevel::Least);
         let mut bypasses = 0;
         for i in 0..320u64 {
-            if p.insertion_decision(&ctx(0, (i % 64) as usize, i)).is_bypass() {
+            if p.insertion_decision(&ctx(0, (i % 64) as usize, i))
+                .is_bypass()
+            {
                 bypasses += 1;
             }
         }
@@ -229,7 +244,11 @@ mod tests {
         c.is_demand = false;
         p.on_access(&c);
         p.on_interval();
-        assert_eq!(p.footprint_of(0), 0.0, "prefetches must not contribute to the footprint");
+        assert_eq!(
+            p.footprint_of(0),
+            0.0,
+            "prefetches must not contribute to the footprint"
+        );
     }
 
     #[test]
@@ -247,7 +266,10 @@ mod tests {
         let mut sys = MultiCoreSystem::new(cfg, traces, Box::new(policy));
         let res = sys.run(60_000);
         assert_eq!(res.policy, "ADAPT_bp32");
-        assert!(res.llc_global.intervals_completed > 0, "interval hook must fire");
+        assert!(
+            res.llc_global.intervals_completed > 0,
+            "interval hook must fire"
+        );
         // Streaming cores must see some bypassed fills.
         let bypasses: u64 = res.per_core[2..].iter().map(|c| c.llc.bypassed_fills).sum();
         assert!(bypasses > 0, "streaming applications should be bypassed");

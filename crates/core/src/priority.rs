@@ -77,7 +77,13 @@ pub struct InsertionPriorityPredictor {
 impl InsertionPriorityPredictor {
     pub fn new(config: AdaptConfig) -> Self {
         let priority = classify(&config, f64::NAN);
-        InsertionPriorityPredictor { config, priority, medium_ctr: 0, low_ctr: 0, least_ctr: 0 }
+        InsertionPriorityPredictor {
+            config,
+            priority,
+            medium_ctr: 0,
+            low_ctr: 0,
+            least_ctr: 0,
+        }
     }
 
     /// Update the application's priority from a freshly computed Footprint-number.
@@ -101,7 +107,7 @@ impl InsertionPriorityPredictor {
             PriorityLevel::High => InsertionDecision::insert(0),
             PriorityLevel::Medium => {
                 self.medium_ctr = self.medium_ctr.wrapping_add(1);
-                if self.medium_ctr % self.config.medium_throttle == 0 {
+                if self.medium_ctr.is_multiple_of(self.config.medium_throttle) {
                     InsertionDecision::insert(2)
                 } else {
                     InsertionDecision::insert(1)
@@ -109,7 +115,7 @@ impl InsertionPriorityPredictor {
             }
             PriorityLevel::Low => {
                 self.low_ctr = self.low_ctr.wrapping_add(1);
-                if self.low_ctr % self.config.low_throttle == 0 {
+                if self.low_ctr.is_multiple_of(self.config.low_throttle) {
                     InsertionDecision::insert(1)
                 } else {
                     InsertionDecision::insert(2)
@@ -120,7 +126,7 @@ impl InsertionPriorityPredictor {
                 match self.config.least_mode {
                     LeastPriorityMode::InsertDistant => InsertionDecision::insert(RRPV_MAX),
                     LeastPriorityMode::Bypass => {
-                        if self.least_ctr % self.config.bypass_ratio == 0 {
+                        if self.least_ctr.is_multiple_of(self.config.bypass_ratio) {
                             InsertionDecision::insert(RRPV_MAX)
                         } else {
                             InsertionDecision::Bypass
@@ -156,7 +162,10 @@ mod tests {
     #[test]
     fn unknown_footprint_defaults_to_low() {
         assert_eq!(classify(&cfg(), f64::NAN), PriorityLevel::Low);
-        let medium_default = AdaptConfig { initial_priority_is_medium: true, ..cfg() };
+        let medium_default = AdaptConfig {
+            initial_priority_is_medium: true,
+            ..cfg()
+        };
         assert_eq!(classify(&medium_default, f64::NAN), PriorityLevel::Medium);
     }
 
@@ -174,8 +183,14 @@ mod tests {
         let mut p = InsertionPriorityPredictor::new(cfg());
         p.update(8.0);
         let decisions: Vec<_> = (0..160).map(|_| p.decide()).collect();
-        let at_two = decisions.iter().filter(|d| **d == InsertionDecision::Insert { rrpv: 2 }).count();
-        let at_one = decisions.iter().filter(|d| **d == InsertionDecision::Insert { rrpv: 1 }).count();
+        let at_two = decisions
+            .iter()
+            .filter(|d| **d == InsertionDecision::Insert { rrpv: 2 })
+            .count();
+        let at_one = decisions
+            .iter()
+            .filter(|d| **d == InsertionDecision::Insert { rrpv: 1 })
+            .count();
         assert_eq!(at_two, 10);
         assert_eq!(at_one, 150);
     }
@@ -185,8 +200,14 @@ mod tests {
         let mut p = InsertionPriorityPredictor::new(cfg());
         p.update(14.0);
         let decisions: Vec<_> = (0..160).map(|_| p.decide()).collect();
-        let at_one = decisions.iter().filter(|d| **d == InsertionDecision::Insert { rrpv: 1 }).count();
-        let at_two = decisions.iter().filter(|d| **d == InsertionDecision::Insert { rrpv: 2 }).count();
+        let at_one = decisions
+            .iter()
+            .filter(|d| **d == InsertionDecision::Insert { rrpv: 1 })
+            .count();
+        let at_two = decisions
+            .iter()
+            .filter(|d| **d == InsertionDecision::Insert { rrpv: 2 })
+            .count();
         assert_eq!(at_one, 10);
         assert_eq!(at_two, 150);
     }
@@ -197,7 +218,10 @@ mod tests {
         p.update(30.0);
         let decisions: Vec<_> = (0..320).map(|_| p.decide()).collect();
         let bypasses = decisions.iter().filter(|d| d.is_bypass()).count();
-        let installs = decisions.iter().filter(|d| **d == InsertionDecision::Insert { rrpv: 3 }).count();
+        let installs = decisions
+            .iter()
+            .filter(|d| **d == InsertionDecision::Insert { rrpv: 3 })
+            .count();
         assert_eq!(bypasses, 310);
         assert_eq!(installs, 10);
     }

@@ -44,18 +44,19 @@ fn sweep_adapt_variants(
             for mix in mixes {
                 let baseline = evaluate_mix(&cfg, mix, PolicyKind::TaDrrip, instructions, seed);
                 let policy = Box::new(AdaptPolicy::new(*adapt_cfg, &cfg.llc, cfg.num_cores));
-                let adapt = evaluate_mix_with(
-                    &cfg,
-                    mix,
-                    PolicyKind::AdaptBp32,
-                    policy,
-                    instructions,
-                    seed,
-                );
+                let adapt =
+                    evaluate_mix_with(&cfg, mix, PolicyKind::AdaptBp32, policy, instructions, seed);
                 let b = baseline.weighted_speedup();
-                ratios.push(if b > 0.0 { adapt.weighted_speedup() / b } else { 0.0 });
+                ratios.push(if b > 0.0 {
+                    adapt.weighted_speedup() / b
+                } else {
+                    0.0
+                });
             }
-            AblationPoint { label: label.clone(), speedup_over_tadrrip: amean(&ratios) }
+            AblationPoint {
+                label: label.clone(),
+                speedup_over_tadrrip: amean(&ratios),
+            }
         })
         .collect()
 }
@@ -63,8 +64,17 @@ fn sweep_adapt_variants(
 fn setup(scale: ExperimentScale, mixes: usize) -> (SystemConfig, Vec<WorkloadMix>, u64, u64) {
     let study = StudyKind::Cores16;
     let config = scale.system_config(study);
-    let workloads = generate_mixes(study, mixes.min(scale.mixes_for(study)).max(1), scale.seed());
-    (config, workloads, scale.instructions_per_core(), scale.seed())
+    let workloads = generate_mixes(
+        study,
+        mixes.min(scale.mixes_for(study)).max(1),
+        scale.seed(),
+    );
+    (
+        config,
+        workloads,
+        scale.instructions_per_core(),
+        scale.seed(),
+    )
 }
 
 /// Sweep the monitoring-interval length (fractions/multiples of the configured interval).
@@ -92,7 +102,10 @@ pub fn sampled_sets_sweep(scale: ExperimentScale, mixes: usize) -> Vec<AblationP
         .map(|n| {
             (
                 format!("{n} sampled sets"),
-                AdaptConfig { sampled_sets: *n, ..AdaptConfig::paper() },
+                AdaptConfig {
+                    sampled_sets: *n,
+                    ..AdaptConfig::paper()
+                },
                 None,
             )
         })
@@ -108,7 +121,10 @@ pub fn bypass_ratio_sweep(scale: ExperimentScale, mixes: usize) -> Vec<AblationP
         .map(|r| {
             (
                 format!("bypass 1/{r}"),
-                AdaptConfig { bypass_ratio: *r, ..AdaptConfig::paper() },
+                AdaptConfig {
+                    bypass_ratio: *r,
+                    ..AdaptConfig::paper()
+                },
                 None,
             )
         })
@@ -127,7 +143,11 @@ pub fn priority_range_sweep(scale: ExperimentScale, mixes: usize) -> Vec<Ablatio
             }
             variants.push((
                 format!("HP<= {high_max}, MP<= {medium_max}"),
-                AdaptConfig { high_max, medium_max, ..AdaptConfig::paper() },
+                AdaptConfig {
+                    high_max,
+                    medium_max,
+                    ..AdaptConfig::paper()
+                },
                 None,
             ));
         }

@@ -60,8 +60,20 @@ fn diag(scale: ExperimentScale) {
     let config = scale.system_config(study);
     let mix = generate_mixes(study, 1, scale.seed()).remove(0);
     let instructions = scale.instructions_per_core();
-    let base = evaluate_mix(&config, &mix, PolicyKind::TaDrrip, instructions, scale.seed());
-    let adapt = evaluate_mix(&config, &mix, PolicyKind::AdaptBp32, instructions, scale.seed());
+    let base = evaluate_mix(
+        &config,
+        &mix,
+        PolicyKind::TaDrrip,
+        instructions,
+        scale.seed(),
+    );
+    let adapt = evaluate_mix(
+        &config,
+        &mix,
+        PolicyKind::AdaptBp32,
+        instructions,
+        scale.seed(),
+    );
     println!(
         "weighted speedup: TA-DRRIP {:.4}  ADAPT_bp32 {:.4}  ratio {:.4}",
         base.weighted_speedup(),
@@ -103,18 +115,33 @@ fn run_one(name: &str, scale: ExperimentScale) -> Result<(), String> {
         "table7" => print!("{}", table7::render(&table7::run(scale))),
         "ablation" => {
             let mixes = 4;
-            print!("{}", ablation::render("Interval-length sweep", &ablation::interval_sweep(scale, mixes)));
             print!(
                 "{}",
-                ablation::render("Sampled-sets sweep", &ablation::sampled_sets_sweep(scale, mixes))
+                ablation::render(
+                    "Interval-length sweep",
+                    &ablation::interval_sweep(scale, mixes)
+                )
             );
             print!(
                 "{}",
-                ablation::render("Bypass-ratio sweep", &ablation::bypass_ratio_sweep(scale, mixes))
+                ablation::render(
+                    "Sampled-sets sweep",
+                    &ablation::sampled_sets_sweep(scale, mixes)
+                )
             );
             print!(
                 "{}",
-                ablation::render("Priority-range sweep", &ablation::priority_range_sweep(scale, mixes))
+                ablation::render(
+                    "Bypass-ratio sweep",
+                    &ablation::bypass_ratio_sweep(scale, mixes)
+                )
+            );
+            print!(
+                "{}",
+                ablation::render(
+                    "Priority-range sweep",
+                    &ablation::priority_range_sweep(scale, mixes)
+                )
             );
         }
         "mixes" => print_mixes(scale),

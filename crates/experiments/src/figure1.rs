@@ -68,7 +68,10 @@ pub(crate) fn mpki_reductions(
     }
     let mut rows: Vec<MpkiReduction> = acc
         .into_iter()
-        .map(|(benchmark, (sum, n))| MpkiReduction { benchmark, reduction_percent: sum / n as f64 })
+        .map(|(benchmark, (sum, n))| MpkiReduction {
+            benchmark,
+            reduction_percent: sum / n as f64,
+        })
         .collect();
     rows.sort_by(|a, b| a.benchmark.cmp(&b.benchmark));
     rows
@@ -99,7 +102,12 @@ pub fn run(scale: ExperimentScale) -> Figure1Result {
         speedup_sd128: mean_ratio(PolicyKind::TaDrripSd(128)),
         speedup_forced: mean_ratio(PolicyKind::TaDrripForced),
         thrashing: mpki_reductions(&evals, PolicyKind::TaDrripForced, PolicyKind::TaDrrip, true),
-        non_thrashing: mpki_reductions(&evals, PolicyKind::TaDrripForced, PolicyKind::TaDrrip, false),
+        non_thrashing: mpki_reductions(
+            &evals,
+            PolicyKind::TaDrripForced,
+            PolicyKind::TaDrrip,
+            false,
+        ),
     }
 }
 
@@ -112,7 +120,10 @@ pub fn render(r: &Figure1Result) -> String {
         &[
             vec!["TA-DRRIP(SD=64)".into(), format!("{:.3}", r.speedup_sd64)],
             vec!["TA-DRRIP(SD=128)".into(), format!("{:.3}", r.speedup_sd128)],
-            vec!["TA-DRRIP(forced)".into(), format!("{:.3}", r.speedup_forced)],
+            vec![
+                "TA-DRRIP(forced)".into(),
+                format!("{:.3}", r.speedup_forced),
+            ],
         ],
     ));
     out.push_str("\nFigure 1b: % reduction in MPKI, thrashing applications\n");
@@ -143,7 +154,10 @@ mod tests {
         let r = run(ExperimentScale::Smoke);
         assert!(r.speedup_sd64 > 0.0);
         assert!(r.speedup_forced > 0.0);
-        assert!(!r.thrashing.is_empty(), "16-core mixes always contain thrashing apps");
+        assert!(
+            !r.thrashing.is_empty(),
+            "16-core mixes always contain thrashing apps"
+        );
         assert!(!r.non_thrashing.is_empty());
         let text = render(&r);
         assert!(text.contains("Figure 1a"));

@@ -100,7 +100,10 @@ pub fn render(r: &SCurveResult) -> String {
     ));
     out.push_str("\nS-curve series (per-workload speedup over TA-DRRIP, sorted):\n");
     out.push_str(&render_series_csv(
-        &r.curves.iter().map(|c| (c.policy.clone(), c.s_curve.clone())).collect::<Vec<_>>(),
+        &r.curves
+            .iter()
+            .map(|c| (c.policy.clone(), c.s_curve.clone()))
+            .collect::<Vec<_>>(),
     ));
     out
 }
@@ -117,7 +120,10 @@ mod tests {
         for c in &r.curves {
             assert_eq!(c.s_curve.len(), r.workloads);
             assert!(c.mean_speedup > 0.0);
-            assert!(c.s_curve.windows(2).all(|w| w[0] <= w[1]), "s-curve must be sorted");
+            assert!(
+                c.s_curve.windows(2).all(|w| w[0] <= w[1]),
+                "s-curve must be sorted"
+            );
         }
         let text = render(&r);
         assert!(text.contains("ADAPT_bp32"));

@@ -50,7 +50,9 @@ fn impacts(evals: &[MixEvaluation], thrashing: bool) -> Vec<AppPolicyImpact> {
     let mut acc: HashMap<(String, String), (f64, f64, u64)> = HashMap::new();
     for base in evals.iter().filter(|e| e.policy == PolicyKind::TaDrrip) {
         for policy in comparison_policies() {
-            let Some(pol) = evals.iter().find(|e| e.policy == policy && e.mix_id == base.mix_id)
+            let Some(pol) = evals
+                .iter()
+                .find(|e| e.policy == policy && e.mix_id == base.mix_id)
             else {
                 continue;
             };
@@ -64,7 +66,9 @@ fn impacts(evals: &[MixEvaluation], thrashing: bool) -> Vec<AppPolicyImpact> {
                     0.0
                 };
                 let ipc_ratio = p.ipc / b.ipc;
-                let e = acc.entry((b.name.clone(), policy.label())).or_insert((0.0, 0.0, 0));
+                let e = acc
+                    .entry((b.name.clone(), policy.label()))
+                    .or_insert((0.0, 0.0, 0));
                 e.0 += red;
                 e.1 += ipc_ratio;
                 e.2 += 1;

@@ -31,7 +31,10 @@ pub struct Figure7Result {
 
 /// The LLC configurations of Figure 7 (paper sizes; scaled proportionally by the scale).
 pub fn llc_variants() -> Vec<(&'static str, u64, usize)> {
-    vec![("24MB/24-way", 24 * 1024 * 1024, 24), ("32MB/32-way", 32 * 1024 * 1024, 32)]
+    vec![
+        ("24MB/24-way", 24 * 1024 * 1024, 24),
+        ("32MB/32-way", 32 * 1024 * 1024, 32),
+    ]
 }
 
 /// Run the Figure 7 experiment.
@@ -87,7 +90,12 @@ pub fn render(r: &Figure7Result) -> String {
 }
 
 /// A cheaper single-point variant used by benches and tests.
-pub fn run_point(scale: ExperimentScale, study: StudyKind, llc_bytes: u64, ways: usize) -> LargeCachePoint {
+pub fn run_point(
+    scale: ExperimentScale,
+    study: StudyKind,
+    llc_bytes: u64,
+    ways: usize,
+) -> LargeCachePoint {
     let config = scale.system_config_with_llc(study, llc_bytes, ways);
     let mixes = generate_mixes(study, scale.mixes_for(study), scale.seed());
     let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32];
@@ -101,7 +109,11 @@ pub fn run_point(scale: ExperimentScale, study: StudyKind, llc_bytes: u64, ways:
     LargeCachePoint {
         cores: study.num_cores(),
         llc_label: format!("{}B/{}-way", llc_bytes, ways),
-        adapt_speedup: amean(&speedups_over_baseline(&evals, PolicyKind::AdaptBp32, PolicyKind::TaDrrip)),
+        adapt_speedup: amean(&speedups_over_baseline(
+            &evals,
+            PolicyKind::AdaptBp32,
+            PolicyKind::TaDrrip,
+        )),
     }
 }
 
@@ -111,7 +123,12 @@ mod tests {
 
     #[test]
     fn single_point_smoke_run_works() {
-        let p = run_point(ExperimentScale::Smoke, StudyKind::Cores16, 24 * 1024 * 1024, 24);
+        let p = run_point(
+            ExperimentScale::Smoke,
+            StudyKind::Cores16,
+            24 * 1024 * 1024,
+            24,
+        );
         assert_eq!(p.cores, 16);
         assert!(p.adapt_speedup > 0.0);
     }
@@ -120,8 +137,16 @@ mod tests {
     fn render_lists_every_point() {
         let r = Figure7Result {
             points: vec![
-                LargeCachePoint { cores: 16, llc_label: "24MB/24-way".into(), adapt_speedup: 1.03 },
-                LargeCachePoint { cores: 24, llc_label: "32MB/32-way".into(), adapt_speedup: 1.05 },
+                LargeCachePoint {
+                    cores: 16,
+                    llc_label: "24MB/24-way".into(),
+                    adapt_speedup: 1.03,
+                },
+                LargeCachePoint {
+                    cores: 24,
+                    llc_label: "32MB/32-way".into(),
+                    adapt_speedup: 1.05,
+                },
             ],
         };
         let text = render(&r);

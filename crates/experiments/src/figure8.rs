@@ -20,12 +20,19 @@ pub struct Figure8Result {
 
 /// The studies shown in Figure 8 (Figure 3 already covers 16 cores).
 pub fn figure8_studies() -> Vec<StudyKind> {
-    vec![StudyKind::Cores4, StudyKind::Cores8, StudyKind::Cores20, StudyKind::Cores24]
+    vec![
+        StudyKind::Cores4,
+        StudyKind::Cores8,
+        StudyKind::Cores20,
+        StudyKind::Cores24,
+    ]
 }
 
 /// Run selected studies (used by tests/benches to bound runtime).
 pub fn run_studies(scale: ExperimentScale, studies: &[StudyKind]) -> Figure8Result {
-    Figure8Result { panels: studies.iter().map(|s| run_study(scale, *s)).collect() }
+    Figure8Result {
+        panels: studies.iter().map(|s| run_study(scale, *s)).collect(),
+    }
 }
 
 /// Run the full Figure 8.
@@ -37,7 +44,10 @@ pub fn run(scale: ExperimentScale) -> Figure8Result {
 pub fn render(r: &Figure8Result) -> String {
     let mut out = String::new();
     for panel in &r.panels {
-        out.push_str(&format!("Figure 8 panel: {}-core workloads\n", panel.study_cores));
+        out.push_str(&format!(
+            "Figure 8 panel: {}-core workloads\n",
+            panel.study_cores
+        ));
         out.push_str(&render_curves(panel));
         out.push('\n');
     }

@@ -97,16 +97,18 @@ impl PolicyKind {
             }
             PolicyKind::Ship => build_baseline(BaselineKind::Ship, llc, cores),
             PolicyKind::Eaf => build_baseline(BaselineKind::Eaf, llc, cores),
-            PolicyKind::AdaptIns => {
-                Box::new(AdaptPolicy::new(AdaptConfig::paper_insert_only(), llc, cores))
-            }
+            PolicyKind::AdaptIns => Box::new(AdaptPolicy::new(
+                AdaptConfig::paper_insert_only(),
+                llc,
+                cores,
+            )),
             PolicyKind::AdaptBp32 => Box::new(AdaptPolicy::new(AdaptConfig::paper(), llc, cores)),
-            PolicyKind::TaDrripBypass => {
-                Box::new(BypassDistant::new(Box::new(TaDrripPolicy::new(sets, ways, cores))))
-            }
-            PolicyKind::ShipBypass => {
-                Box::new(BypassDistant::new(Box::new(ShipPolicy::new(sets, ways, cores))))
-            }
+            PolicyKind::TaDrripBypass => Box::new(BypassDistant::new(Box::new(
+                TaDrripPolicy::new(sets, ways, cores),
+            ))),
+            PolicyKind::ShipBypass => Box::new(BypassDistant::new(Box::new(ShipPolicy::new(
+                sets, ways, cores,
+            )))),
             PolicyKind::EafBypass => {
                 Box::new(BypassDistant::new(Box::new(EafPolicy::new(sets, ways))))
             }
@@ -153,8 +155,13 @@ mod tests {
 
     #[test]
     fn figure3_lineup_matches_legend() {
-        let labels: Vec<String> =
-            PolicyKind::figure3_lineup().iter().map(|k| k.label()).collect();
-        assert_eq!(labels, vec!["ADAPT_bp32", "LRU", "SHiP", "EAF", "ADAPT_ins"]);
+        let labels: Vec<String> = PolicyKind::figure3_lineup()
+            .iter()
+            .map(|k| k.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["ADAPT_bp32", "LRU", "SHiP", "EAF", "ADAPT_ins"]
+        );
     }
 }

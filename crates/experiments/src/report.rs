@@ -107,10 +107,7 @@ mod tests {
 
     #[test]
     fn series_csv_has_one_row_per_workload() {
-        let csv = render_series_csv(&[
-            ("A".into(), vec![1.0, 1.1]),
-            ("B".into(), vec![0.9, 1.0]),
-        ]);
+        let csv = render_series_csv(&[("A".into(), vec![1.0, 1.1]), ("B".into(), vec![0.9, 1.0])]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "workload_index,A,B");

@@ -6,8 +6,15 @@
 //! ("alone") runs exactly as the paper does. Independent (mix, policy) pairs are evaluated
 //! in parallel with rayon — they share nothing except the read-only configuration and the
 //! alone-run cache.
+//!
+//! Workloads come from two provenances, unified by [`MixSource`]: live synthetic
+//! generators ([`MixSource::Synthetic`]) and captured binary traces replayed from disk
+//! ([`MixSource::Replayed`], backed by `trace-io`). Because capture is lossless and
+//! generators reset exactly, both provenances of the same mix produce bit-identical
+//! per-application IPC/MPKI.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 use parking_lot::Mutex;
@@ -17,9 +24,11 @@ use cache_sim::config::SystemConfig;
 use cache_sim::single::run_alone;
 use cache_sim::stats::SystemResults;
 use cache_sim::system::MultiCoreSystem;
+use cache_sim::trace::TraceSource;
 use llc_policies::TaDrripPolicy;
 use mc_metrics::MulticoreMetrics;
-use workloads::{benchmark_by_name, WorkloadMix};
+use trace_io::TraceError;
+use workloads::{benchmark_by_name, StudyKind, WorkloadMix};
 
 use crate::policies::PolicyKind;
 
@@ -68,6 +77,106 @@ impl MixEvaluation {
     }
 }
 
+/// Where a mix's per-core access streams come from.
+///
+/// The runner itself is provenance-agnostic: [`MixSource::trace_sources`] yields one boxed
+/// [`TraceSource`] per core either way, and everything downstream (system construction,
+/// stats, metrics) is shared.
+#[derive(Debug, Clone)]
+pub enum MixSource {
+    /// Live in-process generators, constructed per run (the seed behaviour).
+    Synthetic(WorkloadMix),
+    /// A captured `.atrc` corpus replayed from disk; `mix` is reconstructed from the
+    /// file's per-core labels so alone-run normalization and reports keep working.
+    Replayed { path: PathBuf, mix: WorkloadMix },
+}
+
+impl MixSource {
+    /// Wrap a live synthetic mix.
+    pub fn synthetic(mix: WorkloadMix) -> Self {
+        MixSource::Synthetic(mix)
+    }
+
+    /// Open a captured trace file as a mix source.
+    ///
+    /// The file's core labels must name Table 4 benchmarks (which `tracectl capture` and
+    /// `workloads::capture_to_file` guarantee) and the core count must match one of the
+    /// paper's studies, so that alone-run normalization has a generator to run.
+    pub fn replayed(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let header = trace_io::read_header(&path)?;
+        let cores = header.cores.len();
+        let study = StudyKind::all()
+            .into_iter()
+            .find(|s| s.num_cores() == cores)
+            .ok_or_else(|| {
+                TraceError::Corrupt(format!(
+                    "trace has {cores} cores, which matches no study (4/8/16/20/24)"
+                ))
+            })?;
+        for core in &header.cores {
+            if benchmark_by_name(&core.label).is_none() {
+                return Err(TraceError::Corrupt(format!(
+                    "core label {:?} is not a Table 4 benchmark; cannot normalize",
+                    core.label
+                )));
+            }
+        }
+        let mix = WorkloadMix {
+            id: 0,
+            study,
+            benchmarks: header.cores.iter().map(|c| c.label.clone()).collect(),
+        };
+        Ok(MixSource::Replayed { path, mix })
+    }
+
+    /// The mix this source realizes (benchmark names per core).
+    pub fn mix(&self) -> &WorkloadMix {
+        match self {
+            MixSource::Synthetic(mix) => mix,
+            MixSource::Replayed { mix, .. } => mix,
+        }
+    }
+
+    /// Provenance tag for reports.
+    pub fn provenance(&self) -> String {
+        match self {
+            MixSource::Synthetic(_) => "synthetic".to_string(),
+            MixSource::Replayed { path, .. } => format!("replayed:{}", path.display()),
+        }
+    }
+
+    /// Build one trace source per core.
+    ///
+    /// For a replayed corpus this also validates the geometry recorded at capture time:
+    /// a trace whose generators were sized for a different LLC set count would quietly
+    /// realize a different workload, so a mismatch is an error rather than a footgun.
+    pub fn trace_sources(
+        &self,
+        llc_sets: usize,
+        seed: u64,
+    ) -> Result<Vec<Box<dyn TraceSource>>, TraceError> {
+        match self {
+            MixSource::Synthetic(mix) => Ok(mix.trace_sources(llc_sets, seed)),
+            MixSource::Replayed { path, .. } => {
+                let header = trace_io::read_header(path)?;
+                if header.llc_sets != 0 && header.llc_sets as usize != llc_sets {
+                    return Err(TraceError::Corrupt(format!(
+                        "corpus {} was captured for {} LLC sets but the system has {}",
+                        path.display(),
+                        header.llc_sets,
+                        llc_sets
+                    )));
+                }
+                Ok(trace_io::open_all(path)?
+                    .into_iter()
+                    .map(|r| Box::new(r) as Box<dyn TraceSource>)
+                    .collect())
+            }
+        }
+    }
+}
+
 type AloneKey = (String, u64, usize, u64);
 
 fn alone_cache() -> &'static Mutex<HashMap<AloneKey, f64>> {
@@ -99,15 +208,18 @@ pub fn alone_ipc(config: &SystemConfig, benchmark: &str, instructions: u64, seed
 }
 
 /// Pre-compute alone-run IPCs for every distinct benchmark in `mixes`, in parallel.
-pub fn warm_alone_cache(config: &SystemConfig, mixes: &[WorkloadMix], instructions: u64, seed: u64) {
+pub fn warm_alone_cache(
+    config: &SystemConfig,
+    mixes: &[WorkloadMix],
+    instructions: u64,
+    seed: u64,
+) {
     let mut names: Vec<String> = mixes.iter().flat_map(|m| m.benchmarks.clone()).collect();
     names.sort();
     names.dedup();
-    names
-        .par_iter()
-        .for_each(|name| {
-            let _ = alone_ipc(config, name, instructions, seed);
-        });
+    names.par_iter().for_each(|name| {
+        let _ = alone_ipc(config, name, instructions, seed);
+    });
 }
 
 /// Run one policy on one mix and summarize.
@@ -123,6 +235,33 @@ pub fn evaluate_mix(
     evaluate_mix_with(config, mix, policy, built, instructions, seed)
 }
 
+/// Run one policy on one [`MixSource`] (synthetic or replayed) and summarize.
+///
+/// The only fallible step is opening a replayed corpus; the simulation itself is shared
+/// with [`evaluate_mix`].
+pub fn evaluate_mix_source(
+    config: &SystemConfig,
+    source: &MixSource,
+    policy: PolicyKind,
+    instructions: u64,
+    seed: u64,
+) -> Result<MixEvaluation, TraceError> {
+    let mix = source.mix();
+    let thrashing = mix.thrashing_slots();
+    let built = policy.build(config, &thrashing);
+    let llc_sets = config.llc.geometry.num_sets();
+    let traces = source.trace_sources(llc_sets, seed)?;
+    Ok(evaluate_traces(
+        config,
+        mix,
+        policy,
+        built,
+        traces,
+        instructions,
+        seed,
+    ))
+}
+
 /// Run an explicitly constructed policy on one mix (used by ablation sweeps that need
 /// non-standard policy configurations).
 pub fn evaluate_mix_with(
@@ -135,6 +274,20 @@ pub fn evaluate_mix_with(
 ) -> MixEvaluation {
     let llc_sets = config.llc.geometry.num_sets();
     let traces = mix.trace_sources(llc_sets, seed);
+    evaluate_traces(config, mix, policy, built, traces, instructions, seed)
+}
+
+/// Shared tail of every evaluation: simulate `traces` under `built` and summarize against
+/// the alone-run cache. `traces` may come from live generators or replayed corpora.
+fn evaluate_traces(
+    config: &SystemConfig,
+    mix: &WorkloadMix,
+    policy: PolicyKind,
+    built: Box<dyn cache_sim::replacement::LlcReplacementPolicy>,
+    traces: Vec<Box<dyn cache_sim::trace::TraceSource>>,
+    instructions: u64,
+    seed: u64,
+) -> MixEvaluation {
     let policy_label = built.name();
     let mut system = MultiCoreSystem::new(config.clone(), traces, built);
     let results: SystemResults = system.run(instructions);
@@ -159,7 +312,13 @@ pub fn evaluate_mix_with(
     let alone: Vec<f64> = per_app.iter().map(|a| a.ipc_alone).collect();
     let metrics = MulticoreMetrics::compute(&shared, &alone);
 
-    MixEvaluation { mix_id: mix.id, policy, policy_label, per_app, metrics }
+    MixEvaluation {
+        mix_id: mix.id,
+        policy,
+        policy_label,
+        per_app,
+        metrics,
+    }
 }
 
 /// Evaluate each policy on each mix, in parallel. Results are ordered by (mix, policy) so
@@ -213,7 +372,14 @@ pub fn speedups_over_baseline(
         .filter(|e| e.policy == policy)
         .map(|e| {
             let b = base.get(&e.mix_id).copied().unwrap_or(0.0);
-            (e.mix_id, if b > 0.0 { e.weighted_speedup() / b } else { 0.0 })
+            (
+                e.mix_id,
+                if b > 0.0 {
+                    e.weighted_speedup() / b
+                } else {
+                    0.0
+                },
+            )
         })
         .collect();
     with_ids.sort_by_key(|(id, _)| *id);
@@ -242,7 +408,10 @@ mod tests {
         for app in &eval.per_app {
             assert!(app.ipc > 0.0, "{} ipc", app.name);
             assert!(app.ipc_alone > 0.0);
-            assert!(app.normalized_ipc() <= 1.5, "sharing should not wildly exceed alone IPC");
+            assert!(
+                app.normalized_ipc() <= 1.5,
+                "sharing should not wildly exceed alone IPC"
+            );
         }
     }
 
@@ -268,6 +437,66 @@ mod tests {
         let speedups = speedups_over_baseline(&evals, PolicyKind::AdaptBp32, PolicyKind::TaDrrip);
         assert_eq!(speedups.len(), mixes.len());
         assert!(speedups[0] > 0.0);
+    }
+
+    #[test]
+    fn replayed_mix_source_reproduces_the_synthetic_evaluation() {
+        let (cfg, mixes) = smoke_setup();
+        let mix = mixes[0].clone();
+        let llc_sets = cfg.llc.geometry.num_sets();
+        let seed = 1u64;
+        let instructions = 20_000u64;
+        // Capture enough accesses that no core wraps before the live run finishes: every
+        // access is at least one instruction, so 2x the instruction budget is ample slack
+        // for the simulator's end-of-run overshoot.
+        let path = std::env::temp_dir().join("runner_replay_equivalence.atrc");
+        workloads::capture_to_file::<trace_io::TraceWriter>(
+            &path,
+            &mix,
+            llc_sets,
+            seed,
+            2 * instructions,
+        )
+        .unwrap();
+
+        let live = evaluate_mix(&cfg, &mix, PolicyKind::TaDrrip, instructions, seed);
+        let source = MixSource::replayed(&path).unwrap();
+        assert_eq!(source.mix().benchmarks, mix.benchmarks);
+        let replayed =
+            evaluate_mix_source(&cfg, &source, PolicyKind::TaDrrip, instructions, seed).unwrap();
+
+        for (a, b) in live.per_app.iter().zip(&replayed.per_app) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.ipc, b.ipc, "{}: replayed IPC differs", a.name);
+            assert_eq!(a.llc_mpki, b.llc_mpki, "{}: replayed MPKI differs", a.name);
+        }
+        assert_eq!(live.weighted_speedup(), replayed.weighted_speedup());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replayed_mix_source_rejects_geometry_mismatch() {
+        let (cfg, mixes) = smoke_setup();
+        let llc_sets = cfg.llc.geometry.num_sets();
+        let path = std::env::temp_dir().join("runner_replay_geometry.atrc");
+        // Capture at a deliberately different set count than the system uses.
+        workloads::capture_to_file::<trace_io::TraceWriter>(&path, &mixes[0], llc_sets * 2, 1, 100)
+            .unwrap();
+        let source = MixSource::replayed(&path).unwrap();
+        let err = match source.trace_sources(llc_sets, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("geometry mismatch must be rejected"),
+        };
+        assert!(err.to_string().contains("LLC sets"), "got: {err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replayed_mix_source_rejects_garbage_files() {
+        let path = std::env::temp_dir().join("runner_replay_garbage.atrc");
+        std::fs::write(&path, b"not a trace at all").unwrap();
+        assert!(MixSource::replayed(&path).is_err());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl ExperimentScale {
     ) -> SystemConfig {
         let cores = study.num_cores();
         match self {
-            ExperimentScale::Paper => SystemConfig::paper_with_llc(cores, paper_llc_bytes, llc_ways),
+            ExperimentScale::Paper => {
+                SystemConfig::paper_with_llc(cores, paper_llc_bytes, llc_ways)
+            }
             ExperimentScale::Scaled => {
                 // Scale the paper's LLC size by the same 32x factor used by `scaled()`
                 // (16 MB -> 512 KB), preserving the paper's "same set count, larger
@@ -139,7 +141,11 @@ mod tests {
 
     #[test]
     fn llc_override_keeps_requested_associativity() {
-        for scale in [ExperimentScale::Paper, ExperimentScale::Scaled, ExperimentScale::Smoke] {
+        for scale in [
+            ExperimentScale::Paper,
+            ExperimentScale::Scaled,
+            ExperimentScale::Smoke,
+        ] {
             let cfg = scale.system_config_with_llc(StudyKind::Cores20, 24 * 1024 * 1024, 24);
             assert_eq!(cfg.llc.geometry.ways, 24);
             cfg.validate().unwrap();

@@ -23,14 +23,22 @@ pub fn run(scale: ExperimentScale) -> Table2Result {
     let cfg = scale.system_config(StudyKind::Cores24);
     let llc_blocks = cfg.llc.geometry.num_blocks();
     let num_apps = cfg.num_cores;
-    Table2Result { num_apps, llc_blocks, rows: table2_rows(&AdaptConfig::paper(), llc_blocks, num_apps) }
+    Table2Result {
+        num_apps,
+        llc_blocks,
+        rows: table2_rows(&AdaptConfig::paper(), llc_blocks, num_apps),
+    }
 }
 
 /// Regenerate Table 2 exactly as printed in the paper (16 MB LLC, 24 applications),
 /// independent of the experiment scale.
 pub fn run_paper_exact() -> Table2Result {
     let llc_blocks = 16 * 1024 * 1024 / 64;
-    Table2Result { num_apps: 24, llc_blocks, rows: table2_rows(&AdaptConfig::paper(), llc_blocks, 24) }
+    Table2Result {
+        num_apps: 24,
+        llc_blocks,
+        rows: table2_rows(&AdaptConfig::paper(), llc_blocks, 24),
+    }
 }
 
 fn human_bytes(bytes: u64) -> String {
@@ -53,7 +61,13 @@ pub fn render(r: &Table2Result) -> String {
         &["policy", "storage rule", "total"],
         &r.rows
             .iter()
-            .map(|row| vec![row.policy.clone(), row.storage_rule.clone(), human_bytes(row.total_bytes)])
+            .map(|row| {
+                vec![
+                    row.policy.clone(),
+                    row.storage_rule.clone(),
+                    human_bytes(row.total_bytes),
+                ]
+            })
             .collect::<Vec<_>>(),
     ));
     out

@@ -53,7 +53,11 @@ fn measure_footprint(
     interval_accesses: u64,
     seed: u64,
 ) -> f64 {
-    let config = if all_sets { AdaptConfig::all_sets_profiler() } else { AdaptConfig::paper() };
+    let config = if all_sets {
+        AdaptConfig::all_sets_profiler()
+    } else {
+        AdaptConfig::paper()
+    };
     let mut monitor = FootprintMonitor::new(config, llc_sets, 1);
     let mut trace = benchmark.trace(0, llc_sets, seed);
     let mut since_interval = 0u64;

@@ -73,7 +73,10 @@ pub fn run_study(scale: ExperimentScale, study: StudyKind) -> StudyMetrics {
 /// Run all five studies.
 pub fn run(scale: ExperimentScale) -> Table7Result {
     Table7Result {
-        studies: StudyKind::all().iter().map(|s| run_study(scale, *s)).collect(),
+        studies: StudyKind::all()
+            .iter()
+            .map(|s| run_study(scale, *s))
+            .collect(),
     }
 }
 
@@ -84,12 +87,28 @@ pub fn render(r: &Table7Result) -> String {
         .chain(r.studies.iter().map(|s| format!("{}-core", s.cores)))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let metric_rows: Vec<(&str, Box<dyn Fn(&StudyMetrics) -> f64>)> = vec![
-        ("Wt.Speed-up", Box::new(|s: &StudyMetrics| s.weighted_speedup)),
-        ("Norm. HM", Box::new(|s: &StudyMetrics| s.harmonic_mean_normalized)),
-        ("GM of IPCs", Box::new(|s: &StudyMetrics| s.geometric_mean_ipc)),
-        ("HM of IPCs", Box::new(|s: &StudyMetrics| s.harmonic_mean_ipc)),
-        ("AM of IPCs", Box::new(|s: &StudyMetrics| s.arithmetic_mean_ipc)),
+    type MetricFn = Box<dyn Fn(&StudyMetrics) -> f64>;
+    let metric_rows: Vec<(&str, MetricFn)> = vec![
+        (
+            "Wt.Speed-up",
+            Box::new(|s: &StudyMetrics| s.weighted_speedup),
+        ),
+        (
+            "Norm. HM",
+            Box::new(|s: &StudyMetrics| s.harmonic_mean_normalized),
+        ),
+        (
+            "GM of IPCs",
+            Box::new(|s: &StudyMetrics| s.geometric_mean_ipc),
+        ),
+        (
+            "HM of IPCs",
+            Box::new(|s: &StudyMetrics| s.harmonic_mean_ipc),
+        ),
+        (
+            "AM of IPCs",
+            Box::new(|s: &StudyMetrics| s.arithmetic_mean_ipc),
+        ),
     ];
     let rows: Vec<Vec<String>> = metric_rows
         .iter()

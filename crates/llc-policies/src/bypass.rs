@@ -22,7 +22,11 @@ pub struct BypassDistant {
 
 impl BypassDistant {
     pub fn new(inner: Box<dyn LlcReplacementPolicy>) -> Self {
-        BypassDistant { inner, bypassed: 0, passed_through: 0 }
+        BypassDistant {
+            inner,
+            bypassed: 0,
+            passed_through: 0,
+        }
     }
 
     /// Access the wrapped policy.
@@ -80,13 +84,23 @@ mod tests {
     use crate::rrip::{BrripPolicy, SrripPolicy};
 
     fn ctx(set: usize) -> AccessContext {
-        AccessContext { core_id: 0, pc: 0, block_addr: 0, set_index: set, is_demand: true, is_write: false }
+        AccessContext {
+            core_id: 0,
+            pc: 0,
+            block_addr: 0,
+            set_index: set,
+            is_demand: true,
+            is_write: false,
+        }
     }
 
     #[test]
     fn srrip_insertions_pass_through() {
         let mut p = BypassDistant::new(Box::new(SrripPolicy::new(4, 4)));
-        assert_eq!(p.insertion_decision(&ctx(0)), InsertionDecision::Insert { rrpv: 2 });
+        assert_eq!(
+            p.insertion_decision(&ctx(0)),
+            InsertionDecision::Insert { rrpv: 2 }
+        );
         assert_eq!(p.passed_through, 1);
         assert_eq!(p.bypassed, 0);
     }

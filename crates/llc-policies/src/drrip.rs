@@ -58,16 +58,26 @@ impl LeaderMap {
         let total = num_threads * 2 * per_policy;
         let mut leaders = vec![Leader::None; num_sets];
         if total == 0 || total > num_sets {
-            return LeaderMap { leaders, sets_per_policy: 0 };
+            return LeaderMap {
+                leaders,
+                sets_per_policy: 0,
+            };
         }
         let stride = num_sets / total;
         for i in 0..total {
             let set = i * stride;
             let thread = i % num_threads;
             let which = (i / num_threads) % 2;
-            leaders[set] = if which == 0 { Leader::Srrip(thread) } else { Leader::Brrip(thread) };
+            leaders[set] = if which == 0 {
+                Leader::Srrip(thread)
+            } else {
+                Leader::Brrip(thread)
+            };
         }
-        LeaderMap { leaders, sets_per_policy: per_policy }
+        LeaderMap {
+            leaders,
+            sets_per_policy: per_policy,
+        }
     }
 
     #[inline]
@@ -95,7 +105,11 @@ impl ThreadDuel {
         // performs a symmetric random walk from zero and effectively never commits to
         // BRRIP — which is exactly the TA-DRRIP behaviour the paper's motivation section
         // reports ("TA-DRRIP learns SRRIP policy for all applications").
-        ThreadDuel { psel: 0, brip_throttle: 0, forced_brrip: false }
+        ThreadDuel {
+            psel: 0,
+            brip_throttle: 0,
+            forced_brrip: false,
+        }
     }
 
     fn follower_policy(&self) -> SubPolicy {
@@ -110,7 +124,7 @@ impl ThreadDuel {
 
     fn brrip_insertion(&mut self) -> u8 {
         self.brip_throttle = self.brip_throttle.wrapping_add(1);
-        if self.brip_throttle % BRRIP_THROTTLE == 0 {
+        if self.brip_throttle.is_multiple_of(BRRIP_THROTTLE) {
             SRRIP_INSERT_RRPV
         } else {
             RRPV_MAX
@@ -320,7 +334,14 @@ mod tests {
     use super::*;
 
     fn ctx(core: usize, set: usize) -> AccessContext {
-        AccessContext { core_id: core, pc: 0, block_addr: 0, set_index: set, is_demand: true, is_write: false }
+        AccessContext {
+            core_id: core,
+            pc: 0,
+            block_addr: 0,
+            set_index: set,
+            is_demand: true,
+            is_write: false,
+        }
     }
 
     #[test]
@@ -355,11 +376,16 @@ mod tests {
         assert_eq!(p.name(), "TA-DRRIP(forced)");
         let mut distant = 0;
         for i in 0..64 {
-            if let InsertionDecision::Insert { rrpv: 3 } = p.insertion_decision(&ctx(1, (i * 7) % 256)) {
+            if let InsertionDecision::Insert { rrpv: 3 } =
+                p.insertion_decision(&ctx(1, (i * 7) % 256))
+            {
                 distant += 1;
             }
         }
-        assert!(distant >= 62, "forced core should insert distant nearly always ({distant}/64)");
+        assert!(
+            distant >= 62,
+            "forced core should insert distant nearly always ({distant}/64)"
+        );
     }
 
     #[test]
@@ -410,7 +436,15 @@ mod tests {
     #[test]
     fn victim_selection_follows_rrip_aging() {
         let mut p = TaDrripPolicy::new(16, 4, 2);
-        let lines = vec![LineView { valid: true, owner: 0, block_addr: 0, dirty: false }; 4];
+        let lines = vec![
+            LineView {
+                valid: true,
+                owner: 0,
+                block_addr: 0,
+                dirty: false
+            };
+            4
+        ];
         for w in 0..4 {
             p.on_fill(&ctx(0, 0), w, &InsertionDecision::insert(2));
         }

@@ -82,7 +82,7 @@ impl LlcReplacementPolicy for EafPolicy {
         } else {
             self.distant_insertions += 1;
             self.throttle = self.throttle.wrapping_add(1);
-            if self.throttle % BRRIP_THROTTLE == 0 {
+            if self.throttle.is_multiple_of(BRRIP_THROTTLE) {
                 InsertionDecision::insert(SRRIP_INSERT_RRPV)
             } else {
                 InsertionDecision::insert(RRPV_MAX)
@@ -116,7 +116,14 @@ mod tests {
     use super::*;
 
     fn ctx(block: u64, set: usize) -> AccessContext {
-        AccessContext { core_id: 0, pc: 0, block_addr: block, set_index: set, is_demand: true, is_write: false }
+        AccessContext {
+            core_id: 0,
+            pc: 0,
+            block_addr: block,
+            set_index: set,
+            is_demand: true,
+            is_write: false,
+        }
     }
 
     #[test]

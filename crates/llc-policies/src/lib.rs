@@ -52,7 +52,12 @@ pub enum BaselineKind {
 impl BaselineKind {
     /// All baselines evaluated by the paper's main figures.
     pub fn paper_set() -> Vec<BaselineKind> {
-        vec![BaselineKind::Lru, BaselineKind::TaDrrip, BaselineKind::Ship, BaselineKind::Eaf]
+        vec![
+            BaselineKind::Lru,
+            BaselineKind::TaDrrip,
+            BaselineKind::Ship,
+            BaselineKind::Eaf,
+        ]
     }
 
     /// Display name matching the paper's figures.
@@ -125,7 +130,10 @@ mod tests {
 
     #[test]
     fn paper_set_matches_figure3_lineup() {
-        let labels: Vec<&str> = BaselineKind::paper_set().iter().map(|k| k.label()).collect();
+        let labels: Vec<&str> = BaselineKind::paper_set()
+            .iter()
+            .map(|k| k.label())
+            .collect();
         assert_eq!(labels, vec!["LRU", "TA-DRRIP", "SHiP", "EAF"]);
     }
 }

@@ -16,7 +16,11 @@ pub struct LruPolicy {
 
 impl LruPolicy {
     pub fn new(num_sets: usize, ways: usize) -> Self {
-        LruPolicy { ways, stamps: vec![0; num_sets * ways], clock: 0 }
+        LruPolicy {
+            ways,
+            stamps: vec![0; num_sets * ways],
+            clock: 0,
+        }
     }
 
     #[inline]
@@ -34,7 +38,9 @@ impl LruPolicy {
     pub fn recency_rank(&self, set: usize, way: usize) -> usize {
         let base = set * self.ways;
         let mine = self.stamps[base + way];
-        (0..self.ways).filter(|&w| self.stamps[base + w] > mine).count()
+        (0..self.ways)
+            .filter(|&w| self.stamps[base + w] > mine)
+            .count()
     }
 }
 
@@ -79,7 +85,14 @@ mod tests {
     use super::*;
 
     fn ctx(set: usize) -> AccessContext {
-        AccessContext { core_id: 0, pc: 0, block_addr: 0, set_index: set, is_demand: true, is_write: false }
+        AccessContext {
+            core_id: 0,
+            pc: 0,
+            block_addr: 0,
+            set_index: set,
+            is_demand: true,
+            is_write: false,
+        }
     }
 
     #[test]
@@ -90,7 +103,12 @@ mod tests {
         }
         p.on_hit(&ctx(0), 0); // way 1 is now the oldest
         let lines = vec![
-            LineView { valid: true, owner: 0, block_addr: 0, dirty: false };
+            LineView {
+                valid: true,
+                owner: 0,
+                block_addr: 0,
+                dirty: false
+            };
             4
         ];
         assert_eq!(p.choose_victim(&ctx(0), &lines), 1);
@@ -99,7 +117,10 @@ mod tests {
     #[test]
     fn insertion_is_mru() {
         let mut p = LruPolicy::new(1, 4);
-        assert_eq!(p.insertion_decision(&ctx(0)), InsertionDecision::Insert { rrpv: 0 });
+        assert_eq!(
+            p.insertion_decision(&ctx(0)),
+            InsertionDecision::Insert { rrpv: 0 }
+        );
         for w in 0..4 {
             p.on_fill(&ctx(0), w, &InsertionDecision::insert(0));
         }
@@ -114,7 +135,15 @@ mod tests {
         p.on_fill(&ctx(1), 0, &InsertionDecision::insert(0));
         p.on_fill(&ctx(1), 1, &InsertionDecision::insert(0));
         p.on_hit(&ctx(1), 0);
-        let lines = vec![LineView { valid: true, owner: 0, block_addr: 0, dirty: false }; 2];
+        let lines = vec![
+            LineView {
+                valid: true,
+                owner: 0,
+                block_addr: 0,
+                dirty: false
+            };
+            2
+        ];
         // Set 1's victim is way 1; set 0 is untouched by set 1's activity.
         assert_eq!(p.choose_victim(&ctx(1), &lines), 1);
         assert_eq!(p.choose_victim(&ctx(0), &lines), 1); // never-touched way has stamp 0

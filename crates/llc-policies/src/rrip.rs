@@ -23,7 +23,9 @@ pub struct SrripPolicy {
 
 impl SrripPolicy {
     pub fn new(num_sets: usize, ways: usize) -> Self {
-        SrripPolicy { rrpv: RrpvArray::new(num_sets, ways) }
+        SrripPolicy {
+            rrpv: RrpvArray::new(num_sets, ways),
+        }
     }
 
     /// Read a line's RRPV (test/inspection helper).
@@ -66,7 +68,10 @@ pub struct BrripPolicy {
 
 impl BrripPolicy {
     pub fn new(num_sets: usize, ways: usize) -> Self {
-        BrripPolicy { rrpv: RrpvArray::new(num_sets, ways), throttle: 0 }
+        BrripPolicy {
+            rrpv: RrpvArray::new(num_sets, ways),
+            throttle: 0,
+        }
     }
 }
 
@@ -81,7 +86,7 @@ impl LlcReplacementPolicy for BrripPolicy {
 
     fn insertion_decision(&mut self, _ctx: &AccessContext) -> InsertionDecision {
         self.throttle = self.throttle.wrapping_add(1);
-        if self.throttle % BRRIP_THROTTLE == 0 {
+        if self.throttle.is_multiple_of(BRRIP_THROTTLE) {
             InsertionDecision::insert(SRRIP_INSERT_RRPV)
         } else {
             InsertionDecision::insert(RRPV_MAX)
@@ -106,7 +111,14 @@ mod tests {
     use super::*;
 
     fn ctx(set: usize) -> AccessContext {
-        AccessContext { core_id: 0, pc: 0, block_addr: 0, set_index: set, is_demand: true, is_write: false }
+        AccessContext {
+            core_id: 0,
+            pc: 0,
+            block_addr: 0,
+            set_index: set,
+            is_demand: true,
+            is_write: false,
+        }
     }
 
     #[test]
@@ -128,7 +140,15 @@ mod tests {
         }
         p.on_hit(&ctx(0), 0);
         p.on_hit(&ctx(0), 1);
-        let lines = vec![LineView { valid: true, owner: 0, block_addr: 0, dirty: false }; 4];
+        let lines = vec![
+            LineView {
+                valid: true,
+                owner: 0,
+                block_addr: 0,
+                dirty: false
+            };
+            4
+        ];
         // Ways 2 and 3 are at RRPV 2; after aging they reach 3 and way 2 is picked first.
         assert_eq!(p.choose_victim(&ctx(0), &lines), 2);
     }

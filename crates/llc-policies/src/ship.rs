@@ -64,7 +64,8 @@ impl ShipPolicy {
     /// the same synthetic PC ranges do not alias.
     fn signature(&self, ctx: &AccessContext) -> u16 {
         let pc = ctx.pc;
-        let mixed = pc ^ (pc >> 17) ^ ((ctx.core_id as u64) << 9) ^ (ctx.core_id as u64 * 0x9e37_79b9);
+        let mixed =
+            pc ^ (pc >> 17) ^ ((ctx.core_id as u64) << 9) ^ (ctx.core_id as u64 * 0x9e37_79b9);
         (mixed as usize % SHCT_ENTRIES) as u16
     }
 
@@ -134,7 +135,11 @@ impl LlcReplacementPolicy for ShipPolicy {
         if let InsertionDecision::Insert { rrpv } = decision {
             self.rrpv.set(ctx.set_index, way, *rrpv);
         }
-        self.meta[idx] = LineMeta { signature: self.signature(ctx), outcome: false, valid: true };
+        self.meta[idx] = LineMeta {
+            signature: self.signature(ctx),
+            outcome: false,
+            valid: true,
+        };
     }
 }
 
@@ -143,7 +148,14 @@ mod tests {
     use super::*;
 
     fn ctx(core: usize, pc: u64, set: usize) -> AccessContext {
-        AccessContext { core_id: core, pc, block_addr: 0, set_index: set, is_demand: true, is_write: false }
+        AccessContext {
+            core_id: core,
+            pc,
+            block_addr: 0,
+            set_index: set,
+            is_demand: true,
+            is_write: false,
+        }
     }
 
     #[test]

@@ -19,7 +19,11 @@ use serde::{Deserialize, Serialize};
 ///
 /// A workload of N applications that are all unaffected by sharing scores N.
 pub fn weighted_speedup(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
-    assert_eq!(ipc_shared.len(), ipc_alone.len(), "per-app IPC vectors must align");
+    assert_eq!(
+        ipc_shared.len(),
+        ipc_alone.len(),
+        "per-app IPC vectors must align"
+    );
     ipc_shared
         .iter()
         .zip(ipc_alone)
@@ -29,7 +33,11 @@ pub fn weighted_speedup(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
 
 /// Harmonic mean of normalized IPCs: `N / Σ_i (alone_i / shared_i)`.
 pub fn harmonic_mean_normalized(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
-    assert_eq!(ipc_shared.len(), ipc_alone.len(), "per-app IPC vectors must align");
+    assert_eq!(
+        ipc_shared.len(),
+        ipc_alone.len(),
+        "per-app IPC vectors must align"
+    );
     if ipc_shared.is_empty() {
         return 0.0;
     }
@@ -68,7 +76,10 @@ pub fn harmonic_mean_ipc(ipcs: &[f64]) -> f64 {
     if ipcs.is_empty() {
         return 0.0;
     }
-    let denom: f64 = ipcs.iter().map(|&v| if v > 0.0 { 1.0 / v } else { f64::INFINITY }).sum();
+    let denom: f64 = ipcs
+        .iter()
+        .map(|&v| if v > 0.0 { 1.0 / v } else { f64::INFINITY })
+        .sum();
     if denom.is_finite() {
         ipcs.len() as f64 / denom
     } else {
@@ -120,14 +131,26 @@ impl MulticoreMetrics {
     /// Relative improvement of each metric over a baseline's metrics, as fractions.
     pub fn improvement_over(&self, baseline: &MulticoreMetrics) -> MulticoreMetrics {
         MulticoreMetrics {
-            weighted_speedup: relative_improvement(self.weighted_speedup, baseline.weighted_speedup),
+            weighted_speedup: relative_improvement(
+                self.weighted_speedup,
+                baseline.weighted_speedup,
+            ),
             harmonic_mean_normalized: relative_improvement(
                 self.harmonic_mean_normalized,
                 baseline.harmonic_mean_normalized,
             ),
-            geometric_mean_ipc: relative_improvement(self.geometric_mean_ipc, baseline.geometric_mean_ipc),
-            harmonic_mean_ipc: relative_improvement(self.harmonic_mean_ipc, baseline.harmonic_mean_ipc),
-            arithmetic_mean_ipc: relative_improvement(self.arithmetic_mean_ipc, baseline.arithmetic_mean_ipc),
+            geometric_mean_ipc: relative_improvement(
+                self.geometric_mean_ipc,
+                baseline.geometric_mean_ipc,
+            ),
+            harmonic_mean_ipc: relative_improvement(
+                self.harmonic_mean_ipc,
+                baseline.harmonic_mean_ipc,
+            ),
+            arithmetic_mean_ipc: relative_improvement(
+                self.arithmetic_mean_ipc,
+                baseline.arithmetic_mean_ipc,
+            ),
         }
     }
 }

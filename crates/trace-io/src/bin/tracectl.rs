@@ -1,0 +1,295 @@
+//! `tracectl` — capture, inspect, and sanity-check binary trace corpora.
+//!
+//! ```text
+//! tracectl capture --out FILE (--benchmarks A,B,.. | --study CORES [--mix-id K])
+//!                  [--accesses N] [--llc-sets N] [--seed N] [--label S]
+//!                  [--block-records N] [--no-checksums]
+//! tracectl inspect FILE            print the header and per-core directory
+//! tracectl stats FILE              decode everything: per-core stats + decode throughput
+//! ```
+//!
+//! `capture --benchmarks` records the named Table 4 synthetic models (one per core, in
+//! order); `capture --study` records a whole generated workload mix, so the resulting file
+//! replays through `experiments::runner::MixSource::replayed`.
+
+use std::env;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use trace_io::{read_header, TraceCaptureOptions, TraceReader, TraceWriter};
+use workloads::{generate_mixes, StudyKind};
+
+fn usage() -> &'static str {
+    "usage:\n  tracectl capture --out FILE (--benchmarks A,B,.. | --study CORES [--mix-id K])\n  \
+     [--accesses N] [--llc-sets N] [--seed N] [--label S] [--block-records N] [--no-checksums]\n  \
+     tracectl inspect FILE\n  tracectl stats FILE"
+}
+
+struct CaptureArgs {
+    out: PathBuf,
+    benchmarks: Option<Vec<String>>,
+    study: Option<StudyKind>,
+    mix_id: usize,
+    accesses: u64,
+    llc_sets: usize,
+    seed: u64,
+    label: Option<String>,
+    options: TraceCaptureOptions,
+}
+
+fn parse_study(cores: &str) -> Result<StudyKind, String> {
+    match cores {
+        "4" => Ok(StudyKind::Cores4),
+        "8" => Ok(StudyKind::Cores8),
+        "16" => Ok(StudyKind::Cores16),
+        "20" => Ok(StudyKind::Cores20),
+        "24" => Ok(StudyKind::Cores24),
+        other => Err(format!(
+            "--study must be one of 4|8|16|20|24, got {other:?}"
+        )),
+    }
+}
+
+fn parse_capture(args: &[String]) -> Result<CaptureArgs, String> {
+    let mut parsed = CaptureArgs {
+        out: PathBuf::new(),
+        benchmarks: None,
+        study: None,
+        mix_id: 0,
+        accesses: 100_000,
+        llc_sets: 1024,
+        seed: 1,
+        label: None,
+        options: TraceCaptureOptions::default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => parsed.out = PathBuf::from(value("--out")?),
+            "--benchmarks" => {
+                parsed.benchmarks = Some(
+                    value("--benchmarks")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--study" => parsed.study = Some(parse_study(value("--study")?)?),
+            "--mix-id" => {
+                parsed.mix_id = value("--mix-id")?
+                    .parse()
+                    .map_err(|e| format!("--mix-id: {e}"))?
+            }
+            "--accesses" => {
+                parsed.accesses = value("--accesses")?
+                    .parse()
+                    .map_err(|e| format!("--accesses: {e}"))?
+            }
+            "--llc-sets" => {
+                parsed.llc_sets = value("--llc-sets")?
+                    .parse()
+                    .map_err(|e| format!("--llc-sets: {e}"))?
+            }
+            "--seed" => {
+                parsed.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--label" => parsed.label = Some(value("--label")?.to_string()),
+            "--block-records" => {
+                parsed.options.records_per_block = value("--block-records")?
+                    .parse()
+                    .map_err(|e| format!("--block-records: {e}"))?
+            }
+            "--no-checksums" => parsed.options.checksums = false,
+            other => return Err(format!("unknown capture flag {other:?}")),
+        }
+    }
+    if parsed.out.as_os_str().is_empty() {
+        return Err("capture requires --out FILE".into());
+    }
+    match (&parsed.benchmarks, &parsed.study) {
+        (Some(_), Some(_)) => Err("--benchmarks and --study are mutually exclusive".into()),
+        (None, None) => Err("capture requires --benchmarks or --study".into()),
+        _ => Ok(parsed),
+    }
+}
+
+fn capture(args: CaptureArgs) -> Result<(), String> {
+    let mut options = args.options;
+    options.llc_sets = args.llc_sets.try_into().unwrap_or(u32::MAX);
+
+    let make_writer = |cores: usize, label: &str| {
+        TraceWriter::with_options(&args.out, cores, label, options)
+            .map_err(|e| format!("creating {}: {e}", args.out.display()))
+    };
+
+    let summary = if let Some(names) = &args.benchmarks {
+        // Resolve every name before creating the output file, so a typo cannot leave an
+        // empty/truncated corpus behind.
+        let specs: Vec<_> = names
+            .iter()
+            .map(|name| {
+                workloads::benchmark_by_name(name)
+                    .ok_or_else(|| format!("unknown benchmark {name:?}"))
+            })
+            .collect::<Result<_, String>>()?;
+        let label = args
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("bench:{}:seed{}", names.join("+"), args.seed));
+        let mut writer = make_writer(names.len(), &label)?;
+        for (core, (name, spec)) in names.iter().zip(&specs).enumerate() {
+            spec.capture(&mut writer, core, args.llc_sets, args.seed, args.accesses)
+                .map_err(|e| format!("capturing {name}: {e}"))?;
+        }
+        writer.finish()
+    } else {
+        let study = args.study.expect("validated by parse_capture");
+        let mixes = generate_mixes(study, args.mix_id + 1, args.seed);
+        let mix = &mixes[args.mix_id];
+        let label = args.label.clone().unwrap_or_else(|| {
+            format!("mix{}:{}cores:seed{}", mix.id, study.num_cores(), args.seed)
+        });
+        let mut writer = make_writer(mix.benchmarks.len(), &label)?;
+        // Capture through WorkloadMix::capture so the per-core seeds match what a live
+        // `evaluate_mix` run would construct (trace_sources XORs the mix id in).
+        mix.capture(&mut writer, args.llc_sets, args.seed, args.accesses)
+            .map_err(|e| format!("capturing mix {}: {e}", mix.id))?;
+        writer.finish()
+    }
+    .map_err(|e| format!("finishing capture: {e}"))?;
+
+    println!(
+        "captured {} records ({} cores × {}) to {}",
+        summary.total_records,
+        summary.per_core.len(),
+        args.accesses,
+        summary.path.display()
+    );
+    println!(
+        "  {} bytes on disk, {:.2} bytes/record (fixed layout would need 21)",
+        summary.file_bytes,
+        summary.bytes_per_record()
+    );
+    Ok(())
+}
+
+fn inspect(path: &Path) -> Result<(), String> {
+    let header = read_header(path).map_err(|e| e.to_string())?;
+    println!("{}", path.display());
+    println!(
+        "  format v{}  checksums={}  llc_sets={}  label={:?}",
+        header.version, header.checksums, header.llc_sets, header.label
+    );
+    println!(
+        "  {} cores, {} records, {} instructions",
+        header.cores.len(),
+        header.total_records(),
+        header.total_instructions()
+    );
+    println!(
+        "  {:<5} {:<10} {:>12} {:>14} {:>12} {:>8}",
+        "core", "label", "records", "instructions", "bytes", "B/rec"
+    );
+    for (i, core) in header.cores.iter().enumerate() {
+        println!(
+            "  {:<5} {:<10} {:>12} {:>14} {:>12} {:>8.2}",
+            i,
+            core.label,
+            core.records,
+            core.instructions,
+            core.bytes,
+            core.bytes as f64 / core.records.max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn stats(path: &Path) -> Result<(), String> {
+    let header = read_header(path).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} cores, label {:?}",
+        path.display(),
+        header.cores.len(),
+        header.label
+    );
+    let mut total_records = 0u64;
+    let mut total_secs = 0f64;
+    for core in 0..header.cores.len() {
+        let mut reader = TraceReader::open(path, core).map_err(|e| e.to_string())?;
+        let info = reader.info().clone();
+        let start = Instant::now();
+        reader.verify().map_err(|e| format!("core {core}: {e}"))?;
+        let verify_elapsed = start.elapsed().as_secs_f64();
+
+        let mut writes = 0u64;
+        let mut unique = std::collections::HashSet::new();
+        let mut non_mem = 0u64;
+        let start = Instant::now();
+        for _ in 0..info.records {
+            let a = reader.try_next().map_err(|e| format!("core {core}: {e}"))?;
+            writes += u64::from(a.is_write);
+            non_mem += u64::from(a.non_mem_instrs);
+            unique.insert(a.addr >> 6);
+        }
+        let decode_elapsed = start.elapsed().as_secs_f64();
+        total_records += info.records;
+        total_secs += decode_elapsed;
+        println!(
+            "  core {core} [{}]: {} records, {:.1}% writes, {} unique blocks, mean gap {:.2}",
+            info.label,
+            info.records,
+            100.0 * writes as f64 / info.records.max(1) as f64,
+            unique.len(),
+            non_mem as f64 / info.records.max(1) as f64
+        );
+        println!(
+            "    verify {:.0} ms, decode {:.3e} records/s",
+            verify_elapsed * 1e3,
+            info.records as f64 / decode_elapsed.max(1e-12)
+        );
+    }
+    println!(
+        "ok: {} records decode clean at {:.3e} records/s aggregate",
+        total_records,
+        total_records as f64 / total_secs.max(1e-12)
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("capture") => capture(parse_capture(&args[1..])?),
+        Some("inspect") => match args.get(1) {
+            Some(path) if args.len() == 2 => inspect(Path::new(path)),
+            _ => Err("inspect takes exactly one FILE".into()),
+        },
+        Some("stats") => match args.get(1) {
+            Some(path) if args.len() == 2 => stats(Path::new(path)),
+            _ => Err("stats takes exactly one FILE".into()),
+        },
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tracectl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

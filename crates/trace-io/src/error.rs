@@ -1,0 +1,76 @@
+//! Error type for trace encoding/decoding.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong reading or writing a binary trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying filesystem / IO failure.
+    Io(io::Error),
+    /// The file does not start with the `ATRC` magic.
+    BadMagic([u8; 4]),
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The file ended in the middle of the named structure.
+    Truncated(&'static str),
+    /// Structurally invalid data (impossible lengths, bad UTF-8 labels, ...).
+    Corrupt(String),
+    /// A block's payload does not match its stored checksum.
+    ChecksumMismatch { core: usize, stream_offset: u64 },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace IO error: {e}"),
+            TraceError::BadMagic(m) => {
+                write!(
+                    f,
+                    "not a trace file: bad magic {m:02x?} (expected \"ATRC\")"
+                )
+            }
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::Truncated(what) => write!(f, "trace file truncated inside {what}"),
+            TraceError::Corrupt(why) => write!(f, "corrupt trace file: {why}"),
+            TraceError::ChecksumMismatch {
+                core,
+                stream_offset,
+            } => write!(
+                f,
+                "checksum mismatch in core {core}'s stream at offset {stream_offset}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        // An EOF surfacing as raw IO means some fixed-size read ran off the end.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated("file")
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+impl From<TraceError> for io::Error {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}

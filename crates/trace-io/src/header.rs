@@ -1,0 +1,293 @@
+//! Versioned file header and per-core stream directory.
+//!
+//! # Layout (all little-endian)
+//!
+//! ```text
+//! magic        4 B   "ATRC"
+//! version      2 B   format version (currently 1)
+//! flags        2 B   bit 0: blocks carry FNV-1a payload checksums
+//! core_count   4 B
+//! llc_sets     4 B   LLC set count the sources were parameterized with (0 = unknown)
+//! label        2 B length + UTF-8 bytes    (whole-file label, e.g. mix identity)
+//! per core:    2 B length + UTF-8 bytes    (application label, e.g. benchmark name)
+//! directory    core_count × 32 B:
+//!     stream_offset      8 B   absolute file offset of the core's first block
+//!     stream_bytes       8 B   total bytes of the core's blocks
+//!     record_count       8 B   memory accesses in the stream
+//!     instruction_count  8 B   Σ (1 + non_mem_instrs) over the stream
+//! streams      core 0's blocks, then core 1's, ...
+//! ```
+
+use std::io::Read;
+
+use crate::error::TraceError;
+use crate::format::{
+    get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, read_exact, FLAG_CHECKSUMS,
+    FORMAT_VERSION, MAGIC,
+};
+
+/// Maximum label length accepted on both the write and read side.
+pub const MAX_LABEL_BYTES: usize = 4096;
+/// Sanity bound on the number of per-core streams in one file.
+pub const MAX_CORES: u32 = 4096;
+
+/// Directory entry for one core's stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreStreamInfo {
+    /// Application label (benchmark name for corpus files).
+    pub label: String,
+    /// Absolute file offset of the stream's first block.
+    pub offset: u64,
+    /// Total encoded bytes of the stream.
+    pub bytes: u64,
+    /// Number of records (memory accesses).
+    pub records: u64,
+    /// Instructions the stream represents: Σ (1 + non_mem_instrs).
+    pub instructions: u64,
+}
+
+/// Parsed trace-file header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    pub version: u16,
+    /// Whether blocks carry per-block payload checksums.
+    pub checksums: bool,
+    /// LLC set count the captured sources were parameterized with (0 = unknown). Replay
+    /// validates this against the consuming system so a corpus sized for one geometry is
+    /// never silently evaluated under another.
+    pub llc_sets: u32,
+    /// Whole-file label (capture provenance).
+    pub label: String,
+    /// One entry per core, in core order.
+    pub cores: Vec<CoreStreamInfo>,
+}
+
+impl TraceHeader {
+    /// Bytes the serialized header occupies (streams start right after).
+    pub fn encoded_len(&self) -> u64 {
+        let labels: usize = self.cores.iter().map(|c| 2 + c.label.len()).sum();
+        (4 + 2 + 2 + 4 + 4 + 2 + self.label.len() + labels + self.cores.len() * 32) as u64
+    }
+
+    /// Serialize, assuming each core's `offset`/`bytes`/counts are already final.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() as usize);
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, self.version);
+        put_u16(&mut out, if self.checksums { FLAG_CHECKSUMS } else { 0 });
+        put_u32(&mut out, self.cores.len() as u32);
+        put_u32(&mut out, self.llc_sets);
+        put_u16(&mut out, self.label.len() as u16);
+        out.extend_from_slice(self.label.as_bytes());
+        for core in &self.cores {
+            put_u16(&mut out, core.label.len() as u16);
+            out.extend_from_slice(core.label.as_bytes());
+        }
+        for core in &self.cores {
+            put_u64(&mut out, core.offset);
+            put_u64(&mut out, core.bytes);
+            put_u64(&mut out, core.records);
+            put_u64(&mut out, core.instructions);
+        }
+        out
+    }
+
+    /// Parse a header from the start of `r`.
+    pub fn read(r: &mut impl Read) -> Result<TraceHeader, TraceError> {
+        let magic = read_exact::<4>(r, "magic")?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let version = get_u16(r, "version")?;
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let flags = get_u16(r, "flags")?;
+        let core_count = get_u32(r, "core count")?;
+        if core_count == 0 || core_count > MAX_CORES {
+            return Err(TraceError::Corrupt(format!(
+                "implausible core count {core_count}"
+            )));
+        }
+        let llc_sets = get_u32(r, "llc set count")?;
+        let label = read_label(r, "file label")?;
+        let mut labels = Vec::with_capacity(core_count as usize);
+        for _ in 0..core_count {
+            labels.push(read_label(r, "core label")?);
+        }
+        let mut cores = Vec::with_capacity(core_count as usize);
+        for label in labels {
+            cores.push(CoreStreamInfo {
+                label,
+                offset: get_u64(r, "stream offset")?,
+                bytes: get_u64(r, "stream bytes")?,
+                records: get_u64(r, "record count")?,
+                instructions: get_u64(r, "instruction count")?,
+            });
+        }
+        let header = TraceHeader {
+            version,
+            checksums: flags & FLAG_CHECKSUMS != 0,
+            llc_sets,
+            label,
+            cores,
+        };
+        header.validate()?;
+        Ok(header)
+    }
+
+    /// Structural consistency of the directory: streams must be contiguous, in order, and
+    /// start right after the header.
+    fn validate(&self) -> Result<(), TraceError> {
+        let mut expected = self.encoded_len();
+        for (i, core) in self.cores.iter().enumerate() {
+            if core.offset != expected {
+                return Err(TraceError::Corrupt(format!(
+                    "core {i} stream offset {} does not match expected {expected}",
+                    core.offset
+                )));
+            }
+            // A record is at least three 1-byte varints, so a stream can never hold more
+            // than bytes/3 records; a directory claiming otherwise is corrupt (and would
+            // otherwise let readers pre-allocate from an untrusted count).
+            if core.records.saturating_mul(3) > core.bytes {
+                return Err(TraceError::Corrupt(format!(
+                    "core {i} claims {} records in {} bytes (impossible)",
+                    core.records, core.bytes
+                )));
+            }
+            expected += core.bytes;
+        }
+        Ok(())
+    }
+
+    /// Total instructions across all cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Total records across all cores.
+    pub fn total_records(&self) -> u64 {
+        self.cores.iter().map(|c| c.records).sum()
+    }
+}
+
+fn read_label(r: &mut impl Read, what: &'static str) -> Result<String, TraceError> {
+    let len = get_u16(r, what)? as usize;
+    if len > MAX_LABEL_BYTES {
+        return Err(TraceError::Corrupt(format!(
+            "{what} length {len} too large"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated("label bytes")
+        } else {
+            TraceError::Io(e)
+        }
+    })?;
+    String::from_utf8(buf).map_err(|_| TraceError::Corrupt(format!("{what} is not UTF-8")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> TraceHeader {
+        let mut h = TraceHeader {
+            version: FORMAT_VERSION,
+            checksums: true,
+            llc_sets: 1024,
+            label: "mix0:2cores".into(),
+            cores: vec![
+                CoreStreamInfo {
+                    label: "gcc".into(),
+                    offset: 0,
+                    bytes: 100,
+                    records: 10,
+                    instructions: 50,
+                },
+                CoreStreamInfo {
+                    label: "lbm".into(),
+                    offset: 0,
+                    bytes: 200,
+                    records: 20,
+                    instructions: 90,
+                },
+            ],
+        };
+        let base = h.encoded_len();
+        h.cores[0].offset = base;
+        h.cores[1].offset = base + 100;
+        h
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = sample_header();
+        let bytes = h.encode();
+        assert_eq!(bytes.len() as u64, h.encoded_len());
+        let parsed = TraceHeader::read(&mut bytes.as_slice()).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(parsed.total_records(), 30);
+        assert_eq!(parsed.total_instructions(), 140);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_header().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            TraceHeader::read(&mut bytes.as_slice()),
+            Err(TraceError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = sample_header().encode();
+        bytes[4] = 0xff;
+        bytes[5] = 0xff;
+        assert!(matches!(
+            TraceHeader::read(&mut bytes.as_slice()),
+            Err(TraceError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let bytes = sample_header().encode();
+        for cut in [2, 7, 11, 14, bytes.len() - 1] {
+            let err = TraceHeader::read(&mut &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Truncated(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_directory_is_rejected() {
+        let mut h = sample_header();
+        h.cores[1].offset += 1;
+        let bytes = h.encode();
+        assert!(matches!(
+            TraceHeader::read(&mut bytes.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn implausible_record_count_is_rejected() {
+        // A directory claiming more records than bytes/3 cannot be real (each record is
+        // at least three varint bytes) and must not reach readers' pre-allocations.
+        let mut h = sample_header();
+        h.cores[0].records = 1 << 60;
+        let bytes = h.encode();
+        assert!(matches!(
+            TraceHeader::read(&mut bytes.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,55 @@
+//! # trace-io
+//!
+//! Binary trace capture and replay for the ADAPT reproduction.
+//!
+//! The paper's evaluation is trace-driven: fixed 300M-instruction slices are replayed per
+//! core, and an application that finishes early is re-executed from the beginning until
+//! every co-runner reaches its target. The rest of this workspace generates those streams
+//! *in process* (the synthetic models in `workloads`); this crate makes them durable, so a
+//! workload becomes a reproducible corpus instead of something regenerated on every run:
+//!
+//! * [`TraceWriter`] captures any [`cache_sim::trace::TraceSource`] into a compact `.atrc`
+//!   file — per-core record streams, delta + varint encoded, with a versioned header and
+//!   optional per-block FNV-1a checksums (see [`format`] and [`header`] for the exact
+//!   layout).
+//! * [`TraceReader`] replays one core's stream as a [`cache_sim::trace::TraceSource`],
+//!   buffered block-at-a-time, rewinding on EOF exactly like the paper's re-execution
+//!   methodology. [`open_all`] is the drop-in replacement for
+//!   `WorkloadMix::trace_sources`.
+//! * The `tracectl` binary captures, inspects, and sanity-checks corpus files from the
+//!   command line.
+//!
+//! Capture entry points live in `workloads` (`workloads::capture_to_file` and friends) and
+//! are generic over [`cache_sim::trace::TraceSink`]; `experiments::runner` accepts
+//! replayed mixes through its `MixSource` enum. Round-trips are lossless, so replaying a
+//! captured mix through the runner reproduces the live generators' per-app IPC/MPKI
+//! bit-for-bit.
+//!
+//! ```
+//! use cache_sim::trace::{StridedTrace, TraceSource};
+//! use trace_io::{open_all, TraceWriter};
+//!
+//! let path = std::env::temp_dir().join("trace_io_doc.atrc");
+//! let mut writer = TraceWriter::create(&path, 1, "doc").unwrap();
+//! let mut source = StridedTrace::new(0x1000, 64, 4096, 3);
+//! writer.capture_source(0, &mut source, 1000).unwrap();
+//! writer.finish().unwrap();
+//!
+//! let mut replay = open_all(&path).unwrap().remove(0);
+//! source.reset();
+//! for _ in 0..1000 {
+//!     assert_eq!(replay.next_access(), source.next_access());
+//! }
+//! std::fs::remove_file(path).unwrap();
+//! ```
+
+pub mod error;
+pub mod format;
+pub mod header;
+pub mod reader;
+pub mod writer;
+
+pub use error::TraceError;
+pub use header::{CoreStreamInfo, TraceHeader};
+pub use reader::{decode_all, open_all, read_header, TraceReader};
+pub use writer::{TraceCaptureOptions, TraceSummary, TraceWriter};

@@ -1,0 +1,361 @@
+//! [`TraceWriter`]: capture per-core access streams into a binary trace file.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use cache_sim::trace::{MemAccess, TraceSink, TraceSource};
+use workloads::CaptureTarget;
+
+use crate::format::{
+    encode_block_payload, fnv1a32, put_u32, DEFAULT_BLOCK_RECORDS, FORMAT_VERSION,
+    MAX_BLOCK_RECORDS,
+};
+use crate::header::{CoreStreamInfo, TraceHeader, MAX_CORES};
+
+/// Knobs for a capture session.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCaptureOptions {
+    /// Records buffered into one block before it is framed and encoded.
+    pub records_per_block: usize,
+    /// Whether each block carries an FNV-1a checksum of its payload.
+    pub checksums: bool,
+    /// LLC set count the captured sources were parameterized with, recorded in the
+    /// header so replay can refuse a geometry-mismatched system (0 = unknown).
+    pub llc_sets: u32,
+}
+
+impl Default for TraceCaptureOptions {
+    fn default() -> Self {
+        TraceCaptureOptions {
+            records_per_block: DEFAULT_BLOCK_RECORDS,
+            checksums: true,
+            llc_sets: 0,
+        }
+    }
+}
+
+/// Per-core encoding state.
+struct CoreEncoder {
+    label: String,
+    /// Finished, framed blocks.
+    encoded: Vec<u8>,
+    /// Records of the block currently being filled.
+    pending: Vec<MemAccess>,
+    records: u64,
+    instructions: u64,
+}
+
+impl CoreEncoder {
+    fn flush_block(&mut self, checksums: bool, scratch: &mut Vec<u8>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        scratch.clear();
+        encode_block_payload(&self.pending, scratch);
+        put_u32(&mut self.encoded, scratch.len() as u32);
+        put_u32(&mut self.encoded, self.pending.len() as u32);
+        if checksums {
+            put_u32(&mut self.encoded, fnv1a32(scratch));
+        }
+        self.encoded.extend_from_slice(scratch);
+        self.pending.clear();
+    }
+}
+
+/// Summary returned by [`TraceWriter::finish`].
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    pub path: PathBuf,
+    pub file_bytes: u64,
+    pub total_records: u64,
+    /// (label, records) per core, in core order.
+    pub per_core: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    /// Mean encoded bytes per record, header included.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.total_records == 0 {
+            0.0
+        } else {
+            self.file_bytes as f64 / self.total_records as f64
+        }
+    }
+}
+
+/// Captures any [`TraceSource`]s into the binary `.atrc` format.
+///
+/// Streams are buffered in memory (encoded form, ~4 bytes/record) and written out in one
+/// pass by [`finish`](TraceWriter::finish), which keeps the file layout simple
+/// (header + contiguous per-core streams) at the cost of holding the encoded corpus in
+/// RAM — fine for the 10⁶–10⁸-record traces this repository works with.
+pub struct TraceWriter {
+    path: PathBuf,
+    file: File,
+    label: String,
+    opts: TraceCaptureOptions,
+    cores: Vec<CoreEncoder>,
+    scratch: Vec<u8>,
+}
+
+impl TraceWriter {
+    /// Create a writer for `num_cores` streams persisting to `path`.
+    ///
+    /// The file is created (and truncated) eagerly so path problems surface before an
+    /// expensive capture runs.
+    pub fn create(path: impl AsRef<Path>, num_cores: usize, label: &str) -> io::Result<Self> {
+        Self::with_options(path, num_cores, label, TraceCaptureOptions::default())
+    }
+
+    /// [`create`](TraceWriter::create) with explicit [`TraceCaptureOptions`].
+    pub fn with_options(
+        path: impl AsRef<Path>,
+        num_cores: usize,
+        label: &str,
+        opts: TraceCaptureOptions,
+    ) -> io::Result<Self> {
+        if num_cores == 0 || num_cores > MAX_CORES as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("core count {num_cores} out of range 1..={MAX_CORES}"),
+            ));
+        }
+        if opts.records_per_block == 0 || opts.records_per_block > MAX_BLOCK_RECORDS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "records_per_block {} out of range 1..={MAX_BLOCK_RECORDS}",
+                    opts.records_per_block
+                ),
+            ));
+        }
+        validate_label(label)?;
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let cores = (0..num_cores)
+            .map(|i| CoreEncoder {
+                label: format!("core{i}"),
+                encoded: Vec::new(),
+                pending: Vec::new(),
+                records: 0,
+                instructions: 0,
+            })
+            .collect();
+        Ok(TraceWriter {
+            path,
+            file,
+            label: label.to_string(),
+            opts,
+            cores,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Number of per-core streams.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn core_mut(&mut self, core: usize) -> io::Result<&mut CoreEncoder> {
+        let n = self.cores.len();
+        self.cores
+            .get_mut(core)
+            .ok_or_else(|| core_out_of_range(core, n))
+    }
+
+    /// Append one access to `core`'s stream.
+    pub fn push(&mut self, core: usize, access: MemAccess) -> io::Result<()> {
+        let records_per_block = self.opts.records_per_block;
+        let checksums = self.opts.checksums;
+        // Split borrows: scratch is independent of the core table.
+        let scratch = &mut self.scratch;
+        let n = self.cores.len();
+        let enc = self
+            .cores
+            .get_mut(core)
+            .ok_or_else(|| core_out_of_range(core, n))?;
+        enc.pending.push(access);
+        enc.records += 1;
+        enc.instructions += access.instructions();
+        if enc.pending.len() >= records_per_block {
+            enc.flush_block(checksums, scratch);
+        }
+        Ok(())
+    }
+
+    /// Capture `accesses` accesses from `source` into `core`'s stream (resets the source
+    /// first; see [`cache_sim::trace::capture_into`]).
+    pub fn capture_source(
+        &mut self,
+        core: usize,
+        source: &mut dyn TraceSource,
+        accesses: u64,
+    ) -> io::Result<()> {
+        cache_sim::trace::capture_into(source, self, core, accesses)
+    }
+
+    /// Flush pending blocks, write the file, and return a capture summary.
+    pub fn finish(mut self) -> io::Result<TraceSummary> {
+        let checksums = self.opts.checksums;
+        for enc in &mut self.cores {
+            enc.flush_block(checksums, &mut self.scratch);
+        }
+        let mut header = TraceHeader {
+            version: FORMAT_VERSION,
+            checksums,
+            llc_sets: self.opts.llc_sets,
+            label: self.label.clone(),
+            cores: self
+                .cores
+                .iter()
+                .map(|c| CoreStreamInfo {
+                    label: c.label.clone(),
+                    offset: 0,
+                    bytes: c.encoded.len() as u64,
+                    records: c.records,
+                    instructions: c.instructions,
+                })
+                .collect(),
+        };
+        let mut offset = header.encoded_len();
+        for core in &mut header.cores {
+            core.offset = offset;
+            offset += core.bytes;
+        }
+        let mut out = io::BufWriter::new(&mut self.file);
+        out.write_all(&header.encode())?;
+        for enc in &self.cores {
+            out.write_all(&enc.encoded)?;
+        }
+        out.flush()?;
+        drop(out);
+        self.file.sync_all()?;
+        Ok(TraceSummary {
+            path: self.path.clone(),
+            file_bytes: offset,
+            total_records: header.total_records(),
+            per_core: self
+                .cores
+                .iter()
+                .map(|c| (c.label.clone(), c.records))
+                .collect(),
+        })
+    }
+}
+
+fn core_out_of_range(core: usize, num_cores: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("core {core} out of range for {num_cores}-core writer"),
+    )
+}
+
+fn validate_label(label: &str) -> io::Result<()> {
+    if label.len() > crate::header::MAX_LABEL_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "label of {} bytes exceeds the format's {}-byte bound",
+                label.len(),
+                crate::header::MAX_LABEL_BYTES
+            ),
+        ));
+    }
+    Ok(())
+}
+
+impl TraceSink for TraceWriter {
+    fn begin_core(&mut self, core: usize, label: &str) -> io::Result<()> {
+        validate_label(label)?;
+        self.core_mut(core)?.label = label.to_string();
+        Ok(())
+    }
+
+    fn record(&mut self, core: usize, access: MemAccess) -> io::Result<()> {
+        self.push(core, access)
+    }
+}
+
+impl CaptureTarget for TraceWriter {
+    fn create(path: &Path, num_cores: usize, label: &str, llc_sets: usize) -> io::Result<Self> {
+        let opts = TraceCaptureOptions {
+            llc_sets: llc_sets.try_into().unwrap_or(u32::MAX),
+            ..Default::default()
+        };
+        TraceWriter::with_options(path, num_cores, label, opts)
+    }
+
+    fn finish(self) -> io::Result<()> {
+        TraceWriter::finish(self).map(drop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_rejects_zero_cores_and_zero_block() {
+        let dir = std::env::temp_dir();
+        assert!(TraceWriter::create(dir.join("z.atrc"), 0, "x").is_err());
+        let opts = TraceCaptureOptions {
+            records_per_block: 0,
+            checksums: false,
+            ..Default::default()
+        };
+        assert!(TraceWriter::with_options(dir.join("z.atrc"), 1, "x", opts).is_err());
+    }
+
+    #[test]
+    fn create_rejects_oversized_labels() {
+        let dir = std::env::temp_dir();
+        let long = "x".repeat(crate::header::MAX_LABEL_BYTES + 1);
+        assert!(TraceWriter::create(dir.join("z.atrc"), 1, &long).is_err());
+        let path = dir.join("trace_io_writer_longcore.atrc");
+        let mut w = TraceWriter::create(&path, 1, "ok").unwrap();
+        assert!(TraceSink::begin_core(&mut w, 0, &long).is_err());
+        assert!(TraceSink::begin_core(&mut w, 0, "fine").is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn push_rejects_out_of_range_core() {
+        let path = std::env::temp_dir().join("trace_io_writer_oob.atrc");
+        let mut w = TraceWriter::create(&path, 2, "t").unwrap();
+        let a = MemAccess {
+            addr: 0,
+            pc: 0,
+            is_write: false,
+            non_mem_instrs: 0,
+        };
+        assert!(w.push(2, a).is_err());
+        assert!(w.push(1, a).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn summary_counts_records_and_instructions() {
+        let path = std::env::temp_dir().join("trace_io_writer_summary.atrc");
+        let mut w = TraceWriter::create(&path, 1, "t").unwrap();
+        for i in 0..10u64 {
+            w.push(
+                0,
+                MemAccess {
+                    addr: i * 64,
+                    pc: 4,
+                    is_write: false,
+                    non_mem_instrs: 3,
+                },
+            )
+            .unwrap();
+        }
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.total_records, 10);
+        assert_eq!(summary.per_core, vec![("core0".to_string(), 10)]);
+        assert!(summary.bytes_per_record() > 0.0);
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(on_disk, summary.file_bytes);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -20,11 +20,13 @@
 //! contains at least two benchmarks from every memory-intensity class), seeded and
 //! deterministic.
 
+pub mod capture;
 pub mod classify;
 pub mod mix;
 pub mod patterns;
 pub mod table4;
 
+pub use capture::{capture_benchmarks_to_file, capture_to_file, CaptureTarget};
 pub use classify::{classify, MemIntensity};
 pub use mix::{generate_mixes, StudyKind, WorkloadMix};
 pub use patterns::{PatternSpec, SyntheticTrace};

@@ -124,7 +124,9 @@ impl WorkloadMix {
 /// Panics if a composition rule cannot be satisfied (cannot happen with the Table 4 roster).
 pub fn generate_mixes(study: StudyKind, count: usize, seed: u64) -> Vec<WorkloadMix> {
     let mut rng = StdRng::seed_from_u64(seed ^ (study.num_cores() as u64) << 32);
-    (0..count).map(|id| generate_one(study, id, &mut rng)).collect()
+    (0..count)
+        .map(|id| generate_one(study, id, &mut rng))
+        .collect()
 }
 
 fn generate_one(study: StudyKind, id: usize, rng: &mut StdRng) -> WorkloadMix {
@@ -133,8 +135,10 @@ fn generate_one(study: StudyKind, id: usize, rng: &mut StdRng) -> WorkloadMix {
 
     // Mandatory picks per composition rule.
     if study == StudyKind::Cores4 {
-        let thrashers: Vec<&'static BenchmarkSpec> =
-            all_benchmarks().iter().filter(|b| b.is_thrashing()).collect();
+        let thrashers: Vec<&'static BenchmarkSpec> = all_benchmarks()
+            .iter()
+            .filter(|b| b.is_thrashing())
+            .collect();
         chosen.push(*thrashers.choose(rng).expect("thrashing benchmarks exist"));
     } else {
         for class in MemIntensity::all() {
@@ -204,7 +208,11 @@ mod tests {
             for m in &mixes {
                 assert_eq!(m.benchmarks.len(), study.num_cores());
                 let distinct: HashSet<&String> = m.benchmarks.iter().collect();
-                assert_eq!(distinct.len(), m.benchmarks.len(), "no repeats inside a mix");
+                assert_eq!(
+                    distinct.len(),
+                    m.benchmarks.len(),
+                    "no repeats inside a mix"
+                );
             }
         }
     }
@@ -221,7 +229,11 @@ mod tests {
         for m in generate_mixes(StudyKind::Cores16, 20, 11) {
             for class in MemIntensity::all() {
                 let n = m.specs().iter().filter(|s| s.paper_class == class).count();
-                assert!(n >= 2, "class {class:?} underrepresented in {:?}", m.benchmarks);
+                assert!(
+                    n >= 2,
+                    "class {class:?} underrepresented in {:?}",
+                    m.benchmarks
+                );
             }
         }
     }

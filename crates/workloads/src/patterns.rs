@@ -43,7 +43,11 @@ pub enum PatternSpec {
     /// Endless streaming scan (no reuse).
     Streaming { reps: u32, gap: u32 },
     /// Uniform random accesses within `footprint_per_set * llc_sets` blocks.
-    RandomInRegion { footprint_per_set: f64, reps: u32, gap: u32 },
+    RandomInRegion {
+        footprint_per_set: f64,
+        reps: u32,
+        gap: u32,
+    },
     /// Mixed recency/scan: `recency_blocks` accessed `recency_passes` times, then a scan of
     /// `scan_blocks` fresh blocks, repeated.
     MixedScan {
@@ -119,10 +123,12 @@ impl SyntheticTrace {
         let name = name.into();
         let base = (app_slot as u64 + 1) << APP_SPACE_SHIFT;
         let region_blocks = match spec {
-            PatternSpec::CyclicSweep { footprint_per_set, .. }
-            | PatternSpec::RandomInRegion { footprint_per_set, .. } => {
-                ((footprint_per_set * llc_sets as f64).ceil() as u64).max(1)
+            PatternSpec::CyclicSweep {
+                footprint_per_set, ..
             }
+            | PatternSpec::RandomInRegion {
+                footprint_per_set, ..
+            } => ((footprint_per_set * llc_sets as f64).ceil() as u64).max(1),
             PatternSpec::Streaming { .. } => 1 << 30,
             PatternSpec::MixedScan { recency_blocks, .. } => recency_blocks.max(1),
         };
@@ -208,7 +214,11 @@ impl SyntheticTrace {
             PatternSpec::CyclicSweep { .. } => self.cursor % self.region_blocks,
             PatternSpec::Streaming { .. } => self.scan_cursor % (1 << 30),
             PatternSpec::RandomInRegion { .. } => self.cursor,
-            PatternSpec::MixedScan { recency_blocks, scan_blocks, .. } => match self.mixed_phase {
+            PatternSpec::MixedScan {
+                recency_blocks,
+                scan_blocks,
+                ..
+            } => match self.mixed_phase {
                 MixedPhase::Recency { idx, .. } => idx % recency_blocks.max(1),
                 MixedPhase::Scan { idx } => {
                     recency_blocks + (self.scan_cursor * scan_blocks.max(1) + idx) % (1 << 28)
@@ -228,7 +238,12 @@ impl SyntheticTrace {
             PatternSpec::RandomInRegion { .. } => {
                 self.cursor = self.rng.gen_range(0..self.region_blocks);
             }
-            PatternSpec::MixedScan { recency_blocks, recency_passes, scan_blocks, .. } => {
+            PatternSpec::MixedScan {
+                recency_blocks,
+                recency_passes,
+                scan_blocks,
+                ..
+            } => {
                 self.mixed_phase = match self.mixed_phase {
                     MixedPhase::Recency { pass, idx } => {
                         let next_idx = idx + 1;
@@ -236,10 +251,16 @@ impl SyntheticTrace {
                             if pass + 1 >= recency_passes.max(1) {
                                 MixedPhase::Scan { idx: 0 }
                             } else {
-                                MixedPhase::Recency { pass: pass + 1, idx: 0 }
+                                MixedPhase::Recency {
+                                    pass: pass + 1,
+                                    idx: 0,
+                                }
                             }
                         } else {
-                            MixedPhase::Recency { pass, idx: next_idx }
+                            MixedPhase::Recency {
+                                pass,
+                                idx: next_idx,
+                            }
                         }
                     }
                     MixedPhase::Scan { idx } => {
@@ -263,7 +284,7 @@ impl TraceSource for SyntheticTrace {
         let hot_blocks = (self.region_blocks / self.hot_divisor).max(1);
         let block = if self.hot_every > 0
             && self.region_blocks > hot_blocks
-            && self.access_counter % self.hot_every == 0
+            && self.access_counter.is_multiple_of(self.hot_every)
         {
             // Skewed reuse: revisit the hot subset without advancing the main pattern.
             self.hot_cursor = (self.hot_cursor + 1) % hot_blocks;
@@ -272,9 +293,14 @@ impl TraceSource for SyntheticTrace {
             self.next_block_index()
         };
         let addr = self.base + block * BLOCK;
-        let is_write = self.access_counter % 4 == 0;
+        let is_write = self.access_counter.is_multiple_of(4);
         let pc = self.pc_base + (self.access_counter % 13) * 4;
-        MemAccess { addr, pc, is_write, non_mem_instrs: self.gap() }
+        MemAccess {
+            addr,
+            pc,
+            is_write,
+            non_mem_instrs: self.gap(),
+        }
     }
 
     fn reset(&mut self) {
@@ -303,7 +329,11 @@ mod tests {
 
     #[test]
     fn cyclic_sweep_touches_exactly_the_working_set() {
-        let spec = PatternSpec::CyclicSweep { footprint_per_set: 2.0, reps: 1, gap: 3 };
+        let spec = PatternSpec::CyclicSweep {
+            footprint_per_set: 2.0,
+            reps: 1,
+            gap: 3,
+        };
         let mut t = SyntheticTrace::new("ws", spec, 0, 64, 1);
         assert_eq!(t.region_blocks(), 128);
         let accesses = drain(&mut t, 512);
@@ -314,7 +344,11 @@ mod tests {
     #[test]
     fn cyclic_sweep_per_set_footprint_matches_target() {
         let llc_sets = 64usize;
-        let spec = PatternSpec::CyclicSweep { footprint_per_set: 4.0, reps: 2, gap: 0 };
+        let spec = PatternSpec::CyclicSweep {
+            footprint_per_set: 4.0,
+            reps: 2,
+            gap: 0,
+        };
         let mut t = SyntheticTrace::new("fp4", spec, 1, llc_sets, 7);
         let accesses = drain(&mut t, 4 * llc_sets * 2 * 2);
         let mut per_set: Vec<HashSet<u64>> = vec![HashSet::new(); llc_sets];
@@ -322,8 +356,7 @@ mod tests {
             let block = a.addr / BLOCK;
             per_set[(block % llc_sets as u64) as usize].insert(block);
         }
-        let avg: f64 =
-            per_set.iter().map(|s| s.len() as f64).sum::<f64>() / llc_sets as f64;
+        let avg: f64 = per_set.iter().map(|s| s.len() as f64).sum::<f64>() / llc_sets as f64;
         assert!((avg - 4.0).abs() < 0.5, "avg per-set footprint = {avg}");
     }
 
@@ -338,7 +371,11 @@ mod tests {
 
     #[test]
     fn reps_create_immediate_reuse() {
-        let spec = PatternSpec::CyclicSweep { footprint_per_set: 1.0, reps: 3, gap: 0 };
+        let spec = PatternSpec::CyclicSweep {
+            footprint_per_set: 1.0,
+            reps: 3,
+            gap: 0,
+        };
         let mut t = SyntheticTrace::new("reps", spec, 0, 16, 1);
         let a = drain(&mut t, 6);
         assert_eq!(a[0].addr, a[1].addr);
@@ -349,7 +386,11 @@ mod tests {
 
     #[test]
     fn random_region_stays_in_bounds_and_is_deterministic() {
-        let spec = PatternSpec::RandomInRegion { footprint_per_set: 8.0, reps: 1, gap: 2 };
+        let spec = PatternSpec::RandomInRegion {
+            footprint_per_set: 8.0,
+            reps: 1,
+            gap: 2,
+        };
         let mut t1 = SyntheticTrace::new("rand", spec, 2, 64, 42);
         let mut t2 = SyntheticTrace::new("rand", spec, 2, 64, 42);
         let a1 = drain(&mut t1, 1000);
@@ -394,7 +435,11 @@ mod tests {
 
     #[test]
     fn reset_restores_the_initial_sequence() {
-        let spec = PatternSpec::RandomInRegion { footprint_per_set: 4.0, reps: 2, gap: 1 };
+        let spec = PatternSpec::RandomInRegion {
+            footprint_per_set: 4.0,
+            reps: 2,
+            gap: 1,
+        };
         let mut t = SyntheticTrace::new("reset", spec, 0, 64, 5);
         let first = drain(&mut t, 100);
         t.reset();
@@ -402,12 +447,67 @@ mod tests {
         assert_eq!(first, second);
     }
 
+    /// The full [`TraceSource::reset`] contract (see `cache_sim::trace`): after a reset
+    /// the stream must equal the stream of a *freshly constructed* generator, for every
+    /// pattern kind, including the hot-region skew, and regardless of where in the stream
+    /// the reset happens. Trace capture/replay equivalence depends on this.
+    #[test]
+    fn reset_contract_equals_fresh_construction_for_every_pattern_kind() {
+        let specs = [
+            PatternSpec::CyclicSweep {
+                footprint_per_set: 3.0,
+                reps: 2,
+                gap: 1,
+            },
+            PatternSpec::Streaming { reps: 1, gap: 4 },
+            PatternSpec::RandomInRegion {
+                footprint_per_set: 6.0,
+                reps: 1,
+                gap: 2,
+            },
+            PatternSpec::MixedScan {
+                recency_blocks: 24,
+                recency_passes: 2,
+                scan_blocks: 40,
+                reps: 2,
+                gap: 0,
+            },
+        ];
+        for spec in specs {
+            for hot in [0u32, 2] {
+                let fresh = {
+                    let mut t = SyntheticTrace::new("rc", spec, 1, 64, 11).with_hot_region(hot, 8);
+                    drain(&mut t, 400)
+                };
+                let mut t = SyntheticTrace::new("rc", spec, 1, 64, 11).with_hot_region(hot, 8);
+                // Reset at several mid-stream points, including mid-repetition and
+                // (for MixedScan) mid-phase offsets.
+                for interrupt in [0usize, 1, 3, 97, 400] {
+                    drain(&mut t, interrupt);
+                    t.reset();
+                    assert_eq!(
+                        drain(&mut t, 400),
+                        fresh,
+                        "reset after {interrupt} accesses diverges for {spec:?} hot={hot}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn hot_region_adds_reuse_without_new_blocks() {
-        let spec = PatternSpec::CyclicSweep { footprint_per_set: 4.0, reps: 1, gap: 0 };
+        let spec = PatternSpec::CyclicSweep {
+            footprint_per_set: 4.0,
+            reps: 1,
+            gap: 0,
+        };
         let uniform = {
             let mut t = SyntheticTrace::new("u", spec, 0, 64, 1);
-            drain(&mut t, 2048).iter().map(|a| a.addr / BLOCK).collect::<HashSet<u64>>()
+            drain(&mut t, 2048)
+                .iter()
+                .map(|a| a.addr / BLOCK)
+                .collect::<HashSet<u64>>()
         };
         let mut skewed_trace = SyntheticTrace::new("u", spec, 0, 64, 1).with_hot_region(2, 8);
         let skewed_accesses = drain(&mut skewed_trace, 2048);
@@ -416,17 +516,24 @@ mod tests {
         assert!(skewed.is_subset(&uniform));
         // ...but the hot subset is touched far more often than a uniform sweep would.
         let hot_limit = skewed_trace.region_blocks() / 8;
-        let base = (0u64 + 1) << 40;
+        let base = 1 << 40;
         let hot_hits = skewed_accesses
             .iter()
             .filter(|a| (a.addr - base) / BLOCK < hot_limit)
             .count();
-        assert!(hot_hits >= 1024, "half of the accesses should target the hot subset, got {hot_hits}");
+        assert!(
+            hot_hits >= 1024,
+            "half of the accesses should target the hot subset, got {hot_hits}"
+        );
     }
 
     #[test]
     fn hot_region_is_a_noop_when_disabled() {
-        let spec = PatternSpec::CyclicSweep { footprint_per_set: 2.0, reps: 2, gap: 1 };
+        let spec = PatternSpec::CyclicSweep {
+            footprint_per_set: 2.0,
+            reps: 2,
+            gap: 1,
+        };
         let mut a = SyntheticTrace::new("a", spec, 0, 64, 9);
         let mut b = SyntheticTrace::new("a", spec, 0, 64, 9).with_hot_region(0, 8);
         assert_eq!(drain(&mut a, 500), drain(&mut b, 500));
@@ -434,7 +541,11 @@ mod tests {
 
     #[test]
     fn writes_occur_but_are_a_minority() {
-        let spec = PatternSpec::CyclicSweep { footprint_per_set: 2.0, reps: 1, gap: 0 };
+        let spec = PatternSpec::CyclicSweep {
+            footprint_per_set: 2.0,
+            reps: 1,
+            gap: 0,
+        };
         let mut t = SyntheticTrace::new("w", spec, 0, 64, 1);
         let accesses = drain(&mut t, 1000);
         let writes = accesses.iter().filter(|a| a.is_write).count();

@@ -53,6 +53,7 @@ use Shape::{Mixed, Random, Stream, Sweep};
 use Suite::{Parsec, Spec2000, Spec2006, Stream as StreamSuite};
 
 /// The complete Table 4 roster.
+#[rustfmt::skip]
 static BENCHMARKS: &[BenchmarkSpec] = &[
     // ---- Very Low intensity ----
     BenchmarkSpec { name: "black", suite: Parsec, paper_fpn_all: 7.0, paper_fpn_sampled: 6.9, paper_l2_mpki: 0.67, paper_class: VL, shape: Sweep },
@@ -139,8 +140,7 @@ impl BenchmarkSpec {
                 // ({a1..am}^k {s1..sn}^d): the recency part is sized so its per-set
                 // footprint matches the benchmark's Footprint-number; the scan part adds
                 // the no-reuse tail the paper attributes to mixed patterns.
-                let recency_blocks =
-                    ((self.paper_fpn_all * llc_sets as f64).ceil() as u64).max(2);
+                let recency_blocks = ((self.paper_fpn_all * llc_sets as f64).ceil() as u64).max(2);
                 PatternSpec::MixedScan {
                     recency_blocks,
                     recency_passes: 3,
@@ -182,12 +182,17 @@ pub fn all_benchmarks() -> &'static [BenchmarkSpec] {
 
 /// Find a benchmark by its Table 4 name.
 pub fn benchmark_by_name(name: &str) -> Option<&'static BenchmarkSpec> {
-    BENCHMARKS.iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    BENCHMARKS
+        .iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 /// All benchmarks belonging to one memory-intensity class.
 pub fn benchmarks_in_class(class: MemIntensity) -> Vec<&'static BenchmarkSpec> {
-    BENCHMARKS.iter().filter(|b| b.paper_class == class).collect()
+    BENCHMARKS
+        .iter()
+        .filter(|b| b.paper_class == class)
+        .collect()
 }
 
 /// The thrashing applications the paper's Figures 1b and 4 enumerate.
@@ -258,7 +263,10 @@ mod tests {
         names.sort_unstable();
         assert_eq!(
             names,
-            vec!["STRM", "apsi", "astar", "cact", "gap", "gob", "gzip", "lbm", "libq", "milc", "wrf", "wup"]
+            vec![
+                "STRM", "apsi", "astar", "cact", "gap", "gob", "gzip", "lbm", "libq", "milc",
+                "wrf", "wup"
+            ]
         );
     }
 
@@ -278,7 +286,10 @@ mod tests {
             | PatternSpec::RandomInRegion { gap, .. }
             | PatternSpec::MixedScan { gap, .. } => gap,
         };
-        assert!(gap_of(calc) > 100 * gap_of(lbm) as u32 / 10, "VL benchmarks have much larger gaps");
+        assert!(
+            gap_of(calc) > 100 * gap_of(lbm) / 10,
+            "VL benchmarks have much larger gaps"
+        );
     }
 
     #[test]
@@ -291,13 +302,36 @@ mod tests {
         }
     }
 
+    /// Capture/replay precondition audited for the whole roster: every benchmark's
+    /// generator must restore its exact initial stream on reset (same RNG reseed, same
+    /// phase/cursor/repetition state). A drift here would make captured corpora diverge
+    /// from live runs.
+    #[test]
+    fn every_benchmark_trace_is_reset_exact() {
+        for b in all_benchmarks() {
+            let mut reference = b.trace(2, 256, 42);
+            let fresh: Vec<_> = (0..300).map(|_| reference.next_access()).collect();
+            let mut t = b.trace(2, 256, 42);
+            for _ in 0..137 {
+                t.next_access();
+            }
+            t.reset();
+            let replayed: Vec<_> = (0..300).map(|_| t.next_access()).collect();
+            assert_eq!(replayed, fresh, "{} is not reset-exact", b.name);
+        }
+    }
+
     #[test]
     fn thrashing_benchmarks_model_large_working_sets() {
         for b in thrashing_benchmarks() {
             match b.pattern(1024) {
                 PatternSpec::Streaming { .. } => {}
-                PatternSpec::CyclicSweep { footprint_per_set, .. }
-                | PatternSpec::RandomInRegion { footprint_per_set, .. } => {
+                PatternSpec::CyclicSweep {
+                    footprint_per_set, ..
+                }
+                | PatternSpec::RandomInRegion {
+                    footprint_per_set, ..
+                } => {
                     assert!(footprint_per_set >= 16.0, "{}", b.name)
                 }
                 PatternSpec::MixedScan { .. } => {}

@@ -1,0 +1,71 @@
+//! Capture a 4-core workload mix to a binary trace file, replay it through the
+//! experiment runner, and show that the replayed corpus reproduces the live synthetic
+//! generators' per-application results exactly.
+//!
+//! ```sh
+//! cargo run --release --example capture_replay
+//! ```
+
+use adapt_llc::experiments::runner::{evaluate_mix, evaluate_mix_source, MixSource};
+use adapt_llc::experiments::{ExperimentScale, PolicyKind};
+use adapt_llc::traces::{read_header, TraceWriter};
+use adapt_llc::workloads::{capture_to_file, generate_mixes, StudyKind};
+
+fn main() {
+    let scale = ExperimentScale::Smoke;
+    let config = scale.system_config(StudyKind::Cores4);
+    let mix = generate_mixes(StudyKind::Cores4, 1, scale.seed()).remove(0);
+    let llc_sets = config.llc.geometry.num_sets();
+    let instructions = scale.instructions_per_core();
+
+    // 1. Capture the mix once (2x the instruction budget so replay never wraps early).
+    let path = std::env::temp_dir().join("capture_replay_example.atrc");
+    capture_to_file::<TraceWriter>(&path, &mix, llc_sets, scale.seed(), 2 * instructions)
+        .expect("capture");
+    let header = read_header(&path).expect("header");
+    println!(
+        "captured {:?} -> {} ({} records)",
+        mix.benchmarks,
+        path.display(),
+        header.total_records()
+    );
+
+    // 2. Evaluate the same mix from both provenances.
+    let live = evaluate_mix(
+        &config,
+        &mix,
+        PolicyKind::AdaptBp32,
+        instructions,
+        scale.seed(),
+    );
+    let replayed = MixSource::replayed(&path).expect("open corpus");
+    let replay = evaluate_mix_source(
+        &config,
+        &replayed,
+        PolicyKind::AdaptBp32,
+        instructions,
+        scale.seed(),
+    )
+    .expect("replay evaluation");
+
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>12} {:>12}",
+        "app", "live IPC", "replay", "live MPKI", "replay"
+    );
+    for (a, b) in live.per_app.iter().zip(&replay.per_app) {
+        println!(
+            "{:<8} {:>10.4} {:>10.4} {:>12.4} {:>12.4}",
+            a.name, a.ipc, b.ipc, a.llc_mpki, b.llc_mpki
+        );
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.llc_mpki, b.llc_mpki);
+    }
+    println!(
+        "\nweighted speedup: live {:.4} == replay {:.4}",
+        live.weighted_speedup(),
+        replay.weighted_speedup()
+    );
+    assert_eq!(live.weighted_speedup(), replay.weighted_speedup());
+    println!("capture -> replay round-trip is bit-exact");
+    std::fs::remove_file(path).ok();
+}

@@ -19,17 +19,35 @@ fn main() {
     let config = scale.system_config(study);
 
     // Hand-built consolidation mix: 8 latency-sensitive services, 8 streaming batch jobs.
-    let services = ["gcc", "mesa", "vort", "sclust", "deal", "hmm", "twolf", "art"];
+    let services = [
+        "gcc", "mesa", "vort", "sclust", "deal", "hmm", "twolf", "art",
+    ];
     let batch = ["lbm", "libq", "milc", "STRM", "apsi", "gzip", "wrf", "cact"];
     let mix = WorkloadMix {
         id: 0,
         study,
-        benchmarks: services.iter().chain(batch.iter()).map(|s| s.to_string()).collect(),
+        benchmarks: services
+            .iter()
+            .chain(batch.iter())
+            .map(|s| s.to_string())
+            .collect(),
     };
 
     let instructions = scale.instructions_per_core();
-    let baseline = evaluate_mix(&config, &mix, PolicyKind::TaDrrip, instructions, scale.seed());
-    let adapt = evaluate_mix(&config, &mix, PolicyKind::AdaptBp32, instructions, scale.seed());
+    let baseline = evaluate_mix(
+        &config,
+        &mix,
+        PolicyKind::TaDrrip,
+        instructions,
+        scale.seed(),
+    );
+    let adapt = evaluate_mix(
+        &config,
+        &mix,
+        PolicyKind::AdaptBp32,
+        instructions,
+        scale.seed(),
+    );
 
     let group_summary = |eval: &adapt_llc::experiments::MixEvaluation, names: &[&str]| {
         let apps: Vec<_> = eval
@@ -42,13 +60,23 @@ fn main() {
         (ipc, mpki)
     };
 
-    println!("Consolidated 16-core mix: {} services + {} batch jobs\n", services.len(), batch.len());
+    println!(
+        "Consolidated 16-core mix: {} services + {} batch jobs\n",
+        services.len(),
+        batch.len()
+    );
     for (label, names) in [("services", &services[..]), ("batch", &batch[..])] {
         let (ipc_b, mpki_b) = group_summary(&baseline, names);
         let (ipc_a, mpki_a) = group_summary(&adapt, names);
         println!("{label} group:");
-        println!("  TA-DRRIP  : mean IPC {:.3}, mean LLC MPKI {:.2}", ipc_b, mpki_b);
-        println!("  ADAPT_bp32: mean IPC {:.3}, mean LLC MPKI {:.2}", ipc_a, mpki_a);
+        println!(
+            "  TA-DRRIP  : mean IPC {:.3}, mean LLC MPKI {:.2}",
+            ipc_b, mpki_b
+        );
+        println!(
+            "  ADAPT_bp32: mean IPC {:.3}, mean LLC MPKI {:.2}",
+            ipc_a, mpki_a
+        );
         println!(
             "  change    : IPC {:+.1}%, MPKI {:+.1}%\n",
             (ipc_a / ipc_b - 1.0) * 100.0,

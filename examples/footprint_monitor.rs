@@ -20,7 +20,9 @@ fn measure(name: &str, llc_sets: usize, accesses: u64, all_sets: bool) -> f64 {
         AdaptConfig::paper()
     };
     let mut monitor = FootprintMonitor::new(config, llc_sets, 1);
-    let mut trace = benchmark_by_name(name).expect("known benchmark").trace(0, llc_sets, 7);
+    let mut trace = benchmark_by_name(name)
+        .expect("known benchmark")
+        .trace(0, llc_sets, 7);
     for _ in 0..accesses {
         let access = trace.next_access();
         let block = block_of(access.addr);
@@ -35,8 +37,8 @@ fn main() {
     let names = ["calc", "gcc", "mesa", "vpr", "mcf", "gob", "libq", "lbm"];
 
     println!(
-        "{:<8} {:>12} {:>12} {:>10}  {}",
-        "app", "Fpn(all)", "Fpn(40 sets)", "priority", "(paper Table 1 classification)"
+        "{:<8} {:>12} {:>12} {:>10}  (paper Table 1 classification)",
+        "app", "Fpn(all)", "Fpn(40 sets)", "priority"
     );
     for name in names {
         let all = measure(name, llc_sets, accesses, true);

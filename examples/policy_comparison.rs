@@ -16,7 +16,11 @@ fn main() {
     let config = scale.system_config(study);
     let mix = generate_mixes(study, 1, scale.seed()).remove(0);
 
-    println!("Workload mix ({}-core): {}\n", study.num_cores(), mix.benchmarks.join(", "));
+    println!(
+        "Workload mix ({}-core): {}\n",
+        study.num_cores(),
+        mix.benchmarks.join(", ")
+    );
     println!(
         "{:<16} {:>16} {:>14} {:>12}",
         "policy", "weighted speedup", "norm. HM", "vs TA-DRRIP"
@@ -27,7 +31,13 @@ fn main() {
 
     let mut baseline_ws = None;
     for kind in policies {
-        let eval = evaluate_mix(&config, &mix, kind, scale.instructions_per_core(), scale.seed());
+        let eval = evaluate_mix(
+            &config,
+            &mix,
+            kind,
+            scale.instructions_per_core(),
+            scale.seed(),
+        );
         let ws = eval.weighted_speedup();
         if kind == PolicyKind::TaDrrip {
             baseline_ws = Some(ws);

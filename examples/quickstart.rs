@@ -26,8 +26,11 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(slot, name)| {
-            Box::new(benchmark_by_name(name).expect("known benchmark").trace(slot, llc_sets, 42))
-                as Box<dyn TraceSource>
+            Box::new(
+                benchmark_by_name(name)
+                    .expect("known benchmark")
+                    .trace(slot, llc_sets, 42),
+            ) as Box<dyn TraceSource>
         })
         .collect();
 
@@ -36,8 +39,14 @@ fn main() {
     let mut system = MultiCoreSystem::new(config.clone(), traces, Box::new(policy));
     let results = system.run(instructions);
 
-    println!("Shared run under {} ({} intervals completed)\n", results.policy, results.llc_global.intervals_completed);
-    println!("{:<8} {:>8} {:>10} {:>10} {:>12}", "app", "IPC", "L2-MPKI", "LLC-MPKI", "LLC bypasses");
+    println!(
+        "Shared run under {} ({} intervals completed)\n",
+        results.policy, results.llc_global.intervals_completed
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>12}",
+        "app", "IPC", "L2-MPKI", "LLC-MPKI", "LLC bypasses"
+    );
     for core in &results.per_core {
         println!(
             "{:<8} {:>8.3} {:>10.2} {:>10.2} {:>12}",
@@ -56,13 +65,23 @@ fn main() {
         let stats = run_alone(
             &config,
             Box::new(spec.trace(slot, llc_sets, 42)),
-            Box::new(adapt_llc::policies::TaDrripPolicy::new(llc_sets, config.llc.geometry.ways, 1)),
+            Box::new(adapt_llc::policies::TaDrripPolicy::new(
+                llc_sets,
+                config.llc.geometry.ways,
+                1,
+            )),
             instructions,
         );
         alone.push(stats.ipc());
     }
     let shared: Vec<f64> = results.per_core.iter().map(|c| c.ipc()).collect();
     let metrics = MulticoreMetrics::compute(&shared, &alone);
-    println!("\nWeighted speedup          : {:.3}", metrics.weighted_speedup);
-    println!("Harmonic mean (normalized): {:.3}", metrics.harmonic_mean_normalized);
+    println!(
+        "\nWeighted speedup          : {:.3}",
+        metrics.weighted_speedup
+    );
+    println!(
+        "Harmonic mean (normalized): {:.3}",
+        metrics.harmonic_mean_normalized
+    );
 }

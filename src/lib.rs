@@ -10,6 +10,8 @@
 //!   insertion-priority prediction (`adapt-core`).
 //! * [`workloads`] — synthetic SPEC/PARSEC-like benchmark models and workload mixes.
 //! * [`metrics`] — multi-programmed throughput/fairness metrics.
+//! * [`traces`] — binary trace capture/replay (`trace-io`): durable, checksummed corpora
+//!   replayable anywhere the simulator accepts a live generator.
 //! * [`experiments`] — drivers that regenerate every figure and table of the paper.
 //!
 //! See `examples/` for runnable entry points and `DESIGN.md` / `EXPERIMENTS.md` for the
@@ -20,4 +22,5 @@ pub use cache_sim as sim;
 pub use experiments;
 pub use llc_policies as policies;
 pub use mc_metrics as metrics;
+pub use trace_io as traces;
 pub use workloads;

@@ -4,7 +4,9 @@
 //! scale, and check structural properties that must hold regardless of absolute numbers.
 
 use adapt_llc::adapt::{AdaptConfig, AdaptPolicy, PriorityLevel};
-use adapt_llc::experiments::{evaluate_mix, evaluate_policies_on_mixes, ExperimentScale, PolicyKind};
+use adapt_llc::experiments::{
+    evaluate_mix, evaluate_policies_on_mixes, ExperimentScale, PolicyKind,
+};
 use adapt_llc::policies::{build_baseline, BaselineKind};
 use adapt_llc::sim::config::SystemConfig;
 use adapt_llc::sim::system::MultiCoreSystem;
@@ -32,7 +34,11 @@ fn sixteen_core_mix_runs_under_every_policy() {
         let eval = evaluate_mix(&config, &mix, kind, 30_000, 3);
         assert_eq!(eval.per_app.len(), 16, "{:?}", kind);
         assert!(eval.weighted_speedup() > 0.0, "{:?}", kind);
-        assert!(eval.weighted_speedup() <= 16.5, "{:?} exceeded core count", kind);
+        assert!(
+            eval.weighted_speedup() <= 16.5,
+            "{:?} exceeded core count",
+            kind
+        );
         for app in &eval.per_app {
             assert!(app.ipc.is_finite() && app.ipc > 0.0);
             assert!(app.llc_mpki >= 0.0);
@@ -55,7 +61,10 @@ fn adapt_bypasses_thrashing_applications_but_not_friendly_ones() {
     let policy = AdaptPolicy::new(AdaptConfig::paper(), &config.llc, 2);
     let mut system = MultiCoreSystem::new(config, traces, Box::new(policy));
     let results = system.run(150_000);
-    assert!(results.llc_global.intervals_completed > 0, "monitoring interval must complete");
+    assert!(
+        results.llc_global.intervals_completed > 0,
+        "monitoring interval must complete"
+    );
     let friendly_bypasses = results.per_core[0].llc.bypassed_fills;
     let thrasher_bypasses = results.per_core[1].llc.bypassed_fills;
     assert!(
@@ -76,14 +85,21 @@ fn adapt_policy_classifies_streaming_apps_as_least_priority_in_situ() {
         .iter()
         .enumerate()
         .map(|(i, n)| {
-            Box::new(adapt_llc::workloads::benchmark_by_name(n).unwrap().trace(i, llc_sets, 2))
-                as Box<dyn adapt_llc::sim::trace::TraceSource>
+            Box::new(
+                adapt_llc::workloads::benchmark_by_name(n)
+                    .unwrap()
+                    .trace(i, llc_sets, 2),
+            ) as Box<dyn adapt_llc::sim::trace::TraceSource>
         })
         .collect();
     // Keep a probe configured identically to verify the classification logic produces the
     // same classes the policy would act on (the policy itself is consumed by the system).
     let policy = AdaptPolicy::new(AdaptConfig::paper(), &config.llc, 4);
-    assert_eq!(policy.priority_of(0), PriorityLevel::Low, "pre-interval default is SRRIP-like");
+    assert_eq!(
+        policy.priority_of(0),
+        PriorityLevel::Low,
+        "pre-interval default is SRRIP-like"
+    );
     let mut system = MultiCoreSystem::new(config, traces, Box::new(policy));
     let results = system.run(150_000);
     // The streaming apps (cores 2 and 3) must have been bypassed at least once.
@@ -94,7 +110,12 @@ fn adapt_policy_classifies_streaming_apps_as_least_priority_in_situ() {
 fn baseline_factory_policies_run_in_the_full_system() {
     let (config, mix) = smoke_mix(StudyKind::Cores4);
     let llc_sets = config.llc.geometry.num_sets();
-    for kind in [BaselineKind::Lru, BaselineKind::TaDrrip, BaselineKind::Ship, BaselineKind::Eaf] {
+    for kind in [
+        BaselineKind::Lru,
+        BaselineKind::TaDrrip,
+        BaselineKind::Ship,
+        BaselineKind::Eaf,
+    ] {
         let traces = mix.trace_sources(llc_sets, 9);
         let policy = build_baseline(kind, &config.llc, config.num_cores);
         let mut system = MultiCoreSystem::new(config.clone(), traces, policy);
@@ -102,6 +123,76 @@ fn baseline_factory_policies_run_in_the_full_system() {
         assert_eq!(results.per_core.len(), 4);
         assert!(results.total_llc_demand_misses() > 0);
     }
+}
+
+#[test]
+fn two_core_mix_replayed_from_a_trace_file_matches_the_live_run() {
+    use adapt_llc::sim::trace::TraceSource;
+    use adapt_llc::traces::{open_all, TraceWriter};
+
+    let config = SystemConfig::tiny(2);
+    let llc_sets = config.llc.geometry.num_sets();
+    let instructions = 30_000u64;
+
+    // Capture a 2-core gcc+lbm mix with ample slack over the instruction budget.
+    let path = std::env::temp_dir().join("e2e_two_core_replay.atrc");
+    adapt_llc::workloads::capture_benchmarks_to_file::<TraceWriter>(
+        &path,
+        &["gcc", "lbm"],
+        llc_sets,
+        4,
+        2 * instructions,
+    )
+    .unwrap();
+
+    let run = |traces: Vec<Box<dyn adapt_llc::sim::trace::TraceSource>>| {
+        let policy = AdaptPolicy::new(AdaptConfig::paper(), &config.llc, 2);
+        let mut system = MultiCoreSystem::new(config.clone(), traces, Box::new(policy));
+        system.run(instructions)
+    };
+
+    let live = run(vec![
+        Box::new(
+            adapt_llc::workloads::benchmark_by_name("gcc")
+                .unwrap()
+                .trace(0, llc_sets, 4),
+        ),
+        Box::new(
+            adapt_llc::workloads::benchmark_by_name("lbm")
+                .unwrap()
+                .trace(1, llc_sets, 4),
+        ),
+    ]);
+    let readers = open_all(&path).unwrap();
+    assert_eq!(
+        readers.iter().map(|r| r.label()).collect::<Vec<_>>(),
+        ["gcc", "lbm"]
+    );
+    let replayed = run(readers
+        .into_iter()
+        .map(|r| Box::new(r) as Box<dyn adapt_llc::sim::trace::TraceSource>)
+        .collect());
+
+    for (a, b) in live.per_core.iter().zip(&replayed.per_core) {
+        assert_eq!(
+            a.ipc(),
+            b.ipc(),
+            "core {} IPC differs under replay",
+            a.core_id
+        );
+        assert_eq!(
+            a.llc_mpki(),
+            b.llc_mpki(),
+            "core {} LLC MPKI differs under replay",
+            a.core_id
+        );
+    }
+    assert_eq!(
+        live.total_llc_demand_misses(),
+        replayed.total_llc_demand_misses(),
+        "replay must reproduce the exact miss stream"
+    );
+    std::fs::remove_file(path).ok();
 }
 
 #[test]
@@ -124,7 +215,11 @@ fn weighted_speedup_never_exceeds_core_count_by_much() {
         let (config, mix) = smoke_mix(study);
         let eval = evaluate_mix(&config, &mix, PolicyKind::TaDrrip, 25_000, 1);
         let n = study.num_cores() as f64;
-        assert!(eval.weighted_speedup() <= n * 1.05, "{study:?}: {}", eval.weighted_speedup());
+        assert!(
+            eval.weighted_speedup() <= n * 1.05,
+            "{study:?}: {}",
+            eval.weighted_speedup()
+        );
         assert!(eval.metrics.harmonic_mean_normalized <= 1.05);
     }
 }

@@ -13,7 +13,11 @@ use adapt_llc::workloads::{benchmark_by_name, generate_mixes, StudyKind};
 
 /// A small but non-trivial configuration: larger than Smoke so the monitoring interval
 /// completes several times, much smaller than the full scaled runs.
-fn test_scale_config() -> (adapt_llc::sim::config::SystemConfig, adapt_llc::workloads::WorkloadMix, u64) {
+fn test_scale_config() -> (
+    adapt_llc::sim::config::SystemConfig,
+    adapt_llc::workloads::WorkloadMix,
+    u64,
+) {
     let config = adapt_llc::sim::config::SystemConfig::scaled_with_llc(16, 256 * 1024, 16);
     let mix = generate_mixes(StudyKind::Cores16, 1, 0xC0FFEE).remove(0);
     (config, mix, 600_000)
@@ -116,7 +120,10 @@ fn table2_cost_ordering_holds_for_the_paper_configuration() {
     assert!(tadrrip < adapt);
     assert!(adapt < ship);
     assert!(ship < eaf);
-    assert!((23_000..=26_000).contains(&adapt), "ADAPT ~24KB, got {adapt}");
+    assert!(
+        (23_000..=26_000).contains(&adapt),
+        "ADAPT ~24KB, got {adapt}"
+    );
 }
 
 #[test]

@@ -8,11 +8,20 @@ use adapt_llc::policies::{LruPolicy, SrripPolicy};
 use adapt_llc::sim::addr::BlockAddr;
 use adapt_llc::sim::config::{CacheGeometry, PrivateCacheConfig, PrivatePolicyKind};
 use adapt_llc::sim::private_cache::{Lookup, PrivateCache};
-use adapt_llc::sim::replacement::{AccessContext, InsertionDecision, LineView, LlcReplacementPolicy, RrpvArray};
+use adapt_llc::sim::replacement::{
+    AccessContext, InsertionDecision, LineView, LlcReplacementPolicy, RrpvArray,
+};
 use adapt_llc::workloads::{classify, generate_mixes, MemIntensity, StudyKind};
 
 fn ctx(core: usize, set: usize, block: u64) -> AccessContext {
-    AccessContext { core_id: core, pc: 0, block_addr: block, set_index: set, is_demand: true, is_write: false }
+    AccessContext {
+        core_id: core,
+        pc: 0,
+        block_addr: block,
+        set_index: set,
+        is_demand: true,
+        is_write: false,
+    }
 }
 
 proptest! {

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`: the API subset this workspace's benches use, backed
+//! by a simple wall-clock timing loop.
+//!
+//! Reported numbers are mean wall time per iteration (plus throughput when configured via
+//! [`BenchmarkGroup::throughput`]). There is no statistical analysis, HTML report, or
+//! baseline comparison — the point is that `cargo bench` compiles, runs, and prints
+//! honest ballpark numbers in an environment without crates.io access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation used to derive elements/bytes per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: anything stringly. Mirrors criterion's `BenchmarkId` loosely.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(group: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", group.into(), param))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Per-invocation measurement state handed to the closure of `bench_function`.
+pub struct Bencher {
+    samples: u64,
+    /// Mean duration of one call of the benchmarked closure.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, calling it once to warm up and then `samples` times under the clock.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+fn render_result(name: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
+    match mean {
+        Some(mean) => {
+            let rate = throughput
+                .map(|t| {
+                    let per_sec = match t {
+                        Throughput::Elements(n) => (n as f64 / mean.as_secs_f64(), "elem/s"),
+                        Throughput::Bytes(n) => (n as f64 / mean.as_secs_f64(), "B/s"),
+                    };
+                    format!("  ({:.3e} {})", per_sec.0, per_sec.1)
+                })
+                .unwrap_or_default();
+            println!("bench {name:<50} {mean:>12.3?}/iter{rate}");
+        }
+        None => println!("bench {name:<50} (no measurement: closure never called b.iter)"),
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's warm-up is a single untimed call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in times exactly `sample_size` calls.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean: None,
+        };
+        f(&mut b);
+        render_result(&format!("{}/{}", self.name, id.0), b.mean, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_samples,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.default_samples,
+            mean: None,
+        };
+        f(&mut b);
+        render_result(&id.0, b.mean, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

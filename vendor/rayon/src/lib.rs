@@ -1,0 +1,144 @@
+//! Offline stand-in for `rayon`, covering the slice-parallelism subset this workspace
+//! uses: `par_iter()` followed by `map(..).collect()` or `for_each(..)`.
+//!
+//! Work is executed on `std::thread::scope` threads, one chunk per available core, and
+//! `collect` preserves input order (chunks are joined in order), so results are identical
+//! to the sequential evaluation — matching rayon's deterministic-collect semantics the
+//! experiment runner relies on.
+
+use std::num::NonZeroUsize;
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items)
+        .max(1)
+}
+
+/// Run `f` over every item, in parallel chunks, returning results in input order.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = worker_count(items.len());
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("rayon stand-in worker panicked"));
+        }
+        out
+    })
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_map(self.items, &|item| f(item));
+    }
+}
+
+/// Result of `par_iter().map(f)`; terminal operation is `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// `par_iter()` on `&[T]` / `&Vec<T>`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let v: Vec<u64> = (1..=100).collect();
+        let sum = AtomicU64::new(0);
+        v.par_iter().for_each(|x| {
+            sum.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 5050);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = vec![];
+        let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

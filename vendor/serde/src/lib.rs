@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` *names* (trait + no-op derive macro) so the
+//! workspace's data types keep their serde annotations without a crates.io dependency.
+//! Nothing in this workspace serializes through serde at runtime; swap this for the real
+//! crate in the workspace manifest if that changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the derive emits no impl and nothing in-tree bounds on it.
+pub trait Serialize {}
+
+/// Marker trait; the derive emits no impl and nothing in-tree bounds on it.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde` stand-in.
+//!
+//! The workspace only uses serde derives as forward-looking annotations — nothing
+//! serializes through serde at runtime (reports are plain text) — so the derives expand to
+//! nothing. If real serialization is ever needed, replace `vendor/serde*` with the real
+//! crates in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
