@@ -1,0 +1,202 @@
+//! Sweep-engine throughput: serial regenerate-per-pair vs. the corpus-backed parallel
+//! grid, on the acceptance grid of 4 policies × 8 four-core mixes.
+//!
+//! Besides the Criterion groups, the bench prints a one-shot wall-clock comparison of the
+//! full grid under both engines. The corpus engine's win comes from (a) materializing
+//! each mix's streams once instead of once per policy and (b) fanning the (policy × mix)
+//! grid out across workers — so the ratio scales with the host's core count. On a
+//! single-core host only (a) is left and the ratio hovers near 1; the ≥ 2× wall-clock
+//! floor holds on the ≥ 4-core machines CI and development use. The final section
+//! measures the `TraceReader` validate-once fix: wrapped replay passes skip the per-block
+//! FNV pass, so steady-state decode outruns the first (validating) pass.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use experiments::runner::{
+    evaluate_policies_on_corpus, evaluate_policies_on_mixes, evaluate_policies_serial,
+    synthetic_capture_budget, warm_alone_cache,
+};
+use experiments::{ExperimentScale, PolicyKind};
+use trace_io::{Corpus, TraceReader};
+use workloads::{generate_mixes, StudyKind, WorkloadMix};
+
+const INSTRUCTIONS: u64 = 20_000;
+const SEED: u64 = 1;
+const GRID_MIXES: usize = 8;
+
+fn grid_policies() -> [PolicyKind; 4] {
+    [
+        PolicyKind::TaDrrip,
+        PolicyKind::AdaptBp32,
+        PolicyKind::Eaf,
+        PolicyKind::Ship,
+    ]
+}
+
+fn grid_setup(mixes: usize) -> (cache_sim::config::SystemConfig, Vec<WorkloadMix>) {
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let workloads = generate_mixes(StudyKind::Cores4, mixes, scale.seed());
+    (cfg, workloads)
+}
+
+/// Criterion view of the two engines on a reduced 4 × 2 grid (keeps `cargo bench`
+/// under a minute; the full acceptance grid runs once in `sweep_report`).
+fn bench_sweep_engines(c: &mut Criterion) {
+    let (cfg, mixes) = grid_setup(2);
+    let policies = grid_policies();
+    // Alone-run IPCs are memoized process-wide; warm them so neither engine's timing
+    // includes the shared normalization runs.
+    warm_alone_cache(&cfg, &mixes, INSTRUCTIONS, SEED);
+    let mut group = c.benchmark_group("policy_sweep");
+    group.sample_size(3);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(5));
+    group.throughput(Throughput::Elements((mixes.len() * policies.len()) as u64));
+    group.bench_function("serial_regenerate_4x2", |b| {
+        b.iter(|| {
+            black_box(evaluate_policies_serial(
+                &cfg,
+                &mixes,
+                &policies,
+                INSTRUCTIONS,
+                SEED,
+            ))
+            .len()
+        })
+    });
+    group.bench_function("corpus_grid_4x2", |b| {
+        b.iter(|| {
+            black_box(evaluate_policies_on_mixes(
+                &cfg,
+                &mixes,
+                &policies,
+                INSTRUCTIONS,
+                SEED,
+            ))
+            .len()
+        })
+    });
+    group.finish();
+}
+
+/// Wrapped replay decode: the first pass validates every block checksum, later passes
+/// skip the FNV work (the validate-once fix).
+fn bench_revalidation(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("adapt_bench_sweep_revalidation");
+    std::fs::remove_dir_all(&dir).ok();
+    let mixes = generate_mixes(StudyKind::Cores4, 1, SEED);
+    let records: u64 = 200_000;
+    let corpus = Corpus::materialize(&dir, "bench", &mixes, 1024, SEED, records).unwrap();
+    let path = corpus.path_for(&corpus.entries()[0]);
+
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("first_pass_validates_checksums", |b| {
+        b.iter(|| {
+            // A fresh reader starts below the validation high-water mark every time.
+            let mut reader = TraceReader::open(&path, 0).unwrap();
+            let mut acc = 0u64;
+            for _ in 0..records {
+                acc = acc.wrapping_add(black_box(reader.try_next().unwrap().addr));
+            }
+            assert!(reader.checksum_validations() > 0);
+            acc
+        })
+    });
+    group.bench_function("wrapped_pass_skips_checksums", |b| {
+        let mut reader = TraceReader::open(&path, 0).unwrap();
+        for _ in 0..records {
+            reader.try_next().unwrap(); // complete the validating pass once
+        }
+        let validated = reader.checksum_validations();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..records {
+                acc = acc.wrapping_add(black_box(reader.try_next().unwrap().addr));
+            }
+            assert_eq!(
+                reader.checksum_validations(),
+                validated,
+                "wrapped passes must not re-validate"
+            );
+            acc
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One-shot wall-clock comparison on the acceptance grid (4 policies × 8 mixes), both
+/// engines fed identical inputs, plus the corpus-from-disk variant.
+fn sweep_report() {
+    let (cfg, mixes) = grid_setup(GRID_MIXES);
+    let policies = grid_policies();
+    warm_alone_cache(&cfg, &mixes, INSTRUCTIONS, SEED);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let start = Instant::now();
+    let serial = evaluate_policies_serial(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    let serial_time = start.elapsed();
+
+    let start = Instant::now();
+    let grid = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    let grid_time = start.elapsed();
+
+    let dir = std::env::temp_dir().join("adapt_bench_sweep_corpus");
+    std::fs::remove_dir_all(&dir).ok();
+    let corpus = Corpus::materialize(
+        &dir,
+        "bench",
+        &mixes,
+        cfg.llc.geometry.num_sets(),
+        SEED,
+        synthetic_capture_budget(INSTRUCTIONS),
+    )
+    .unwrap();
+    let start = Instant::now();
+    let from_disk = evaluate_policies_on_corpus(&cfg, &corpus, &policies, INSTRUCTIONS).unwrap();
+    let disk_time = start.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(serial.len(), grid.len());
+    assert_eq!(serial.len(), from_disk.len());
+    for ((a, b), c) in serial.iter().zip(&grid).zip(&from_disk) {
+        assert_eq!(a.weighted_speedup(), b.weighted_speedup());
+        assert_eq!(a.weighted_speedup(), c.weighted_speedup());
+    }
+
+    let ratio = serial_time.as_secs_f64() / grid_time.as_secs_f64().max(1e-9);
+    println!(
+        "\nsweep_report: {} policies x {} mixes, {} worker thread(s)",
+        policies.len(),
+        mixes.len(),
+        workers
+    );
+    println!("  serial regenerate-per-pair : {serial_time:>10.3?}");
+    println!("  corpus grid (in-memory)    : {grid_time:>10.3?}  ({ratio:.2}x vs serial)");
+    println!(
+        "  corpus grid (from disk)    : {disk_time:>10.3?}  ({:.2}x vs serial)",
+        serial_time.as_secs_f64() / disk_time.as_secs_f64().max(1e-9)
+    );
+    println!("  results bit-identical across all three engines");
+    if workers >= 4 && ratio < 2.0 {
+        eprintln!(
+            "sweep_report: WARNING: expected >= 2x on a {workers}-core host, measured {ratio:.2}x"
+        );
+    }
+}
+
+criterion_group!(benches, bench_sweep_engines, bench_revalidation);
+
+fn main() {
+    benches();
+    sweep_report();
+}

@@ -1,7 +1,7 @@
 //! DDR2-style main-memory model (paper Table 3).
 //!
 //! Only row hits and row conflicts are modeled, like the memory model of the EAF paper the
-//! authors follow ("We use memory model for our study like [2]: only row-hits and
+//! authors follow ("We use memory model for our study like \[2\]: only row-hits and
 //! row-conflicts are modeled"): 180 cycles for a row hit, 340 for a row conflict, 8 banks
 //! with 4 KB rows and permutation-based (XOR-mapped) page interleaving to spread conflicting
 //! rows across banks. Each bank additionally serializes requests through a busy window so

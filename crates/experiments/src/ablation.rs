@@ -5,27 +5,41 @@
 //! (chosen from 36 range combinations) and the 1/32 bypass ratio. These functions rerun
 //! the corresponding sweeps on our substrate so the sensitivity of each choice can be
 //! inspected; the `ablations` Criterion bench and `repro ablation` drive them.
+//!
+//! The sweeps run on the corpus engine: each mix's access streams are materialized once
+//! and shared (zero-copy) across the TA-DRRIP baseline and every configuration variant,
+//! which are evaluated in parallel. The seed behaviour regenerated every stream — and
+//! re-ran the baseline — once *per variant*.
+
+use std::collections::HashMap;
 
 use adapt_core::{AdaptConfig, AdaptPolicy};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use workloads::{generate_mixes, StudyKind, WorkloadMix};
 
 use cache_sim::config::SystemConfig;
 
 use crate::policies::PolicyKind;
-use crate::report::{amean, render_table};
-use crate::runner::{evaluate_mix, evaluate_mix_with};
+use crate::report::render_table;
+use crate::runner::{evaluate_prepared, warm_alone_cache, MixSource};
 use crate::scale::ExperimentScale;
 
 /// One ablation data point: a configuration label and its mean speedup over TA-DRRIP.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AblationPoint {
+    /// Human-readable variant description (e.g. `"bypass 1/32"`).
     pub label: String,
+    /// Mean (over mixes) weighted-speedup ratio of the variant to the TA-DRRIP baseline.
     pub speedup_over_tadrrip: f64,
 }
 
 /// Shared sweep machinery: evaluate a list of (label, AdaptConfig) variants against the
 /// TA-DRRIP baseline on a common set of mixes and, optionally, configuration overrides.
+///
+/// Each mix is materialized once; the baseline is evaluated once per distinct
+/// configuration override (not once per variant) and the variants fan out in parallel
+/// over the shared streams.
 fn sweep_adapt_variants(
     base_config: &SystemConfig,
     mixes: &[WorkloadMix],
@@ -33,30 +47,72 @@ fn sweep_adapt_variants(
     instructions: u64,
     seed: u64,
 ) -> Vec<AblationPoint> {
-    variants
-        .iter()
-        .map(|(label, adapt_cfg, interval_override)| {
-            let mut cfg = base_config.clone();
-            if let Some(interval) = interval_override {
-                cfg.interval_misses = *interval;
-            }
-            let mut ratios = Vec::with_capacity(mixes.len());
-            for mix in mixes {
-                let baseline = evaluate_mix(&cfg, mix, PolicyKind::TaDrrip, instructions, seed);
+    warm_alone_cache(base_config, mixes, instructions, seed);
+    let llc_sets = base_config.llc.geometry.num_sets();
+    let config_for = |interval_override: &Option<u64>| {
+        let mut cfg = base_config.clone();
+        if let Some(interval) = interval_override {
+            cfg.interval_misses = *interval;
+        }
+        cfg
+    };
+    let mut ratio_sums = vec![0.0f64; variants.len()];
+    for mix in mixes {
+        let prepared = MixSource::synthetic(mix.clone())
+            .materialize(llc_sets, seed)
+            .expect("synthetic mixes always materialize");
+        // One baseline per distinct override: TA-DRRIP's result depends on the system
+        // configuration, not on the ADAPT knobs, so identical overrides share it.
+        let mut overrides: Vec<Option<u64>> = variants.iter().map(|v| v.2).collect();
+        overrides.sort_unstable();
+        overrides.dedup();
+        let baselines: HashMap<Option<u64>, f64> = overrides
+            .par_iter()
+            .map(|ov| {
+                let cfg = config_for(ov);
+                let built = PolicyKind::TaDrrip.build(&cfg, &mix.thrashing_slots());
+                let eval = evaluate_prepared(
+                    &cfg,
+                    &prepared,
+                    PolicyKind::TaDrrip,
+                    built,
+                    instructions,
+                    seed,
+                );
+                (*ov, eval.weighted_speedup())
+            })
+            .collect();
+        let ratios: Vec<f64> = variants
+            .par_iter()
+            .map(|(_, adapt_cfg, interval_override)| {
+                let cfg = config_for(interval_override);
                 let policy = Box::new(AdaptPolicy::new(*adapt_cfg, &cfg.llc, cfg.num_cores));
-                let adapt =
-                    evaluate_mix_with(&cfg, mix, PolicyKind::AdaptBp32, policy, instructions, seed);
-                let b = baseline.weighted_speedup();
-                ratios.push(if b > 0.0 {
+                let adapt = evaluate_prepared(
+                    &cfg,
+                    &prepared,
+                    PolicyKind::AdaptBp32,
+                    policy,
+                    instructions,
+                    seed,
+                );
+                let b = baselines[interval_override];
+                if b > 0.0 {
                     adapt.weighted_speedup() / b
                 } else {
                     0.0
-                });
-            }
-            AblationPoint {
-                label: label.clone(),
-                speedup_over_tadrrip: amean(&ratios),
-            }
+                }
+            })
+            .collect();
+        for (sum, r) in ratio_sums.iter_mut().zip(&ratios) {
+            *sum += r;
+        }
+    }
+    variants
+        .iter()
+        .zip(&ratio_sums)
+        .map(|((label, _, _), sum)| AblationPoint {
+            label: label.clone(),
+            speedup_over_tadrrip: *sum / mixes.len().max(1) as f64,
         })
         .collect()
 }
@@ -132,7 +188,7 @@ pub fn bypass_ratio_sweep(scale: ExperimentScale, mixes: usize) -> Vec<AblationP
     sweep_adapt_variants(&config, &workloads, &variants, instructions, seed)
 }
 
-/// Sweep the High/Medium priority boundaries (the paper settles on [0,3] and (3,12]).
+/// Sweep the High/Medium priority boundaries (the paper settles on `[0,3]` and `(3,12]`).
 pub fn priority_range_sweep(scale: ExperimentScale, mixes: usize) -> Vec<AblationPoint> {
     let (config, workloads, instructions, seed) = setup(scale, mixes);
     let mut variants = Vec::new();

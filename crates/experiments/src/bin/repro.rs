@@ -17,22 +17,105 @@
 //!   mixes    Print the generated workload mixes (Table 6)
 //!   diag     Per-application TA-DRRIP vs ADAPT diagnostic on one 16-core mix
 //!   all      Everything above, in order
+//!
+//! corpus mode:
+//!   corpus --dir DIR [--study 4|8|16|20|24] [--mixes N]
+//!            Materialize the study's workload mixes as a trace corpus: one .atrc per
+//!            mix (captured exactly once) plus a manifest recording geometry and seed.
+//!   sweep  --dir DIR
+//!            Run the Figure 3 policy lineup over a materialized corpus: each trace is
+//!            decoded once and the (policy x mix) grid fans out in parallel.
 //! ```
 //!
 //! The default scale is `scaled` (minutes); `--paper-scale` selects the paper's full
-//! parameters (hours); `--smoke` is a seconds-long sanity run.
+//! parameters (hours); `--smoke` is a seconds-long sanity run. Corpus mode must load a
+//! corpus materialized at the same scale (the manifest's geometry is validated).
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use experiments::runner::{evaluate_policies_on_corpus, synthetic_capture_budget};
 use experiments::{ablation, figure1, figure3, figure45, figure6, figure7, figure8};
-use experiments::{table2, table4, table7, ExperimentScale};
+use experiments::{table2, table4, table7, ExperimentScale, PolicyKind};
+use trace_io::Corpus;
 use workloads::{generate_mixes, StudyKind};
 
 fn usage() -> String {
     "usage: repro <fig1|fig3|fig45|fig6|fig7|fig8|table2|table4|table7|ablation|mixes|diag|all> \
-     [--paper-scale|--smoke]"
+     [--paper-scale|--smoke]\n       repro corpus --dir DIR [--study 4|8|16|20|24] [--mixes N] \
+     [--paper-scale|--smoke]\n       repro sweep --dir DIR [--paper-scale|--smoke]"
         .to_string()
+}
+
+fn parse_study(cores: &str) -> Result<StudyKind, String> {
+    StudyKind::all()
+        .into_iter()
+        .find(|s| s.num_cores().to_string() == cores)
+        .ok_or_else(|| format!("--study must be one of 4|8|16|20|24, got {cores:?}"))
+}
+
+/// Materialize a study's mixes as an on-disk corpus at this scale.
+fn corpus_cmd(
+    scale: ExperimentScale,
+    dir: &PathBuf,
+    study: StudyKind,
+    mixes_override: Option<usize>,
+) -> Result<(), String> {
+    let config = scale.system_config(study);
+    let llc_sets = config.llc.geometry.num_sets();
+    let count = mixes_override
+        .unwrap_or_else(|| scale.mixes_for(study))
+        .max(1);
+    let mixes = generate_mixes(study, count, scale.seed());
+    let accesses = synthetic_capture_budget(scale.instructions_per_core());
+    let label = format!("{}-core {} corpus", study.num_cores(), scale.label());
+    let corpus = Corpus::materialize(dir, &label, &mixes, llc_sets, scale.seed(), accesses)
+        .map_err(|e| format!("materializing corpus: {e}"))?;
+    println!(
+        "materialized {} mixes ({} cores, {} accesses/core, llc_sets {}) into {}",
+        corpus.entries().len(),
+        study.num_cores(),
+        accesses,
+        llc_sets,
+        dir.display()
+    );
+    Ok(())
+}
+
+/// Run the Figure 3 policy lineup over a materialized corpus.
+fn sweep_cmd(scale: ExperimentScale, dir: &PathBuf) -> Result<(), String> {
+    let corpus = Corpus::load(dir).map_err(|e| format!("loading corpus: {e}"))?;
+    let first = corpus
+        .entries()
+        .first()
+        .ok_or_else(|| "corpus has no mixes".to_string())?;
+    let cores = first.benchmarks.len();
+    let study = StudyKind::all()
+        .into_iter()
+        .find(|s| s.num_cores() == cores)
+        .ok_or_else(|| format!("corpus mixes have {cores} cores, matching no study"))?;
+    let config = scale.system_config(study);
+    let mut policies = vec![PolicyKind::TaDrrip];
+    policies.extend(PolicyKind::figure3_lineup());
+    eprintln!(
+        "[repro] corpus sweep: {} policies x {} mixes from {}",
+        policies.len(),
+        corpus.entries().len(),
+        dir.display()
+    );
+    // The sweep seed comes from the corpus manifest, so the alone-run normalization
+    // matches the generators the traces were captured from.
+    let evals =
+        evaluate_policies_on_corpus(&config, &corpus, &policies, scale.instructions_per_core())
+            .map_err(|e| format!("corpus sweep: {e}"))?;
+    let result = figure3::SCurveResult {
+        study_cores: study.num_cores(),
+        workloads: corpus.entries().len(),
+        curves: figure3::build_curves(&evals),
+    };
+    print!("{}", figure3::render(&result));
+    Ok(())
 }
 
 fn print_mixes(scale: ExperimentScale) {
@@ -169,20 +252,49 @@ fn main() -> ExitCode {
     }
     let mut scale = ExperimentScale::Scaled;
     let mut experiment = None;
-    for a in &args {
-        match a.as_str() {
-            "--paper-scale" => scale = ExperimentScale::Paper,
-            "--smoke" => scale = ExperimentScale::Smoke,
-            "--scaled" => scale = ExperimentScale::Scaled,
+    let mut dir: Option<PathBuf> = None;
+    let mut study = StudyKind::Cores16;
+    let mut mixes_override: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{flag} needs a value\n{}", usage()))
+        };
+        let parsed = match a.as_str() {
+            "--paper-scale" => {
+                scale = ExperimentScale::Paper;
+                Ok(())
+            }
+            "--smoke" => {
+                scale = ExperimentScale::Smoke;
+                Ok(())
+            }
+            "--scaled" => {
+                scale = ExperimentScale::Scaled;
+                Ok(())
+            }
+            "--dir" => value("--dir").map(|v| dir = Some(PathBuf::from(v))),
+            "--study" => value("--study").and_then(|v| parse_study(v).map(|s| study = s)),
+            "--mixes" => value("--mixes").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| mixes_override = Some(n))
+                    .map_err(|e| format!("--mixes: {e}"))
+            }),
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
-            name if !name.starts_with('-') => experiment = Some(name.to_string()),
-            other => {
-                eprintln!("unknown flag '{other}'\n{}", usage());
-                return ExitCode::FAILURE;
+            name if !name.starts_with('-') => {
+                experiment = Some(name.to_string());
+                Ok(())
             }
+            other => Err(format!("unknown flag '{other}'\n{}", usage())),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
     }
     let Some(experiment) = experiment else {
@@ -190,7 +302,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     eprintln!("[repro] running '{experiment}' at {} scale", scale.label());
-    match run_one(&experiment, scale) {
+    let outcome = match experiment.as_str() {
+        "corpus" | "sweep" => {
+            let Some(dir) = dir else {
+                eprintln!("'{experiment}' requires --dir DIR\n{}", usage());
+                return ExitCode::FAILURE;
+            };
+            if experiment == "corpus" {
+                corpus_cmd(scale, &dir, study, mixes_override)
+            } else {
+                sweep_cmd(scale, &dir)
+            }
+        }
+        name => run_one(name, scale),
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");

@@ -20,16 +20,20 @@ use crate::scale::ExperimentScale;
 /// Per-benchmark MPKI reduction (percent, positive = fewer misses) under forced BRRIP.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MpkiReduction {
+    /// Benchmark name (Table 4 identifier).
     pub benchmark: String,
+    /// Percent LLC-MPKI reduction relative to the baseline (positive = fewer misses).
     pub reduction_percent: f64,
 }
 
 /// Figure 1 results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Figure1Result {
-    /// Mean weighted-speedup ratio over baseline TA-DRRIP for SD=64, SD=128 and forced.
+    /// Mean weighted-speedup ratio over baseline TA-DRRIP with set-dueling over 64 sets.
     pub speedup_sd64: f64,
+    /// Mean weighted-speedup ratio over baseline TA-DRRIP with set-dueling over 128 sets.
     pub speedup_sd128: f64,
+    /// Mean weighted-speedup ratio when thrashing applications are forced to BRRIP.
     pub speedup_forced: f64,
     /// Figure 1b: thrashing applications.
     pub thrashing: Vec<MpkiReduction>,

@@ -17,6 +17,7 @@ use crate::scale::ExperimentScale;
 /// One policy's s-curve plus its average speedup over the baseline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PolicyCurve {
+    /// Display name of the policy.
     pub policy: String,
     /// Per-workload speedups over TA-DRRIP, sorted ascending (the s-curve).
     pub s_curve: Vec<f64>,
@@ -29,8 +30,11 @@ pub struct PolicyCurve {
 /// Figure 3 (and, reused by Figure 8, any per-study s-curve panel).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SCurveResult {
+    /// Cores in the study (= applications per mix).
     pub study_cores: usize,
+    /// Number of workload mixes evaluated.
     pub workloads: usize,
+    /// One curve per non-baseline policy.
     pub curves: Vec<PolicyCurve>,
 }
 

@@ -18,7 +18,9 @@ use crate::scale::ExperimentScale;
 /// Per-benchmark, per-policy aggregate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AppPolicyImpact {
+    /// Benchmark name (Table 4 identifier).
     pub benchmark: String,
+    /// Display name of the policy.
     pub policy: String,
     /// Percent reduction in LLC MPKI relative to TA-DRRIP (positive = fewer misses).
     pub mpki_reduction_percent: f64,
@@ -29,7 +31,9 @@ pub struct AppPolicyImpact {
 /// Figures 4 (thrashing) and 5 (non-thrashing).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Figure45Result {
+    /// Figure 4: impact on thrashing applications.
     pub thrashing: Vec<AppPolicyImpact>,
+    /// Figure 5: impact on non-thrashing applications.
     pub non_thrashing: Vec<AppPolicyImpact>,
 }
 

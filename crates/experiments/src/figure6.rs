@@ -17,6 +17,7 @@ use crate::scale::ExperimentScale;
 /// Insertion-vs-bypass comparison for one policy family.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BypassImpact {
+    /// Policy family name (e.g. "ADAPT", "DRRIP").
     pub family: String,
     /// Mean weighted speedup over TA-DRRIP of the insertion flavour.
     pub insertion_speedup: f64,
@@ -27,6 +28,7 @@ pub struct BypassImpact {
 /// Figure 6 result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Figure6Result {
+    /// One insertion-vs-bypass comparison per policy family.
     pub impacts: Vec<BypassImpact>,
 }
 

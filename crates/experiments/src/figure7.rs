@@ -17,7 +17,9 @@ use crate::scale::ExperimentScale;
 /// One bar of Figure 7: a (core count, LLC configuration) pair.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LargeCachePoint {
+    /// Core count of the study.
     pub cores: usize,
+    /// LLC configuration label (e.g. "24MB/24-way").
     pub llc_label: String,
     /// Mean weighted speedup of ADAPT_bp32 over TA-DRRIP.
     pub adapt_speedup: f64,
@@ -26,6 +28,7 @@ pub struct LargeCachePoint {
 /// Figure 7 result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Figure7Result {
+    /// One bar per (core count, LLC configuration) pair.
     pub points: Vec<LargeCachePoint>,
 }
 

@@ -15,6 +15,7 @@ use crate::scale::ExperimentScale;
 /// Figure 8: one s-curve panel per study.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Figure8Result {
+    /// One s-curve panel per study (4/8/20/24 cores).
     pub panels: Vec<SCurveResult>,
 }
 

@@ -10,11 +10,19 @@
 //! reports. The `repro` binary (in `src/bin/repro.rs`) wires them to a command-line
 //! interface; the `adapt-bench` crate wraps them in Criterion benchmarks.
 //!
+//! Every sweep runs on the corpus-backed engine in [`runner`]: each workload mix's access
+//! streams are materialized exactly once (shared in-memory capture, or an on-disk
+//! [`trace_io::Corpus`] via `repro corpus` / `repro sweep`) and the (policy × mix) grid
+//! fans out across rayon workers with deterministic result ordering — see
+//! `docs/architecture.md` for the full data-flow walkthrough.
+//!
 //! Absolute performance numbers differ from the paper (our substrate is an approximate
 //! trace-driven simulator fed with synthetic workloads, not BADCO running SPEC), so the
 //! reproduction target is the *shape* of every result: which policy wins, by roughly what
 //! factor, and where the crossovers lie. `EXPERIMENTS.md` records paper-vs-measured values
 //! for every experiment.
+
+#![warn(missing_docs)]
 
 pub mod ablation;
 pub mod figure1;
@@ -32,5 +40,8 @@ pub mod table4;
 pub mod table7;
 
 pub use policies::PolicyKind;
-pub use runner::{evaluate_mix, evaluate_policies_on_mixes, MixEvaluation, PerAppOutcome};
+pub use runner::{
+    evaluate_mix, evaluate_policies_on_corpus, evaluate_policies_on_mixes,
+    evaluate_policies_serial, MixEvaluation, MixSource, PerAppOutcome,
+};
 pub use scale::ExperimentScale;

@@ -16,9 +16,13 @@ use serde::{Deserialize, Serialize};
 /// A policy an experiment can ask for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PolicyKind {
+    /// True least-recently-used replacement.
     Lru,
+    /// Static RRIP (long re-reference prediction on insert).
     Srrip,
+    /// Bimodal RRIP (mostly distant insertions).
     Brrip,
+    /// Dynamic RRIP (set-dueling between SRRIP and BRRIP).
     Drrip,
     /// The paper's baseline (thread-aware DRRIP with 32 dueling sets per policy).
     TaDrrip,
@@ -26,7 +30,9 @@ pub enum PolicyKind {
     TaDrripSd(usize),
     /// TA-DRRIP with BRRIP forced for the mix's thrashing applications (Figure 1).
     TaDrripForced,
+    /// Signature-based hit prediction (SHiP-PC).
     Ship,
+    /// Evicted-address-filter insertion policy.
     Eaf,
     /// ADAPT with Least-priority insertion (no bypass).
     AdaptIns,
@@ -34,7 +40,9 @@ pub enum PolicyKind {
     AdaptBp32,
     /// Figure 6 ablations: distant insertions of the baseline become bypasses.
     TaDrripBypass,
+    /// Figure 6: SHiP with distant insertions turned into bypasses.
     ShipBypass,
+    /// Figure 6: EAF with distant insertions turned into bypasses.
     EafBypass,
 }
 

@@ -3,19 +3,36 @@
 //! The runner turns (system configuration, workload mix, policy) triples into
 //! [`MixEvaluation`]s: per-application IPC and MPKI plus the multi-programmed metrics of
 //! `mc-metrics`, with the weighted speedup normalized by cached single-application
-//! ("alone") runs exactly as the paper does. Independent (mix, policy) pairs are evaluated
-//! in parallel with rayon — they share nothing except the read-only configuration and the
-//! alone-run cache.
+//! ("alone") runs exactly as the paper does.
+//!
+//! # The corpus-backed sweep engine
+//!
+//! A sweep evaluates P policies over M mixes. The naive path regenerates (or re-reads
+//! and re-decodes) every mix's access streams P times, so sweep cost grows as P × M in
+//! *stream production* as well as simulation. [`evaluate_policies_on_mixes`] instead
+//! materializes each mix's streams exactly once — captured from the live generators into
+//! shared in-memory buffers, or decoded once from a `.atrc` file — and fans the
+//! (policy × mix) grid out across rayon workers, every policy replaying the same
+//! [`SharedReplayTrace`] buffers zero-copy. Mixes are materialized in bounded windows so
+//! peak memory stays at a few mixes regardless of sweep size, and results are emitted in
+//! deterministic (mix, policy) order no matter how many workers run.
 //!
 //! Workloads come from two provenances, unified by [`MixSource`]: live synthetic
 //! generators ([`MixSource::Synthetic`]) and captured binary traces replayed from disk
-//! ([`MixSource::Replayed`], backed by `trace-io`). Because capture is lossless and
-//! generators reset exactly, both provenances of the same mix produce bit-identical
-//! per-application IPC/MPKI.
+//! ([`MixSource::Replayed`], backed by `trace-io`); [`evaluate_policies_on_corpus`]
+//! sweeps a whole materialized [`Corpus`]. Because capture is lossless and generators
+//! reset exactly, both provenances of the same mix produce bit-identical
+//! per-application IPC/MPKI — and the parallel grid produces bit-identical results to
+//! the serial reference path [`evaluate_policies_serial`], which the runner's tests
+//! enforce. The one caveat is a corpus whose capture budget is smaller than the run:
+//! its streams wrap (the paper's re-execution semantics), which the engine counts
+//! ([`MaterializedMixStreams::replay_wraps`]) and reports on stderr rather than letting
+//! the divergence pass silently.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -24,10 +41,10 @@ use cache_sim::config::SystemConfig;
 use cache_sim::single::run_alone;
 use cache_sim::stats::SystemResults;
 use cache_sim::system::MultiCoreSystem;
-use cache_sim::trace::TraceSource;
+use cache_sim::trace::{LazySharedTrace, MemAccess, SharedReplayTrace, TraceSource};
 use llc_policies::TaDrripPolicy;
 use mc_metrics::MulticoreMetrics;
-use trace_io::TraceError;
+use trace_io::{Corpus, TraceError};
 use workloads::{benchmark_by_name, StudyKind, WorkloadMix};
 
 use crate::policies::PolicyKind;
@@ -35,12 +52,19 @@ use crate::policies::PolicyKind;
 /// Outcome for one application inside one evaluated mix.
 #[derive(Debug, Clone)]
 pub struct PerAppOutcome {
+    /// Benchmark name (Table 4 identifier).
     pub name: String,
+    /// Core the application ran on.
     pub core_id: usize,
+    /// Instructions per cycle achieved inside the mix.
     pub ipc: f64,
+    /// IPC of the application running alone on the same hierarchy.
     pub ipc_alone: f64,
+    /// L2 misses per kilo-instruction.
     pub l2_mpki: f64,
+    /// LLC misses per kilo-instruction.
     pub llc_mpki: f64,
+    /// Whether the application is classified as thrashing (Footprint-number >= 16).
     pub is_thrashing: bool,
 }
 
@@ -58,10 +82,15 @@ impl PerAppOutcome {
 /// Result of running one policy on one workload mix.
 #[derive(Debug, Clone)]
 pub struct MixEvaluation {
+    /// Id of the evaluated mix.
     pub mix_id: usize,
+    /// Policy that was evaluated.
     pub policy: PolicyKind,
+    /// Display name reported by the constructed policy instance.
     pub policy_label: String,
+    /// One outcome per application, in core order.
     pub per_app: Vec<PerAppOutcome>,
+    /// Multi-programmed metrics over the whole mix.
     pub metrics: MulticoreMetrics,
 }
 
@@ -88,7 +117,12 @@ pub enum MixSource {
     Synthetic(WorkloadMix),
     /// A captured `.atrc` corpus replayed from disk; `mix` is reconstructed from the
     /// file's per-core labels so alone-run normalization and reports keep working.
-    Replayed { path: PathBuf, mix: WorkloadMix },
+    Replayed {
+        /// The trace file backing this mix.
+        path: PathBuf,
+        /// Mix identity reconstructed from the file (benchmark names per core).
+        mix: WorkloadMix,
+    },
 }
 
 impl MixSource {
@@ -97,12 +131,19 @@ impl MixSource {
         MixSource::Synthetic(mix)
     }
 
-    /// Open a captured trace file as a mix source.
+    /// Open a captured trace file as a mix source (mix id 0).
     ///
     /// The file's core labels must name Table 4 benchmarks (which `tracectl capture` and
     /// `workloads::capture_to_file` guarantee) and the core count must match one of the
     /// paper's studies, so that alone-run normalization has a generator to run.
     pub fn replayed(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::replayed_with_id(path, 0)
+    }
+
+    /// [`replayed`](MixSource::replayed) with an explicit mix id, preserved into
+    /// [`MixEvaluation::mix_id`] — corpus sweeps use the manifest's ids so per-mix
+    /// baselines line up across policies.
+    pub fn replayed_with_id(path: impl AsRef<Path>, mix_id: usize) -> Result<Self, TraceError> {
         let path = path.as_ref().to_path_buf();
         let header = trace_io::read_header(&path)?;
         let cores = header.cores.len();
@@ -123,7 +164,7 @@ impl MixSource {
             }
         }
         let mix = WorkloadMix {
-            id: 0,
+            id: mix_id,
             study,
             benchmarks: header.cores.iter().map(|c| c.label.clone()).collect(),
         };
@@ -159,15 +200,7 @@ impl MixSource {
         match self {
             MixSource::Synthetic(mix) => Ok(mix.trace_sources(llc_sets, seed)),
             MixSource::Replayed { path, .. } => {
-                let header = trace_io::read_header(path)?;
-                if header.llc_sets != 0 && header.llc_sets as usize != llc_sets {
-                    return Err(TraceError::Corrupt(format!(
-                        "corpus {} was captured for {} LLC sets but the system has {}",
-                        path.display(),
-                        header.llc_sets,
-                        llc_sets
-                    )));
-                }
+                self.check_geometry(path, llc_sets)?;
                 Ok(trace_io::open_all(path)?
                     .into_iter()
                     .map(|r| Box::new(r) as Box<dyn TraceSource>)
@@ -175,6 +208,185 @@ impl MixSource {
             }
         }
     }
+
+    fn check_geometry(&self, path: &Path, llc_sets: usize) -> Result<(), TraceError> {
+        let header = trace_io::read_header(path)?;
+        if header.llc_sets != 0 && header.llc_sets as usize != llc_sets {
+            return Err(TraceError::Corrupt(format!(
+                "corpus {} was captured for {} LLC sets but the system has {}",
+                path.display(),
+                header.llc_sets,
+                llc_sets
+            )));
+        }
+        Ok(())
+    }
+
+    /// Produce this mix's streams exactly once, shared across any number of policies.
+    ///
+    /// Synthetic mixes become [`LazySharedTrace`]s: accesses are generated on demand
+    /// and memoized, so each record is produced exactly once across the whole sweep and
+    /// nothing beyond what the simulations actually consume is ever generated. Replayed
+    /// mixes are decoded from disk in one pass (which also validates every block
+    /// checksum once) into shared buffers.
+    pub fn materialize(
+        &self,
+        llc_sets: usize,
+        seed: u64,
+    ) -> Result<MaterializedMixStreams, TraceError> {
+        let streams = match self {
+            MixSource::Synthetic(mix) => mix
+                .trace_sources(llc_sets, seed)
+                .into_iter()
+                .map(|source| MaterializedStream::Lazy(LazySharedTrace::new(source)))
+                .collect(),
+            MixSource::Replayed { path, mix } => {
+                self.check_geometry(path, llc_sets)?;
+                trace_io::decode_all(path)?
+                    .into_iter()
+                    .zip(&mix.benchmarks)
+                    .map(|(records, name)| MaterializedStream::Decoded {
+                        records: Arc::new(records),
+                        label: name.clone(),
+                        wraps: Arc::new(AtomicU64::new(0)),
+                    })
+                    .collect()
+            }
+        };
+        Ok(MaterializedMixStreams {
+            mix: self.mix().clone(),
+            streams,
+        })
+    }
+}
+
+/// One core's materialized stream (see [`MixSource::materialize`]).
+enum MaterializedStream {
+    /// Generated on demand and memoized (synthetic provenance; never wraps).
+    Lazy(LazySharedTrace),
+    /// Fully decoded from a corpus file (wraps at the end like `TraceReader`).
+    Decoded {
+        records: Arc<Vec<MemAccess>>,
+        label: String,
+        /// Wraps observed across every cursor handed out for this stream. A non-zero
+        /// count means some simulation outran the captured budget, i.e. the replay
+        /// followed the paper's re-execution methodology instead of being bit-identical
+        /// to an infinite generator.
+        wraps: Arc<AtomicU64>,
+    },
+}
+
+/// [`TraceSource`] adapter that mirrors a [`SharedReplayTrace`] cursor's wrap count into
+/// the stream's shared counter, so the sweep engine can report budget exhaustion.
+struct WrapReporting {
+    inner: SharedReplayTrace,
+    wraps: Arc<AtomicU64>,
+    reported: u64,
+}
+
+impl TraceSource for WrapReporting {
+    fn next_access(&mut self) -> MemAccess {
+        let access = self.inner.next_access();
+        let wraps = self.inner.wraps();
+        if wraps != self.reported {
+            self.wraps
+                .fetch_add(wraps - self.reported, Ordering::Relaxed);
+            self.reported = wraps;
+        }
+        access
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.reported = 0;
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
+/// One mix's access streams, produced exactly once and shared across every policy of a
+/// sweep (see [`MixSource::materialize`]).
+pub struct MaterializedMixStreams {
+    mix: WorkloadMix,
+    streams: Vec<MaterializedStream>,
+}
+
+impl MaterializedMixStreams {
+    /// The mix these streams realize.
+    pub fn mix(&self) -> &WorkloadMix {
+        &self.mix
+    }
+
+    /// Records materialized per core so far: the decoded length for replayed streams,
+    /// the generated-and-memoized high-water mark for synthetic ones.
+    pub fn records_per_core(&self) -> Vec<usize> {
+        self.streams
+            .iter()
+            .map(|s| match s {
+                MaterializedStream::Lazy(t) => t.records_generated(),
+                MaterializedStream::Decoded { records, .. } => records.len(),
+            })
+            .collect()
+    }
+
+    /// Total wraps observed across every cursor of every decoded stream. Zero means no
+    /// simulation ever outran the captured budget, i.e. the replay was bit-identical to
+    /// an infinite-generator run; non-zero means the paper's re-execution semantics
+    /// kicked in. Synthetic (lazy) streams never wrap.
+    pub fn replay_wraps(&self) -> u64 {
+        self.streams
+            .iter()
+            .map(|s| match s {
+                MaterializedStream::Lazy(_) => 0,
+                MaterializedStream::Decoded { wraps, .. } => wraps.load(Ordering::Relaxed),
+            })
+            .sum()
+    }
+
+    /// Build a fresh cursor per core over the shared streams.
+    pub fn sources(&self) -> Vec<Box<dyn TraceSource>> {
+        self.streams
+            .iter()
+            .map(|stream| match stream {
+                MaterializedStream::Lazy(t) => Box::new(t.cursor()) as Box<dyn TraceSource>,
+                MaterializedStream::Decoded {
+                    records,
+                    label,
+                    wraps,
+                } => Box::new(WrapReporting {
+                    inner: SharedReplayTrace::new(label.clone(), records.clone()),
+                    wraps: wraps.clone(),
+                    reported: 0,
+                }) as Box<dyn TraceSource>,
+            })
+            .collect()
+    }
+}
+
+/// Accesses to capture per core so that a corpus written to disk covers a run of
+/// `instructions` instructions per core without wrapping.
+///
+/// Every access retires at least one instruction, and a core keeps contending on the
+/// shared LLC after reaching its own target until the slowest co-runner finishes, so the
+/// budget is 2× the instruction target — the same slack the capture↔replay equivalence
+/// tests use. Within that budget a replayed corpus is bit-identical to live generators;
+/// a corpus captured shorter wraps like the paper's re-execution methodology instead.
+pub fn synthetic_capture_budget(instructions: u64) -> u64 {
+    instructions.saturating_mul(2)
+}
+
+/// How many mixes to keep materialized at once: enough that the (mix, policy) grid can
+/// occupy every worker (`window × policies >= threads`), few enough that peak memory
+/// stays bounded at a handful of mixes. The cap of 8 only costs occupancy on hosts with
+/// more than 8× as many threads as swept policies — rare for the 4-6 policy lineups the
+/// figures use — while one materialized 16-core mix can run to hundreds of MB.
+fn sweep_window(num_policies: usize) -> usize {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    threads.div_ceil(num_policies.max(1)).clamp(1, 8)
 }
 
 type AloneKey = (String, u64, usize, u64);
@@ -277,8 +489,31 @@ pub fn evaluate_mix_with(
     evaluate_traces(config, mix, policy, built, traces, instructions, seed)
 }
 
+/// Run an explicitly constructed policy over already-materialized streams — the
+/// inner step of the corpus sweep engine, also used by the ablation sweeps so every
+/// configuration variant shares one capture of each mix.
+pub fn evaluate_prepared(
+    config: &SystemConfig,
+    prepared: &MaterializedMixStreams,
+    policy: PolicyKind,
+    built: Box<dyn cache_sim::replacement::LlcReplacementPolicy>,
+    instructions: u64,
+    seed: u64,
+) -> MixEvaluation {
+    evaluate_traces(
+        config,
+        &prepared.mix,
+        policy,
+        built,
+        prepared.sources(),
+        instructions,
+        seed,
+    )
+}
+
 /// Shared tail of every evaluation: simulate `traces` under `built` and summarize against
-/// the alone-run cache. `traces` may come from live generators or replayed corpora.
+/// the alone-run cache. `traces` may come from live generators, replayed corpora, or
+/// shared in-memory buffers.
 fn evaluate_traces(
     config: &SystemConfig,
     mix: &WorkloadMix,
@@ -321,8 +556,13 @@ fn evaluate_traces(
     }
 }
 
-/// Evaluate each policy on each mix, in parallel. Results are ordered by (mix, policy) so
-/// callers can index deterministically.
+/// Evaluate each policy on each mix with the corpus-backed parallel grid. Results are
+/// ordered by (mix, policy) so callers can index deterministically.
+///
+/// Each mix's streams are materialized exactly once (shared in-memory capture) and every
+/// policy replays them zero-copy; the (policy × mix) grid is fanned out across rayon
+/// workers in bounded windows of mixes. Output is bit-identical to
+/// [`evaluate_policies_serial`] regardless of worker count.
 pub fn evaluate_policies_on_mixes(
     config: &SystemConfig,
     mixes: &[WorkloadMix],
@@ -330,19 +570,112 @@ pub fn evaluate_policies_on_mixes(
     instructions: u64,
     seed: u64,
 ) -> Vec<MixEvaluation> {
-    warm_alone_cache(config, mixes, instructions, seed);
-    let pairs: Vec<(usize, usize)> = (0..mixes.len())
-        .flat_map(|m| (0..policies.len()).map(move |p| (m, p)))
+    let sources: Vec<MixSource> = mixes
+        .iter()
+        .map(|m| MixSource::Synthetic(m.clone()))
         .collect();
-    let mut evals: Vec<(usize, MixEvaluation)> = pairs
-        .par_iter()
-        .map(|&(m, p)| {
-            let eval = evaluate_mix(config, &mixes[m], policies[p], instructions, seed);
-            (m * policies.len() + p, eval)
-        })
-        .collect();
-    evals.sort_by_key(|(i, _)| *i);
-    evals.into_iter().map(|(_, e)| e).collect()
+    evaluate_policies_on_sources(config, &sources, policies, instructions, seed)
+        .expect("synthetic sweeps cannot fail to materialize")
+}
+
+/// [`evaluate_policies_on_mixes`] over arbitrary [`MixSource`]s (the corpus engine's
+/// general form). Fails only when a replayed source cannot be decoded or its recorded
+/// geometry mismatches `config`.
+pub fn evaluate_policies_on_sources(
+    config: &SystemConfig,
+    sources: &[MixSource],
+    policies: &[PolicyKind],
+    instructions: u64,
+    seed: u64,
+) -> Result<Vec<MixEvaluation>, TraceError> {
+    let mixes: Vec<WorkloadMix> = sources.iter().map(|s| s.mix().clone()).collect();
+    warm_alone_cache(config, &mixes, instructions, seed);
+    let llc_sets = config.llc.geometry.num_sets();
+    let window = sweep_window(policies.len());
+    let mut out = Vec::with_capacity(sources.len() * policies.len());
+    for chunk in sources.chunks(window) {
+        // Materialize this window's mixes once each, in parallel.
+        let prepared: Vec<MaterializedMixStreams> = chunk
+            .par_iter()
+            .map(|source| source.materialize(llc_sets, seed))
+            .collect::<Vec<Result<_, _>>>()
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        // Fan the (mix, policy) grid out; order-preserving collect keeps the result
+        // deterministic whatever the worker count.
+        let pairs: Vec<(usize, usize)> = (0..prepared.len())
+            .flat_map(|m| (0..policies.len()).map(move |p| (m, p)))
+            .collect();
+        let evals: Vec<MixEvaluation> = pairs
+            .par_iter()
+            .map(|&(m, p)| {
+                let mat = &prepared[m];
+                let built = policies[p].build(config, &mat.mix().thrashing_slots());
+                evaluate_prepared(config, mat, policies[p], built, instructions, seed)
+            })
+            .collect();
+        out.extend(evals);
+        // A wrapped replay is the paper's re-execution semantics, not an error — but it
+        // does mean the corpus was captured with too small a budget to be bit-identical
+        // to live generators, which deserves a loud note.
+        for mat in &prepared {
+            let wraps = mat.replay_wraps();
+            if wraps > 0 {
+                eprintln!(
+                    "[runner] corpus replay of mix {} wrapped {wraps} time(s): the \
+                     capture budget is smaller than the run; results follow re-execution \
+                     semantics and may differ from a live-generator sweep",
+                    mat.mix().id
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sweep every policy over a materialized [`Corpus`]: validate the corpus geometry
+/// against `config`, open each entry as a replayed mix (preserving manifest mix ids),
+/// decode it once, and run the parallel grid.
+///
+/// The seed is taken from the corpus manifest, not from the caller: the alone-run
+/// normalization must run the *same* generators the corpus was captured from, so a
+/// caller-supplied seed could silently normalize every result against the wrong alone
+/// IPCs.
+pub fn evaluate_policies_on_corpus(
+    config: &SystemConfig,
+    corpus: &Corpus,
+    policies: &[PolicyKind],
+    instructions: u64,
+) -> Result<Vec<MixEvaluation>, TraceError> {
+    corpus.validate_geometry(config.llc.geometry.num_sets())?;
+    let sources: Vec<MixSource> = corpus
+        .entries()
+        .iter()
+        .map(|e| MixSource::replayed_with_id(corpus.path_for(e), e.mix_id))
+        .collect::<Result<_, _>>()?;
+    evaluate_policies_on_sources(config, &sources, policies, instructions, corpus.meta().seed)
+}
+
+/// The serial reference sweep: regenerate every mix for every policy, one evaluation at
+/// a time, in (mix, policy) order.
+///
+/// This is the seed behaviour the corpus engine is measured against (see the
+/// `policy_sweep` benchmark in `adapt-bench`) and the ground truth the parallel grid
+/// must reproduce bit-for-bit.
+pub fn evaluate_policies_serial(
+    config: &SystemConfig,
+    mixes: &[WorkloadMix],
+    policies: &[PolicyKind],
+    instructions: u64,
+    seed: u64,
+) -> Vec<MixEvaluation> {
+    let mut out = Vec::with_capacity(mixes.len() * policies.len());
+    for mix in mixes {
+        for &policy in policies {
+            out.push(evaluate_mix(config, mix, policy, instructions, seed));
+        }
+    }
+    out
 }
 
 /// Group evaluations by policy, preserving mix order: `result[policy_index][mix_index]`.
@@ -399,6 +732,27 @@ mod tests {
         (cfg, mixes)
     }
 
+    fn assert_identical(a: &[MixEvaluation], b: &[MixEvaluation]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.mix_id, y.mix_id);
+            assert_eq!(x.policy, y.policy);
+            assert_eq!(
+                x.weighted_speedup(),
+                y.weighted_speedup(),
+                "weighted speedup differs for mix {} policy {:?}",
+                x.mix_id,
+                x.policy
+            );
+            for (p, q) in x.per_app.iter().zip(&y.per_app) {
+                assert_eq!(p.name, q.name);
+                assert_eq!(p.ipc, q.ipc, "{}: IPC differs", p.name);
+                assert_eq!(p.llc_mpki, q.llc_mpki, "{}: MPKI differs", p.name);
+                assert_eq!(p.l2_mpki, q.l2_mpki);
+            }
+        }
+    }
+
     #[test]
     fn evaluate_mix_produces_per_app_outcomes() {
         let (cfg, mixes) = smoke_setup();
@@ -440,6 +794,92 @@ mod tests {
     }
 
     #[test]
+    fn corpus_engine_is_bit_identical_to_the_serial_path() {
+        // The acceptance bar for the sweep engine: materialize-once + parallel grid must
+        // reproduce the serial regenerate-per-pair reference exactly, in the same order.
+        let scale = ExperimentScale::Smoke;
+        let cfg = scale.system_config(StudyKind::Cores4);
+        let mixes = generate_mixes(StudyKind::Cores4, 3, scale.seed());
+        let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32, PolicyKind::Eaf];
+        let serial = evaluate_policies_serial(&cfg, &mixes, &policies, 20_000, 1);
+        let grid = evaluate_policies_on_mixes(&cfg, &mixes, &policies, 20_000, 1);
+        assert_identical(&serial, &grid);
+    }
+
+    #[test]
+    fn corpus_file_sweep_is_bit_identical_to_the_serial_path() {
+        // Same bar, with the grid fed from a materialized on-disk corpus.
+        let scale = ExperimentScale::Smoke;
+        let cfg = scale.system_config(StudyKind::Cores4);
+        let llc_sets = cfg.llc.geometry.num_sets();
+        let instructions = 20_000u64;
+        let seed = 1u64;
+        let mixes = generate_mixes(StudyKind::Cores4, 2, scale.seed());
+        let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32];
+
+        let dir = std::env::temp_dir().join("runner_corpus_sweep");
+        std::fs::remove_dir_all(&dir).ok();
+        let corpus = Corpus::materialize(
+            &dir,
+            "test",
+            &mixes,
+            llc_sets,
+            seed,
+            synthetic_capture_budget(instructions),
+        )
+        .unwrap();
+
+        let serial = evaluate_policies_serial(&cfg, &mixes, &policies, instructions, seed);
+        let from_corpus =
+            evaluate_policies_on_corpus(&cfg, &corpus, &policies, instructions).unwrap();
+        assert_identical(&serial, &from_corpus);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn undersized_corpus_wraps_and_is_counted() {
+        // A corpus captured with too small a budget replays with wrap (re-execution)
+        // semantics; the engine must count that instead of diverging silently.
+        let (cfg, mixes) = smoke_setup();
+        let llc_sets = cfg.llc.geometry.num_sets();
+        let instructions = 20_000u64;
+        let path = std::env::temp_dir().join("runner_undersized_corpus.atrc");
+        // Far fewer accesses than the run consumes.
+        workloads::capture_to_file::<trace_io::TraceWriter>(&path, &mixes[0], llc_sets, 1, 64)
+            .unwrap();
+        let source = MixSource::replayed(&path).unwrap();
+        let prepared = source.materialize(llc_sets, 1).unwrap();
+        assert_eq!(prepared.replay_wraps(), 0);
+        let built = PolicyKind::TaDrrip.build(&cfg, &prepared.mix().thrashing_slots());
+        let eval = evaluate_prepared(&cfg, &prepared, PolicyKind::TaDrrip, built, instructions, 1);
+        assert!(
+            eval.weighted_speedup() > 0.0,
+            "wrapped replay still evaluates"
+        );
+        assert!(
+            prepared.replay_wraps() > 0,
+            "outrunning the captured budget must be observable"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corpus_sweep_rejects_geometry_mismatch() {
+        let scale = ExperimentScale::Smoke;
+        let cfg = scale.system_config(StudyKind::Cores4);
+        let llc_sets = cfg.llc.geometry.num_sets();
+        let mixes = generate_mixes(StudyKind::Cores4, 1, scale.seed());
+        let dir = std::env::temp_dir().join("runner_corpus_geometry");
+        std::fs::remove_dir_all(&dir).ok();
+        // Captured for twice the set count the system has.
+        let corpus = Corpus::materialize(&dir, "test", &mixes, llc_sets * 2, 1, 500).unwrap();
+        let err =
+            evaluate_policies_on_corpus(&cfg, &corpus, &[PolicyKind::TaDrrip], 10_000).unwrap_err();
+        assert!(err.to_string().contains("LLC sets"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn replayed_mix_source_reproduces_the_synthetic_evaluation() {
         let (cfg, mixes) = smoke_setup();
         let mix = mixes[0].clone();
@@ -475,6 +915,28 @@ mod tests {
     }
 
     #[test]
+    fn materialized_streams_match_live_generators() {
+        let (cfg, mixes) = smoke_setup();
+        let llc_sets = cfg.llc.geometry.num_sets();
+        let source = MixSource::synthetic(mixes[0].clone());
+        let prepared = source.materialize(llc_sets, 7).unwrap();
+        // Two cursor sets over the same materialization: generation happens once.
+        for sources in [prepared.sources(), prepared.sources()] {
+            let mut fresh = mixes[0].trace_sources(llc_sets, 7);
+            for (mut shared, live) in sources.into_iter().zip(fresh.iter_mut()) {
+                assert_eq!(shared.label(), live.label());
+                for _ in 0..250 {
+                    assert_eq!(shared.next_access(), live.next_access());
+                }
+            }
+        }
+        // Nothing beyond the consumed prefix (rounded up to a chunk) was generated.
+        for records in prepared.records_per_core() {
+            assert!((250..=8192).contains(&records), "generated {records}");
+        }
+    }
+
+    #[test]
     fn replayed_mix_source_rejects_geometry_mismatch() {
         let (cfg, mixes) = smoke_setup();
         let llc_sets = cfg.llc.geometry.num_sets();
@@ -488,6 +950,8 @@ mod tests {
             Ok(_) => panic!("geometry mismatch must be rejected"),
         };
         assert!(err.to_string().contains("LLC sets"), "got: {err}");
+        // materialize() enforces the same check.
+        assert!(source.materialize(llc_sets, 1).is_err());
         std::fs::remove_file(path).ok();
     }
 

@@ -18,8 +18,11 @@ use workloads::StudyKind;
 /// How big the experiments should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExperimentScale {
+    /// The paper's cache sizes, instruction counts and mix counts (hours).
     Paper,
+    /// Proportionally smaller caches/traces/mix counts; every figure in minutes.
     Scaled,
+    /// Tiny configuration for unit tests and Criterion benches (seconds).
     Smoke,
 }
 

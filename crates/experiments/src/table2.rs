@@ -13,8 +13,11 @@ use workloads::StudyKind;
 /// Table 2 result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table2Result {
+    /// Number of applications (cores) the costs are computed for.
     pub num_apps: usize,
+    /// Number of blocks in the LLC the costs are computed for.
     pub llc_blocks: usize,
+    /// One row per compared policy.
     pub rows: Vec<HardwareCostRow>,
 }
 

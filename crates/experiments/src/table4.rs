@@ -27,20 +27,30 @@ use crate::scale::ExperimentScale;
 /// One row of the regenerated Table 4.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table4Row {
+    /// Benchmark name.
     pub name: String,
+    /// Footprint-number over all sets as published in the paper.
     pub paper_fpn_all: f64,
+    /// Footprint-number over all sets measured on our synthetic model.
     pub measured_fpn_all: f64,
+    /// Footprint-number over the 40 sampled sets as published.
     pub paper_fpn_sampled: f64,
+    /// Footprint-number over the sampled sets measured on our model.
     pub measured_fpn_sampled: f64,
+    /// L2 MPKI as published.
     pub paper_l2_mpki: f64,
+    /// L2 MPKI measured on our model.
     pub measured_l2_mpki: f64,
+    /// Memory-intensity class as published.
     pub paper_class: String,
+    /// Memory-intensity class our classifier assigns.
     pub measured_class: String,
 }
 
 /// Table 4 result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table4Result {
+    /// One row per Table 4 benchmark.
     pub rows: Vec<Table4Row>,
 }
 

@@ -15,17 +15,24 @@ use crate::scale::ExperimentScale;
 /// ADAPT-vs-TA-DRRIP improvements (fractions) for one study.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StudyMetrics {
+    /// Core count of the study.
     pub cores: usize,
+    /// Improvement in weighted speedup.
     pub weighted_speedup: f64,
+    /// Improvement in the harmonic mean of normalized IPCs (fairness).
     pub harmonic_mean_normalized: f64,
+    /// Improvement in the geometric mean of raw IPCs.
     pub geometric_mean_ipc: f64,
+    /// Improvement in the harmonic mean of raw IPCs.
     pub harmonic_mean_ipc: f64,
+    /// Improvement in the arithmetic mean of raw IPCs.
     pub arithmetic_mean_ipc: f64,
 }
 
 /// Table 7 result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table7Result {
+    /// One row per study, in core-count order.
     pub studies: Vec<StudyMetrics>,
 }
 

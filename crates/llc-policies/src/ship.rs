@@ -48,7 +48,7 @@ pub struct ShipPolicy {
 
 impl ShipPolicy {
     /// `_num_cores` is accepted for interface symmetry with the other thread-aware
-    /// policies; signatures are already disambiguated per core via [`Self::signature`].
+    /// policies; signatures are already disambiguated per core via `Self::signature`.
     pub fn new(num_sets: usize, ways: usize, _num_cores: usize) -> Self {
         ShipPolicy {
             rrpv: RrpvArray::new(num_sets, ways),

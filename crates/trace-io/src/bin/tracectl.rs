@@ -10,7 +10,10 @@
 //!
 //! `capture --benchmarks` records the named Table 4 synthetic models (one per core, in
 //! order); `capture --study` records a whole generated workload mix, so the resulting file
-//! replays through `experiments::runner::MixSource::replayed`.
+//! replays through `experiments::runner::MixSource::replayed`. Captures are written in the
+//! chunked v2 format (streaming, so they work at any size); `inspect` and `stats` read
+//! both format versions. Whole corpus *directories* are materialized by `repro corpus`
+//! and swept by `repro sweep` (see `docs/atrc-format.md` for the format spec).
 
 use std::env;
 use std::path::{Path, PathBuf};
@@ -185,8 +188,8 @@ fn inspect(path: &Path) -> Result<(), String> {
     let header = read_header(path).map_err(|e| e.to_string())?;
     println!("{}", path.display());
     println!(
-        "  format v{}  checksums={}  llc_sets={}  label={:?}",
-        header.version, header.checksums, header.llc_sets, header.label
+        "  format v{}  chunked={}  checksums={}  llc_sets={}  label={:?}",
+        header.version, header.chunked, header.checksums, header.llc_sets, header.label
     );
     println!(
         "  {} cores, {} records, {} instructions",
@@ -251,9 +254,11 @@ fn stats(path: &Path) -> Result<(), String> {
             non_mem as f64 / info.records.max(1) as f64
         );
         println!(
-            "    verify {:.0} ms, decode {:.3e} records/s",
+            "    verify {:.0} ms, decode {:.3e} records/s ({} checksum validations, \
+             re-decode skipped them)",
             verify_elapsed * 1e3,
-            info.records as f64 / decode_elapsed.max(1e-12)
+            info.records as f64 / decode_elapsed.max(1e-12),
+            reader.checksum_validations()
         );
     }
     println!(

@@ -17,7 +17,14 @@ pub enum TraceError {
     /// Structurally invalid data (impossible lengths, bad UTF-8 labels, ...).
     Corrupt(String),
     /// A block's payload does not match its stored checksum.
-    ChecksumMismatch { core: usize, stream_offset: u64 },
+    ChecksumMismatch {
+        /// Core whose stream failed validation.
+        core: usize,
+        /// Offset inside that core's stream (not the file) where the bad block starts.
+        stream_offset: u64,
+    },
+    /// A corpus manifest is malformed or inconsistent with its trace files.
+    Manifest(String),
 }
 
 impl fmt::Display for TraceError {
@@ -42,6 +49,7 @@ impl fmt::Display for TraceError {
                 f,
                 "checksum mismatch in core {core}'s stream at offset {stream_offset}"
             ),
+            TraceError::Manifest(why) => write!(f, "corpus manifest error: {why}"),
         }
     }
 }

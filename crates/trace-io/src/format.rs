@@ -23,10 +23,19 @@ use crate::error::TraceError;
 
 /// File magic: "ATRC" (Adapt TRaCe).
 pub const MAGIC: [u8; 4] = *b"ATRC";
-/// Current format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// Footer magic of chunked (version >= 2) files: "ATRF" (Adapt TRace Footer).
+pub const FOOTER_MAGIC: [u8; 4] = *b"ATRF";
+/// The original, non-chunked format: header + directory up front, one contiguous stream
+/// per core. Still fully readable; see `docs/atrc-format.md` for the compatibility policy.
+pub const FORMAT_VERSION_V1: u16 = 1;
+/// Current format version: chunked framing (streaming writes, footer-resident directory).
+pub const FORMAT_VERSION: u16 = 2;
 /// Header flag bit: every block carries an FNV-1a checksum of its payload.
 pub const FLAG_CHECKSUMS: u16 = 1 << 0;
+/// Header flag bit: the file uses chunked framing — blocks carry a core id and are written
+/// in capture order, and the per-core directory lives in a footer at the end of the file.
+/// Mandatory in version 2 files.
+pub const FLAG_CHUNKED: u16 = 1 << 1;
 /// Default number of records per block.
 pub const DEFAULT_BLOCK_RECORDS: usize = 4096;
 /// Hard upper bound on records per block (sanity check while decoding).
@@ -143,18 +152,22 @@ pub fn decode_block_payload(
 
 // ---- little-endian scalar helpers shared by header and block framing ----
 
+/// Append `v` little-endian.
 pub fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Append `v` little-endian.
 pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Append `v` little-endian.
 pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Read exactly `N` bytes, mapping EOF to [`TraceError::Truncated`] tagged `what`.
 pub fn read_exact<const N: usize>(
     r: &mut impl std::io::Read,
     what: &'static str,
@@ -170,14 +183,17 @@ pub fn read_exact<const N: usize>(
     Ok(buf)
 }
 
+/// Read a little-endian `u16`, mapping EOF to [`TraceError::Truncated`] tagged `what`.
 pub fn get_u16(r: &mut impl std::io::Read, what: &'static str) -> Result<u16, TraceError> {
     Ok(u16::from_le_bytes(read_exact::<2>(r, what)?))
 }
 
+/// Read a little-endian `u32`, mapping EOF to [`TraceError::Truncated`] tagged `what`.
 pub fn get_u32(r: &mut impl std::io::Read, what: &'static str) -> Result<u32, TraceError> {
     Ok(u32::from_le_bytes(read_exact::<4>(r, what)?))
 }
 
+/// Read a little-endian `u64`, mapping EOF to [`TraceError::Truncated`] tagged `what`.
 pub fn get_u64(r: &mut impl std::io::Read, what: &'static str) -> Result<u64, TraceError> {
     Ok(u64::from_le_bytes(read_exact::<8>(r, what)?))
 }

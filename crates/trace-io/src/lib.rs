@@ -9,21 +9,26 @@
 //! workload becomes a reproducible corpus instead of something regenerated on every run:
 //!
 //! * [`TraceWriter`] captures any [`cache_sim::trace::TraceSource`] into a compact `.atrc`
-//!   file — per-core record streams, delta + varint encoded, with a versioned header and
-//!   optional per-block FNV-1a checksums (see [`format`] and [`header`] for the exact
-//!   layout).
+//!   file — per-core record streams, delta + varint encoded, chunked so captures stream to
+//!   disk with bounded memory, with optional per-block FNV-1a checksums. The byte-level
+//!   layout is specified in `docs/atrc-format.md`; [`mod@format`] and [`header`]
+//!   implement it.
 //! * [`TraceReader`] replays one core's stream as a [`cache_sim::trace::TraceSource`],
 //!   buffered block-at-a-time, rewinding on EOF exactly like the paper's re-execution
-//!   methodology. [`open_all`] is the drop-in replacement for
-//!   `WorkloadMix::trace_sources`.
+//!   methodology. Checksums are validated once per block and skipped on later passes, so
+//!   repeated replays (a policy sweep) pay for integrity exactly once. [`open_all`] is the
+//!   drop-in replacement for `WorkloadMix::trace_sources`.
+//! * [`Corpus`] groups one `.atrc` per workload mix under a manifest recording the capture
+//!   geometry and seed — the unit `experiments::runner::evaluate_policies_on_corpus`
+//!   sweeps, decoding each file once and fanning the (policy × mix) grid out in parallel.
 //! * The `tracectl` binary captures, inspects, and sanity-checks corpus files from the
 //!   command line.
 //!
-//! Capture entry points live in `workloads` (`workloads::capture_to_file` and friends) and
-//! are generic over [`cache_sim::trace::TraceSink`]; `experiments::runner` accepts
-//! replayed mixes through its `MixSource` enum. Round-trips are lossless, so replaying a
-//! captured mix through the runner reproduces the live generators' per-app IPC/MPKI
-//! bit-for-bit.
+//! Capture entry points live in `workloads` (`workloads::capture_to_file`,
+//! `workloads::materialize_corpus` and friends) and are generic over
+//! [`cache_sim::trace::TraceSink`]; `experiments::runner` accepts replayed mixes through
+//! its `MixSource` enum. Round-trips are lossless, so replaying a captured mix through the
+//! runner reproduces the live generators' per-app IPC/MPKI bit-for-bit.
 //!
 //! ```
 //! use cache_sim::trace::{StridedTrace, TraceSource};
@@ -43,12 +48,16 @@
 //! std::fs::remove_file(path).unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod corpus;
 pub mod error;
 pub mod format;
 pub mod header;
 pub mod reader;
 pub mod writer;
 
+pub use corpus::{Corpus, CorpusEntry, CorpusMeta};
 pub use error::TraceError;
 pub use header::{CoreStreamInfo, TraceHeader};
 pub use reader::{decode_all, open_all, read_header, TraceReader};

@@ -1,5 +1,19 @@
 //! [`TraceReader`]: buffered, block-at-a-time replay of one core's stream, with
 //! rewind-on-EOF semantics matching the paper's re-execution methodology.
+//!
+//! Reads both format versions: v1 streams are contiguous runs of blocks, v2 streams are
+//! chunks (blocks tagged with a core id) interleaved in capture order — the reader skips
+//! chunks belonging to other cores, which costs nothing for the common case of cores
+//! captured back-to-back.
+//!
+//! # Checksums are validated once
+//!
+//! Payload checksums protect against at-rest corruption, so they are verified the *first*
+//! time each block is decoded. When the stream wraps (or is [`reset`](TraceSource::reset))
+//! and a block is decoded again, the FNV pass is skipped — a policy sweep that replays one
+//! corpus many times pays for validation exactly once, not once per pass (the sweep
+//! benchmark in `adapt-bench` measures the difference). The high-water mark is tracked per
+//! reader; [`TraceReader::checksum_validations`] exposes the count for tests and tools.
 
 use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
@@ -11,13 +25,14 @@ use crate::error::TraceError;
 use crate::format::{decode_block_payload, fnv1a32, MAX_BLOCK_PAYLOAD, MAX_BLOCK_RECORDS};
 use crate::header::{CoreStreamInfo, TraceHeader};
 
-/// Parse the header of the trace file at `path`.
+/// Parse the header of the trace file at `path` (either format version).
 pub fn read_header(path: impl AsRef<Path>) -> Result<TraceHeader, TraceError> {
     let mut file = BufReader::new(File::open(path.as_ref()).map_err(TraceError::Io)?);
     TraceHeader::read(&mut file)
 }
 
-/// Decode every core's complete stream into memory (small corpora, tests, `tracectl stats`).
+/// Decode every core's complete stream into memory (small corpora, tests, `tracectl
+/// stats`, and the sweep engine's decode-once materialization).
 pub fn decode_all(path: impl AsRef<Path>) -> Result<Vec<Vec<MemAccess>>, TraceError> {
     let path = path.as_ref();
     let header = read_header(path)?;
@@ -56,8 +71,18 @@ pub struct TraceReader {
     core: usize,
     info: CoreStreamInfo,
     checksums: bool,
-    /// Bytes of the stream consumed so far (block headers + payloads).
+    chunked: bool,
+    /// End of the chunk region (v2) / of the final stream (v1); scans stop here.
+    data_end: u64,
+    /// Bytes of THIS core's stream consumed since the last rewind (frames + payloads).
     consumed: u64,
+    /// Absolute file offset the next read starts at (tracked to avoid seek queries).
+    file_pos: u64,
+    /// High-water mark of this core's stream bytes whose checksums have been verified.
+    /// Never reset: blocks below it skip the FNV pass on later passes.
+    validated: u64,
+    /// Total FNV validations performed (telemetry for tests and `tracectl`).
+    validations: u64,
     /// Decoded records of the current block.
     block: Vec<MemAccess>,
     block_pos: usize,
@@ -85,13 +110,19 @@ impl TraceReader {
         }
         file.seek(SeekFrom::Start(info.offset))
             .map_err(TraceError::Io)?;
+        let file_pos = info.offset;
         Ok(TraceReader {
             path,
             file,
             core,
             info,
             checksums: header.checksums,
+            chunked: header.chunked,
+            data_end: header.data_end,
             consumed: 0,
+            file_pos,
+            validated: 0,
+            validations: 0,
             block: Vec::new(),
             block_pos: 0,
             payload_buf: Vec::new(),
@@ -115,6 +146,12 @@ impl TraceReader {
         self.records_read
     }
 
+    /// How many block checksums have been verified so far. Stops growing once every
+    /// block has been seen once — later passes skip the FNV work.
+    pub fn checksum_validations(&self) -> u64 {
+        self.validations
+    }
+
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
@@ -124,13 +161,22 @@ impl TraceReader {
         self.file
             .seek(SeekFrom::Start(self.info.offset))
             .map_err(TraceError::Io)?;
+        self.file_pos = self.info.offset;
         self.consumed = 0;
         self.block.clear();
         self.block_pos = 0;
         Ok(())
     }
 
-    /// Read and decode the next block of the stream into `self.block`.
+    /// Bytes one block/chunk header occupies.
+    fn frame_len(&self) -> u64 {
+        let core_id = if self.chunked { 4 } else { 0 };
+        let checksum = if self.checksums { 4 } else { 0 };
+        core_id + 8 + checksum
+    }
+
+    /// Read and decode the next block of this core's stream into `self.block`,
+    /// skipping interleaved chunks that belong to other cores (v2 only).
     fn load_next_block(&mut self) -> Result<(), TraceError> {
         if self.consumed >= self.info.bytes {
             if self.consumed > self.info.bytes {
@@ -142,46 +188,78 @@ impl TraceReader {
             self.rewind_stream()?;
             self.wraps += 1;
         }
-        let header_len: u64 = if self.checksums { 12 } else { 8 };
-        if self.info.bytes - self.consumed < header_len {
-            return Err(TraceError::Truncated("block header"));
-        }
-        let payload_len = read_u32(&mut self.file)? as usize;
-        let record_count = read_u32(&mut self.file)? as usize;
-        let stored_checksum = if self.checksums {
-            Some(read_u32(&mut self.file)?)
-        } else {
-            None
-        };
-        if payload_len > MAX_BLOCK_PAYLOAD || record_count == 0 || record_count > MAX_BLOCK_RECORDS
-        {
-            return Err(TraceError::Corrupt(format!(
-                "implausible block framing: {payload_len} payload bytes, {record_count} records"
-            )));
-        }
-        if self.info.bytes - self.consumed - header_len < payload_len as u64 {
-            return Err(TraceError::Truncated("block payload"));
-        }
-        self.payload_buf.resize(payload_len, 0);
-        self.file.read_exact(&mut self.payload_buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                TraceError::Truncated("block payload")
+        let frame_len = self.frame_len();
+        loop {
+            if self.data_end - self.file_pos < frame_len {
+                return Err(TraceError::Truncated("block header"));
+            }
+            let chunk_core = if self.chunked {
+                read_u32(&mut self.file)? as usize
             } else {
-                TraceError::Io(e)
+                self.core
+            };
+            let payload_len = read_u32(&mut self.file)? as usize;
+            let record_count = read_u32(&mut self.file)? as usize;
+            let stored_checksum = if self.checksums {
+                Some(read_u32(&mut self.file)?)
+            } else {
+                None
+            };
+            if payload_len > MAX_BLOCK_PAYLOAD
+                || record_count == 0
+                || record_count > MAX_BLOCK_RECORDS
+            {
+                return Err(TraceError::Corrupt(format!(
+                    "implausible block framing: {payload_len} payload bytes, \
+                     {record_count} records"
+                )));
             }
-        })?;
-        if let Some(stored) = stored_checksum {
-            if fnv1a32(&self.payload_buf) != stored {
-                return Err(TraceError::ChecksumMismatch {
-                    core: self.core,
-                    stream_offset: self.consumed,
-                });
+            if self.data_end - self.file_pos - frame_len < payload_len as u64 {
+                return Err(TraceError::Truncated("block payload"));
             }
+            if chunk_core != self.core {
+                // Another core's chunk: hop over the payload without decoding it.
+                self.file
+                    .seek_relative(payload_len as i64)
+                    .map_err(TraceError::Io)?;
+                self.file_pos += frame_len + payload_len as u64;
+                continue;
+            }
+            if self.info.bytes - self.consumed < frame_len + payload_len as u64 {
+                return Err(TraceError::Corrupt(format!(
+                    "core {} chunk overruns its directory byte count",
+                    self.core
+                )));
+            }
+            self.payload_buf.resize(payload_len, 0);
+            self.file.read_exact(&mut self.payload_buf).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    TraceError::Truncated("block payload")
+                } else {
+                    TraceError::Io(e)
+                }
+            })?;
+            let block_end = self.consumed + frame_len + payload_len as u64;
+            if let Some(stored) = stored_checksum {
+                // Validate-once: blocks below the high-water mark were already verified
+                // on an earlier pass, so wraps and resets skip the FNV recomputation.
+                if block_end > self.validated {
+                    self.validations += 1;
+                    if fnv1a32(&self.payload_buf) != stored {
+                        return Err(TraceError::ChecksumMismatch {
+                            core: self.core,
+                            stream_offset: self.consumed,
+                        });
+                    }
+                    self.validated = block_end;
+                }
+            }
+            decode_block_payload(&self.payload_buf, record_count, &mut self.block)?;
+            self.block_pos = 0;
+            self.consumed = block_end;
+            self.file_pos += frame_len + payload_len as u64;
+            return Ok(());
         }
-        decode_block_payload(&self.payload_buf, record_count, &mut self.block)?;
-        self.block_pos = 0;
-        self.consumed += header_len + payload_len as u64;
-        Ok(())
     }
 
     /// Produce the next access, or a decode error. Wraps to the start of the stream at
@@ -198,8 +276,12 @@ impl TraceReader {
     }
 
     /// Decode the whole stream once (no wrap) and verify block framing and checksums.
+    ///
+    /// Forces a full re-validation regardless of what earlier passes already covered —
+    /// this is the explicit integrity check, so it must not trust the high-water mark.
     pub fn verify(&mut self) -> Result<u64, TraceError> {
         self.rewind_stream()?;
+        self.validated = 0;
         let mut records = 0u64;
         while self.consumed < self.info.bytes {
             self.load_next_block()?;
@@ -257,10 +339,24 @@ impl TraceSource for TraceReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::format::{
+        encode_block_payload, fnv1a32, put_u32, FLAG_CHECKSUMS, FORMAT_VERSION_V1, MAGIC,
+    };
     use crate::writer::{TraceCaptureOptions, TraceWriter};
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("trace_io_reader_{name}.atrc"))
+    }
+
+    fn counting_records(records: u64) -> Vec<MemAccess> {
+        (0..records)
+            .map(|i| MemAccess {
+                addr: i * 64,
+                pc: 0x400 + (i % 5) * 4,
+                is_write: i % 4 == 0,
+                non_mem_instrs: (i % 3) as u32,
+            })
+            .collect()
     }
 
     fn write_counting_trace(path: &Path, records: u64, checksums: bool) {
@@ -270,19 +366,51 @@ mod tests {
             ..Default::default()
         };
         let mut w = TraceWriter::with_options(path, 1, "t", opts).unwrap();
-        for i in 0..records {
-            w.push(
-                0,
-                MemAccess {
-                    addr: i * 64,
-                    pc: 0x400 + (i % 5) * 4,
-                    is_write: i % 4 == 0,
-                    non_mem_instrs: (i % 3) as u32,
-                },
-            )
-            .unwrap();
+        for a in counting_records(records) {
+            w.push(0, a).unwrap();
         }
         w.finish().unwrap();
+    }
+
+    /// Hand-assemble a v1 (legacy layout) file: the current writer only emits v2, so the
+    /// compatibility guarantee is exercised against bytes built from the spec.
+    fn write_v1_trace(path: &Path, records: u64) {
+        use crate::format::{put_u16, put_u64};
+        let accesses = counting_records(records);
+        let mut streams = Vec::new();
+        let mut stream_bytes = 0u64;
+        for block in accesses.chunks(16) {
+            let mut payload = Vec::new();
+            encode_block_payload(block, &mut payload);
+            put_u32(&mut streams, payload.len() as u32);
+            put_u32(&mut streams, block.len() as u32);
+            put_u32(&mut streams, fnv1a32(&payload));
+            streams.extend_from_slice(&payload);
+            stream_bytes += 12 + payload.len() as u64;
+        }
+        let label = "t";
+        let core_label = "legacy";
+        let header_len = (4 + 2 + 2 + 4 + 4) + (2 + label.len()) + (2 + core_label.len()) + 32;
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, FORMAT_VERSION_V1);
+        put_u16(&mut out, FLAG_CHECKSUMS);
+        put_u32(&mut out, 1);
+        put_u32(&mut out, 0);
+        put_u16(&mut out, label.len() as u16);
+        out.extend_from_slice(label.as_bytes());
+        put_u16(&mut out, core_label.len() as u16);
+        out.extend_from_slice(core_label.as_bytes());
+        put_u64(&mut out, header_len as u64);
+        put_u64(&mut out, stream_bytes);
+        put_u64(&mut out, records);
+        put_u64(
+            &mut out,
+            accesses.iter().map(|a| a.instructions()).sum::<u64>(),
+        );
+        assert_eq!(out.len(), header_len);
+        out.extend_from_slice(&streams);
+        std::fs::write(path, out).unwrap();
     }
 
     #[test]
@@ -296,6 +424,76 @@ mod tests {
         assert_eq!(first, second, "wrap must restart the identical stream");
         assert_eq!(r.wraps(), 1);
         assert_eq!(r.records_read(), 80);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_still_replay() {
+        let path = tmp("v1");
+        write_v1_trace(&path, 50);
+        let header = read_header(&path).unwrap();
+        assert_eq!(header.version, 1);
+        assert!(!header.chunked);
+        assert_eq!(header.cores[0].label, "legacy");
+        let mut r = TraceReader::open(&path, 0).unwrap();
+        assert_eq!(r.verify().unwrap(), 50);
+        let addrs: Vec<u64> = (0..50).map(|_| r.next_access().addr).collect();
+        assert_eq!(addrs, (0..50).map(|i| i * 64).collect::<Vec<_>>());
+        // Wrap works on v1 streams too.
+        assert_eq!(r.next_access().addr, 0);
+        assert_eq!(r.wraps(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checksums_validate_once_then_skip_on_wrap_and_reset() {
+        let path = tmp("validate_once");
+        write_counting_trace(&path, 64, true); // 4 blocks of 16
+        let mut r = TraceReader::open(&path, 0).unwrap();
+        for _ in 0..64 {
+            r.next_access();
+        }
+        assert_eq!(
+            r.checksum_validations(),
+            4,
+            "first pass validates each block"
+        );
+        for _ in 0..128 {
+            r.next_access();
+        }
+        assert_eq!(
+            r.checksum_validations(),
+            4,
+            "wrapped passes must not re-validate"
+        );
+        r.reset();
+        for _ in 0..64 {
+            r.next_access();
+        }
+        assert_eq!(r.checksum_validations(), 4, "reset must not re-validate");
+        // verify() is the explicit integrity check and re-validates everything.
+        assert_eq!(r.verify().unwrap(), 64);
+        assert_eq!(r.checksum_validations(), 8);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn partial_first_pass_still_validates_unseen_blocks() {
+        let path = tmp("partial_validate");
+        write_counting_trace(&path, 64, true); // 4 blocks of 16
+        let mut r = TraceReader::open(&path, 0).unwrap();
+        for _ in 0..20 {
+            r.next_access(); // blocks 0 and 1 seen
+        }
+        r.reset();
+        for _ in 0..64 {
+            r.next_access();
+        }
+        assert_eq!(
+            r.checksum_validations(),
+            4,
+            "blocks 2 and 3 must be validated on their first decode, 0 and 1 only once"
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -318,10 +516,12 @@ mod tests {
         write_counting_trace(&path, 100, true);
         let mut r = TraceReader::open(&path, 0).unwrap();
         assert_eq!(r.verify().unwrap(), 100);
-        // Flip one payload byte near the end of the file.
+        // Flip one payload byte in the middle of the chunk region (the tail of the file
+        // is the footer, which is framing rather than payload).
+        let header = read_header(&path).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0xff;
+        let target = (header.data_end - 3) as usize;
+        bytes[target] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
         let mut r = TraceReader::open(&path, 0).unwrap();
         assert!(matches!(
@@ -368,7 +568,7 @@ mod tests {
         write_counting_trace(&path, 100, true);
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
-        // The directory now points past EOF; either open (header parse) or verify must
+        // The footer is now gone or misaligned; either open (header parse) or verify must
         // fail — never a silent short stream.
         match TraceReader::open(&path, 0) {
             Err(_) => {}
@@ -403,6 +603,42 @@ mod tests {
         assert!(streams.iter().all(|s| s.len() == 20));
         let readers = open_all(&path).unwrap();
         assert_eq!(readers.len(), 3);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn interleaved_chunks_replay_per_core() {
+        // Push round-robin with a tiny block size so the cores' chunks genuinely
+        // interleave on disk; each reader must see only its own records.
+        let path = tmp("interleaved");
+        let opts = TraceCaptureOptions {
+            records_per_block: 4,
+            ..Default::default()
+        };
+        let mut w = TraceWriter::with_options(&path, 2, "t", opts).unwrap();
+        for i in 0..40u64 {
+            for core in 0..2usize {
+                w.push(
+                    core,
+                    MemAccess {
+                        addr: (core as u64) << 32 | (i * 64),
+                        pc: 0,
+                        is_write: false,
+                        non_mem_instrs: 0,
+                    },
+                )
+                .unwrap();
+            }
+        }
+        w.finish().unwrap();
+        for core in 0..2usize {
+            let mut r = TraceReader::open(&path, core).unwrap();
+            assert_eq!(r.verify().unwrap(), 40);
+            for i in 0..40u64 {
+                assert_eq!(r.next_access().addr, (core as u64) << 32 | (i * 64));
+            }
+            assert_eq!(r.next_access().addr, (core as u64) << 32, "wraps to start");
+        }
         std::fs::remove_file(path).ok();
     }
 }

@@ -1,7 +1,14 @@
 //! [`TraceWriter`]: capture per-core access streams into a binary trace file.
+//!
+//! Since format version 2 the writer is *streaming*: a block is framed as a chunk
+//! (`core_id`, length, record count, optional checksum) and written to disk the moment it
+//! fills, so resident memory stays bounded by `records_per_block × num_cores` regardless
+//! of capture length — captures larger than RAM work. The per-core directory is written
+//! as a footer by [`finish`](TraceWriter::finish); a file without its footer is invalid
+//! by construction, which makes interrupted captures detectable.
 
 use std::fs::File;
-use std::io::{self, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use cache_sim::trace::{MemAccess, TraceSink, TraceSource};
@@ -16,9 +23,9 @@ use crate::header::{CoreStreamInfo, TraceHeader, MAX_CORES};
 /// Knobs for a capture session.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceCaptureOptions {
-    /// Records buffered into one block before it is framed and encoded.
+    /// Records buffered into one chunk before it is framed, encoded and written out.
     pub records_per_block: usize,
-    /// Whether each block carries an FNV-1a checksum of its payload.
+    /// Whether each chunk carries an FNV-1a checksum of its payload.
     pub checksums: bool,
     /// LLC set count the captured sources were parameterized with, recorded in the
     /// header so replay can refuse a geometry-mismatched system (0 = unknown).
@@ -35,39 +42,25 @@ impl Default for TraceCaptureOptions {
     }
 }
 
-/// Per-core encoding state.
+/// Per-core capture state: the records of the chunk currently being filled plus running
+/// directory totals. Encoded bytes go straight to disk, not here.
 struct CoreEncoder {
     label: String,
-    /// Finished, framed blocks.
-    encoded: Vec<u8>,
-    /// Records of the block currently being filled.
     pending: Vec<MemAccess>,
+    first_chunk_offset: Option<u64>,
+    bytes: u64,
     records: u64,
     instructions: u64,
-}
-
-impl CoreEncoder {
-    fn flush_block(&mut self, checksums: bool, scratch: &mut Vec<u8>) {
-        if self.pending.is_empty() {
-            return;
-        }
-        scratch.clear();
-        encode_block_payload(&self.pending, scratch);
-        put_u32(&mut self.encoded, scratch.len() as u32);
-        put_u32(&mut self.encoded, self.pending.len() as u32);
-        if checksums {
-            put_u32(&mut self.encoded, fnv1a32(scratch));
-        }
-        self.encoded.extend_from_slice(scratch);
-        self.pending.clear();
-    }
 }
 
 /// Summary returned by [`TraceWriter::finish`].
 #[derive(Debug, Clone)]
 pub struct TraceSummary {
+    /// Path of the finished file.
     pub path: PathBuf,
+    /// Total size of the file, footer included.
     pub file_bytes: u64,
+    /// Records captured across all cores.
     pub total_records: u64,
     /// (label, records) per core, in core order.
     pub per_core: Vec<(String, u64)>,
@@ -84,26 +77,27 @@ impl TraceSummary {
     }
 }
 
-/// Captures any [`TraceSource`]s into the binary `.atrc` format.
+/// Captures any [`TraceSource`]s into the binary `.atrc` format (version 2, chunked).
 ///
-/// Streams are buffered in memory (encoded form, ~4 bytes/record) and written out in one
-/// pass by [`finish`](TraceWriter::finish), which keeps the file layout simple
-/// (header + contiguous per-core streams) at the cost of holding the encoded corpus in
-/// RAM — fine for the 10⁶–10⁸-record traces this repository works with.
+/// Chunks stream to disk as they fill, so memory use is O(`records_per_block` ×
+/// `num_cores`) — independent of how many records are captured.
 pub struct TraceWriter {
     path: PathBuf,
-    file: File,
+    out: BufWriter<File>,
     label: String,
     opts: TraceCaptureOptions,
     cores: Vec<CoreEncoder>,
+    /// Absolute offset the next write lands on.
+    offset: u64,
     scratch: Vec<u8>,
+    frame: Vec<u8>,
 }
 
 impl TraceWriter {
     /// Create a writer for `num_cores` streams persisting to `path`.
     ///
     /// The file is created (and truncated) eagerly so path problems surface before an
-    /// expensive capture runs.
+    /// expensive capture runs; the format preamble is written immediately.
     pub fn create(path: impl AsRef<Path>, num_cores: usize, label: &str) -> io::Result<Self> {
         Self::with_options(path, num_cores, label, TraceCaptureOptions::default())
     }
@@ -133,28 +127,58 @@ impl TraceWriter {
         validate_label(label)?;
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
-        let cores = (0..num_cores)
+        let cores: Vec<CoreEncoder> = (0..num_cores)
             .map(|i| CoreEncoder {
                 label: format!("core{i}"),
-                encoded: Vec::new(),
                 pending: Vec::new(),
+                first_chunk_offset: None,
+                bytes: 0,
                 records: 0,
                 instructions: 0,
             })
             .collect();
-        Ok(TraceWriter {
+        let mut writer = TraceWriter {
             path,
-            file,
+            out: BufWriter::new(file),
             label: label.to_string(),
             opts,
             cores,
+            offset: 0,
             scratch: Vec::new(),
-        })
+            frame: Vec::new(),
+        };
+        let preamble = writer.header().encode_preamble();
+        writer.out.write_all(&preamble)?;
+        writer.offset = preamble.len() as u64;
+        Ok(writer)
     }
 
     /// Number of per-core streams.
     pub fn num_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// The in-memory header reflecting everything captured so far.
+    fn header(&self) -> TraceHeader {
+        TraceHeader {
+            version: FORMAT_VERSION,
+            checksums: self.opts.checksums,
+            chunked: true,
+            llc_sets: self.opts.llc_sets,
+            label: self.label.clone(),
+            cores: self
+                .cores
+                .iter()
+                .map(|c| CoreStreamInfo {
+                    label: c.label.clone(),
+                    offset: c.first_chunk_offset.unwrap_or(0),
+                    bytes: c.bytes,
+                    records: c.records,
+                    instructions: c.instructions,
+                })
+                .collect(),
+            data_end: self.offset,
+        }
     }
 
     fn core_mut(&mut self, core: usize) -> io::Result<&mut CoreEncoder> {
@@ -164,22 +188,40 @@ impl TraceWriter {
             .ok_or_else(|| core_out_of_range(core, n))
     }
 
-    /// Append one access to `core`'s stream.
+    /// Frame and write `core`'s pending records as one chunk.
+    fn flush_chunk(&mut self, core: usize) -> io::Result<()> {
+        if self.cores[core].pending.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        self.frame.clear();
+        encode_block_payload(&self.cores[core].pending, &mut self.scratch);
+        put_u32(&mut self.frame, core as u32);
+        put_u32(&mut self.frame, self.scratch.len() as u32);
+        put_u32(&mut self.frame, self.cores[core].pending.len() as u32);
+        if self.opts.checksums {
+            put_u32(&mut self.frame, fnv1a32(&self.scratch));
+        }
+        self.out.write_all(&self.frame)?;
+        self.out.write_all(&self.scratch)?;
+        let total = (self.frame.len() + self.scratch.len()) as u64;
+        let enc = &mut self.cores[core];
+        enc.first_chunk_offset.get_or_insert(self.offset);
+        enc.bytes += total;
+        enc.pending.clear();
+        self.offset += total;
+        Ok(())
+    }
+
+    /// Append one access to `core`'s stream, spilling a full chunk to disk.
     pub fn push(&mut self, core: usize, access: MemAccess) -> io::Result<()> {
         let records_per_block = self.opts.records_per_block;
-        let checksums = self.opts.checksums;
-        // Split borrows: scratch is independent of the core table.
-        let scratch = &mut self.scratch;
-        let n = self.cores.len();
-        let enc = self
-            .cores
-            .get_mut(core)
-            .ok_or_else(|| core_out_of_range(core, n))?;
+        let enc = self.core_mut(core)?;
         enc.pending.push(access);
         enc.records += 1;
         enc.instructions += access.instructions();
         if enc.pending.len() >= records_per_block {
-            enc.flush_block(checksums, scratch);
+            self.flush_chunk(core)?;
         }
         Ok(())
     }
@@ -195,45 +237,19 @@ impl TraceWriter {
         cache_sim::trace::capture_into(source, self, core, accesses)
     }
 
-    /// Flush pending blocks, write the file, and return a capture summary.
+    /// Flush pending chunks, write the directory footer, and return a capture summary.
     pub fn finish(mut self) -> io::Result<TraceSummary> {
-        let checksums = self.opts.checksums;
-        for enc in &mut self.cores {
-            enc.flush_block(checksums, &mut self.scratch);
+        for core in 0..self.cores.len() {
+            self.flush_chunk(core)?;
         }
-        let mut header = TraceHeader {
-            version: FORMAT_VERSION,
-            checksums,
-            llc_sets: self.opts.llc_sets,
-            label: self.label.clone(),
-            cores: self
-                .cores
-                .iter()
-                .map(|c| CoreStreamInfo {
-                    label: c.label.clone(),
-                    offset: 0,
-                    bytes: c.encoded.len() as u64,
-                    records: c.records,
-                    instructions: c.instructions,
-                })
-                .collect(),
-        };
-        let mut offset = header.encoded_len();
-        for core in &mut header.cores {
-            core.offset = offset;
-            offset += core.bytes;
-        }
-        let mut out = io::BufWriter::new(&mut self.file);
-        out.write_all(&header.encode())?;
-        for enc in &self.cores {
-            out.write_all(&enc.encoded)?;
-        }
-        out.flush()?;
-        drop(out);
-        self.file.sync_all()?;
+        let header = self.header();
+        let footer = header.encode_footer(self.offset);
+        self.out.write_all(&footer)?;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
         Ok(TraceSummary {
             path: self.path.clone(),
-            file_bytes: offset,
+            file_bytes: self.offset + footer.len() as u64,
             total_records: header.total_records(),
             per_core: self
                 .cores
@@ -356,6 +372,68 @@ mod tests {
         assert!(summary.bytes_per_record() > 0.0);
         let on_disk = std::fs::metadata(&path).unwrap().len();
         assert_eq!(on_disk, summary.file_bytes);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn chunks_stream_to_disk_before_finish() {
+        // The point of the v2 chunked format: the file grows while the capture is still
+        // running, so resident memory does not scale with capture length.
+        let path = std::env::temp_dir().join("trace_io_writer_streaming.atrc");
+        let opts = TraceCaptureOptions {
+            records_per_block: 8,
+            ..Default::default()
+        };
+        let mut w = TraceWriter::with_options(&path, 1, "t", opts).unwrap();
+        for i in 0..1000u64 {
+            w.push(
+                0,
+                MemAccess {
+                    addr: i * 64,
+                    pc: 0,
+                    is_write: false,
+                    non_mem_instrs: 0,
+                },
+            )
+            .unwrap();
+        }
+        // Force buffered chunks out so the on-disk size is observable mid-capture.
+        w.out.flush().unwrap();
+        let mid_capture = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            mid_capture > 500,
+            "chunks must reach the file before finish, got {mid_capture} bytes"
+        );
+        let summary = w.finish().unwrap();
+        assert!(summary.file_bytes > mid_capture);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn interrupted_capture_leaves_an_unreadable_file() {
+        // Dropping the writer without finish() leaves no footer; readers must reject the
+        // file instead of replaying a silently truncated stream.
+        let path = std::env::temp_dir().join("trace_io_writer_interrupted.atrc");
+        let opts = TraceCaptureOptions {
+            records_per_block: 4,
+            ..Default::default()
+        };
+        let mut w = TraceWriter::with_options(&path, 1, "t", opts).unwrap();
+        for i in 0..64u64 {
+            w.push(
+                0,
+                MemAccess {
+                    addr: i,
+                    pc: 0,
+                    is_write: false,
+                    non_mem_instrs: 0,
+                },
+            )
+            .unwrap();
+        }
+        w.out.flush().unwrap();
+        drop(w);
+        assert!(crate::read_header(&path).is_err());
         std::fs::remove_file(path).ok();
     }
 }

@@ -95,6 +95,65 @@ pub fn capture_to_file<S: CaptureTarget>(
     sink.finish()
 }
 
+/// Outcome of materializing one mix of a corpus: where the capture landed and what it
+/// contains. `trace_io::Corpus` turns a list of these into a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializedMix {
+    /// The mix's id (sweeps preserve it into their result ordering).
+    pub mix_id: usize,
+    /// File name relative to the corpus directory (`mix{id:04}.atrc`).
+    pub file_name: String,
+    /// Benchmark names, one per core, in core order.
+    pub benchmarks: Vec<String>,
+}
+
+/// File-name convention for a mix's trace inside a corpus directory.
+pub fn corpus_file_name(mix_id: usize) -> String {
+    format!("mix{mix_id:04}.atrc")
+}
+
+/// Capture every mix exactly once into `dir` (created if needed), one trace file per
+/// mix named by [`corpus_file_name`].
+///
+/// This is the capture step of the corpus-backed sweep engine: a sweep over P policies
+/// used to regenerate every mix P times, while a materialized corpus is captured once
+/// and replayed from a shared decode. `S` is the on-disk format — pass
+/// `trace_io::TraceWriter`. Existing files are overwritten so the directory always
+/// reflects the requested parameters.
+pub fn materialize_corpus<S: CaptureTarget>(
+    dir: &Path,
+    mixes: &[WorkloadMix],
+    llc_sets: usize,
+    seed: u64,
+    accesses_per_core: u64,
+) -> io::Result<Vec<MaterializedMix>> {
+    if mixes.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a corpus needs at least one mix",
+        ));
+    }
+    std::fs::create_dir_all(dir)?;
+    mixes
+        .iter()
+        .map(|mix| {
+            let file_name = corpus_file_name(mix.id);
+            capture_to_file::<S>(
+                &dir.join(&file_name),
+                mix,
+                llc_sets,
+                seed,
+                accesses_per_core,
+            )?;
+            Ok(MaterializedMix {
+                mix_id: mix.id,
+                file_name,
+                benchmarks: mix.benchmarks.clone(),
+            })
+        })
+        .collect()
+}
+
 /// Capture a list of named Table 4 benchmarks (one per core, in order) to a new trace file.
 ///
 /// Returns an [`io::ErrorKind::InvalidInput`] error when a name is not in the roster.
@@ -190,6 +249,26 @@ mod tests {
     fn capture_to_file_drives_the_target_lifecycle() {
         let mix = generate_mixes(StudyKind::Cores4, 1, 3).remove(0);
         capture_to_file::<MemorySink>(Path::new("/tmp/x.atrc"), &mix, 64, 3, 10).unwrap();
+    }
+
+    #[test]
+    fn materialize_corpus_captures_each_mix_once() {
+        let dir = std::env::temp_dir().join("workloads_materialize_corpus");
+        std::fs::remove_dir_all(&dir).ok();
+        let mixes = generate_mixes(StudyKind::Cores4, 3, 5);
+        let captured = materialize_corpus::<MemorySink>(&dir, &mixes, 64, 5, 50).unwrap();
+        assert_eq!(captured.len(), 3);
+        for (m, mix) in captured.iter().zip(&mixes) {
+            assert_eq!(m.mix_id, mix.id);
+            assert_eq!(m.file_name, corpus_file_name(mix.id));
+            assert_eq!(m.benchmarks, mix.benchmarks);
+        }
+        assert!(dir.is_dir(), "materialize must create the directory");
+        assert!(
+            materialize_corpus::<MemorySink>(&dir, &[], 64, 5, 50).is_err(),
+            "an empty corpus is rejected"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! End-to-end tests of the corpus-backed sweep engine: materialize a corpus on disk,
+//! sweep it, and hold the results against the serial synthetic reference path.
+
+use experiments::runner::{
+    evaluate_policies_on_corpus, evaluate_policies_on_mixes, evaluate_policies_serial,
+    synthetic_capture_budget,
+};
+use experiments::{ExperimentScale, PolicyKind};
+use trace_io::{Corpus, TraceError};
+use workloads::{generate_mixes, StudyKind};
+
+const INSTRUCTIONS: u64 = 20_000;
+const SEED: u64 = 1;
+
+fn policies() -> [PolicyKind; 3] {
+    [PolicyKind::TaDrrip, PolicyKind::AdaptBp32, PolicyKind::Eaf]
+}
+
+#[test]
+fn corpus_sweep_reproduces_the_serial_synthetic_path_bit_for_bit() {
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let mixes = generate_mixes(StudyKind::Cores4, 3, scale.seed());
+    let policies = policies();
+
+    let dir = std::env::temp_dir().join("e2e_corpus_sweep");
+    std::fs::remove_dir_all(&dir).ok();
+    let corpus = Corpus::materialize(
+        &dir,
+        "e2e",
+        &mixes,
+        cfg.llc.geometry.num_sets(),
+        SEED,
+        synthetic_capture_budget(INSTRUCTIONS),
+    )
+    .unwrap();
+
+    let serial = evaluate_policies_serial(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    let grid = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    let from_disk = evaluate_policies_on_corpus(&cfg, &corpus, &policies, INSTRUCTIONS).unwrap();
+
+    assert_eq!(serial.len(), mixes.len() * policies.len());
+    assert_eq!(grid.len(), serial.len());
+    assert_eq!(from_disk.len(), serial.len());
+    for ((s, g), d) in serial.iter().zip(&grid).zip(&from_disk) {
+        // Deterministic (mix, policy) ordering across all three engines.
+        assert_eq!(s.mix_id, g.mix_id);
+        assert_eq!(s.policy, g.policy);
+        assert_eq!(s.mix_id, d.mix_id);
+        assert_eq!(s.policy, d.policy);
+        // Bit-identical metrics.
+        assert_eq!(s.weighted_speedup(), g.weighted_speedup());
+        assert_eq!(s.weighted_speedup(), d.weighted_speedup());
+        for ((a, b), c) in s.per_app.iter().zip(&g.per_app).zip(&d.per_app) {
+            assert_eq!(a.ipc, b.ipc, "{}: grid IPC differs", a.name);
+            assert_eq!(a.ipc, c.ipc, "{}: corpus IPC differs", a.name);
+            assert_eq!(a.llc_mpki, b.llc_mpki);
+            assert_eq!(a.llc_mpki, c.llc_mpki);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corpus_sweep_is_deterministic_across_runs() {
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let mixes = generate_mixes(StudyKind::Cores4, 2, scale.seed());
+    let policies = policies();
+    let a = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    let b = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.mix_id, y.mix_id);
+        assert_eq!(x.policy, y.policy);
+        assert_eq!(x.weighted_speedup(), y.weighted_speedup());
+    }
+}
+
+#[test]
+fn corpus_sweep_rejects_wrong_geometry_and_tampered_manifests() {
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let llc_sets = cfg.llc.geometry.num_sets();
+    let mixes = generate_mixes(StudyKind::Cores4, 1, scale.seed());
+
+    let dir = std::env::temp_dir().join("e2e_corpus_geometry");
+    std::fs::remove_dir_all(&dir).ok();
+    let corpus = Corpus::materialize(&dir, "e2e", &mixes, llc_sets * 2, SEED, 500).unwrap();
+    let err = evaluate_policies_on_corpus(&cfg, &corpus, &policies(), INSTRUCTIONS).unwrap_err();
+    assert!(
+        matches!(err, TraceError::Manifest(_)),
+        "geometry mismatch must surface as a manifest error, got {err}"
+    );
+
+    // A manifest whose benchmarks disagree with the trace files is rejected at load.
+    let manifest = dir.join(trace_io::corpus::MANIFEST_FILE);
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(&manifest, text.replace("mix 0", "mix 7")).ok();
+    // mix id change alone is fine (ids are free-form) — but swapping the benchmark list
+    // must fail.
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let tampered: String = text
+        .lines()
+        .map(|l| {
+            if l.starts_with("mix ") {
+                let mut parts: Vec<&str> = l.split_whitespace().collect();
+                parts[3] = "gcc,gcc,gcc,gcc";
+                parts.join(" ") + "\n"
+            } else {
+                l.to_string() + "\n"
+            }
+        })
+        .collect();
+    std::fs::write(&manifest, tampered).unwrap();
+    assert!(matches!(Corpus::load(&dir), Err(TraceError::Manifest(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}

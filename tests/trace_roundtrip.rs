@@ -145,10 +145,12 @@ fn header_error_paths_are_reported() {
         );
     }
 
-    // A flipped stream byte is caught by the per-block checksum during verify.
+    // A flipped stream byte is caught by the per-block checksum during verify. The data
+    // region ends at the footer; the bytes just before it are the last chunk's payload.
+    std::fs::write(&path, &good).unwrap();
+    let data_end = read_header(&path).unwrap().data_end as usize;
     let mut bad = good.clone();
-    let last = bad.len() - 1;
-    bad[last] ^= 0x55;
+    bad[data_end - 3] ^= 0x55;
     std::fs::write(&path, &bad).unwrap();
     let header = read_header(&path).unwrap();
     let mut failures = 0;
@@ -162,6 +164,17 @@ fn header_error_paths_are_reported() {
         failures, 1,
         "exactly the tampered core must fail verification"
     );
+
+    // Clobbering the trailing footer pointer (the last 8 bytes of a v2 file) is caught
+    // at header-parse time.
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x55;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        read_header(&path),
+        Err(TraceError::Corrupt(_)) | Err(TraceError::Truncated(_))
+    ));
 
     std::fs::remove_file(path).ok();
 }
