@@ -82,6 +82,7 @@ fn bench_dram(c: &mut Criterion) {
             row_bytes: 4096,
             xor_mapping: true,
             bank_busy_cycles: 16,
+            contention: cache_sim::config::BankContentionConfig::flat(),
         });
         let mut i = 0u64;
         b.iter(|| {

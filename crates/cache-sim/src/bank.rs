@@ -1,0 +1,353 @@
+//! Cycle-accounted bank contention model shared by the LLC and DRAM.
+//!
+//! The seed simulator modeled a bank as a single `busy_until` timestamp: every request
+//! waited for the bank to go idle and then occupied it for a fixed window. That is a
+//! one-port, infinitely-buffered server — latency-only banking in which concurrent
+//! misses are invisible except through a scalar queue delay. [`BankModel`] generalizes
+//! it into a cycle-accounted contention subsystem:
+//!
+//! * **Finite service ports.** Each bank owns [`BankContentionConfig::ports`] parallel
+//!   service ports. A request starts service on the earliest-free port (ties broken by
+//!   the lowest port index, so retirement order is deterministic) and occupies it for
+//!   the service window.
+//! * **Finite request queues.** Each bank admits at most
+//!   [`BankContentionConfig::queue_depth`] waiting requests. When the queue is full, a
+//!   new request stalls *before admission* until an earlier request starts service and
+//!   frees a slot — back-pressure that propagates to the requesting core as extra
+//!   latency rather than vanishing into an unbounded buffer.
+//! * **Per-bank statistics.** Every bank tracks how many requests it served, how long
+//!   they waited for a port ([`BankStats::queue_cycles`]), how long they were refused
+//!   admission ([`BankStats::admission_stall_cycles`]), how many cycles its ports were
+//!   occupied ([`BankStats::busy_cycles`]) and the peak number of simultaneous waiters.
+//!
+//! With the default configuration ([`BankContentionConfig::flat`]: one port, unbounded
+//! queue) the model is *algebraically identical* to the seed's `busy_until` arithmetic,
+//! which is what keeps every zero-contention configuration bit-for-bit compatible with
+//! the flat-latency model — a property enforced by the regression tests in this module
+//! and in `llc.rs`.
+//!
+//! The model relies on request times being non-decreasing across calls, which the
+//! multi-core driver guarantees by advancing cores in global (cycle, core) order.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::BankContentionConfig;
+
+/// Occupancy/stall statistics for one bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Requests served by this bank.
+    pub requests: u64,
+    /// Requests that had to wait at all (for admission or for a port).
+    pub queued_requests: u64,
+    /// Cycles requests spent admitted but waiting for a free service port.
+    pub queue_cycles: u64,
+    /// Cycles requests spent stalled *before* admission because the finite queue was
+    /// full (back-pressure). Always zero when the queue is unbounded.
+    pub admission_stall_cycles: u64,
+    /// Cycles a service port of this bank was occupied (summed over ports).
+    pub busy_cycles: u64,
+    /// Peak number of simultaneously waiting (admitted, not yet started) requests.
+    pub peak_waiting: usize,
+}
+
+impl BankStats {
+    /// Total cycles requests spent stalled at this bank (admission + port wait).
+    pub fn stall_cycles(&self) -> u64 {
+        self.queue_cycles + self.admission_stall_cycles
+    }
+
+    /// Fraction of this bank's request time spent stalled rather than in service:
+    /// `stall / (stall + busy)`. Zero when the bank saw no traffic.
+    pub fn stall_share(&self) -> f64 {
+        stall_share(self.stall_cycles(), self.busy_cycles)
+    }
+}
+
+/// The bank-stall-share formula used at every aggregation level:
+/// `stall / (stall + busy)`, zero when there was no traffic at all.
+pub fn stall_share(stall_cycles: u64, busy_cycles: u64) -> f64 {
+    let total = stall_cycles + busy_cycles;
+    if total == 0 {
+        0.0
+    } else {
+        stall_cycles as f64 / total as f64
+    }
+}
+
+/// Stall share aggregated over a set of banks: `Σstall / (Σstall + Σbusy)`.
+pub fn aggregate_stall_share<'a>(banks: impl IntoIterator<Item = &'a BankStats>) -> f64 {
+    let (stall, busy) = banks.into_iter().fold((0u64, 0u64), |(s, b), bank| {
+        (s + bank.stall_cycles(), b + bank.busy_cycles)
+    });
+    stall_share(stall, busy)
+}
+
+/// Outcome of one bank request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankRequest {
+    /// Cycles the request waited before starting service (admission stall + port wait).
+    pub delay: u64,
+    /// Absolute cycle at which service started.
+    pub start: u64,
+    /// Absolute cycle at which service completed (`start + service_cycles`).
+    pub completion: u64,
+}
+
+/// Per-bank state: port free times plus the admitted-but-unstarted request queue.
+#[derive(Debug, Clone)]
+struct Bank {
+    /// When each service port becomes free.
+    port_free: Vec<u64>,
+    /// Start times of requests that have been admitted but have not begun service,
+    /// in non-decreasing order (request times are non-decreasing, see module docs).
+    waiting: VecDeque<u64>,
+}
+
+/// A group of cycle-accounted banks (see the module documentation).
+#[derive(Debug, Clone)]
+pub struct BankModel {
+    config: BankContentionConfig,
+    banks: Vec<Bank>,
+    stats: Vec<BankStats>,
+}
+
+impl BankModel {
+    /// Create `num_banks` banks governed by `config`.
+    pub fn new(num_banks: usize, config: BankContentionConfig) -> Self {
+        assert!(config.ports >= 1, "banks need at least one service port");
+        BankModel {
+            banks: vec![
+                Bank {
+                    port_free: vec![0; config.ports],
+                    waiting: VecDeque::new(),
+                };
+                num_banks
+            ],
+            stats: vec![BankStats::default(); num_banks],
+            config,
+        }
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The contention configuration governing every bank.
+    pub fn config(&self) -> &BankContentionConfig {
+        &self.config
+    }
+
+    /// Per-bank statistics, indexed by bank.
+    pub fn stats(&self) -> &[BankStats] {
+        &self.stats
+    }
+
+    /// Issue a request to `bank` at absolute cycle `now`, occupying a service port for
+    /// `service_cycles`. Returns when the request started and completed; the queuing
+    /// delay (`start - now`) is what the caller charges on top of its service latency.
+    pub fn request(&mut self, bank: usize, now: u64, service_cycles: u64) -> BankRequest {
+        let b = &mut self.banks[bank];
+        let st = &mut self.stats[bank];
+        st.requests += 1;
+
+        // Requests whose service already started are no longer waiting.
+        while b.waiting.front().is_some_and(|&s| s <= now) {
+            b.waiting.pop_front();
+        }
+
+        // Admission: a full finite queue delays the request until enough earlier
+        // requests start service that a slot frees up.
+        let mut admit = now;
+        if self.config.queue_depth > 0 && b.waiting.len() >= self.config.queue_depth {
+            admit = b.waiting[b.waiting.len() - self.config.queue_depth];
+            st.admission_stall_cycles += admit - now;
+        }
+
+        // Service starts on the earliest-free port (lowest index on ties).
+        let (port, free) = b
+            .port_free
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, f)| (f, i))
+            .expect("at least one port");
+        let start = admit.max(free);
+        b.port_free[port] = start + service_cycles;
+        st.busy_cycles += service_cycles;
+
+        if start > now {
+            st.queued_requests += 1;
+            st.queue_cycles += start - admit;
+            b.waiting.push_back(start);
+            // Entries that will still be waiting while this request waits, i.e. the
+            // instantaneous queue population at `admit` (binary search: `waiting` is
+            // sorted non-decreasing).
+            let mut lo = 0;
+            let mut hi = b.waiting.len();
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if b.waiting[mid] <= admit {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            st.peak_waiting = st.peak_waiting.max(b.waiting.len() - lo);
+        }
+
+        BankRequest {
+            delay: start - now,
+            start,
+            completion: start + service_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat() -> BankContentionConfig {
+        BankContentionConfig::flat()
+    }
+
+    /// The seed's latency-only bank: a single `busy_until` timestamp per bank.
+    struct FlatReference {
+        busy_until: Vec<u64>,
+        busy_cycles: u64,
+    }
+
+    impl FlatReference {
+        fn new(banks: usize, busy_cycles: u64) -> Self {
+            FlatReference {
+                busy_until: vec![0; banks],
+                busy_cycles,
+            }
+        }
+        fn access(&mut self, bank: usize, now: u64) -> u64 {
+            let delay = self.busy_until[bank].saturating_sub(now);
+            self.busy_until[bank] = now + delay + self.busy_cycles;
+            delay
+        }
+    }
+
+    #[test]
+    fn flat_config_reproduces_the_seed_busy_until_model_exactly() {
+        // Deterministic pseudo-random request pattern with non-decreasing times.
+        let mut model = BankModel::new(4, flat());
+        let mut reference = FlatReference::new(4, 7);
+        let mut now = 0u64;
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            now += x % 5;
+            let bank = (x >> 8) as usize % 4;
+            let expected = reference.access(bank, now);
+            let got = model.request(bank, now, 7);
+            assert_eq!(got.delay, expected);
+            assert_eq!(got.completion, now + expected + 7);
+        }
+        // The flat model never refuses admission.
+        for s in model.stats() {
+            assert_eq!(s.admission_stall_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn idle_bank_adds_no_delay() {
+        let mut m = BankModel::new(2, BankContentionConfig::contended(2, 4));
+        let r = m.request(0, 100, 10);
+        assert_eq!(r.delay, 0);
+        assert_eq!(r.start, 100);
+        assert_eq!(r.completion, 110);
+        assert_eq!(m.stats()[0].queued_requests, 0);
+    }
+
+    #[test]
+    fn two_ports_serve_two_concurrent_requests_without_queuing() {
+        let mut m = BankModel::new(1, BankContentionConfig::contended(2, 8));
+        let a = m.request(0, 0, 10);
+        let b = m.request(0, 0, 10);
+        let c = m.request(0, 0, 10);
+        assert_eq!(a.delay, 0);
+        assert_eq!(b.delay, 0, "second port absorbs the second request");
+        assert_eq!(c.delay, 10, "third request waits for a port");
+        assert_eq!(m.stats()[0].queued_requests, 1);
+        assert_eq!(m.stats()[0].queue_cycles, 10);
+    }
+
+    #[test]
+    fn full_queue_stalls_admission() {
+        // One port, queue depth 1: the third concurrent request cannot even be
+        // admitted until the second one starts service.
+        let mut m = BankModel::new(1, BankContentionConfig::contended(1, 1));
+        let a = m.request(0, 0, 10); // serves [0, 10)
+        let b = m.request(0, 0, 10); // waits, starts at 10
+        let c = m.request(0, 0, 10); // queue full: admitted at 10, starts at 20
+        assert_eq!(a.delay, 0);
+        assert_eq!(b.delay, 10);
+        assert_eq!(c.delay, 20);
+        let st = &m.stats()[0];
+        assert_eq!(st.admission_stall_cycles, 10);
+        assert_eq!(st.queue_cycles, 10 + 10);
+        assert_eq!(st.peak_waiting, 1);
+    }
+
+    #[test]
+    fn unbounded_queue_never_stalls_admission() {
+        let mut m = BankModel::new(1, flat());
+        for _ in 0..100 {
+            m.request(0, 0, 5);
+        }
+        let st = &m.stats()[0];
+        assert_eq!(st.admission_stall_cycles, 0);
+        assert_eq!(st.queued_requests, 99);
+        // Request i waits i * 5 cycles.
+        assert_eq!(st.queue_cycles, (0..100u64).map(|i| i * 5).sum::<u64>());
+    }
+
+    #[test]
+    fn waiters_drain_as_time_advances() {
+        let mut m = BankModel::new(1, BankContentionConfig::contended(1, 2));
+        m.request(0, 0, 10);
+        m.request(0, 0, 10);
+        m.request(0, 0, 10);
+        // At cycle 40 everything has retired: a fresh request is served immediately.
+        let r = m.request(0, 40, 10);
+        assert_eq!(r.delay, 0);
+        assert_eq!(m.stats()[0].requests, 4);
+    }
+
+    #[test]
+    fn stall_share_reflects_queue_pressure() {
+        let mut idle = BankModel::new(1, flat());
+        idle.request(0, 0, 10);
+        assert_eq!(idle.stats()[0].stall_share(), 0.0);
+
+        let mut busy = BankModel::new(1, flat());
+        busy.request(0, 0, 10);
+        busy.request(0, 0, 10); // waits 10, serves 10
+        let share = busy.stats()[0].stall_share();
+        assert!((share - 10.0 / 30.0).abs() < 1e-12, "share {share}");
+    }
+
+    #[test]
+    fn determinism_identical_sequences_yield_identical_stats() {
+        let run = || {
+            let mut m = BankModel::new(4, BankContentionConfig::contended(2, 4));
+            let mut now = 0;
+            for i in 0..5_000u64 {
+                now += i % 3;
+                m.request((i % 4) as usize, now, 4 + i % 9);
+            }
+            m.stats().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

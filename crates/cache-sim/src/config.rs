@@ -46,6 +46,75 @@ impl CacheGeometry {
     pub fn num_blocks(&self) -> usize {
         (self.size_bytes / self.line_bytes) as usize
     }
+
+    /// Geometry from an explicit set count; panics unless `sets` is a power of two.
+    pub fn with_sets(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheGeometry {
+            size_bytes: sets as u64 * ways as u64 * BLOCK_BYTES,
+            ways,
+            line_bytes: BLOCK_BYTES,
+        }
+    }
+
+    /// Core-count-generic geometry: `per_core_bytes` of capacity per core at the given
+    /// associativity, with the set count rounded **up** to the nearest power of two so
+    /// any core count (including non-powers-of-two like 48) yields a valid geometry.
+    pub fn per_core(num_cores: usize, per_core_bytes: u64, ways: usize) -> Self {
+        let target_bytes = per_core_bytes * num_cores as u64;
+        let sets = (target_bytes / (BLOCK_BYTES * ways as u64)).max(1) as usize;
+        Self::with_sets(sets.next_power_of_two(), ways)
+    }
+}
+
+/// Cycle-accounting contention model for a group of banks (see [`crate::bank`]).
+///
+/// The default ([`BankContentionConfig::flat`]) is one service port with an unbounded
+/// queue, which is algebraically identical to the seed's latency-only `busy_until`
+/// banking — zero-contention configurations therefore reproduce the flat-latency model
+/// exactly (regression-tested in `crate::bank` and `crate::llc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankContentionConfig {
+    /// Parallel service ports per bank (>= 1). One port serializes every request.
+    pub ports: usize,
+    /// Waiting-request slots per bank; `0` means unbounded (no admission stalls).
+    pub queue_depth: usize,
+    /// When true, a full MSHR delays the *issue* of the DRAM access itself
+    /// (back-pressure) instead of only charging the stall to the requesting core after
+    /// the access has already been timed. Only meaningful on the LLC's configuration.
+    pub mshr_backpressure: bool,
+}
+
+impl BankContentionConfig {
+    /// The seed behaviour: one port, unbounded queue, no MSHR back-pressure.
+    pub fn flat() -> Self {
+        BankContentionConfig {
+            ports: 1,
+            queue_depth: 0,
+            mshr_backpressure: false,
+        }
+    }
+
+    /// Contended banks: `ports` parallel ports, a finite `queue_depth`-entry queue and
+    /// MSHR back-pressure enabled.
+    pub fn contended(ports: usize, queue_depth: usize) -> Self {
+        BankContentionConfig {
+            ports,
+            queue_depth,
+            mshr_backpressure: true,
+        }
+    }
+
+    /// True when this configuration reproduces the seed's flat-latency model.
+    pub fn is_flat(&self) -> bool {
+        *self == Self::flat()
+    }
+}
+
+impl Default for BankContentionConfig {
+    fn default() -> Self {
+        Self::flat()
+    }
 }
 
 /// Configuration of a private cache level (L1D or L2).
@@ -87,6 +156,9 @@ pub struct LlcConfig {
     pub wb_entries: usize,
     /// Write-back buffer retirement threshold.
     pub wb_retire_at: usize,
+    /// Cycle-accounted bank contention model (ports, queue depth, MSHR back-pressure).
+    /// Defaults to [`BankContentionConfig::flat`], the seed's latency-only banking.
+    pub contention: BankContentionConfig,
 }
 
 /// DDR2-style memory model configuration (paper Table 3).
@@ -104,6 +176,9 @@ pub struct DramConfig {
     pub xor_mapping: bool,
     /// Cycles a bank is busy per request (bandwidth / serialization model).
     pub bank_busy_cycles: u64,
+    /// Cycle-accounted bank contention model. `mshr_backpressure` is ignored here (the
+    /// MSHRs belong to the LLC); defaults to the seed's flat banking.
+    pub contention: BankContentionConfig,
 }
 
 /// Approximate out-of-order core model configuration.
@@ -171,6 +246,7 @@ impl SystemConfig {
                 mshr_entries: 256,
                 wb_entries: 128,
                 wb_retire_at: 96,
+                contention: BankContentionConfig::flat(),
             },
             dram: DramConfig {
                 row_hit_cycles: 180,
@@ -179,6 +255,7 @@ impl SystemConfig {
                 row_bytes: 4096,
                 xor_mapping: true,
                 bank_busy_cycles: 16,
+                contention: BankContentionConfig::flat(),
             },
             l1_next_line_prefetch: true,
             interval_misses: 1_000_000,
@@ -221,6 +298,53 @@ impl SystemConfig {
         cfg
     }
 
+    /// Number of LLC banks for a core-count-generic many-core system: one bank per
+    /// eight cores, rounded up to a power of two, clamped to `[4, 32]` (the paper's
+    /// 16-core machine uses 4 banks).
+    pub fn many_core_llc_banks(num_cores: usize) -> usize {
+        (num_cores / 8).next_power_of_two().clamp(4, 32)
+    }
+
+    /// Number of DRAM banks for a many-core system: one per two cores, rounded up to a
+    /// power of two, clamped to `[8, 64]` (the paper's 16-core machine uses 8 banks).
+    pub fn many_core_dram_banks(num_cores: usize) -> usize {
+        (num_cores / 2).next_power_of_two().clamp(8, 64)
+    }
+
+    /// Apply the core-count-generic many-core shape to `self`: per-core LLC capacity
+    /// (set count rounded up to a power of two, so 48-core systems work), bank counts,
+    /// MSHR/write-back capacities and DRAM banks scaled with the core count, and the
+    /// cycle-accounted contention model enabled (2 ports, 16-entry queues per bank,
+    /// MSHR back-pressure).
+    fn make_many_core(mut self, per_core_llc_bytes: u64) -> Self {
+        let n = self.num_cores;
+        self.llc.geometry = CacheGeometry::per_core(n, per_core_llc_bytes, 16);
+        self.llc.banks = Self::many_core_llc_banks(n);
+        self.llc.mshr_entries = 16 * n;
+        self.llc.wb_entries = 8 * n;
+        self.llc.wb_retire_at = 6 * n;
+        self.llc.contention = BankContentionConfig::contended(2, 16);
+        self.dram.banks = Self::many_core_dram_banks(n);
+        self.dram.contention = BankContentionConfig::contended(2, 16);
+        self
+    }
+
+    /// Paper-shaped many-core configuration for the scaling study beyond the paper's
+    /// 24 cores: the Table 3 hierarchy with the paper's 1 MB-per-core LLC provisioning
+    /// (16 MB / 16 cores), contended banks and scaled MSHR/bank counts.
+    pub fn paper_many_core(num_cores: usize) -> Self {
+        Self::paper_baseline(num_cores).make_many_core(1024 * 1024)
+    }
+
+    /// Scaled-down many-core configuration (the default for `repro scale`): same shape
+    /// as [`SystemConfig::paper_many_core`] on the [`SystemConfig::scaled`] hierarchy,
+    /// 32 KB of LLC per core (512 KB / 16 cores, matching `scaled()`).
+    pub fn scaled_many_core(num_cores: usize) -> Self {
+        let mut cfg = Self::scaled(num_cores).make_many_core(32 * 1024);
+        cfg.interval_misses = (cfg.llc.geometry.num_blocks() as u64) * 24;
+        cfg
+    }
+
     /// Very small configuration for unit tests and micro-benchmarks.
     pub fn tiny(num_cores: usize) -> Self {
         let mut cfg = Self::paper_baseline(num_cores);
@@ -241,6 +365,9 @@ impl SystemConfig {
         }
         if self.dram.banks == 0 || !self.dram.banks.is_power_of_two() {
             return Err("DRAM bank count must be a power of two".into());
+        }
+        if self.llc.contention.ports == 0 || self.dram.contention.ports == 0 {
+            return Err("bank contention models need at least one service port".into());
         }
         if self.interval_misses == 0 {
             return Err("interval_misses must be > 0".into());
@@ -341,6 +468,65 @@ mod tests {
         let mut cfg = SystemConfig::tiny(2);
         cfg.llc.banks = 3;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn many_core_configs_validate_and_scale_with_cores() {
+        for n in [32, 48, 64] {
+            for cfg in [
+                SystemConfig::paper_many_core(n),
+                SystemConfig::scaled_many_core(n),
+            ] {
+                cfg.validate().unwrap();
+                assert_eq!(cfg.num_cores, n);
+                assert_eq!(cfg.llc.geometry.ways, 16);
+                assert!(cfg.llc.geometry.num_sets().is_power_of_two());
+                assert_eq!(cfg.llc.mshr_entries, 16 * n);
+                assert!(!cfg.llc.contention.is_flat());
+                assert!(cfg.llc.contention.mshr_backpressure);
+            }
+        }
+        // Non-power-of-two core counts round the set count up, never down.
+        let c48 = SystemConfig::scaled_many_core(48);
+        assert!(c48.llc.geometry.size_bytes >= 48 * 32 * 1024);
+        // Bank counts follow the documented clamps.
+        assert_eq!(SystemConfig::many_core_llc_banks(32), 4);
+        assert_eq!(SystemConfig::many_core_llc_banks(48), 8);
+        assert_eq!(SystemConfig::many_core_llc_banks(64), 8);
+        assert_eq!(SystemConfig::many_core_dram_banks(32), 16);
+        assert_eq!(SystemConfig::many_core_dram_banks(48), 32);
+        assert_eq!(SystemConfig::many_core_dram_banks(64), 32);
+    }
+
+    #[test]
+    fn default_contention_is_the_flat_seed_model() {
+        let cfg = SystemConfig::paper_baseline(16);
+        assert!(cfg.llc.contention.is_flat());
+        assert!(cfg.dram.contention.is_flat());
+        assert_eq!(
+            BankContentionConfig::default(),
+            BankContentionConfig::flat()
+        );
+        let contended = BankContentionConfig::contended(2, 16);
+        assert!(!contended.is_flat());
+        assert_eq!(contended.ports, 2);
+        assert_eq!(contended.queue_depth, 16);
+    }
+
+    #[test]
+    fn validate_rejects_zero_port_contention() {
+        let mut cfg = SystemConfig::tiny(2);
+        cfg.llc.contention.ports = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn per_core_geometry_rounds_sets_up_to_a_power_of_two() {
+        let g = CacheGeometry::per_core(48, 32 * 1024, 16);
+        assert_eq!(g.num_sets(), 2048); // 1536 rounded up
+        let exact = CacheGeometry::per_core(32, 32 * 1024, 16);
+        assert_eq!(exact.num_sets(), 1024);
+        assert_eq!(CacheGeometry::with_sets(64, 16).num_blocks(), 1024);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! that bandwidth contention from many cores is visible.
 
 use crate::addr::{BlockAddr, BLOCK_SHIFT};
+use crate::bank::{BankModel, BankStats};
 use crate::config::DramConfig;
 
 /// Per-request DRAM outcome.
@@ -28,34 +29,28 @@ pub struct DramStats {
     pub writes: u64,
     pub row_hits: u64,
     pub row_conflicts: u64,
-    /// Cycles spent waiting for a busy bank, summed across requests.
+    /// Cycles spent waiting for a busy bank (including any admission back-pressure
+    /// under a contended [`crate::config::BankContentionConfig`]), summed across
+    /// requests.
     pub queue_cycles: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Bank {
-    open_row: Option<u64>,
-    busy_until: u64,
 }
 
 /// The DRAM model.
 #[derive(Debug, Clone)]
 pub struct Dram {
     config: DramConfig,
-    banks: Vec<Bank>,
+    /// Open row per bank (row-buffer state).
+    open_rows: Vec<Option<u64>>,
+    /// Cycle-accounted bank occupancy (ports/queues; flat by default).
+    model: BankModel,
     stats: DramStats,
 }
 
 impl Dram {
     pub fn new(config: DramConfig) -> Self {
         Dram {
-            banks: vec![
-                Bank {
-                    open_row: None,
-                    busy_until: 0
-                };
-                config.banks
-            ],
+            open_rows: vec![None; config.banks],
+            model: BankModel::new(config.banks, config.contention),
             config,
             stats: DramStats::default(),
         }
@@ -84,18 +79,18 @@ impl Dram {
     pub fn access(&mut self, block: BlockAddr, now: u64, is_write: bool) -> DramAccess {
         let bank_idx = self.bank_of(block);
         let row = self.row_of(block);
-        let bank = &mut self.banks[bank_idx];
 
-        let queue_delay = bank.busy_until.saturating_sub(now);
-        let row_hit = bank.open_row == Some(row);
+        let row_hit = self.open_rows[bank_idx] == Some(row);
         let service = if row_hit {
             self.config.row_hit_cycles
         } else {
             self.config.row_conflict_cycles
         };
-        bank.open_row = Some(row);
-        let start = now + queue_delay;
-        bank.busy_until = start + self.config.bank_busy_cycles;
+        self.open_rows[bank_idx] = Some(row);
+        let queue_delay = self
+            .model
+            .request(bank_idx, now, self.config.bank_busy_cycles)
+            .delay;
 
         if is_write {
             self.stats.writes += 1;
@@ -120,6 +115,11 @@ impl Dram {
         &self.stats
     }
 
+    /// Per-bank occupancy/stall statistics, indexed by bank.
+    pub fn bank_stats(&self) -> &[BankStats] {
+        self.model.stats()
+    }
+
     pub fn config(&self) -> &DramConfig {
         &self.config
     }
@@ -137,6 +137,7 @@ mod tests {
             row_bytes: 4096,
             xor_mapping: true,
             bank_busy_cycles: 16,
+            contention: crate::config::BankContentionConfig::flat(),
         }
     }
 

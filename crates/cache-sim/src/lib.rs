@@ -43,6 +43,7 @@
 //! ```
 
 pub mod addr;
+pub mod bank;
 pub mod config;
 pub mod core_model;
 pub mod dram;
@@ -57,7 +58,10 @@ pub mod system;
 pub mod trace;
 
 pub use addr::{block_of, BlockAddr, BLOCK_BYTES, BLOCK_SHIFT};
-pub use config::{CacheGeometry, CoreConfig, DramConfig, LlcConfig, SystemConfig};
+pub use bank::{BankModel, BankStats};
+pub use config::{
+    BankContentionConfig, CacheGeometry, CoreConfig, DramConfig, LlcConfig, SystemConfig,
+};
 pub use replacement::{AccessContext, InsertionDecision, LineView, LlcReplacementPolicy};
 pub use stats::{CoreStats, LlcStats, SystemResults};
 pub use system::MultiCoreSystem;

@@ -46,25 +46,39 @@ impl OccupancyWindow {
         self.completions.len()
     }
 
-    /// Reserve an entry for a request issued at `now` that will complete at
-    /// `now + latency`. Returns the extra delay incurred if the window was full, and the
-    /// adjusted completion time.
-    pub fn reserve(&mut self, now: u64, latency: u64) -> (u64, u64) {
+    /// Wait for a free entry at time `now` **without** occupying one yet. Returns the
+    /// stall incurred if the window was full (0 otherwise). Pair with
+    /// [`OccupancyWindow::insert`] once the request's completion time is known — this
+    /// two-phase form is what lets a full MSHR back-pressure the *issue* of the
+    /// downstream access instead of only taxing the requester after the fact.
+    pub fn acquire(&mut self, now: u64) -> u64 {
         self.prune(now);
-        let mut start = now;
         let mut extra = 0;
         if self.completions.len() >= self.capacity {
             // Stall until the earliest outstanding entry retires.
             let earliest = *self.completions.iter().min().expect("non-empty when full");
             extra = earliest.saturating_sub(now);
-            start = earliest;
             self.full_events += 1;
             self.stall_cycles += extra;
-            self.prune(start);
+            self.prune(earliest);
         }
-        let completion = start + latency;
+        extra
+    }
+
+    /// Occupy an entry until `completion`. Must follow an [`OccupancyWindow::acquire`]
+    /// (or be issued when occupancy is known to be below capacity).
+    pub fn insert(&mut self, completion: u64) {
         self.completions.push(completion);
         self.peak_occupancy = self.peak_occupancy.max(self.completions.len());
+    }
+
+    /// Reserve an entry for a request issued at `now` that will complete at
+    /// `now + latency`. Returns the extra delay incurred if the window was full, and the
+    /// adjusted completion time.
+    pub fn reserve(&mut self, now: u64, latency: u64) -> (u64, u64) {
+        let extra = self.acquire(now);
+        let completion = now + extra + latency;
+        self.insert(completion);
         (extra, completion)
     }
 
@@ -117,6 +131,24 @@ mod tests {
             w.reserve(0, 1000);
         }
         assert_eq!(w.peak_occupancy, 5);
+    }
+
+    #[test]
+    fn two_phase_acquire_insert_matches_reserve() {
+        // acquire+insert must account stalls exactly like the one-shot reserve path.
+        let mut a = OccupancyWindow::new(2);
+        let mut b = OccupancyWindow::new(2);
+        for (now, latency) in [(0, 100), (0, 200), (10, 50), (120, 30), (125, 5)] {
+            let (extra_a, done_a) = a.reserve(now, latency);
+            let extra_b = b.acquire(now);
+            let done_b = now + extra_b + latency;
+            b.insert(done_b);
+            assert_eq!(extra_a, extra_b);
+            assert_eq!(done_a, done_b);
+        }
+        assert_eq!(a.stall_cycles, b.stall_cycles);
+        assert_eq!(a.full_events, b.full_events);
+        assert_eq!(a.peak_occupancy, b.peak_occupancy);
     }
 
     #[test]

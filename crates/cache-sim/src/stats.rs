@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bank::BankStats;
 use crate::dram::DramStats;
 use crate::llc::{LlcCoreStats, LlcGlobalStats};
 use crate::prefetch::PrefetchStats;
@@ -76,6 +77,8 @@ pub struct SystemResults {
     pub policy: String,
     pub per_core: Vec<CoreStats>,
     pub llc_global: LlcGlobalStats,
+    /// Per-bank LLC occupancy/stall statistics, indexed by bank.
+    pub llc_banks: Vec<BankStats>,
     pub dram: DramStats,
     /// Cycle at which the last core reached its instruction target.
     pub final_cycle: u64,
@@ -95,6 +98,12 @@ impl SystemResults {
     /// Total demand misses observed at the LLC across all cores (at snapshot time).
     pub fn total_llc_demand_misses(&self) -> u64 {
         self.per_core.iter().map(|c| c.llc.demand_misses).sum()
+    }
+
+    /// Share of total LLC bank time spent stalled rather than in service:
+    /// `stall / (stall + busy)` over all banks. Zero when the LLC saw no traffic.
+    pub fn bank_stall_share(&self) -> f64 {
+        crate::bank::aggregate_stall_share(&self.llc_banks)
     }
 }
 

@@ -19,12 +19,22 @@
 //!   all      Everything above, in order
 //!
 //! corpus mode:
-//!   corpus --dir DIR [--study 4|8|16|20|24] [--mixes N]
+//!   corpus --dir DIR [--study 4|8|...|64] [--mixes N]
 //!            Materialize the study's workload mixes as a trace corpus: one .atrc per
 //!            mix (captured exactly once) plus a manifest recording geometry and seed.
 //!   sweep  --dir DIR
 //!            Run the Figure 3 policy lineup over a materialized corpus: each trace is
-//!            decoded once and the (policy x mix) grid fans out in parallel.
+//!            decoded once and the (policy x mix) grid fans out in parallel. The report
+//!            includes the replay-wrap count (non-zero when the capture budget was
+//!            smaller than the run).
+//!
+//! scaling study:
+//!   scale  [--cores 32,48,64] [--mixes N] [--flat]
+//!            Many-core scaling study beyond the paper's 24 cores, run under the
+//!            cycle-accounted bank contention model (finite ports, bounded per-bank
+//!            queues, MSHR back-pressure): per-policy throughput, fairness and
+//!            bank-stall share plus per-bank occupancy/stall tables. --flat reruns
+//!            the same geometry with the seed's latency-only banking.
 //! ```
 //!
 //! The default scale is `scaled` (minutes); `--paper-scale` selects the paper's full
@@ -35,24 +45,39 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use experiments::runner::{evaluate_policies_on_corpus, synthetic_capture_budget};
-use experiments::{ablation, figure1, figure3, figure45, figure6, figure7, figure8};
+use experiments::runner::{sweep_policies_on_corpus, synthetic_capture_budget};
+use experiments::{ablation, figure1, figure3, figure45, figure6, figure7, figure8, scaling};
 use experiments::{table2, table4, table7, ExperimentScale, PolicyKind};
 use trace_io::Corpus;
 use workloads::{generate_mixes, StudyKind};
 
 fn usage() -> String {
     "usage: repro <fig1|fig3|fig45|fig6|fig7|fig8|table2|table4|table7|ablation|mixes|diag|all> \
-     [--paper-scale|--smoke]\n       repro corpus --dir DIR [--study 4|8|16|20|24] [--mixes N] \
-     [--paper-scale|--smoke]\n       repro sweep --dir DIR [--paper-scale|--smoke]"
+     [--paper-scale|--smoke]\n       repro corpus --dir DIR [--study 4|8|...|64] [--mixes N] \
+     [--paper-scale|--smoke]\n       repro sweep --dir DIR [--paper-scale|--smoke]\n       \
+     repro scale [--cores 32,48,64] [--mixes N] [--flat] [--paper-scale|--smoke]\n\n\
+     scale: many-core scaling study under the cycle-accounted bank contention model\n\
+     (throughput / fairness / bank-stall share per policy; --flat reruns the same\n\
+     geometry with the latency-only seed banking)"
         .to_string()
 }
 
 fn parse_study(cores: &str) -> Result<StudyKind, String> {
-    StudyKind::all()
-        .into_iter()
-        .find(|s| s.num_cores().to_string() == cores)
-        .ok_or_else(|| format!("--study must be one of 4|8|16|20|24, got {cores:?}"))
+    cores
+        .parse::<usize>()
+        .ok()
+        .and_then(StudyKind::by_cores)
+        .ok_or_else(|| format!("--study must be one of 4|8|16|20|24|32|48|64, got {cores:?}"))
+}
+
+fn parse_cores_list(list: &str) -> Result<Vec<usize>, String> {
+    list.split(',')
+        .map(|c| {
+            c.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("--cores: {c:?}: {e}"))
+        })
+        .collect()
 }
 
 /// Materialize a study's mixes as an on-disk corpus at this scale.
@@ -106,20 +131,37 @@ fn sweep_cmd(scale: ExperimentScale, dir: &PathBuf) -> Result<(), String> {
     );
     // The sweep seed comes from the corpus manifest, so the alone-run normalization
     // matches the generators the traces were captured from.
-    let evals =
-        evaluate_policies_on_corpus(&config, &corpus, &policies, scale.instructions_per_core())
+    let outcome =
+        sweep_policies_on_corpus(&config, &corpus, &policies, scale.instructions_per_core())
             .map_err(|e| format!("corpus sweep: {e}"))?;
     let result = figure3::SCurveResult {
         study_cores: study.num_cores(),
         workloads: corpus.entries().len(),
-        curves: figure3::build_curves(&evals),
+        replay_wraps: outcome.total_replay_wraps(),
+        curves: figure3::build_curves(&outcome.evaluations),
     };
     print!("{}", figure3::render(&result));
     Ok(())
 }
 
+/// Run the many-core scaling study (see `experiments::scaling`).
+fn scale_cmd(
+    scale: ExperimentScale,
+    cores: &[usize],
+    contention: bool,
+    mixes_override: Option<usize>,
+) -> Result<(), String> {
+    eprintln!(
+        "[repro] scaling study over {cores:?} cores ({} banking)",
+        if contention { "contended" } else { "flat" }
+    );
+    let result = scaling::run(scale, cores, contention, mixes_override)?;
+    print!("{}", scaling::render(&result));
+    Ok(())
+}
+
 fn print_mixes(scale: ExperimentScale) {
-    for study in StudyKind::all() {
+    for study in StudyKind::paper_studies() {
         let mixes = generate_mixes(study, scale.mixes_for(study), scale.seed());
         println!(
             "# {}-core study: {} mixes (paper uses {})",
@@ -255,6 +297,8 @@ fn main() -> ExitCode {
     let mut dir: Option<PathBuf> = None;
     let mut study = StudyKind::Cores16;
     let mut mixes_override: Option<usize> = None;
+    let mut cores_list: Vec<usize> = vec![32, 48, 64];
+    let mut flat = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -277,6 +321,11 @@ fn main() -> ExitCode {
             }
             "--dir" => value("--dir").map(|v| dir = Some(PathBuf::from(v))),
             "--study" => value("--study").and_then(|v| parse_study(v).map(|s| study = s)),
+            "--cores" => value("--cores").and_then(|v| parse_cores_list(v).map(|c| cores_list = c)),
+            "--flat" => {
+                flat = true;
+                Ok(())
+            }
             "--mixes" => value("--mixes").and_then(|v| {
                 v.parse::<usize>()
                     .map(|n| mixes_override = Some(n))
@@ -314,6 +363,7 @@ fn main() -> ExitCode {
                 sweep_cmd(scale, &dir)
             }
         }
+        "scale" => scale_cmd(scale, &cores_list, !flat, mixes_override),
         name => run_one(name, scale),
     };
     match outcome {

@@ -34,6 +34,13 @@ pub struct SCurveResult {
     pub study_cores: usize,
     /// Number of workload mixes evaluated.
     pub workloads: usize,
+    /// Total replay wraps reported by the sweep engine. Zero for synthetic sweeps and
+    /// for corpora whose capture budget covered every run; non-zero means some corpus
+    /// stream was re-executed (the paper's methodology for early-finishing
+    /// applications) because the capture budget was smaller than the run, so results
+    /// may differ from a live-generator sweep. See `SweepOutcome::mix_wraps` and
+    /// `docs/repro-guide.md`.
+    pub replay_wraps: u64,
     /// One curve per non-baseline policy.
     pub curves: Vec<PolicyCurve>,
 }
@@ -54,6 +61,7 @@ pub fn run_study(scale: ExperimentScale, study: StudyKind) -> SCurveResult {
     SCurveResult {
         study_cores: study.num_cores(),
         workloads: mixes.len(),
+        replay_wraps: 0, // synthetic generators never wrap
         curves: build_curves(&evals),
     }
 }
@@ -88,6 +96,13 @@ pub fn render(r: &SCurveResult) -> String {
         "Figure 3: weighted speedup over TA-DRRIP ({}-core, {} workloads)\n",
         r.study_cores, r.workloads
     ));
+    if r.replay_wraps > 0 {
+        out.push_str(&format!(
+            "note: corpus replay wrapped {} time(s) — capture budget smaller than the \
+             run; results follow re-execution semantics (docs/repro-guide.md)\n",
+            r.replay_wraps
+        ));
+    }
     out.push_str(&render_table(
         &["policy", "mean speedup", "mean gain", "max speedup"],
         &r.curves

@@ -35,6 +35,7 @@ pub mod policies;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod scaling;
 pub mod table2;
 pub mod table4;
 pub mod table7;
@@ -42,6 +43,7 @@ pub mod table7;
 pub use policies::PolicyKind;
 pub use runner::{
     evaluate_mix, evaluate_policies_on_corpus, evaluate_policies_on_mixes,
-    evaluate_policies_serial, MixEvaluation, MixSource, PerAppOutcome,
+    evaluate_policies_serial, sweep_policies_on_corpus, sweep_policies_on_sources, MixEvaluation,
+    MixSource, PerAppOutcome, SweepOutcome,
 };
 pub use scale::ExperimentScale;

@@ -24,10 +24,12 @@
 //! reset exactly, both provenances of the same mix produce bit-identical
 //! per-application IPC/MPKI — and the parallel grid produces bit-identical results to
 //! the serial reference path [`evaluate_policies_serial`], which the runner's tests
-//! enforce. The one caveat is a corpus whose capture budget is smaller than the run:
-//! its streams wrap (the paper's re-execution semantics), which the engine counts
-//! ([`MaterializedMixStreams::replay_wraps`]) and reports on stderr rather than letting
-//! the divergence pass silently.
+//! enforce (also under the contended bank model — see `cache_sim::bank`). The one
+//! caveat is a corpus whose capture budget is smaller than the run: its streams wrap
+//! (the paper's re-execution semantics), which the engine counts
+//! ([`MaterializedMixStreams::replay_wraps`]), returns in the structured
+//! [`SweepOutcome::mix_wraps`] and echoes on stderr rather than letting the divergence
+//! pass silently.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -92,12 +94,29 @@ pub struct MixEvaluation {
     pub per_app: Vec<PerAppOutcome>,
     /// Multi-programmed metrics over the whole mix.
     pub metrics: MulticoreMetrics,
+    /// Whole-LLC statistics of the shared run (MSHR stalls, bank queue cycles, ...).
+    pub llc_global: cache_sim::llc::LlcGlobalStats,
+    /// Per-bank LLC occupancy/stall statistics of the shared run, indexed by bank.
+    pub llc_banks: Vec<cache_sim::bank::BankStats>,
+    /// Cycle at which the last application reached its instruction target.
+    pub final_cycle: u64,
 }
 
 impl MixEvaluation {
     /// Weighted speedup of this (mix, policy) pair.
     pub fn weighted_speedup(&self) -> f64 {
         self.metrics.weighted_speedup
+    }
+
+    /// Fairness (min/max normalized IPC) of this (mix, policy) pair.
+    pub fn fairness(&self) -> f64 {
+        self.metrics.fairness
+    }
+
+    /// Share of total LLC bank time requests spent stalled rather than in service
+    /// (`stall / (stall + busy)` summed over banks; 0 with no LLC traffic).
+    pub fn bank_stall_share(&self) -> f64 {
+        cache_sim::bank::aggregate_stall_share(&self.llc_banks)
     }
 
     /// Look up an application's outcome by benchmark name (first occurrence).
@@ -147,14 +166,11 @@ impl MixSource {
         let path = path.as_ref().to_path_buf();
         let header = trace_io::read_header(&path)?;
         let cores = header.cores.len();
-        let study = StudyKind::all()
-            .into_iter()
-            .find(|s| s.num_cores() == cores)
-            .ok_or_else(|| {
-                TraceError::Corrupt(format!(
-                    "trace has {cores} cores, which matches no study (4/8/16/20/24)"
-                ))
-            })?;
+        let study = StudyKind::by_cores(cores).ok_or_else(|| {
+            TraceError::Corrupt(format!(
+                "trace has {cores} cores, which matches no study (4/8/16/20/24/32/48/64)"
+            ))
+        })?;
         for core in &header.cores {
             if benchmark_by_name(&core.label).is_none() {
                 return Err(TraceError::Corrupt(format!(
@@ -553,6 +569,9 @@ fn evaluate_traces(
         policy_label,
         per_app,
         metrics,
+        llc_global: results.llc_global,
+        llc_banks: results.llc_banks,
+        final_cycle: results.final_cycle,
     }
 }
 
@@ -578,6 +597,34 @@ pub fn evaluate_policies_on_mixes(
         .expect("synthetic sweeps cannot fail to materialize")
 }
 
+/// Replay wraps observed for one mix during a sweep (see [`SweepOutcome::mix_wraps`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MixReplayWraps {
+    /// The mix the wraps were observed on.
+    pub mix_id: usize,
+    /// Total wraps across every policy's replay of this mix's streams. Zero means the
+    /// capture budget covered every simulation; non-zero means the paper's
+    /// re-execution semantics kicked in (see `MaterializedMixStreams::replay_wraps`).
+    pub wraps: u64,
+}
+
+/// Everything a sweep produced: the evaluation grid plus the replay-wrap counts, so
+/// budget exhaustion lands in structured report output instead of only on stderr.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One evaluation per (mix, policy) pair, in deterministic (mix, policy) order.
+    pub evaluations: Vec<MixEvaluation>,
+    /// Replay wraps per mix, in sweep order (all-zero for synthetic sweeps).
+    pub mix_wraps: Vec<MixReplayWraps>,
+}
+
+impl SweepOutcome {
+    /// Total replay wraps across every mix of the sweep.
+    pub fn total_replay_wraps(&self) -> u64 {
+        self.mix_wraps.iter().map(|w| w.wraps).sum()
+    }
+}
+
 /// [`evaluate_policies_on_mixes`] over arbitrary [`MixSource`]s (the corpus engine's
 /// general form). Fails only when a replayed source cannot be decoded or its recorded
 /// geometry mismatches `config`.
@@ -588,11 +635,27 @@ pub fn evaluate_policies_on_sources(
     instructions: u64,
     seed: u64,
 ) -> Result<Vec<MixEvaluation>, TraceError> {
+    sweep_policies_on_sources(config, sources, policies, instructions, seed)
+        .map(|outcome| outcome.evaluations)
+}
+
+/// The full corpus sweep engine: like [`evaluate_policies_on_sources`] but also
+/// returning the per-mix replay-wrap counts in the [`SweepOutcome`], so callers can put
+/// budget exhaustion into their structured reports (wraps are additionally echoed on
+/// stderr for interactive runs).
+pub fn sweep_policies_on_sources(
+    config: &SystemConfig,
+    sources: &[MixSource],
+    policies: &[PolicyKind],
+    instructions: u64,
+    seed: u64,
+) -> Result<SweepOutcome, TraceError> {
     let mixes: Vec<WorkloadMix> = sources.iter().map(|s| s.mix().clone()).collect();
     warm_alone_cache(config, &mixes, instructions, seed);
     let llc_sets = config.llc.geometry.num_sets();
     let window = sweep_window(policies.len());
     let mut out = Vec::with_capacity(sources.len() * policies.len());
+    let mut mix_wraps = Vec::with_capacity(sources.len());
     for chunk in sources.chunks(window) {
         // Materialize this window's mixes once each, in parallel.
         let prepared: Vec<MaterializedMixStreams> = chunk
@@ -617,9 +680,14 @@ pub fn evaluate_policies_on_sources(
         out.extend(evals);
         // A wrapped replay is the paper's re-execution semantics, not an error — but it
         // does mean the corpus was captured with too small a budget to be bit-identical
-        // to live generators, which deserves a loud note.
+        // to live generators, so it goes into the structured outcome (and is echoed
+        // loudly on stderr for interactive runs).
         for mat in &prepared {
             let wraps = mat.replay_wraps();
+            mix_wraps.push(MixReplayWraps {
+                mix_id: mat.mix().id,
+                wraps,
+            });
             if wraps > 0 {
                 eprintln!(
                     "[runner] corpus replay of mix {} wrapped {wraps} time(s): the \
@@ -630,7 +698,10 @@ pub fn evaluate_policies_on_sources(
             }
         }
     }
-    Ok(out)
+    Ok(SweepOutcome {
+        evaluations: out,
+        mix_wraps,
+    })
 }
 
 /// Sweep every policy over a materialized [`Corpus`]: validate the corpus geometry
@@ -647,13 +718,25 @@ pub fn evaluate_policies_on_corpus(
     policies: &[PolicyKind],
     instructions: u64,
 ) -> Result<Vec<MixEvaluation>, TraceError> {
+    sweep_policies_on_corpus(config, corpus, policies, instructions)
+        .map(|outcome| outcome.evaluations)
+}
+
+/// [`evaluate_policies_on_corpus`] returning the full [`SweepOutcome`], including the
+/// per-mix replay-wrap counts for structured reporting.
+pub fn sweep_policies_on_corpus(
+    config: &SystemConfig,
+    corpus: &Corpus,
+    policies: &[PolicyKind],
+    instructions: u64,
+) -> Result<SweepOutcome, TraceError> {
     corpus.validate_geometry(config.llc.geometry.num_sets())?;
     let sources: Vec<MixSource> = corpus
         .entries()
         .iter()
         .map(|e| MixSource::replayed_with_id(corpus.path_for(e), e.mix_id))
         .collect::<Result<_, _>>()?;
-    evaluate_policies_on_sources(config, &sources, policies, instructions, corpus.meta().seed)
+    sweep_policies_on_sources(config, &sources, policies, instructions, corpus.meta().seed)
 }
 
 /// The serial reference sweep: regenerate every mix for every policy, one evaluation at
@@ -750,6 +833,9 @@ mod tests {
                 assert_eq!(p.llc_mpki, q.llc_mpki, "{}: MPKI differs", p.name);
                 assert_eq!(p.l2_mpki, q.l2_mpki);
             }
+            assert_eq!(x.llc_global, y.llc_global, "LLC global stats differ");
+            assert_eq!(x.llc_banks, y.llc_banks, "per-bank stats differ");
+            assert_eq!(x.final_cycle, y.final_cycle);
         }
     }
 
@@ -861,6 +947,54 @@ mod tests {
             "outrunning the captured budget must be observable"
         );
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn contended_banks_keep_serial_parallel_bit_identity() {
+        // The acceptance bar extends to the cycle-accounted contention model: with
+        // finite ports/queues and MSHR back-pressure enabled, the parallel grid must
+        // still reproduce the serial reference exactly, per-bank stats included.
+        let scale = ExperimentScale::Smoke;
+        let mut cfg = scale.system_config(StudyKind::Cores4);
+        cfg.llc.contention = cache_sim::config::BankContentionConfig::contended(2, 4);
+        cfg.dram.contention = cache_sim::config::BankContentionConfig::contended(2, 4);
+        let mixes = generate_mixes(StudyKind::Cores4, 2, scale.seed());
+        let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32];
+        let serial = evaluate_policies_serial(&cfg, &mixes, &policies, 20_000, 1);
+        let grid = evaluate_policies_on_mixes(&cfg, &mixes, &policies, 20_000, 1);
+        assert_identical(&serial, &grid);
+        // The contended model actually produced per-bank statistics.
+        assert!(grid
+            .iter()
+            .all(|e| e.llc_banks.iter().any(|b| b.requests > 0)));
+    }
+
+    #[test]
+    fn sweep_outcome_reports_wraps_per_mix() {
+        // An undersized corpus must surface its wrap count in the structured outcome,
+        // not only on stderr; synthetic sweeps report zero wraps for every mix.
+        let (cfg, mixes) = smoke_setup();
+        let llc_sets = cfg.llc.geometry.num_sets();
+        let path = std::env::temp_dir().join("runner_sweep_outcome_wraps.atrc");
+        workloads::capture_to_file::<trace_io::TraceWriter>(&path, &mixes[0], llc_sets, 1, 64)
+            .unwrap();
+        let sources = vec![MixSource::replayed(&path).unwrap()];
+        let outcome =
+            sweep_policies_on_sources(&cfg, &sources, &[PolicyKind::TaDrrip], 20_000, 1).unwrap();
+        assert_eq!(outcome.mix_wraps.len(), 1);
+        assert_eq!(outcome.mix_wraps[0].mix_id, 0);
+        assert!(
+            outcome.mix_wraps[0].wraps > 0,
+            "undersized corpus must wrap"
+        );
+        assert_eq!(outcome.total_replay_wraps(), outcome.mix_wraps[0].wraps);
+        assert_eq!(outcome.evaluations.len(), 1);
+        std::fs::remove_file(path).ok();
+
+        let synthetic = vec![MixSource::synthetic(mixes[0].clone())];
+        let outcome =
+            sweep_policies_on_sources(&cfg, &synthetic, &[PolicyKind::TaDrrip], 20_000, 1).unwrap();
+        assert_eq!(outcome.total_replay_wraps(), 0);
     }
 
     #[test]

@@ -27,9 +27,14 @@ pub enum ExperimentScale {
 }
 
 impl ExperimentScale {
-    /// System configuration for a study at this scale.
+    /// System configuration for a study at this scale. The many-core scaling studies
+    /// (32/48/64 cores) use the core-count-generic geometry with the cycle-accounted
+    /// bank contention model enabled; see [`ExperimentScale::scaling_config`].
     pub fn system_config(&self, study: StudyKind) -> SystemConfig {
         let cores = study.num_cores();
+        if study.is_scaling() {
+            return self.scaling_config(cores, true);
+        }
         match self {
             ExperimentScale::Paper => {
                 // 4- and 8-core studies use 4 MB / 8 MB LLCs (paper §4.3); the rest 16 MB.
@@ -46,6 +51,29 @@ impl ExperimentScale {
             },
             ExperimentScale::Smoke => SystemConfig::tiny(cores),
         }
+    }
+
+    /// Core-count-generic configuration for the many-core scaling study: per-core LLC
+    /// provisioning, bank/MSHR counts scaled with the core count and — unless `flat` is
+    /// requested via `contention = false` — the cycle-accounted bank contention model
+    /// (finite service ports, bounded per-bank queues, MSHR back-pressure).
+    pub fn scaling_config(&self, cores: usize, contention: bool) -> SystemConfig {
+        let mut cfg = match self {
+            ExperimentScale::Paper => SystemConfig::paper_many_core(cores),
+            ExperimentScale::Scaled => SystemConfig::scaled_many_core(cores),
+            ExperimentScale::Smoke => {
+                let mut cfg = SystemConfig::tiny(cores);
+                cfg.llc.banks = SystemConfig::many_core_llc_banks(cores);
+                cfg.llc.contention = cache_sim::config::BankContentionConfig::contended(2, 16);
+                cfg.dram.contention = cache_sim::config::BankContentionConfig::contended(2, 16);
+                cfg
+            }
+        };
+        if !contention {
+            cfg.llc.contention = cache_sim::config::BankContentionConfig::flat();
+            cfg.dram.contention = cache_sim::config::BankContentionConfig::flat();
+        }
+        cfg
     }
 
     /// System configuration with an explicit LLC size/associativity (Figure 7).
@@ -95,6 +123,8 @@ impl ExperimentScale {
                 StudyKind::Cores8 => 12,
                 StudyKind::Cores16 => 12,
                 StudyKind::Cores20 | StudyKind::Cores24 => 8,
+                StudyKind::Cores32 => 6,
+                StudyKind::Cores48 | StudyKind::Cores64 => 4,
             },
             ExperimentScale::Smoke => 2,
         }
@@ -158,6 +188,30 @@ mod tests {
     #[test]
     fn scaled_preserves_cores_vs_ways_regime() {
         let cfg = ExperimentScale::Scaled.system_config(StudyKind::Cores24);
+        assert!(cfg.num_cores >= cfg.llc.geometry.ways);
+    }
+
+    #[test]
+    fn scaling_studies_get_contended_many_core_configs() {
+        for scale in [
+            ExperimentScale::Paper,
+            ExperimentScale::Scaled,
+            ExperimentScale::Smoke,
+        ] {
+            for study in StudyKind::scaling_studies() {
+                let cfg = scale.system_config(study);
+                cfg.validate().unwrap();
+                assert_eq!(cfg.num_cores, study.num_cores());
+                assert!(!cfg.llc.contention.is_flat(), "{study:?} must be contended");
+                assert!(cfg.llc.contention.mshr_backpressure);
+                // The flat variant of the same geometry, for A/B comparisons.
+                let flat = scale.scaling_config(study.num_cores(), false);
+                assert!(flat.llc.contention.is_flat());
+                assert_eq!(flat.llc.geometry, cfg.llc.geometry);
+            }
+        }
+        // The contention regime keeps the paper's #cores >= #ways property.
+        let cfg = ExperimentScale::Scaled.system_config(StudyKind::Cores64);
         assert!(cfg.num_cores >= cfg.llc.geometry.ways);
     }
 }

@@ -1,0 +1,326 @@
+//! Many-core scaling study: the paper's policy comparison beyond 24 cores.
+//!
+//! The paper stops at 24 cores ("the number of cores is equal to or greater than the
+//! associativity" being the regime of interest); this module extends the comparison to
+//! 32/48/64 cores on the core-count-generic geometry of
+//! [`cache_sim::config::SystemConfig::scaled_many_core`] with the cycle-accounted bank
+//! contention model of `cache_sim::bank` enabled — finite service ports, bounded
+//! per-bank queues and MSHR back-pressure — so policies are differentiated not only by
+//! hit rates but by the bank pressure they induce. Following fairness-oriented LLC
+//! management work (LFOC/LFOC+, Saez et al.), each policy is scored on three axes:
+//!
+//! * **throughput** — mean weighted speedup over the workload mixes, plus the geometric
+//!   mean of the per-mix speedup over TA-DRRIP (the paper's headline presentation),
+//! * **fairness** — mean min/max ratio of normalized IPCs ([`mc_metrics::fairness`]),
+//! * **bank-stall share** — the fraction of LLC bank time requests spent queued or
+//!   refused admission rather than in service ([`MixEvaluation::bank_stall_share`]).
+//!
+//! Runs go through the corpus-backed parallel sweep engine
+//! ([`runner::sweep_policies_on_sources`]) and are bit-identical to the serial
+//! reference, which the tests enforce at 64 cores. `repro scale --cores 32,48,64`
+//! drives this from the command line; `--flat` re-runs the same geometry under the
+//! seed's latency-only banking for an A/B comparison.
+
+use serde::{Deserialize, Serialize};
+use workloads::{generate_mixes, StudyKind};
+
+use crate::policies::PolicyKind;
+use crate::report::{amean, gmean, pct, render_table};
+use crate::runner::{self, MixEvaluation, MixSource};
+use crate::scale::ExperimentScale;
+
+/// One policy's scores at one core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyScalingRow {
+    /// Display name of the policy.
+    pub policy: String,
+    /// Arithmetic mean of the per-mix weighted speedups (raw throughput).
+    pub mean_weighted_speedup: f64,
+    /// Geometric mean of the per-mix weighted-speedup ratios over TA-DRRIP.
+    pub speedup_over_baseline: f64,
+    /// Arithmetic mean of the per-mix fairness scores (min/max normalized IPC).
+    pub mean_fairness: f64,
+    /// Arithmetic mean of the per-mix LLC bank-stall shares.
+    pub mean_bank_stall_share: f64,
+}
+
+/// Aggregated occupancy/stall picture of one LLC bank across a study's runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BankSummary {
+    /// Bank index.
+    pub bank: usize,
+    /// Requests served, summed over the study's baseline-policy runs.
+    pub requests: u64,
+    /// Bank utilization: busy cycles as a share of the summed run lengths.
+    pub busy_share: f64,
+    /// Share of the bank's request time spent stalled rather than in service.
+    pub stall_share: f64,
+    /// Peak simultaneous waiters observed at this bank across the runs.
+    pub peak_waiting: usize,
+}
+
+/// The study's results at one core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Cores (= applications per mix).
+    pub cores: usize,
+    /// LLC banks in the configuration.
+    pub banks: usize,
+    /// Workload mixes evaluated.
+    pub workloads: usize,
+    /// One row per policy, baseline (TA-DRRIP) first.
+    pub rows: Vec<PolicyScalingRow>,
+    /// Per-bank occupancy/stall metrics aggregated over the baseline policy's runs.
+    pub per_bank: Vec<BankSummary>,
+    /// Total replay wraps reported by the sweep engine (0 for synthetic runs).
+    pub replay_wraps: u64,
+}
+
+/// The full scaling study: one [`ScalingPoint`] per requested core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingStudyResult {
+    /// Scale the study ran at (`smoke`/`scaled`/`paper`).
+    pub scale: String,
+    /// False when `--flat` disabled the contention model for an A/B run.
+    pub contention: bool,
+    /// One entry per core count, in request order.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// The policies compared by the study: the TA-DRRIP baseline plus the Figure 3 lineup.
+pub fn scaling_lineup() -> Vec<PolicyKind> {
+    let mut policies = vec![PolicyKind::TaDrrip];
+    policies.extend(PolicyKind::figure3_lineup());
+    policies
+}
+
+/// Run the study at one core count. `mixes_override` bounds the workload count (tests
+/// and the `--mixes` flag); `contention` selects the cycle-accounted model vs. the flat
+/// seed banking on the same geometry.
+pub fn run_point(
+    scale: ExperimentScale,
+    study: StudyKind,
+    contention: bool,
+    mixes_override: Option<usize>,
+) -> ScalingPoint {
+    let config = scale.scaling_config(study.num_cores(), contention);
+    let count = mixes_override
+        .unwrap_or_else(|| scale.mixes_for(study))
+        .max(1);
+    let mixes = generate_mixes(study, count, scale.seed());
+    let sources: Vec<MixSource> = mixes.iter().cloned().map(MixSource::synthetic).collect();
+    let policies = scaling_lineup();
+    let outcome = runner::sweep_policies_on_sources(
+        &config,
+        &sources,
+        &policies,
+        scale.instructions_per_core(),
+        scale.seed(),
+    )
+    .expect("synthetic sweeps cannot fail to materialize");
+    build_point(&config, mixes.len(), &policies, &outcome)
+}
+
+fn build_point(
+    config: &cache_sim::config::SystemConfig,
+    workloads: usize,
+    policies: &[PolicyKind],
+    outcome: &runner::SweepOutcome,
+) -> ScalingPoint {
+    let evals = &outcome.evaluations;
+    let baseline = policies[0];
+    let rows = policies
+        .iter()
+        .map(|&p| {
+            let of_policy: Vec<&MixEvaluation> = evals.iter().filter(|e| e.policy == p).collect();
+            let speedups = runner::speedups_over_baseline(evals, p, baseline);
+            PolicyScalingRow {
+                policy: p.label(),
+                mean_weighted_speedup: amean(
+                    &of_policy
+                        .iter()
+                        .map(|e| e.weighted_speedup())
+                        .collect::<Vec<_>>(),
+                ),
+                speedup_over_baseline: gmean(&speedups),
+                mean_fairness: amean(&of_policy.iter().map(|e| e.fairness()).collect::<Vec<_>>()),
+                mean_bank_stall_share: amean(
+                    &of_policy
+                        .iter()
+                        .map(|e| e.bank_stall_share())
+                        .collect::<Vec<_>>(),
+                ),
+            }
+        })
+        .collect();
+
+    // Per-bank aggregation over the baseline policy's runs.
+    let base_evals: Vec<&MixEvaluation> = evals.iter().filter(|e| e.policy == baseline).collect();
+    let total_cycles: u64 = base_evals.iter().map(|e| e.final_cycle).sum();
+    let per_bank = (0..config.llc.banks)
+        .map(|bank| {
+            let mut requests = 0;
+            let mut busy = 0;
+            let mut stall = 0;
+            let mut peak = 0;
+            for e in &base_evals {
+                let b = &e.llc_banks[bank];
+                requests += b.requests;
+                busy += b.busy_cycles;
+                stall += b.stall_cycles();
+                peak = peak.max(b.peak_waiting);
+            }
+            BankSummary {
+                bank,
+                requests,
+                busy_share: if total_cycles == 0 {
+                    0.0
+                } else {
+                    busy as f64 / total_cycles as f64
+                },
+                stall_share: cache_sim::bank::stall_share(stall, busy),
+                peak_waiting: peak,
+            }
+        })
+        .collect();
+
+    ScalingPoint {
+        cores: config.num_cores,
+        banks: config.llc.banks,
+        workloads,
+        rows,
+        per_bank,
+        replay_wraps: outcome.total_replay_wraps(),
+    }
+}
+
+/// Run the study over `core_counts` (each must name a known study; 32/48/64 are the
+/// intended values, but any Table 6 core count works for comparison points).
+pub fn run(
+    scale: ExperimentScale,
+    core_counts: &[usize],
+    contention: bool,
+    mixes_override: Option<usize>,
+) -> Result<ScalingStudyResult, String> {
+    let points = core_counts
+        .iter()
+        .map(|&cores| {
+            let study = StudyKind::by_cores(cores)
+                .ok_or_else(|| format!("no study with {cores} cores (4/8/16/20/24/32/48/64)"))?;
+            Ok(run_point(scale, study, contention, mixes_override))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ScalingStudyResult {
+        scale: scale.label().to_string(),
+        contention,
+        points,
+    })
+}
+
+/// Render the study as text tables (one policy table + one bank table per core count).
+pub fn render(r: &ScalingStudyResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Many-core scaling study ({} scale, {} banking)\n",
+        r.scale,
+        if r.contention {
+            "cycle-accounted contended"
+        } else {
+            "flat latency-only"
+        }
+    ));
+    for p in &r.points {
+        out.push_str(&format!(
+            "\n== {} cores, {} LLC banks, {} workloads",
+            p.cores, p.banks, p.workloads
+        ));
+        if p.replay_wraps > 0 {
+            out.push_str(&format!(", replay wraps {}", p.replay_wraps));
+        }
+        out.push_str(" ==\n");
+        out.push_str(&render_table(
+            &[
+                "policy",
+                "wt.speedup",
+                "vs TA-DRRIP",
+                "fairness",
+                "bank-stall share",
+            ],
+            &p.rows
+                .iter()
+                .map(|row| {
+                    vec![
+                        row.policy.clone(),
+                        format!("{:.4}", row.mean_weighted_speedup),
+                        pct(row.speedup_over_baseline - 1.0),
+                        format!("{:.4}", row.mean_fairness),
+                        format!("{:.4}", row.mean_bank_stall_share),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ));
+        out.push_str("\nPer-bank occupancy/stalls (TA-DRRIP runs):\n");
+        out.push_str(&render_table(
+            &[
+                "bank",
+                "requests",
+                "busy share",
+                "stall share",
+                "peak waiting",
+            ],
+            &p.per_bank
+                .iter()
+                .map(|b| {
+                    vec![
+                        b.bank.to_string(),
+                        b.requests.to_string(),
+                        format!("{:.4}", b.busy_share),
+                        format!("{:.4}", b.stall_share),
+                        b.peak_waiting.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_point_reports_all_policies_and_banks() {
+        let point = run_point(ExperimentScale::Smoke, StudyKind::Cores32, true, Some(1));
+        assert_eq!(point.cores, 32);
+        assert_eq!(point.rows.len(), scaling_lineup().len());
+        assert_eq!(point.per_bank.len(), point.banks);
+        assert_eq!(point.replay_wraps, 0, "synthetic runs never wrap");
+        assert!(point.rows.iter().all(|r| r.mean_weighted_speedup > 0.0));
+        assert!(point
+            .rows
+            .iter()
+            .all(|r| (0.0..=1.0).contains(&r.mean_fairness)));
+        assert!(
+            point.per_bank.iter().any(|b| b.requests > 0),
+            "banks must see traffic"
+        );
+        // TA-DRRIP's speedup over itself is exactly 1.
+        assert!((point.rows[0].speedup_over_baseline - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_includes_metrics_and_banks() {
+        let r = run(ExperimentScale::Smoke, &[32], true, Some(1)).unwrap();
+        let text = render(&r);
+        assert!(text.contains("32 cores"));
+        assert!(text.contains("bank-stall share"));
+        assert!(text.contains("Per-bank occupancy/stalls"));
+        assert!(text.contains("TA-DRRIP"));
+    }
+
+    #[test]
+    fn unknown_core_count_is_an_error() {
+        assert!(run(ExperimentScale::Smoke, &[12], true, Some(1)).is_err());
+    }
+}

@@ -87,6 +87,31 @@ pub fn harmonic_mean_ipc(ipcs: &[f64]) -> f64 {
     }
 }
 
+/// Fairness: the ratio of the smallest to the largest per-application normalized IPC,
+/// `min_i(shared_i/alone_i) / max_i(shared_i/alone_i)` (Gabor et al.; the metric
+/// fairness-oriented LLC clustering work such as LFOC/LFOC+ optimizes). 1.0 means every
+/// application suffers equally from sharing; values near 0 mean some application is
+/// starved — e.g. by bank contention — while others run at full speed. Returns 0 for
+/// empty inputs or when the best-treated application makes no progress.
+pub fn fairness(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
+    assert_eq!(
+        ipc_shared.len(),
+        ipc_alone.len(),
+        "per-app IPC vectors must align"
+    );
+    let normalized: Vec<f64> = ipc_shared
+        .iter()
+        .zip(ipc_alone)
+        .map(|(&s, &a)| if a > 0.0 { s / a } else { 0.0 })
+        .collect();
+    let max = normalized.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return 0.0;
+    }
+    let min = normalized.iter().cloned().fold(f64::INFINITY, f64::min);
+    min / max
+}
+
 /// Relative improvement of `value` over `baseline`, as a fraction (0.05 = +5%).
 pub fn relative_improvement(value: f64, baseline: f64) -> f64 {
     if baseline == 0.0 {
@@ -114,6 +139,8 @@ pub struct MulticoreMetrics {
     pub geometric_mean_ipc: f64,
     pub harmonic_mean_ipc: f64,
     pub arithmetic_mean_ipc: f64,
+    /// Min/max ratio of normalized IPCs (see [`fairness`]).
+    pub fairness: f64,
 }
 
 impl MulticoreMetrics {
@@ -125,6 +152,7 @@ impl MulticoreMetrics {
             geometric_mean_ipc: geometric_mean_ipc(ipc_shared),
             harmonic_mean_ipc: harmonic_mean_ipc(ipc_shared),
             arithmetic_mean_ipc: arithmetic_mean_ipc(ipc_shared),
+            fairness: fairness(ipc_shared, ipc_alone),
         }
     }
 
@@ -151,6 +179,7 @@ impl MulticoreMetrics {
                 self.arithmetic_mean_ipc,
                 baseline.arithmetic_mean_ipc,
             ),
+            fairness: relative_improvement(self.fairness, baseline.fairness),
         }
     }
 }
@@ -230,6 +259,19 @@ mod tests {
         let imp = better.improvement_over(&base);
         assert!((imp.weighted_speedup - 0.1).abs() < 1e-9);
         assert!((imp.arithmetic_mean_ipc - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_matches_hand_computation() {
+        // normalized IPCs: 0.5 and 1.0 => fairness 0.5.
+        assert!((fairness(&[1.0, 2.0], &[2.0, 2.0]) - 0.5).abs() < 1e-12);
+        // Equal suffering is perfectly fair.
+        assert!((fairness(&[1.0, 1.0], &[2.0, 2.0]) - 1.0).abs() < 1e-12);
+        // A fully starved application drives fairness to 0.
+        assert_eq!(fairness(&[0.0, 2.0], &[2.0, 2.0]), 0.0);
+        assert_eq!(fairness(&[], &[]), 0.0);
+        let m = MulticoreMetrics::compute(&[1.0, 2.0], &[2.0, 2.0]);
+        assert!((m.fairness - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! | 16-core  | 60                | at least 2 from each class        |
 //! | 20-core  | 40                | at least 3 from each class        |
 //! | 24-core  | 40                | at least 3 from each class        |
+//! | 32-core  | (extrapolated) 40 | at least 4 from each class        |
+//! | 48-core  | (extrapolated) 40 | at least 5 from each class        |
+//! | 64-core  | (extrapolated) 40 | at least 6 from each class        |
+//!
+//! The paper stops at 24 cores; the 32/48/64-core rows extend its composition rules for
+//! the many-core scaling study (`experiments::scaling`). A mix never repeats a benchmark
+//! until the Table 4 roster is exhausted, so studies wider than the roster (48 and 64
+//! cores vs. 40 benchmarks) contain repeats by construction.
 //!
 //! Mixes are drawn deterministically from a seed, without repeating a benchmark inside a
 //! mix, so every experiment (and every policy within an experiment) sees exactly the same
@@ -32,6 +40,14 @@ pub enum StudyKind {
     Cores16,
     Cores20,
     Cores24,
+    /// Many-core scaling study beyond the paper (see `experiments::scaling`).
+    Cores32,
+    /// Many-core scaling study beyond the paper; wider than the Table 4 roster, so
+    /// mixes contain repeated benchmarks.
+    Cores48,
+    /// Many-core scaling study beyond the paper; wider than the Table 4 roster, so
+    /// mixes contain repeated benchmarks.
+    Cores64,
 }
 
 impl StudyKind {
@@ -43,33 +59,50 @@ impl StudyKind {
             StudyKind::Cores16 => 16,
             StudyKind::Cores20 => 20,
             StudyKind::Cores24 => 24,
+            StudyKind::Cores32 => 32,
+            StudyKind::Cores48 => 48,
+            StudyKind::Cores64 => 64,
         }
     }
 
-    /// Number of workload mixes the paper evaluates for this study.
+    /// Number of workload mixes the paper evaluates for this study. The paper stops at
+    /// 24 cores; the scaling studies reuse its largest count (40).
     pub fn paper_workload_count(&self) -> usize {
         match self {
             StudyKind::Cores4 => 120,
             StudyKind::Cores8 => 80,
             StudyKind::Cores16 => 60,
             StudyKind::Cores20 | StudyKind::Cores24 => 40,
+            StudyKind::Cores32 | StudyKind::Cores48 | StudyKind::Cores64 => 40,
         }
     }
 
     /// Minimum number of benchmarks that must come from each memory-intensity class
-    /// (Table 6's "Composition" column); the 4-core study instead requires at least one
-    /// thrashing application.
+    /// (Table 6's "Composition" column, extended linearly beyond the paper for the
+    /// scaling studies); the 4-core study instead requires at least one thrashing
+    /// application.
     pub fn min_per_class(&self) -> usize {
         match self {
             StudyKind::Cores4 => 0,
             StudyKind::Cores8 => 1,
             StudyKind::Cores16 => 2,
             StudyKind::Cores20 | StudyKind::Cores24 => 3,
+            StudyKind::Cores32 => 4,
+            StudyKind::Cores48 => 5,
+            StudyKind::Cores64 => 6,
         }
     }
 
-    /// All studies in the paper's order.
-    pub fn all() -> [StudyKind; 5] {
+    /// True for the many-core studies beyond the paper's Table 6.
+    pub fn is_scaling(&self) -> bool {
+        matches!(
+            self,
+            StudyKind::Cores32 | StudyKind::Cores48 | StudyKind::Cores64
+        )
+    }
+
+    /// The paper's Table 6 studies, in the paper's order.
+    pub fn paper_studies() -> [StudyKind; 5] {
         [
             StudyKind::Cores4,
             StudyKind::Cores8,
@@ -77,6 +110,30 @@ impl StudyKind {
             StudyKind::Cores20,
             StudyKind::Cores24,
         ]
+    }
+
+    /// The many-core scaling studies beyond the paper (32/48/64 cores).
+    pub fn scaling_studies() -> [StudyKind; 3] {
+        [StudyKind::Cores32, StudyKind::Cores48, StudyKind::Cores64]
+    }
+
+    /// Every study, paper order first, then the scaling studies.
+    pub fn all() -> [StudyKind; 8] {
+        [
+            StudyKind::Cores4,
+            StudyKind::Cores8,
+            StudyKind::Cores16,
+            StudyKind::Cores20,
+            StudyKind::Cores24,
+            StudyKind::Cores32,
+            StudyKind::Cores48,
+            StudyKind::Cores64,
+        ]
+    }
+
+    /// Look a study up by its core count.
+    pub fn by_cores(num_cores: usize) -> Option<StudyKind> {
+        Self::all().into_iter().find(|s| s.num_cores() == num_cores)
     }
 }
 
@@ -202,6 +259,9 @@ mod tests {
 
     #[test]
     fn mixes_have_the_right_size_and_no_duplicates() {
+        // A mix repeats a benchmark only once the Table 4 roster is exhausted (48- and
+        // 64-core scaling studies); every paper study stays repeat-free.
+        let roster = all_benchmarks().len();
         for study in StudyKind::all() {
             let mixes = generate_mixes(study, 10, 7);
             assert_eq!(mixes.len(), 10);
@@ -210,8 +270,29 @@ mod tests {
                 let distinct: HashSet<&String> = m.benchmarks.iter().collect();
                 assert_eq!(
                     distinct.len(),
-                    m.benchmarks.len(),
-                    "no repeats inside a mix"
+                    m.benchmarks.len().min(roster),
+                    "repeats only past the roster size"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_studies_extend_the_paper_composition_rules() {
+        assert_eq!(StudyKind::Cores32.num_cores(), 32);
+        assert_eq!(StudyKind::Cores64.min_per_class(), 6);
+        assert!(StudyKind::Cores48.is_scaling());
+        assert!(!StudyKind::Cores24.is_scaling());
+        assert_eq!(StudyKind::by_cores(48), Some(StudyKind::Cores48));
+        assert_eq!(StudyKind::by_cores(12), None);
+        assert_eq!(StudyKind::paper_studies().len() + 3, StudyKind::all().len());
+        for m in generate_mixes(StudyKind::Cores32, 5, 17) {
+            for class in MemIntensity::all() {
+                let n = m.specs().iter().filter(|s| s.paper_class == class).count();
+                let pool = benchmarks_in_class(class).len();
+                assert!(
+                    n >= 4.min(pool),
+                    "class {class:?} underrepresented in a 32-core mix"
                 );
             }
         }

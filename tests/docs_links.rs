@@ -1,0 +1,156 @@
+//! Markdown link checker for `README.md` and `docs/`: every relative link must point
+//! at an existing file, and every `#anchor` must match a heading in its target. Run by
+//! the CI docs job so the documentation pass cannot rot silently.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files the checker covers: README.md plus every `docs/*.md`.
+fn documentation_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![root.join("README.md")];
+    let mut docs: Vec<PathBuf> = fs::read_dir(root.join("docs"))
+        .expect("docs/ directory exists")
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    docs.sort();
+    assert!(!docs.is_empty(), "docs/ must contain markdown files");
+    files.extend(docs);
+    files
+}
+
+/// Extract inline markdown link targets (`[text](target)`), skipping fenced code
+/// blocks so shell snippets cannot produce false positives.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                if let Some(end) = line[i + 2..].find(')') {
+                    targets.push(line[i + 2..i + 2 + end].to_string());
+                    i += 2 + end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+/// GitHub-style heading slug: lowercase, punctuation dropped (underscores kept, as
+/// GitHub keeps them), spaces to hyphens.
+fn slugify(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            let c = c.to_ascii_lowercase();
+            match c {
+                'a'..='z' | '0'..='9' | '-' | '_' => Some(c),
+                ' ' => Some('-'),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Slugs of every heading in a markdown file (fenced code blocks excluded).
+fn heading_slugs(markdown: &str) -> Vec<String> {
+    let mut slugs = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            slugs.push(slugify(line.trim_start_matches('#')));
+        }
+    }
+    slugs
+}
+
+#[test]
+fn every_relative_link_in_readme_and_docs_resolves() {
+    let mut broken = Vec::new();
+    for file in documentation_files() {
+        let content = fs::read_to_string(&file).unwrap();
+        let base = file.parent().unwrap().to_path_buf();
+        for target in link_targets(&content) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue; // external; checked by humans, not by CI
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a.to_string())),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                file.clone() // same-file anchor
+            } else {
+                base.join(path_part)
+            };
+            if !resolved.exists() {
+                broken.push(format!("{}: missing target {target:?}", file.display()));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                let target_md = fs::read_to_string(&resolved).unwrap();
+                if !heading_slugs(&target_md).contains(&anchor) {
+                    broken.push(format!(
+                        "{}: anchor {target:?} matches no heading in {}",
+                        file.display(),
+                        resolved.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken documentation links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn documentation_set_contains_the_expected_guides() {
+    let names: Vec<String> = documentation_files()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for required in [
+        "README.md",
+        "architecture.md",
+        "atrc-format.md",
+        "policies.md",
+        "repro-guide.md",
+    ] {
+        assert!(names.contains(&required.to_string()), "missing {required}");
+    }
+}
+
+#[test]
+fn link_extraction_and_slugging_behave() {
+    let md =
+        "see [a](x.md) and [b](y.md#some-anchor)\n```sh\nnot [a](link.md)\n```\n## Some Anchor!\n";
+    assert_eq!(link_targets(md), vec!["x.md", "y.md#some-anchor"]);
+    assert_eq!(heading_slugs(md), vec!["some-anchor"]);
+    assert_eq!(slugify("Bank contention"), "bank-contention");
+    // GitHub keeps underscores in slugs (Rust identifiers in headings are common here).
+    assert_eq!(slugify("The mix_wraps field"), "the-mix_wraps-field");
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests of the many-core scaling study and the cycle-accounted bank
+//! contention model: a 64-core run completes through the corpus sweep engine with
+//! per-bank occupancy/stall metrics, serial and parallel engines stay bit-identical
+//! under contention, and zero-contention configurations reproduce the seed's
+//! flat-latency banking exactly.
+
+use cache_sim::addr::BlockAddr;
+use cache_sim::config::SystemConfig;
+use cache_sim::llc::SharedLlc;
+use cache_sim::system::DefaultSrripPolicy;
+use experiments::runner::{evaluate_policies_on_mixes, evaluate_policies_serial};
+use experiments::{scaling, ExperimentScale, PolicyKind};
+use workloads::{generate_mixes, StudyKind};
+
+const INSTRUCTIONS: u64 = 20_000;
+
+#[test]
+fn sixty_four_core_run_completes_with_bank_metrics_and_engine_bit_identity() {
+    // The acceptance bar: a 64-core run under the contention model completes via the
+    // scaling study's path, reports per-bank occupancy/stall metrics, and the parallel
+    // grid reproduces the serial reference bit-for-bit.
+    let scale = ExperimentScale::Smoke;
+    let study = StudyKind::Cores64;
+    let cfg = scale.system_config(study);
+    assert_eq!(cfg.num_cores, 64);
+    assert!(
+        !cfg.llc.contention.is_flat(),
+        "scaling configs are contended"
+    );
+
+    let mixes = generate_mixes(study, 1, scale.seed());
+    let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32];
+    let serial = evaluate_policies_serial(&cfg, &mixes, &policies, INSTRUCTIONS, scale.seed());
+    let grid = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, scale.seed());
+
+    assert_eq!(serial.len(), grid.len());
+    for (s, g) in serial.iter().zip(&grid) {
+        assert_eq!(s.mix_id, g.mix_id);
+        assert_eq!(s.policy, g.policy);
+        assert_eq!(s.weighted_speedup(), g.weighted_speedup());
+        assert_eq!(s.llc_global, g.llc_global, "global LLC stats must match");
+        assert_eq!(s.llc_banks, g.llc_banks, "per-bank stats must match");
+        assert_eq!(s.final_cycle, g.final_cycle);
+        for (a, b) in s.per_app.iter().zip(&g.per_app) {
+            assert_eq!(a.ipc, b.ipc);
+            assert_eq!(a.llc_mpki, b.llc_mpki);
+        }
+    }
+    // Per-bank occupancy/stall metrics are present and the banks saw traffic.
+    for eval in &grid {
+        assert_eq!(eval.per_app.len(), 64);
+        assert_eq!(eval.llc_banks.len(), cfg.llc.banks);
+        assert!(eval.llc_banks.iter().any(|b| b.requests > 0));
+        assert!((0.0..=1.0).contains(&eval.bank_stall_share()));
+        assert!((0.0..=1.0).contains(&eval.fairness()));
+    }
+}
+
+#[test]
+fn scaling_study_renders_throughput_fairness_and_bank_stalls_at_64_cores() {
+    let result = scaling::run(ExperimentScale::Smoke, &[64], true, Some(1)).unwrap();
+    assert_eq!(result.points.len(), 1);
+    let point = &result.points[0];
+    assert_eq!(point.cores, 64);
+    assert_eq!(point.per_bank.len(), point.banks);
+    assert!(point.rows.len() >= 2);
+    assert!(point.rows.iter().all(|r| r.mean_weighted_speedup > 0.0));
+    let text = scaling::render(&result);
+    assert!(text.contains("64 cores"));
+    assert!(text.contains("bank-stall share"));
+    assert!(text.contains("Per-bank occupancy/stalls"));
+}
+
+#[test]
+fn scaling_study_is_deterministic_across_repeated_runs() {
+    let run = || {
+        let point = scaling::run_point(ExperimentScale::Smoke, StudyKind::Cores32, true, Some(1));
+        point
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.policy.clone(),
+                    r.mean_weighted_speedup,
+                    r.mean_fairness,
+                    r.mean_bank_stall_share,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn zero_contention_config_reproduces_the_flat_model_latencies_exactly() {
+    // End-to-end regression: drive the shared LLC with a deterministic access burst
+    // under the default (flat) contention configuration and hold every latency against
+    // an independent reimplementation of the seed's `busy_until` bank arithmetic.
+    let cfg = SystemConfig::tiny(4);
+    assert!(cfg.llc.contention.is_flat());
+    let sets = cfg.llc.geometry.num_sets();
+    let ways = cfg.llc.geometry.ways;
+    let banks = cfg.llc.banks;
+    let hit_latency = cfg.llc.latency;
+    let busy = cfg.llc.bank_busy_cycles;
+    let mut llc = SharedLlc::new(
+        cfg.llc,
+        4,
+        1_000_000,
+        Box::new(DefaultSrripPolicy::new(sets, ways)),
+    );
+
+    let mut busy_until = vec![0u64; banks];
+    let mut x = 0x2545f4914f6cdd1du64;
+    let mut now = 0u64;
+    for i in 0..5_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        now += x % 7;
+        let block = BlockAddr(x % 4096);
+        let lookup = llc.access((i % 4) as usize, 0, block, true, false, now);
+        // Reference: flat single-port bank with an unbounded queue.
+        let bank = block.set_index(sets) & (banks - 1);
+        let delay = busy_until[bank].saturating_sub(now);
+        busy_until[bank] = now + delay + busy;
+        assert_eq!(
+            lookup.latency,
+            hit_latency + delay,
+            "access {i}: zero-contention latency diverged from the flat model"
+        );
+        if !lookup.hit {
+            llc.fill((i % 4) as usize, 0, block, false, now);
+        }
+    }
+    // Flat banking never refuses admission.
+    assert_eq!(llc.global_stats().bank_admission_stall_cycles, 0);
+    assert!(llc
+        .bank_stats()
+        .iter()
+        .all(|b| b.admission_stall_cycles == 0));
+}
