@@ -1,0 +1,289 @@
+//! Machine-readable performance snapshot of the simulator hot path, written to
+//! `BENCH_sim.json` at the workspace root so the repo's perf trajectory is tracked
+//! PR-over-PR (see `docs/architecture.md` § "Performance architecture" for how to read
+//! it).
+//!
+//! Three sections, each comparing the production data-oriented path against the frozen
+//! `cache_sim::reference` oracle where a "before" exists:
+//!
+//! 1. **micro** — raw LLC access/fill throughput (accesses/s) of the structure-of-arrays
+//!    `SharedLlc` with enum policy dispatch vs. the retained array-of-structs
+//!    `ReferenceLlc` with boxed dispatch.
+//! 2. **grid** — the sweep acceptance grid (4 policies × 8 mixes, single-threaded) at
+//!    the `Scaled` experiment scale (the geometry `repro`'s default runs and the corpus
+//!    sweeps actually use): wall-clock of the pre-refactor reference engine vs. the
+//!    rewritten hot path, the measured `hot_path_speedup` (the PR's ≥ 1.3× acceptance
+//!    bar), and the grid's throughput in (mix, policy) pairs per second.
+//! 3. **parallel** — the same grid through the work-stealing parallel engine; the
+//!    serial-vs-parallel speedup scales with the host's worker count (≈ 1.0 on the
+//!    single-core containers CI sometimes runs on).
+//!
+//! All three engines are asserted bit-identical before any number is written. Set
+//! `BENCH_QUICK=1` to shrink the grid for CI smoke runs; `BENCH_SIM_JSON` overrides the
+//! output path.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cache_sim::addr::BlockAddr;
+use cache_sim::config::SystemConfig;
+use cache_sim::llc::{LlcModel, SharedLlc};
+use cache_sim::reference::ReferenceLlc;
+use experiments::runner::{
+    evaluate_policies_on_mixes, evaluate_policies_serial, evaluate_policies_serial_reference,
+    warm_alone_cache, MixEvaluation,
+};
+use experiments::{ExperimentScale, PolicyKind};
+use llc_policies::{build_baseline, build_baseline_any, BaselineKind};
+use workloads::{generate_mixes, StudyKind};
+
+const INSTRUCTIONS: u64 = 200_000;
+const SEED: u64 = 1;
+
+/// Minimum single-threaded hot-path speedup tolerated before the bench fails: guards
+/// against regressions that quietly give the rewrite's win back. The acceptance target
+/// for the rewrite itself is 1.3×; a run below that only warns, because absolute ratios
+/// wobble across hosts.
+const HOT_PATH_FLOOR: f64 = 1.15;
+const HOT_PATH_TARGET: f64 = 1.3;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Drive one LLC model through a fixed access/fill workload and return accesses/s.
+/// Six of eight accesses hash into a working set that fits the cache (the hit path),
+/// the rest stream through a 4×-capacity region, so the steady state exercises hits,
+/// misses, fills and evictions in cache-like proportions.
+fn drive_llc<L: LlcModel>(llc: &mut L, accesses: u64) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..accesses {
+        let block = if i % 8 < 6 {
+            BlockAddr((i.wrapping_mul(2654435761)) % 6144)
+        } else {
+            BlockAddr(0x10_0000 + (i.wrapping_mul(40503)) % 32768)
+        };
+        let core = (i % 4) as usize;
+        let is_write = i % 7 == 0;
+        let lookup = llc.access(core, 0x400 + (i % 64), block, true, is_write, i);
+        if !lookup.hit {
+            llc.fill(core, 0x400 + (i % 64), block, is_write, i);
+        }
+        acc = acc.wrapping_add(lookup.latency);
+    }
+    black_box(acc);
+    accesses as f64 / start.elapsed().as_secs_f64()
+}
+
+struct MicroNumbers {
+    accesses: u64,
+    fast_per_sec: f64,
+    reference_per_sec: f64,
+}
+
+fn micro_section() -> MicroNumbers {
+    let cfg = SystemConfig::scaled(4);
+    let accesses: u64 = if quick() { 400_000 } else { 2_000_000 };
+
+    let policy = build_baseline_any(BaselineKind::TaDrrip, &cfg.llc, 4);
+    let mut fast = SharedLlc::new(cfg.llc, 4, 1_000_000, policy);
+    let policy = build_baseline(BaselineKind::TaDrrip, &cfg.llc, 4);
+    let mut reference = ReferenceLlc::new(cfg.llc, 4, 1_000_000, policy);
+
+    // One warm-up pass so both models are measured with a populated cache, then
+    // interleaved timed passes (best-of) so host frequency/cache drift doesn't bias
+    // whichever model runs first.
+    drive_llc(&mut fast, accesses / 4);
+    drive_llc(&mut reference, accesses / 4);
+    let mut fast_per_sec = 0f64;
+    let mut reference_per_sec = 0f64;
+    for _ in 0..3 {
+        fast_per_sec = fast_per_sec.max(drive_llc(&mut fast, accesses));
+        reference_per_sec = reference_per_sec.max(drive_llc(&mut reference, accesses));
+    }
+
+    // The two models must agree on what the workload did, not just how fast.
+    assert_eq!(
+        fast.global_stats(),
+        reference.global_stats(),
+        "micro workload diverged between fast and reference LLC"
+    );
+    for core in 0..4 {
+        assert_eq!(fast.core_stats(core), reference.core_stats(core));
+    }
+
+    MicroNumbers {
+        accesses,
+        fast_per_sec,
+        reference_per_sec,
+    }
+}
+
+fn assert_grid_identical(a: &[MixEvaluation], b: &[MixEvaluation], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: grid sizes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.weighted_speedup(), y.weighted_speedup(), "{what}");
+        assert_eq!(x.llc_global, y.llc_global, "{what}");
+        assert_eq!(x.llc_banks, y.llc_banks, "{what}");
+        assert_eq!(x.final_cycle, y.final_cycle, "{what}");
+        for (p, q) in x.per_app.iter().zip(&y.per_app) {
+            assert_eq!(p.ipc, q.ipc, "{what}: {} IPC", p.name);
+            assert_eq!(p.llc_mpki, q.llc_mpki, "{what}: {} MPKI", p.name);
+        }
+    }
+}
+
+struct GridNumbers {
+    policies: usize,
+    mixes: usize,
+    reference_serial_secs: f64,
+    fast_serial_secs: f64,
+    parallel_secs: f64,
+}
+
+fn grid_section() -> GridNumbers {
+    let scale = ExperimentScale::Scaled;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let num_mixes = if quick() { 2 } else { 8 };
+    let mixes = generate_mixes(StudyKind::Cores4, num_mixes, scale.seed());
+    let policies = [
+        PolicyKind::TaDrrip,
+        PolicyKind::AdaptBp32,
+        PolicyKind::Eaf,
+        PolicyKind::Ship,
+    ];
+    // Alone-run IPCs are memoized process-wide; warm them so no engine's timing
+    // includes the shared normalization runs.
+    warm_alone_cache(&cfg, &mixes, INSTRUCTIONS, SEED);
+
+    // Interleaved best-of-two timed rounds per serial engine, so host frequency/cache
+    // drift during the run doesn't bias whichever engine happens to run in the slower
+    // window.
+    let mut reference_serial_secs = f64::INFINITY;
+    let mut fast_serial_secs = f64::INFINITY;
+    let mut reference = Vec::new();
+    let mut fast = Vec::new();
+    for _ in 0..2 {
+        let start = Instant::now();
+        reference = evaluate_policies_serial_reference(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+        reference_serial_secs = reference_serial_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        fast = evaluate_policies_serial(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+        fast_serial_secs = fast_serial_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    let start = Instant::now();
+    let parallel = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    assert_grid_identical(&reference, &fast, "reference vs fast serial");
+    assert_grid_identical(&fast, &parallel, "fast serial vs parallel grid");
+
+    GridNumbers {
+        policies: policies.len(),
+        mixes: mixes.len(),
+        reference_serial_secs,
+        fast_serial_secs,
+        parallel_secs,
+    }
+}
+
+fn output_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("BENCH_SIM_JSON") {
+        return p.into();
+    }
+    // CARGO_MANIFEST_DIR is crates/bench; the snapshot lives at the workspace root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sim.json")
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("sim_perf: micro LLC throughput (fast vs reference)...");
+    let micro = micro_section();
+    let micro_speedup = micro.fast_per_sec / micro.reference_per_sec.max(1e-9);
+    println!(
+        "  fast      : {:>10.2} M accesses/s\n  reference : {:>10.2} M accesses/s  ({micro_speedup:.2}x)",
+        micro.fast_per_sec / 1e6,
+        micro.reference_per_sec / 1e6,
+    );
+
+    println!("sim_perf: sweep grid (single-threaded fast vs reference, then parallel)...");
+    let grid = grid_section();
+    let hot_path_speedup = grid.reference_serial_secs / grid.fast_serial_secs.max(1e-9);
+    let parallel_speedup = grid.fast_serial_secs / grid.parallel_secs.max(1e-9);
+    let pairs = (grid.policies * grid.mixes) as f64;
+    println!(
+        "  {} policies x {} mixes, {workers} worker thread(s)",
+        grid.policies, grid.mixes
+    );
+    println!("  reference serial : {:>8.3}s", grid.reference_serial_secs);
+    println!(
+        "  fast serial      : {:>8.3}s  ({hot_path_speedup:.2}x hot-path speedup)",
+        grid.fast_serial_secs
+    );
+    println!(
+        "  parallel grid    : {:>8.3}s  ({parallel_speedup:.2}x vs fast serial)",
+        grid.parallel_secs
+    );
+    println!("  results bit-identical across all three engines");
+
+    if hot_path_speedup < HOT_PATH_TARGET {
+        eprintln!(
+            "sim_perf: WARNING: hot-path speedup {hot_path_speedup:.2}x below the \
+             {HOT_PATH_TARGET}x acceptance target"
+        );
+    }
+    // Quick mode measures ~0.1s windows — too noisy on shared CI runners for a hard
+    // gate, so the floor only fails the full-size run.
+    if quick() {
+        if hot_path_speedup < HOT_PATH_FLOOR {
+            eprintln!(
+                "sim_perf: WARNING: quick-mode speedup {hot_path_speedup:.2}x below the \
+                 {HOT_PATH_FLOOR}x floor (not fatal in quick mode)"
+            );
+        }
+    } else {
+        assert!(
+            hot_path_speedup >= HOT_PATH_FLOOR,
+            "hot-path speedup regressed to {hot_path_speedup:.2}x (floor {HOT_PATH_FLOOR}x)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench-sim/1\",\n  \"quick\": {},\n  \"workers\": {},\n  \
+         \"micro\": {{\n    \"accesses\": {},\n    \"fast_accesses_per_sec\": {:.0},\n    \
+         \"reference_accesses_per_sec\": {:.0},\n    \"speedup\": {:.3}\n  }},\n  \
+         \"grid\": {{\n    \"policies\": {},\n    \"mixes\": {},\n    \
+         \"instructions_per_core\": {},\n    \"reference_serial_secs\": {:.4},\n    \
+         \"fast_serial_secs\": {:.4},\n    \"parallel_secs\": {:.4},\n    \
+         \"fast_serial_pairs_per_sec\": {:.3},\n    \"hot_path_speedup\": {:.3},\n    \
+         \"parallel_speedup\": {:.3}\n  }}\n}}\n",
+        quick(),
+        workers,
+        micro.accesses,
+        micro.fast_per_sec,
+        micro.reference_per_sec,
+        micro_speedup,
+        grid.policies,
+        grid.mixes,
+        INSTRUCTIONS,
+        grid.reference_serial_secs,
+        grid.fast_serial_secs,
+        grid.parallel_secs,
+        pairs / grid.fast_serial_secs.max(1e-9),
+        hot_path_speedup,
+        parallel_speedup,
+    );
+    let path = output_path();
+    std::fs::write(&path, json).expect("write BENCH_sim.json");
+    println!("sim_perf: wrote {}", path.display());
+}

@@ -7,6 +7,7 @@
 //! minutes; the `repro` binary is the tool for full-fidelity regeneration.
 
 use cache_sim::config::SystemConfig;
+use cache_sim::reference::reference_system;
 use cache_sim::system::MultiCoreSystem;
 use cache_sim::trace::TraceSource;
 use experiments::{ExperimentScale, PolicyKind};
@@ -35,13 +36,25 @@ pub fn smoke_scenario(study: StudyKind) -> BenchScenario {
     }
 }
 
-/// Run one (scenario, policy) pair to completion and return the total demand misses, so the
-/// benchmark body has a data dependency Criterion cannot optimize away.
+/// Run one (scenario, policy) pair to completion on the production (structure-of-arrays,
+/// enum-dispatched) hot path and return the total demand misses, so the benchmark body
+/// has a data dependency Criterion cannot optimize away.
 pub fn run_scenario(scenario: &BenchScenario, policy: PolicyKind) -> u64 {
     let llc_sets = scenario.config.llc.geometry.num_sets();
     let traces: Vec<Box<dyn TraceSource>> = scenario.mix.trace_sources(llc_sets, scenario.seed);
-    let built = policy.build(&scenario.config, &scenario.mix.thrashing_slots());
+    let built = policy.build_dispatch(&scenario.config, &scenario.mix.thrashing_slots());
     let mut system = MultiCoreSystem::new(scenario.config.clone(), traces, built);
+    let results = system.run(scenario.instructions);
+    results.total_llc_demand_misses()
+}
+
+/// [`run_scenario`] on the frozen pre-refactor hot path (`cache_sim::reference`): the
+/// "before" engine `sim_perf` measures the data-oriented rewrite against.
+pub fn run_scenario_reference(scenario: &BenchScenario, policy: PolicyKind) -> u64 {
+    let llc_sets = scenario.config.llc.geometry.num_sets();
+    let traces: Vec<Box<dyn TraceSource>> = scenario.mix.trace_sources(llc_sets, scenario.seed);
+    let built = policy.build(&scenario.config, &scenario.mix.thrashing_slots());
+    let mut system = reference_system(scenario.config.clone(), traces, built);
     let results = system.run(scenario.instructions);
     results.total_llc_demand_misses()
 }
@@ -55,5 +68,17 @@ mod tests {
         let scenario = smoke_scenario(StudyKind::Cores4);
         assert!(run_scenario(&scenario, PolicyKind::TaDrrip) > 0);
         assert!(run_scenario(&scenario, PolicyKind::AdaptBp32) > 0);
+    }
+
+    #[test]
+    fn reference_scenario_matches_fast_path() {
+        let scenario = smoke_scenario(StudyKind::Cores4);
+        for policy in [PolicyKind::TaDrrip, PolicyKind::AdaptBp32] {
+            assert_eq!(
+                run_scenario(&scenario, policy),
+                run_scenario_reference(&scenario, policy),
+                "{policy:?}: reference engine diverged"
+            );
+        }
     }
 }

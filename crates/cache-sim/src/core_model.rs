@@ -20,6 +20,10 @@ use crate::config::CoreConfig;
 #[derive(Debug, Clone)]
 pub struct CoreModel {
     config: CoreConfig,
+    /// True when `mlp_overlap == 2.0` (every shipped configuration): the per-access
+    /// overlap division then runs as an integer halving instead of an f64
+    /// divide-and-round, producing the identical result for any realistic latency.
+    halve_overlap: bool,
     /// Current absolute cycle of this core.
     pub cycle: u64,
     /// Instructions retired so far.
@@ -33,6 +37,7 @@ pub struct CoreModel {
 impl CoreModel {
     pub fn new(config: CoreConfig) -> Self {
         CoreModel {
+            halve_overlap: config.mlp_overlap == 2.0,
             config,
             cycle: 0,
             instructions: 0,
@@ -52,7 +57,14 @@ impl CoreModel {
         // Memory portion: the L1 hit latency is hidden by the pipeline; anything longer is
         // exposed but partially overlapped with independent work in the ROB.
         let exposed = mem_latency.saturating_sub(self.config.l1_hit_cycles);
-        let overlapped = (exposed as f64 / self.config.mlp_overlap).round() as u64;
+        // `(x as f64 / 2.0).round()` (round half away from zero, x exactly representable
+        // for any latency the hierarchy can produce) equals `(x + 1) >> 1` for every
+        // such x, so the common mlp_overlap = 2.0 case skips the float unit entirely.
+        let overlapped = if self.halve_overlap && exposed < (1 << 52) {
+            (exposed + 1) >> 1
+        } else {
+            (exposed as f64 / self.config.mlp_overlap).round() as u64
+        };
         // A 128-entry ROB can hide at most ~rob_size/issue_width cycles of latency behind
         // the following instructions; do not hide more latency than that bound allows.
         let rob_hide_bound = self.config.rob_size / self.config.issue_width;
@@ -137,6 +149,19 @@ mod tests {
             c.advance(3, 341);
         }
         assert!(c.ipc() < 0.1, "ipc = {}", c.ipc());
+    }
+
+    #[test]
+    fn halved_overlap_fast_path_matches_float_rounding() {
+        // The integer halving must reproduce the f64 divide-and-round exactly for any
+        // latency the hierarchy can produce (the reference engine keeps the float form).
+        for exposed in 0u64..10_000 {
+            assert_eq!(
+                (exposed + 1) >> 1,
+                (exposed as f64 / 2.0).round() as u64,
+                "exposed {exposed}"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! simulation produces bit-identical statistics. All randomness used by policies is
 //! seeded explicitly.
 //!
+//! The hot path (LLC, private caches, driver) is written data-oriented —
+//! structure-of-arrays tag storage, packed valid/dirty bitmasks, monomorphized policy
+//! dispatch; the pre-refactor implementation is retained frozen in the `reference`
+//! module as the bit-identity oracle and benchmark baseline.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -51,6 +56,7 @@ pub mod llc;
 pub mod mshr;
 pub mod prefetch;
 pub mod private_cache;
+pub mod reference;
 pub mod replacement;
 pub mod single;
 pub mod stats;

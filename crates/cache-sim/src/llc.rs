@@ -77,21 +77,102 @@ pub struct LlcGlobalStats {
     pub wb_stall_cycles: u64,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    valid: bool,
-    tag: u64,
-    dirty: bool,
-    owner: usize,
+/// Upper bound on LLC associativity: the valid/dirty state of one set is packed into a
+/// single `u64` bitmask, so a set holds at most 64 ways (the paper's largest
+/// configuration, Figure 7's 32-way LLC, uses half of that).
+pub const MAX_WAYS: usize = 64;
+
+/// Bitmask with one bit per way (shared by the LLC and private-cache SoA layouts).
+#[inline]
+pub(crate) fn way_mask(ways: usize) -> u64 {
+    debug_assert!((1..=MAX_WAYS).contains(&ways));
+    if ways == MAX_WAYS {
+        u64::MAX
+    } else {
+        (1u64 << ways) - 1
+    }
+}
+
+/// Common interface over the production and reference shared-LLC implementations.
+///
+/// Implemented by the structure-of-arrays [`SharedLlc`] and by the frozen pre-refactor
+/// oracle [`crate::reference::ReferenceLlc`] so bit-identity property tests and
+/// benchmarks can drive either uniformly and compare results bit-for-bit (the
+/// multi-core driver itself uses the concrete types directly).
+pub trait LlcModel {
+    /// Demand or prefetch lookup (see [`SharedLlc::access`]).
+    fn access(
+        &mut self,
+        core_id: usize,
+        pc: u64,
+        block: BlockAddr,
+        is_demand: bool,
+        is_write: bool,
+        now: u64,
+    ) -> LlcLookup;
+    /// Fill a demand miss (see [`SharedLlc::fill`]).
+    fn fill(
+        &mut self,
+        core_id: usize,
+        pc: u64,
+        block: BlockAddr,
+        is_write: bool,
+        now: u64,
+    ) -> LlcFill;
+    /// A write-back arriving from a private L2 (see [`SharedLlc::writeback`]).
+    fn writeback(&mut self, core_id: usize, block: BlockAddr, now: u64) -> bool;
+    /// Reserve an MSHR entry for a miss (see [`SharedLlc::reserve_mshr`]).
+    fn reserve_mshr(&mut self, now: u64, fill_latency: u64) -> u64;
+    /// Back-pressure MSHR acquire (see [`SharedLlc::begin_mshr`]).
+    fn begin_mshr(&mut self, now: u64) -> u64;
+    /// Complete a back-pressure MSHR acquire (see [`SharedLlc::complete_mshr`]).
+    fn complete_mshr(&mut self, completion: u64);
+    /// Per-core statistics.
+    fn core_stats(&self, core_id: usize) -> &LlcCoreStats;
+    /// Whole-cache statistics.
+    fn global_stats(&self) -> &LlcGlobalStats;
+    /// Per-bank occupancy/stall statistics, indexed by bank.
+    fn bank_stats(&self) -> &[BankStats];
+    /// Name of the installed replacement policy.
+    fn policy_name(&self) -> String;
 }
 
 /// The shared last-level cache.
-pub struct SharedLlc {
+///
+/// Line metadata is stored structure-of-arrays: one contiguous `u64` tag array indexed by
+/// `set * ways + way`, plus one packed valid bitmask and one packed dirty bitmask per set
+/// and a compact `u32` owner array. A lookup therefore scans a single cache-line-sized
+/// slice of tags with a branch-free match mask instead of striding over 32-byte line
+/// structs, and set/tag extraction uses shifts precomputed from the power-of-two
+/// geometry. The policy type parameter defaults to the boxed trait object for
+/// compatibility, but the experiment drivers instantiate it with the monomorphized
+/// `llc_policies` dispatch enum so per-access policy callbacks compile to direct calls.
+pub struct SharedLlc<P: LlcReplacementPolicy = Box<dyn LlcReplacementPolicy>> {
     config: LlcConfig,
     num_sets: usize,
     ways: usize,
-    lines: Vec<Line>,
-    policy: Box<dyn LlcReplacementPolicy>,
+    /// Block-address bits selecting the set (`num_sets - 1`).
+    set_mask: u64,
+    /// Shift dropping the set-index bits from a block address (`log2(num_sets)`).
+    set_shift: u32,
+    /// True when the bank count is a power of two (mask instead of modulo in `bank_of`).
+    banks_pow2: bool,
+    /// Line tags, `num_sets * ways`, contiguous per set.
+    tags: Vec<u64>,
+    /// Per-set valid bitmask (bit `w` = way `w` holds a line).
+    valid: Vec<u64>,
+    /// Per-set dirty bitmask.
+    dirty: Vec<u64>,
+    /// Per-set way of the last hit/fill (way prediction). Valid tags are unique within
+    /// a set, so confirming the hinted tag yields the same way the full scan would —
+    /// a pure shortcut, invisible to results.
+    hint: Vec<u8>,
+    /// Inserting core per line, `num_sets * ways`.
+    owners: Vec<u32>,
+    /// Reusable victim-view buffer handed to `choose_victim` — assembled per eviction
+    /// without heap allocation (the seed collected a fresh `Vec` per eviction).
+    views_buf: Vec<LineView>,
+    policy: P,
     banks: BankModel,
     mshr: OccupancyWindow,
     wb_buffer: OccupancyWindow,
@@ -101,19 +182,31 @@ pub struct SharedLlc {
     misses_in_interval: u64,
 }
 
-impl SharedLlc {
-    pub fn new(
-        config: LlcConfig,
-        num_cores: usize,
-        interval_misses: u64,
-        policy: Box<dyn LlcReplacementPolicy>,
-    ) -> Self {
+impl<P: LlcReplacementPolicy> SharedLlc<P> {
+    pub fn new(config: LlcConfig, num_cores: usize, interval_misses: u64, policy: P) -> Self {
         let num_sets = config.geometry.num_sets();
         let ways = config.geometry.ways;
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        assert!(
+            (1..=MAX_WAYS).contains(&ways),
+            "associativity must be in 1..={MAX_WAYS}"
+        );
+        assert!(config.banks > 0, "need at least one bank");
         SharedLlc {
             num_sets,
             ways,
-            lines: vec![Line::default(); num_sets * ways],
+            set_mask: num_sets as u64 - 1,
+            set_shift: num_sets.trailing_zeros(),
+            banks_pow2: config.banks.is_power_of_two(),
+            tags: vec![0; num_sets * ways],
+            valid: vec![0; num_sets],
+            dirty: vec![0; num_sets],
+            hint: vec![0; num_sets],
+            owners: vec![0; num_sets * ways],
+            views_buf: Vec::with_capacity(ways),
             policy,
             banks: BankModel::new(config.banks, config.contention),
             mshr: OccupancyWindow::new(config.mshr_entries),
@@ -137,11 +230,25 @@ impl SharedLlc {
         self.config.latency
     }
 
-    fn ctx(
+    /// Split a block address into (set, tag) with the precomputed shifts.
+    #[inline]
+    fn decompose(&self, block: BlockAddr) -> (usize, u64) {
+        (
+            (block.0 & self.set_mask) as usize,
+            block.0 >> self.set_shift,
+        )
+    }
+
+    /// Build the policy context for an access whose set index is already known. Called
+    /// only on paths that actually invoke the policy: prefetch accesses and write-backs
+    /// never construct a context.
+    #[inline]
+    fn ctx_at(
         &self,
         core_id: usize,
         pc: u64,
         block: BlockAddr,
+        set: usize,
         is_demand: bool,
         is_write: bool,
     ) -> AccessContext {
@@ -149,14 +256,25 @@ impl SharedLlc {
             core_id,
             pc,
             block_addr: block.0,
-            set_index: block.set_index(self.num_sets),
+            set_index: set,
             is_demand,
             is_write,
         }
     }
 
+    /// Bank of a set. Power-of-two bank counts (every shipped configuration) use a mask;
+    /// other counts fall back to a modulo so sets still spread uniformly over all banks —
+    /// the seed's unconditional `set & (banks - 1)` skipped banks entirely for counts
+    /// like 3 or 6.
+    #[inline]
     fn bank_of(&self, set: usize) -> usize {
-        set & (self.config.banks - 1)
+        let bank = if self.banks_pow2 {
+            set & (self.config.banks - 1)
+        } else {
+            set % self.config.banks
+        };
+        debug_assert!(bank < self.config.banks);
+        bank
     }
 
     /// Charge bank occupancy for an access arriving at `now`; returns the queuing delay
@@ -171,12 +289,34 @@ impl SharedLlc {
         req.delay
     }
 
-    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+    /// Way lookup over the set's contiguous tag slice: iterate the valid bitmask in way
+    /// order (lowest way wins, like the original per-way scan), comparing only tags
+    /// that hold lines. Invalid ways cost nothing and the first match exits.
+    #[inline]
+    fn scan_ways(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.ways;
-        (0..self.ways).find(|&w| {
-            let l = &self.lines[base + w];
-            l.valid && l.tag == tag
-        })
+        let mut remaining = self.valid[set];
+        while remaining != 0 {
+            let w = remaining.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                return Some(w);
+            }
+            remaining &= remaining - 1;
+        }
+        None
+    }
+
+    /// [`SharedLlc::scan_ways`] with the way-prediction shortcut: check the set's last
+    /// hit/fill way first. Tags are unique among a set's valid ways, so a hint
+    /// confirmation returns exactly what the scan would.
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let hint = self.hint[set] as usize;
+        let base = set * self.ways;
+        if (self.valid[set] >> hint) & 1 == 1 && self.tags[base + hint] == tag {
+            return Some(hint);
+        }
+        self.scan_ways(set, tag)
     }
 
     /// Demand or prefetch lookup.
@@ -189,58 +329,63 @@ impl SharedLlc {
         is_write: bool,
         now: u64,
     ) -> LlcLookup {
-        let set = block.set_index(self.num_sets);
-        let tag = block.tag(self.num_sets);
-        let ctx = self.ctx(core_id, pc, block, is_demand, is_write);
-        let stats = &mut self.per_core[core_id];
-        if is_demand {
-            stats.demand_accesses += 1;
-        } else {
-            stats.prefetch_accesses += 1;
+        let (set, tag) = self.decompose(block);
+        if !is_demand {
+            // Prefetch path: no policy involvement at all, so no context is built.
+            self.per_core[core_id].prefetch_accesses += 1;
+            let delay = self.bank_delay(set, now);
+            let latency = self.config.latency + delay;
+            return match self.find_way(set, tag) {
+                Some(way) => {
+                    self.per_core[core_id].prefetch_hits += 1;
+                    self.hint[set] = way as u8;
+                    if is_write {
+                        self.dirty[set] |= 1 << way;
+                    }
+                    LlcLookup { hit: true, latency }
+                }
+                None => LlcLookup {
+                    hit: false,
+                    latency,
+                },
+            };
         }
 
-        if is_demand {
-            self.policy.on_access(&ctx);
-        }
+        self.per_core[core_id].demand_accesses += 1;
+        let ctx = self.ctx_at(core_id, pc, block, set, true, is_write);
+        self.policy.on_access(&ctx);
 
         let delay = self.bank_delay(set, now);
         let latency = self.config.latency + delay;
 
         match self.find_way(set, tag) {
             Some(way) => {
-                let stats = &mut self.per_core[core_id];
-                if is_demand {
-                    stats.demand_hits += 1;
-                    self.policy.on_hit(&ctx, way);
-                } else {
-                    stats.prefetch_hits += 1;
-                }
+                self.per_core[core_id].demand_hits += 1;
+                self.hint[set] = way as u8;
+                self.policy.on_hit(&ctx, way);
                 if is_write {
-                    self.lines[set * self.ways + way].dirty = true;
+                    self.dirty[set] |= 1 << way;
                 }
                 LlcLookup { hit: true, latency }
             }
             None => {
-                if is_demand {
-                    let stats = &mut self.per_core[core_id];
-                    stats.demand_misses += 1;
-                    self.global.total_demand_misses += 1;
-                    self.misses_in_interval += 1;
-                    // The very first interval fires at a quarter of the configured length so
-                    // interval-based policies (ADAPT) leave their cold-start default
-                    // quickly; subsequent intervals use the full length. At the paper's
-                    // 300M-instruction scale this is indistinguishable from a fixed
-                    // interval, at reduced scale it keeps warm-up from dominating the run.
-                    let threshold = if self.global.intervals_completed == 0 {
-                        (self.interval_misses / 4).max(1)
-                    } else {
-                        self.interval_misses
-                    };
-                    if self.misses_in_interval >= threshold {
-                        self.misses_in_interval = 0;
-                        self.global.intervals_completed += 1;
-                        self.policy.on_interval();
-                    }
+                self.per_core[core_id].demand_misses += 1;
+                self.global.total_demand_misses += 1;
+                self.misses_in_interval += 1;
+                // The very first interval fires at a quarter of the configured length so
+                // interval-based policies (ADAPT) leave their cold-start default
+                // quickly; subsequent intervals use the full length. At the paper's
+                // 300M-instruction scale this is indistinguishable from a fixed
+                // interval, at reduced scale it keeps warm-up from dominating the run.
+                let threshold = if self.global.intervals_completed == 0 {
+                    (self.interval_misses / 4).max(1)
+                } else {
+                    self.interval_misses
+                };
+                if self.misses_in_interval >= threshold {
+                    self.misses_in_interval = 0;
+                    self.global.intervals_completed += 1;
+                    self.policy.on_interval();
                 }
                 LlcLookup {
                     hit: false,
@@ -290,9 +435,8 @@ impl SharedLlc {
         is_write: bool,
         now: u64,
     ) -> LlcFill {
-        let set = block.set_index(self.num_sets);
-        let tag = block.tag(self.num_sets);
-        let ctx = self.ctx(core_id, pc, block, true, is_write);
+        let (set, tag) = self.decompose(block);
+        let ctx = self.ctx_at(core_id, pc, block, set, true, is_write);
 
         // A racing fill may have already inserted the block.
         if self.find_way(set, tag).is_some() {
@@ -313,50 +457,56 @@ impl SharedLlc {
         }
 
         let base = set * self.ways;
-        let invalid_way = (0..self.ways).find(|&w| !self.lines[base + w].valid);
-        let (way, evicted) = match invalid_way {
-            Some(w) => (w, None),
-            None => {
-                let views: Vec<LineView> = (0..self.ways)
-                    .map(|w| {
-                        let l = &self.lines[base + w];
-                        LineView {
-                            valid: l.valid,
-                            owner: l.owner,
-                            block_addr: (l.tag << self.num_sets.trailing_zeros()) | set as u64,
-                            dirty: l.dirty,
-                        }
-                    })
-                    .collect();
-                let w = self.policy.choose_victim(&ctx, &views);
-                assert!(w < self.ways, "policy returned out-of-range victim way {w}");
-                let victim = self.lines[base + w];
-                let victim_block =
-                    BlockAddr((victim.tag << self.num_sets.trailing_zeros()) | set as u64);
-                self.policy.on_evict(&ctx, victim_block.0, victim.owner);
-                self.per_core[victim.owner].lines_evicted += 1;
-                if victim.dirty {
-                    self.global.dirty_evictions += 1;
-                    let (stall, _) = self.wb_buffer.reserve(now, self.config.latency);
-                    self.global.wb_stall_cycles += stall;
-                }
-                (
-                    w,
-                    Some(LlcEvicted {
-                        block: victim_block,
-                        dirty: victim.dirty,
-                        owner: victim.owner,
-                    }),
-                )
+        let invalid = !self.valid[set] & way_mask(self.ways);
+        let (way, evicted) = if invalid != 0 {
+            // Lowest invalid way, matching the original first-invalid scan.
+            (invalid.trailing_zeros() as usize, None)
+        } else {
+            // Victim views are assembled into a reusable buffer: choose_victim gets the
+            // same `&[LineView]` it always did, without a per-eviction heap allocation.
+            let mut views = std::mem::take(&mut self.views_buf);
+            views.clear();
+            let dirty_mask = self.dirty[set];
+            for w in 0..self.ways {
+                views.push(LineView {
+                    valid: true,
+                    owner: self.owners[base + w] as usize,
+                    block_addr: (self.tags[base + w] << self.set_shift) | set as u64,
+                    dirty: (dirty_mask >> w) & 1 == 1,
+                });
             }
+            let w = self.policy.choose_victim(&ctx, &views);
+            self.views_buf = views;
+            assert!(w < self.ways, "policy returned out-of-range victim way {w}");
+            let victim_owner = self.owners[base + w] as usize;
+            let victim_dirty = (dirty_mask >> w) & 1 == 1;
+            let victim_block = BlockAddr((self.tags[base + w] << self.set_shift) | set as u64);
+            self.policy.on_evict(&ctx, victim_block.0, victim_owner);
+            self.per_core[victim_owner].lines_evicted += 1;
+            if victim_dirty {
+                self.global.dirty_evictions += 1;
+                let (stall, _) = self.wb_buffer.reserve(now, self.config.latency);
+                self.global.wb_stall_cycles += stall;
+            }
+            (
+                w,
+                Some(LlcEvicted {
+                    block: victim_block,
+                    dirty: victim_dirty,
+                    owner: victim_owner,
+                }),
+            )
         };
 
-        self.lines[base + way] = Line {
-            valid: true,
-            tag,
-            dirty: is_write,
-            owner: core_id,
-        };
+        self.tags[base + way] = tag;
+        self.owners[base + way] = core_id as u32;
+        self.valid[set] |= 1 << way;
+        self.hint[set] = way as u8;
+        if is_write {
+            self.dirty[set] |= 1 << way;
+        } else {
+            self.dirty[set] &= !(1 << way);
+        }
         self.policy.on_fill(&ctx, way, &decision);
         LlcFill {
             bypassed: false,
@@ -367,12 +517,12 @@ impl SharedLlc {
     /// A write-back arriving from a private L2: update the line if present, otherwise the
     /// caller forwards it to memory. Returns true if the LLC absorbed it.
     pub fn writeback(&mut self, core_id: usize, block: BlockAddr, now: u64) -> bool {
-        let set = block.set_index(self.num_sets);
-        let tag = block.tag(self.num_sets);
+        let (set, tag) = self.decompose(block);
         self.per_core[core_id].writebacks_in += 1;
         let _ = self.bank_delay(set, now);
         if let Some(way) = self.find_way(set, tag) {
-            self.lines[set * self.ways + way].dirty = true;
+            self.hint[set] = way as u8;
+            self.dirty[set] |= 1 << way;
             true
         } else {
             false
@@ -408,9 +558,12 @@ impl SharedLlc {
     /// and experiments.
     pub fn occupancy_by_core(&self) -> Vec<usize> {
         let mut occ = vec![0usize; self.per_core.len()];
-        for l in &self.lines {
-            if l.valid {
-                occ[l.owner] += 1;
+        for set in 0..self.num_sets {
+            let mut mask = self.valid[set];
+            while mask != 0 {
+                let w = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                occ[self.owners[set * self.ways + w] as usize] += 1;
             }
         }
         occ
@@ -418,7 +571,64 @@ impl SharedLlc {
 
     /// Total number of valid lines.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
+    }
+}
+
+impl<P: LlcReplacementPolicy> LlcModel for SharedLlc<P> {
+    fn access(
+        &mut self,
+        core_id: usize,
+        pc: u64,
+        block: BlockAddr,
+        is_demand: bool,
+        is_write: bool,
+        now: u64,
+    ) -> LlcLookup {
+        SharedLlc::access(self, core_id, pc, block, is_demand, is_write, now)
+    }
+
+    fn fill(
+        &mut self,
+        core_id: usize,
+        pc: u64,
+        block: BlockAddr,
+        is_write: bool,
+        now: u64,
+    ) -> LlcFill {
+        SharedLlc::fill(self, core_id, pc, block, is_write, now)
+    }
+
+    fn writeback(&mut self, core_id: usize, block: BlockAddr, now: u64) -> bool {
+        SharedLlc::writeback(self, core_id, block, now)
+    }
+
+    fn reserve_mshr(&mut self, now: u64, fill_latency: u64) -> u64 {
+        SharedLlc::reserve_mshr(self, now, fill_latency)
+    }
+
+    fn begin_mshr(&mut self, now: u64) -> u64 {
+        SharedLlc::begin_mshr(self, now)
+    }
+
+    fn complete_mshr(&mut self, completion: u64) {
+        SharedLlc::complete_mshr(self, completion)
+    }
+
+    fn core_stats(&self, core_id: usize) -> &LlcCoreStats {
+        SharedLlc::core_stats(self, core_id)
+    }
+
+    fn global_stats(&self) -> &LlcGlobalStats {
+        SharedLlc::global_stats(self)
+    }
+
+    fn bank_stats(&self) -> &[BankStats] {
+        SharedLlc::bank_stats(self)
+    }
+
+    fn policy_name(&self) -> String {
+        SharedLlc::policy_name(self)
     }
 }
 
@@ -693,6 +903,28 @@ mod tests {
             llc.global_stats().mshr_full_events,
             two_phase.global_stats().mshr_full_events
         );
+    }
+
+    #[test]
+    fn non_pow2_bank_counts_map_all_banks_uniformly() {
+        // The seed's `set & (banks - 1)` skipped banks entirely for non-power-of-two
+        // counts (banks = 3 would never touch bank 1); the modulo fallback must spread
+        // sets across every bank, off by at most one request.
+        let mut cfg = llc_config();
+        cfg.banks = 3;
+        let sets = cfg.geometry.num_sets();
+        let ways = cfg.geometry.ways;
+        let mut llc = SharedLlc::new(cfg, 1, 100, Box::new(TestSrrip::new(sets, ways)));
+        for s in 0..sets as u64 {
+            llc.access(0, 0, BlockAddr(s), true, false, 0);
+        }
+        let per_bank: Vec<u64> = llc.bank_stats().iter().map(|b| b.requests).collect();
+        assert_eq!(per_bank.len(), 3);
+        assert_eq!(per_bank.iter().sum::<u64>(), sets as u64);
+        assert!(per_bank.iter().all(|&r| r > 0), "a bank saw no requests");
+        let max = per_bank.iter().max().unwrap();
+        let min = per_bank.iter().min().unwrap();
+        assert!(max - min <= 1, "non-uniform bank mapping: {per_bank:?}");
     }
 
     #[test]

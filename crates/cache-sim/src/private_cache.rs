@@ -23,13 +23,6 @@ pub struct EvictedLine {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    valid: bool,
-    tag: u64,
-    dirty: bool,
-}
-
 /// Statistics for a private cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrivateCacheStats {
@@ -117,13 +110,49 @@ impl DuelState {
     }
 }
 
+/// Common interface over the production and reference private-cache implementations.
+///
+/// Implemented by the structure-of-arrays [`PrivateCache`] and the frozen pre-refactor
+/// [`crate::reference::ReferencePrivateCache`] so bit-identity property tests and
+/// benchmarks can drive either uniformly (the multi-core driver itself uses the
+/// concrete types directly).
+pub trait PrivateCacheModel {
+    /// Hit latency of this level in cycles.
+    fn latency(&self) -> u64;
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &PrivateCacheStats;
+    /// Look up a block; on a hit, update recency and (for writes) the dirty bit.
+    fn access(&mut self, block: BlockAddr, is_write: bool) -> Lookup;
+    /// Probe without updating any state.
+    fn probe(&self, block: BlockAddr) -> bool;
+    /// Fill a block, possibly evicting a line.
+    fn fill(&mut self, block: BlockAddr, dirty: bool, prefetch: bool) -> Option<EvictedLine>;
+    /// A write-back arriving from the level above; true if absorbed.
+    fn writeback(&mut self, block: BlockAddr) -> bool;
+}
+
 /// A private, set-associative, write-back cache level.
+///
+/// Like the shared LLC, line metadata is structure-of-arrays: a contiguous per-set tag
+/// array plus packed valid/dirty bitmasks, so the per-access tag scan touches one short
+/// `u64` slice instead of striding over line structs. Associativity is bounded by
+/// [`crate::llc::MAX_WAYS`].
 #[derive(Debug, Clone)]
 pub struct PrivateCache {
     config: PrivateCacheConfig,
     num_sets: usize,
     ways: usize,
-    lines: Vec<Line>,
+    set_mask: u64,
+    set_shift: u32,
+    tags: Vec<u64>,
+    /// Per-set valid bitmask (bit `w` = way `w` holds a line).
+    valid: Vec<u64>,
+    /// Per-set dirty bitmask.
+    dirty: Vec<u64>,
+    /// Per-set way of the last hit/fill (way prediction). Valid tags are unique within
+    /// a set, so confirming the hinted tag yields the same way the full scan would —
+    /// a pure shortcut, invisible to results.
+    hint: Vec<u8>,
     /// LRU timestamps (monotonic counter per access).
     stamps: Vec<u64>,
     stamp_clock: u64,
@@ -137,6 +166,15 @@ impl PrivateCache {
     pub fn new(config: PrivateCacheConfig) -> Self {
         let num_sets = config.geometry.num_sets();
         let ways = config.geometry.ways;
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        assert!(
+            (1..=crate::llc::MAX_WAYS).contains(&ways),
+            "associativity must be in 1..={}",
+            crate::llc::MAX_WAYS
+        );
         let duel = match config.policy {
             PrivatePolicyKind::Drrip => Some(DuelState::new(num_sets)),
             _ => None,
@@ -145,7 +183,12 @@ impl PrivateCache {
             config,
             num_sets,
             ways,
-            lines: vec![Line::default(); num_sets * ways],
+            set_mask: num_sets as u64 - 1,
+            set_shift: num_sets.trailing_zeros(),
+            tags: vec![0; num_sets * ways],
+            valid: vec![0; num_sets],
+            dirty: vec![0; num_sets],
+            hint: vec![0; num_sets],
             stamps: vec![0; num_sets * ways],
             stamp_clock: 0,
             rrpv: RrpvArray::new(num_sets, ways),
@@ -164,33 +207,59 @@ impl PrivateCache {
         &self.stats
     }
 
-    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        let base = set * self.ways;
-        base..base + self.ways
+    /// Split a block address into (set, tag) with the precomputed shifts.
+    #[inline]
+    fn decompose(&self, block: BlockAddr) -> (usize, u64) {
+        (
+            (block.0 & self.set_mask) as usize,
+            block.0 >> self.set_shift,
+        )
     }
 
-    fn set_of(&self, block: BlockAddr) -> usize {
-        block.set_index(self.num_sets)
+    /// Branch-light way lookup over the set's contiguous tag slice (lowest way wins).
+    #[inline]
+    fn scan_ways(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        let mut matches = 0u64;
+        for (w, &t) in tags.iter().enumerate() {
+            matches |= u64::from(t == tag) << w;
+        }
+        matches &= self.valid[set];
+        if matches != 0 {
+            Some(matches.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// [`PrivateCache::scan_ways`] with the way-prediction shortcut: check the set's
+    /// last hit/fill way first. Tags are unique among a set's valid ways, so a hint
+    /// confirmation returns exactly what the scan would.
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let hint = self.hint[set] as usize;
+        let base = set * self.ways;
+        if (self.valid[set] >> hint) & 1 == 1 && self.tags[base + hint] == tag {
+            return Some(hint);
+        }
+        self.scan_ways(set, tag)
     }
 
     /// Look up a block; on a hit, update recency and (for writes) the dirty bit.
     pub fn access(&mut self, block: BlockAddr, is_write: bool) -> Lookup {
         self.stats.accesses += 1;
-        let set = self.set_of(block);
-        let tag = block.tag(self.num_sets);
-        let base = set * self.ways;
-        for way in 0..self.ways {
-            let idx = base + way;
-            if self.lines[idx].valid && self.lines[idx].tag == tag {
-                self.stats.hits += 1;
-                self.stamp_clock += 1;
-                self.stamps[idx] = self.stamp_clock;
-                self.rrpv.promote(set, way);
-                if is_write {
-                    self.lines[idx].dirty = true;
-                }
-                return Lookup::Hit;
+        let (set, tag) = self.decompose(block);
+        if let Some(way) = self.find_way(set, tag) {
+            self.stats.hits += 1;
+            self.hint[set] = way as u8;
+            self.stamp_clock += 1;
+            self.stamps[set * self.ways + way] = self.stamp_clock;
+            self.rrpv.promote(set, way);
+            if is_write {
+                self.dirty[set] |= 1 << way;
             }
+            return Lookup::Hit;
         }
         self.stats.misses += 1;
         if let Some(duel) = &mut self.duel {
@@ -201,10 +270,8 @@ impl PrivateCache {
 
     /// Probe without updating any state (used by prefetch issue checks and tests).
     pub fn probe(&self, block: BlockAddr) -> bool {
-        let set = self.set_of(block);
-        let tag = block.tag(self.num_sets);
-        self.set_range(set)
-            .any(|idx| self.lines[idx].valid && self.lines[idx].tag == tag)
+        let (set, tag) = self.decompose(block);
+        self.find_way(set, tag).is_some()
     }
 
     /// Fill a block (after a miss was resolved below), possibly evicting a line.
@@ -212,77 +279,65 @@ impl PrivateCache {
     /// `dirty` marks the fill as modified (write-allocate). `prefetch` fills are inserted at
     /// distant priority under RRIP policies so that useless prefetches leave quickly.
     pub fn fill(&mut self, block: BlockAddr, dirty: bool, prefetch: bool) -> Option<EvictedLine> {
-        let set = self.set_of(block);
-        let tag = block.tag(self.num_sets);
+        let (set, tag) = self.decompose(block);
         let base = set * self.ways;
 
         // Already present (e.g. a racing prefetch filled it): just update state.
-        for way in 0..self.ways {
-            let idx = base + way;
-            if self.lines[idx].valid && self.lines[idx].tag == tag {
-                if dirty {
-                    self.lines[idx].dirty = true;
-                }
-                return None;
+        if let Some(way) = self.find_way(set, tag) {
+            if dirty {
+                self.dirty[set] |= 1 << way;
             }
+            return None;
         }
 
         if prefetch {
             self.stats.prefetch_fills += 1;
         }
 
-        // Prefer an invalid way.
-        let mut target_way = None;
-        for way in 0..self.ways {
-            if !self.lines[base + way].valid {
-                target_way = Some(way);
-                break;
-            }
-        }
-        let (way, evicted) = match target_way {
-            Some(way) => (way, None),
-            None => {
-                let way = match self.config.policy {
-                    PrivatePolicyKind::Lru => {
-                        let mut victim = 0;
-                        let mut oldest = u64::MAX;
-                        for w in 0..self.ways {
-                            if self.stamps[base + w] < oldest {
-                                oldest = self.stamps[base + w];
-                                victim = w;
-                            }
+        // Prefer the lowest invalid way, matching the original first-invalid scan.
+        let invalid = !self.valid[set] & crate::llc::way_mask(self.ways);
+        let (way, evicted) = if invalid != 0 {
+            (invalid.trailing_zeros() as usize, None)
+        } else {
+            let way = match self.config.policy {
+                PrivatePolicyKind::Lru => {
+                    let mut victim = 0;
+                    let mut oldest = u64::MAX;
+                    for w in 0..self.ways {
+                        if self.stamps[base + w] < oldest {
+                            oldest = self.stamps[base + w];
+                            victim = w;
                         }
-                        victim
                     }
-                    PrivatePolicyKind::Srrip | PrivatePolicyKind::Drrip => {
-                        self.rrpv.find_victim(set)
-                    }
-                };
-                let line = self.lines[base + way];
-                self.stats.evictions += 1;
-                if line.dirty {
-                    self.stats.writebacks += 1;
+                    victim
                 }
-                let evicted_block =
-                    BlockAddr((line.tag << self.num_sets.trailing_zeros()) | set as u64);
-                (
-                    way,
-                    Some(EvictedLine {
-                        block: evicted_block,
-                        dirty: line.dirty,
-                    }),
-                )
+                PrivatePolicyKind::Srrip | PrivatePolicyKind::Drrip => self.rrpv.find_victim(set),
+            };
+            let line_dirty = (self.dirty[set] >> way) & 1 == 1;
+            self.stats.evictions += 1;
+            if line_dirty {
+                self.stats.writebacks += 1;
             }
+            let evicted_block = BlockAddr((self.tags[base + way] << self.set_shift) | set as u64);
+            (
+                way,
+                Some(EvictedLine {
+                    block: evicted_block,
+                    dirty: line_dirty,
+                }),
+            )
         };
 
-        let idx = base + way;
-        self.lines[idx] = Line {
-            valid: true,
-            tag,
-            dirty,
-        };
+        self.tags[base + way] = tag;
+        self.valid[set] |= 1 << way;
+        self.hint[set] = way as u8;
+        if dirty {
+            self.dirty[set] |= 1 << way;
+        } else {
+            self.dirty[set] &= !(1 << way);
+        }
         self.stamp_clock += 1;
-        self.stamps[idx] = self.stamp_clock;
+        self.stamps[base + way] = self.stamp_clock;
         let insert_rrpv = match self.config.policy {
             PrivatePolicyKind::Lru => 0,
             PrivatePolicyKind::Srrip => {
@@ -307,27 +362,49 @@ impl PrivateCache {
     /// A write-back arriving from the level above: set the dirty bit if the block is
     /// present. Returns true if absorbed; the caller forwards it further down otherwise.
     pub fn writeback(&mut self, block: BlockAddr) -> bool {
-        let set = self.set_of(block);
-        let tag = block.tag(self.num_sets);
-        let base = set * self.ways;
-        for way in 0..self.ways {
-            let idx = base + way;
-            if self.lines[idx].valid && self.lines[idx].tag == tag {
-                self.lines[idx].dirty = true;
-                return true;
-            }
+        let (set, tag) = self.decompose(block);
+        if let Some(way) = self.find_way(set, tag) {
+            self.dirty[set] |= 1 << way;
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Number of valid lines currently held (used by tests and occupancy reports).
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
         self.num_sets * self.ways
+    }
+}
+
+impl PrivateCacheModel for PrivateCache {
+    fn latency(&self) -> u64 {
+        PrivateCache::latency(self)
+    }
+
+    fn stats(&self) -> &PrivateCacheStats {
+        PrivateCache::stats(self)
+    }
+
+    fn access(&mut self, block: BlockAddr, is_write: bool) -> Lookup {
+        PrivateCache::access(self, block, is_write)
+    }
+
+    fn probe(&self, block: BlockAddr) -> bool {
+        PrivateCache::probe(self, block)
+    }
+
+    fn fill(&mut self, block: BlockAddr, dirty: bool, prefetch: bool) -> Option<EvictedLine> {
+        PrivateCache::fill(self, block, dirty, prefetch)
+    }
+
+    fn writeback(&mut self, block: BlockAddr) -> bool {
+        PrivateCache::writeback(self, block)
     }
 }
 

@@ -109,6 +109,36 @@ pub trait LlcReplacementPolicy: Send {
     fn on_interval(&mut self) {}
 }
 
+/// Boxed policies are policies too, so code generic over `P: LlcReplacementPolicy` can be
+/// instantiated with `Box<dyn LlcReplacementPolicy>` (the dynamic-dispatch path retained
+/// for tests and extensions) as well as with concrete or enum-dispatched policy types.
+impl<P: LlcReplacementPolicy + ?Sized> LlcReplacementPolicy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_access(&mut self, ctx: &AccessContext) {
+        (**self).on_access(ctx)
+    }
+    fn on_hit(&mut self, ctx: &AccessContext, way: usize) {
+        (**self).on_hit(ctx, way)
+    }
+    fn insertion_decision(&mut self, ctx: &AccessContext) -> InsertionDecision {
+        (**self).insertion_decision(ctx)
+    }
+    fn choose_victim(&mut self, ctx: &AccessContext, lines: &[LineView]) -> usize {
+        (**self).choose_victim(ctx, lines)
+    }
+    fn on_evict(&mut self, ctx: &AccessContext, evicted_block: u64, owner: usize) {
+        (**self).on_evict(ctx, evicted_block, owner)
+    }
+    fn on_fill(&mut self, ctx: &AccessContext, way: usize, decision: &InsertionDecision) {
+        (**self).on_fill(ctx, way, decision)
+    }
+    fn on_interval(&mut self) {
+        (**self).on_interval()
+    }
+}
+
 /// Per-line RRPV state shared by every RRIP-family policy (SRRIP, BRRIP, DRRIP, TA-DRRIP,
 /// SHiP, EAF and ADAPT all manage victims identically; only insertion values differ).
 ///

@@ -15,11 +15,12 @@ use crate::trace::TraceSource;
 /// Run one application alone on a single-core version of `config` with the given policy.
 ///
 /// The configuration's LLC, L2 and DRAM parameters are preserved; only the core count is
-/// forced to one.
-pub fn run_alone(
+/// forced to one. The policy may be any [`LlcReplacementPolicy`] value — concrete, enum
+/// dispatched, or boxed (the historical `Box<dyn ...>` signature still works).
+pub fn run_alone<P: LlcReplacementPolicy>(
     config: &SystemConfig,
     trace: Box<dyn TraceSource>,
-    policy: Box<dyn LlcReplacementPolicy>,
+    policy: P,
     instructions: u64,
 ) -> CoreStats {
     let mut cfg = config.clone();
@@ -49,7 +50,7 @@ pub fn profile_alone(
     cfg.num_cores = 1;
     let policy =
         crate::system::DefaultSrripPolicy::new(cfg.llc.geometry.num_sets(), cfg.llc.geometry.ways);
-    let stats = run_alone(&cfg, trace, Box::new(policy), instructions);
+    let stats = run_alone(&cfg, trace, policy, instructions);
     AloneProfile {
         label: stats.label.clone(),
         ipc: stats.ipc(),

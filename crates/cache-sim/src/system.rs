@@ -2,17 +2,19 @@
 //!
 //! Each core owns a private L1D + L2, a next-line prefetcher and an approximate OoO timing
 //! model; all cores share one banked LLC and the DRAM. Cores are advanced in global time
-//! order through a binary heap keyed by their current cycle, so the interleaving of LLC
+//! order — always the core with the smallest (cycle, core id) — so the interleaving of LLC
 //! accesses — and therefore the contention the replacement policy sees — follows the same
-//! relative order a cycle-accurate simulator would produce.
+//! relative order a cycle-accurate simulator would produce. The earliest core is found
+//! with a linear scan over a dense per-core cycle array rather than the seed's binary
+//! heap: at the paper's core counts (4–64) scanning a few cache-resident `u64`s per step
+//! is cheaper than heap sift operations, and the pop order (and therefore every result)
+//! is identical. The seed driver is retained verbatim in [`crate::reference`] as the
+//! bit-identity oracle.
 //!
 //! Each core runs until it retires its per-core instruction target; cores that reach the
 //! target keep executing (their statistics are snapshotted at the target) so that the
 //! remaining cores continue to experience contention, exactly like the paper's methodology
 //! of re-executing finished applications.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use crate::addr::{block_of, BlockAddr};
 use crate::config::SystemConfig;
@@ -39,10 +41,15 @@ struct CoreNode {
 }
 
 /// The simulated multi-core system.
-pub struct MultiCoreSystem {
+///
+/// Generic over the LLC replacement policy so the per-access policy callbacks
+/// monomorphize (the experiment drivers instantiate it with the `llc_policies` dispatch
+/// enum); the boxed default keeps the historical `Box<dyn ...>` call sites compiling
+/// unchanged.
+pub struct MultiCoreSystem<P: LlcReplacementPolicy = Box<dyn LlcReplacementPolicy>> {
     config: SystemConfig,
     cores: Vec<CoreNode>,
-    llc: SharedLlc,
+    llc: SharedLlc<P>,
     dram: Dram,
 }
 
@@ -82,13 +89,22 @@ impl LlcReplacementPolicy for DefaultSrripPolicy {
     }
 }
 
-impl MultiCoreSystem {
+impl MultiCoreSystem<DefaultSrripPolicy> {
+    /// Build a system with the built-in default SRRIP policy.
+    pub fn with_default_policy(config: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        let policy =
+            DefaultSrripPolicy::new(config.llc.geometry.num_sets(), config.llc.geometry.ways);
+        Self::new(config, traces, policy)
+    }
+}
+
+impl<P: LlcReplacementPolicy> MultiCoreSystem<P> {
     /// Build a system with an explicit LLC replacement policy.
-    pub fn new(
-        config: SystemConfig,
-        traces: Vec<Box<dyn TraceSource>>,
-        policy: Box<dyn LlcReplacementPolicy>,
-    ) -> Self {
+    ///
+    /// The policy may be any [`LlcReplacementPolicy`] value — a concrete policy type, the
+    /// `llc_policies` dispatch enum, or a `Box<dyn LlcReplacementPolicy>` (the historical
+    /// signature, still accepted through the boxed blanket impl).
+    pub fn new(config: SystemConfig, traces: Vec<Box<dyn TraceSource>>, policy: P) -> Self {
         config.validate().expect("invalid system configuration");
         assert_eq!(
             traces.len(),
@@ -117,15 +133,8 @@ impl MultiCoreSystem {
         }
     }
 
-    /// Build a system with the built-in default SRRIP policy.
-    pub fn with_default_policy(config: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
-        let policy =
-            DefaultSrripPolicy::new(config.llc.geometry.num_sets(), config.llc.geometry.ways);
-        Self::new(config, traces, Box::new(policy))
-    }
-
     /// Immutable access to the shared LLC (for inspection in tests/experiments).
-    pub fn llc(&self) -> &SharedLlc {
+    pub fn llc(&self) -> &SharedLlc<P> {
         &self.llc
     }
 
@@ -144,20 +153,28 @@ impl MultiCoreSystem {
     pub fn run(&mut self, instructions_per_core: u64) -> SystemResults {
         assert!(instructions_per_core > 0);
         let n = self.cores.len();
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|i| Reverse((0, i))).collect();
+        // Dense next-cycle array scanned linearly for the earliest (cycle, core id) —
+        // the same pop order as the seed's binary heap (ties break toward the lower
+        // core id), without per-step sift work. See the module docs.
+        let mut next_cycle: Vec<u64> = vec![0; n];
         let mut remaining = n;
 
         while remaining > 0 {
-            let Reverse((_, core_id)) = heap.pop().expect("heap never empties while cores remain");
+            let mut core_id = 0;
+            let mut earliest = u64::MAX;
+            for (i, &cycle) in next_cycle.iter().enumerate() {
+                if cycle < earliest {
+                    earliest = cycle;
+                    core_id = i;
+                }
+            }
             self.step_core(core_id);
             let core = &mut self.cores[core_id];
+            next_cycle[core_id] = core.model.cycle;
             if core.snapshot.is_none() && core.model.instructions >= instructions_per_core {
                 let snap = Self::snapshot_core(core_id, core, &self.llc);
                 core.snapshot = Some(snap);
                 remaining -= 1;
-            }
-            if remaining > 0 {
-                heap.push(Reverse((self.cores[core_id].model.cycle, core_id)));
             }
         }
 
@@ -182,7 +199,7 @@ impl MultiCoreSystem {
         }
     }
 
-    fn snapshot_core(core_id: usize, core: &CoreNode, llc: &SharedLlc) -> CoreStats {
+    fn snapshot_core(core_id: usize, core: &CoreNode, llc: &SharedLlc<P>) -> CoreStats {
         CoreStats {
             core_id,
             label: core.trace.label(),
@@ -199,136 +216,169 @@ impl MultiCoreSystem {
     }
 
     /// Process one trace entry for `core_id`.
+    ///
+    /// The node, LLC and DRAM are borrowed once (disjoint fields) and threaded through
+    /// the access resolution, so the hot path carries no repeated `cores[core_id]`
+    /// bounds-checked indexing.
     fn step_core(&mut self, core_id: usize) {
-        let access = self.cores[core_id].trace.next_access();
+        let MultiCoreSystem {
+            config,
+            cores,
+            llc,
+            dram,
+        } = self;
+        let core = &mut cores[core_id];
+        let access = core.trace.next_access();
         let block = block_of(access.addr);
-        let now = self.cores[core_id].model.cycle;
+        let now = core.model.cycle;
 
-        let (mem_latency, prefetch_candidate) =
-            self.demand_access(core_id, block, access.pc, access.is_write, now);
+        let (mem_latency, prefetch_candidate) = demand_access(
+            config,
+            core,
+            llc,
+            dram,
+            core_id,
+            block,
+            access.pc,
+            access.is_write,
+            now,
+        );
 
         if let Some(pf_block) = prefetch_candidate {
-            self.prefetch_access(core_id, pf_block, access.pc, now);
+            prefetch_access(core, llc, dram, core_id, pf_block, access.pc, now);
         }
 
-        self.cores[core_id]
-            .model
+        core.model
             .advance(access.non_mem_instrs as u64, mem_latency);
     }
+}
 
-    /// Resolve a demand access through the hierarchy; returns (latency, prefetch candidate).
-    fn demand_access(
-        &mut self,
-        core_id: usize,
-        block: BlockAddr,
-        pc: u64,
-        is_write: bool,
-        now: u64,
-    ) -> (u64, Option<BlockAddr>) {
-        let l1_latency = self.config.core.l1_hit_cycles;
+/// Resolve a demand access through the hierarchy; returns (latency, prefetch candidate).
+#[allow(clippy::too_many_arguments)]
+fn demand_access<P: LlcReplacementPolicy>(
+    config: &SystemConfig,
+    core: &mut CoreNode,
+    llc: &mut SharedLlc<P>,
+    dram: &mut Dram,
+    core_id: usize,
+    block: BlockAddr,
+    pc: u64,
+    is_write: bool,
+    now: u64,
+) -> (u64, Option<BlockAddr>) {
+    let l1_latency = config.core.l1_hit_cycles;
 
-        // L1 lookup.
-        if self.cores[core_id].l1d.access(block, is_write) == Lookup::Hit {
-            return (l1_latency, None);
-        }
+    // L1 lookup.
+    if core.l1d.access(block, is_write) == Lookup::Hit {
+        return (l1_latency, None);
+    }
 
-        // L1 miss: consult the next-line prefetcher.
-        let prefetch_candidate = {
-            let core = &mut self.cores[core_id];
-            let l1 = &core.l1d;
-            core.prefetcher.on_demand_miss(block, |b| l1.probe(b))
-        };
+    // L1 miss: consult the next-line prefetcher.
+    let l1 = &core.l1d;
+    let prefetch_candidate = core.prefetcher.on_demand_miss(block, |b| l1.probe(b));
 
-        // L2 lookup.
-        let l2_latency = self.cores[core_id].l2.latency();
-        let mut latency;
-        if self.cores[core_id].l2.access(block, false) == Lookup::Hit {
-            latency = l2_latency;
+    // L2 lookup.
+    let l2_latency = core.l2.latency();
+    let mut latency;
+    if core.l2.access(block, false) == Lookup::Hit {
+        latency = l2_latency;
+    } else {
+        // L2 miss: shared LLC.
+        let llc_lookup = llc.access(core_id, pc, block, true, is_write, now);
+        if llc_lookup.hit {
+            latency = l2_latency + llc_lookup.latency;
         } else {
-            // L2 miss: shared LLC.
-            let llc_lookup = self.llc.access(core_id, pc, block, true, is_write, now);
-            if llc_lookup.hit {
-                latency = l2_latency + llc_lookup.latency;
+            // LLC miss: DRAM, tracked by an MSHR entry. With back-pressure a full
+            // MSHR delays the DRAM issue itself, so the memory system sees the
+            // request at the cycle it could actually be tracked; the flat seed
+            // path times the DRAM access first and charges the stall afterwards.
+            let (mshr_stall, dram_latency) = if config.llc.contention.mshr_backpressure {
+                let stall = llc.begin_mshr(now);
+                let issue = now + llc_lookup.latency + stall;
+                let dram_out = dram.access(block, issue, false);
+                llc.complete_mshr(issue + dram_out.latency);
+                (stall, dram_out.latency)
             } else {
-                // LLC miss: DRAM, tracked by an MSHR entry. With back-pressure a full
-                // MSHR delays the DRAM issue itself, so the memory system sees the
-                // request at the cycle it could actually be tracked; the flat seed
-                // path times the DRAM access first and charges the stall afterwards.
-                let (mshr_stall, dram_latency) = if self.config.llc.contention.mshr_backpressure {
-                    let stall = self.llc.begin_mshr(now);
-                    let issue = now + llc_lookup.latency + stall;
-                    let dram_out = self.dram.access(block, issue, false);
-                    self.llc.complete_mshr(issue + dram_out.latency);
-                    (stall, dram_out.latency)
-                } else {
-                    let dram_out = self.dram.access(block, now + llc_lookup.latency, false);
-                    let stall = self
-                        .llc
-                        .reserve_mshr(now, llc_lookup.latency + dram_out.latency);
-                    (stall, dram_out.latency)
-                };
-                latency = l2_latency + llc_lookup.latency + mshr_stall + dram_latency;
-                self.cores[core_id].dram_reads += 1;
+                let dram_out = dram.access(block, now + llc_lookup.latency, false);
+                let stall = llc.reserve_mshr(now, llc_lookup.latency + dram_out.latency);
+                (stall, dram_out.latency)
+            };
+            latency = l2_latency + llc_lookup.latency + mshr_stall + dram_latency;
+            core.dram_reads += 1;
 
-                // Fill the LLC (the policy may bypass).
-                let fill = self.llc.fill(core_id, pc, block, false, now);
-                if let Some(evicted) = fill.evicted {
-                    if evicted.dirty {
-                        // Write-back drains in the background; costs DRAM bandwidth only.
-                        self.dram.access(evicted.block, now, true);
-                    }
-                }
-            }
-            // Fill the private L2; its dirty victim (if any) is written back below.
-            if let Some(evicted) = self.cores[core_id].l2.fill(block, false, false) {
+            // Fill the LLC (the policy may bypass).
+            let fill = llc.fill(core_id, pc, block, false, now);
+            if let Some(evicted) = fill.evicted {
                 if evicted.dirty {
-                    self.writeback_from_l2(core_id, evicted.block, now);
+                    // Write-back drains in the background; costs DRAM bandwidth only.
+                    dram.access(evicted.block, now, true);
                 }
             }
         }
-
-        // Fill the L1; handle its dirty victim.
-        if let Some(evicted) = self.cores[core_id].l1d.fill(block, is_write, false) {
-            if evicted.dirty && !self.cores[core_id].l2.writeback(evicted.block) {
-                self.writeback_from_l2(core_id, evicted.block, now);
+        // Fill the private L2; its dirty victim (if any) is written back below.
+        if let Some(evicted) = core.l2.fill(block, false, false) {
+            if evicted.dirty {
+                writeback_from_l2(llc, dram, core_id, evicted.block, now);
             }
-        }
-
-        // Account for the L1 miss detection itself.
-        latency += l1_latency;
-        (latency, prefetch_candidate)
-    }
-
-    /// A dirty line leaving a private L2 (or falling through it): try the LLC, then DRAM.
-    fn writeback_from_l2(&mut self, core_id: usize, block: BlockAddr, now: u64) {
-        if !self.llc.writeback(core_id, block, now) {
-            self.dram.access(block, now, true);
         }
     }
 
-    /// Resolve a prefetch: bring the line into L2 and L1 without charging the core and
-    /// without allocating in (or updating recency of) the shared LLC.
-    fn prefetch_access(&mut self, core_id: usize, block: BlockAddr, pc: u64, now: u64) {
-        if self.cores[core_id].l1d.probe(block) {
-            return;
+    // Fill the L1; handle its dirty victim.
+    if let Some(evicted) = core.l1d.fill(block, is_write, false) {
+        if evicted.dirty && !core.l2.writeback(evicted.block) {
+            writeback_from_l2(llc, dram, core_id, evicted.block, now);
         }
-        if !self.cores[core_id].l2.probe(block) {
-            let llc_lookup = self.llc.access(core_id, pc, block, false, false, now);
-            if !llc_lookup.hit {
-                // Fetch from memory; prefetches do not allocate in the LLC.
-                self.dram.access(block, now + llc_lookup.latency, false);
-                self.cores[core_id].dram_reads += 1;
-            }
-            if let Some(evicted) = self.cores[core_id].l2.fill(block, false, true) {
-                if evicted.dirty {
-                    self.writeback_from_l2(core_id, evicted.block, now);
-                }
+    }
+
+    // Account for the L1 miss detection itself.
+    latency += l1_latency;
+    (latency, prefetch_candidate)
+}
+
+/// A dirty line leaving a private L2 (or falling through it): try the LLC, then DRAM.
+fn writeback_from_l2<P: LlcReplacementPolicy>(
+    llc: &mut SharedLlc<P>,
+    dram: &mut Dram,
+    core_id: usize,
+    block: BlockAddr,
+    now: u64,
+) {
+    if !llc.writeback(core_id, block, now) {
+        dram.access(block, now, true);
+    }
+}
+
+/// Resolve a prefetch: bring the line into L2 and L1 without charging the core and
+/// without allocating in (or updating recency of) the shared LLC.
+#[allow(clippy::too_many_arguments)]
+fn prefetch_access<P: LlcReplacementPolicy>(
+    core: &mut CoreNode,
+    llc: &mut SharedLlc<P>,
+    dram: &mut Dram,
+    core_id: usize,
+    block: BlockAddr,
+    pc: u64,
+    now: u64,
+) {
+    if core.l1d.probe(block) {
+        return;
+    }
+    if !core.l2.probe(block) {
+        let llc_lookup = llc.access(core_id, pc, block, false, false, now);
+        if !llc_lookup.hit {
+            // Fetch from memory; prefetches do not allocate in the LLC.
+            dram.access(block, now + llc_lookup.latency, false);
+            core.dram_reads += 1;
+        }
+        if let Some(evicted) = core.l2.fill(block, false, true) {
+            if evicted.dirty {
+                writeback_from_l2(llc, dram, core_id, evicted.block, now);
             }
         }
-        if let Some(evicted) = self.cores[core_id].l1d.fill(block, false, true) {
-            if evicted.dirty && !self.cores[core_id].l2.writeback(evicted.block) {
-                self.writeback_from_l2(core_id, evicted.block, now);
-            }
+    }
+    if let Some(evicted) = core.l1d.fill(block, false, true) {
+        if evicted.dirty && !core.l2.writeback(evicted.block) {
+            writeback_from_l2(llc, dram, core_id, evicted.block, now);
         }
     }
 }

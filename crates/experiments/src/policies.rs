@@ -9,7 +9,8 @@ use adapt_core::{AdaptConfig, AdaptPolicy};
 use cache_sim::config::SystemConfig;
 use cache_sim::replacement::LlcReplacementPolicy;
 use llc_policies::{
-    build_baseline, BaselineKind, BypassDistant, EafPolicy, ShipPolicy, TaDrripPolicy,
+    build_baseline, build_baseline_any, AnyPolicy, BaselineKind, BypassDistant, EafPolicy,
+    ShipPolicy, TaDrripPolicy,
 };
 use serde::{Deserialize, Serialize};
 
@@ -78,8 +79,59 @@ impl PolicyKind {
         ]
     }
 
-    /// Construct the policy for a system. `thrashing_slots` lists the cores running
+    /// Construct the policy for a system in the monomorphized enum-dispatched form the
+    /// simulator hot path is instantiated with. `thrashing_slots` lists the cores running
     /// applications with Footprint-number >= 16 (needed only by `TaDrripForced`).
+    ///
+    /// Baselines map to dedicated [`AnyPolicy`] variants (direct calls in the LLC);
+    /// ADAPT — which lives in `adapt-core`, outside the baseline crate — rides the
+    /// retained [`AnyPolicy::Custom`] dynamic path, costing exactly what the old
+    /// all-boxed design cost.
+    pub fn build_dispatch(&self, config: &SystemConfig, thrashing_slots: &[usize]) -> AnyPolicy {
+        let llc = &config.llc;
+        let sets = llc.geometry.num_sets();
+        let ways = llc.geometry.ways;
+        let cores = config.num_cores;
+        match self {
+            PolicyKind::Lru => build_baseline_any(BaselineKind::Lru, llc, cores),
+            PolicyKind::Srrip => build_baseline_any(BaselineKind::Srrip, llc, cores),
+            PolicyKind::Brrip => build_baseline_any(BaselineKind::Brrip, llc, cores),
+            PolicyKind::Drrip => build_baseline_any(BaselineKind::Drrip, llc, cores),
+            PolicyKind::TaDrrip => build_baseline_any(BaselineKind::TaDrrip, llc, cores),
+            PolicyKind::TaDrripSd(n) => {
+                AnyPolicy::TaDrrip(TaDrripPolicy::with_dueling_sets(sets, ways, cores, *n))
+            }
+            PolicyKind::TaDrripForced => {
+                let mut p = TaDrripPolicy::new(sets, ways, cores);
+                p.force_brrip_for(thrashing_slots);
+                AnyPolicy::TaDrrip(p)
+            }
+            PolicyKind::Ship => build_baseline_any(BaselineKind::Ship, llc, cores),
+            PolicyKind::Eaf => build_baseline_any(BaselineKind::Eaf, llc, cores),
+            PolicyKind::AdaptIns => AnyPolicy::custom(Box::new(AdaptPolicy::new(
+                AdaptConfig::paper_insert_only(),
+                llc,
+                cores,
+            ))),
+            PolicyKind::AdaptBp32 => {
+                AnyPolicy::custom(Box::new(AdaptPolicy::new(AdaptConfig::paper(), llc, cores)))
+            }
+            PolicyKind::TaDrripBypass => AnyPolicy::BypassDistant(BypassDistant::new(Box::new(
+                TaDrripPolicy::new(sets, ways, cores),
+            ))),
+            PolicyKind::ShipBypass => AnyPolicy::BypassDistant(BypassDistant::new(Box::new(
+                ShipPolicy::new(sets, ways, cores),
+            ))),
+            PolicyKind::EafBypass => {
+                AnyPolicy::BypassDistant(BypassDistant::new(Box::new(EafPolicy::new(sets, ways))))
+            }
+        }
+    }
+
+    /// Construct the policy boxed behind the trait object — the historical signature,
+    /// kept (constructing the concrete policy directly, not a boxed enum) so the
+    /// reference engine's dynamic dispatch is exactly what the pre-refactor simulator
+    /// paid, and for callers that need `dyn` flexibility.
     pub fn build(
         &self,
         config: &SystemConfig,
@@ -150,6 +202,8 @@ mod tests {
         for k in kinds {
             let p = k.build(&cfg, &[1, 3]);
             assert!(!p.name().is_empty());
+            let d = k.build_dispatch(&cfg, &[1, 3]);
+            assert_eq!(d.name(), p.name(), "{k:?}: dispatch form must agree");
             assert!(!k.label().is_empty());
         }
     }

@@ -40,6 +40,8 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use cache_sim::config::SystemConfig;
+use cache_sim::reference::reference_system;
+use cache_sim::replacement::LlcReplacementPolicy;
 use cache_sim::single::run_alone;
 use cache_sim::stats::SystemResults;
 use cache_sim::system::MultiCoreSystem;
@@ -428,7 +430,7 @@ pub fn alone_ipc(config: &SystemConfig, benchmark: &str, instructions: u64, seed
     let spec = benchmark_by_name(benchmark).expect("known benchmark");
     let llc_sets = config.llc.geometry.num_sets();
     let trace = Box::new(spec.trace(0, llc_sets, seed));
-    let policy = Box::new(TaDrripPolicy::new(llc_sets, config.llc.geometry.ways, 1));
+    let policy = TaDrripPolicy::new(llc_sets, config.llc.geometry.ways, 1);
     let stats = run_alone(config, trace, policy, instructions);
     let ipc = stats.ipc();
     alone_cache().lock().insert(key, ipc);
@@ -459,8 +461,37 @@ pub fn evaluate_mix(
     seed: u64,
 ) -> MixEvaluation {
     let thrashing = mix.thrashing_slots();
-    let built = policy.build(config, &thrashing);
+    let built = policy.build_dispatch(config, &thrashing);
     evaluate_mix_with(config, mix, policy, built, instructions, seed)
+}
+
+/// [`evaluate_mix`] on the frozen pre-refactor hot path (`cache_sim::reference`): the
+/// array-of-structs LLC and private caches with dynamic policy dispatch. Exists so the
+/// `sim_perf` benchmark can measure the data-oriented rewrite against an honest
+/// baseline and so tests can assert the two paths are bit-identical.
+pub fn evaluate_mix_reference(
+    config: &SystemConfig,
+    mix: &WorkloadMix,
+    policy: PolicyKind,
+    instructions: u64,
+    seed: u64,
+) -> MixEvaluation {
+    let thrashing = mix.thrashing_slots();
+    let built = policy.build(config, &thrashing);
+    let policy_label = built.name();
+    let llc_sets = config.llc.geometry.num_sets();
+    let traces = mix.trace_sources(llc_sets, seed);
+    let mut system = reference_system(config.clone(), traces, built);
+    let results = system.run(instructions);
+    summarize(
+        config,
+        mix,
+        policy,
+        policy_label,
+        results,
+        instructions,
+        seed,
+    )
 }
 
 /// Run one policy on one [`MixSource`] (synthetic or replayed) and summarize.
@@ -476,7 +507,7 @@ pub fn evaluate_mix_source(
 ) -> Result<MixEvaluation, TraceError> {
     let mix = source.mix();
     let thrashing = mix.thrashing_slots();
-    let built = policy.build(config, &thrashing);
+    let built = policy.build_dispatch(config, &thrashing);
     let llc_sets = config.llc.geometry.num_sets();
     let traces = source.trace_sources(llc_sets, seed)?;
     Ok(evaluate_traces(
@@ -491,12 +522,13 @@ pub fn evaluate_mix_source(
 }
 
 /// Run an explicitly constructed policy on one mix (used by ablation sweeps that need
-/// non-standard policy configurations).
-pub fn evaluate_mix_with(
+/// non-standard policy configurations). Accepts any policy value — enum dispatched,
+/// concrete, or the historical `Box<dyn ...>`.
+pub fn evaluate_mix_with<P: LlcReplacementPolicy>(
     config: &SystemConfig,
     mix: &WorkloadMix,
     policy: PolicyKind,
-    built: Box<dyn cache_sim::replacement::LlcReplacementPolicy>,
+    built: P,
     instructions: u64,
     seed: u64,
 ) -> MixEvaluation {
@@ -508,11 +540,11 @@ pub fn evaluate_mix_with(
 /// Run an explicitly constructed policy over already-materialized streams — the
 /// inner step of the corpus sweep engine, also used by the ablation sweeps so every
 /// configuration variant shares one capture of each mix.
-pub fn evaluate_prepared(
+pub fn evaluate_prepared<P: LlcReplacementPolicy>(
     config: &SystemConfig,
     prepared: &MaterializedMixStreams,
     policy: PolicyKind,
-    built: Box<dyn cache_sim::replacement::LlcReplacementPolicy>,
+    built: P,
     instructions: u64,
     seed: u64,
 ) -> MixEvaluation {
@@ -529,12 +561,13 @@ pub fn evaluate_prepared(
 
 /// Shared tail of every evaluation: simulate `traces` under `built` and summarize against
 /// the alone-run cache. `traces` may come from live generators, replayed corpora, or
-/// shared in-memory buffers.
-fn evaluate_traces(
+/// shared in-memory buffers. Monomorphized per policy type, so enum-dispatched sweeps
+/// never touch a vtable on the per-access path.
+fn evaluate_traces<P: LlcReplacementPolicy>(
     config: &SystemConfig,
     mix: &WorkloadMix,
     policy: PolicyKind,
-    built: Box<dyn cache_sim::replacement::LlcReplacementPolicy>,
+    built: P,
     traces: Vec<Box<dyn cache_sim::trace::TraceSource>>,
     instructions: u64,
     seed: u64,
@@ -542,7 +575,28 @@ fn evaluate_traces(
     let policy_label = built.name();
     let mut system = MultiCoreSystem::new(config.clone(), traces, built);
     let results: SystemResults = system.run(instructions);
+    summarize(
+        config,
+        mix,
+        policy,
+        policy_label,
+        results,
+        instructions,
+        seed,
+    )
+}
 
+/// Turn a finished simulation into a [`MixEvaluation`] by normalizing against the
+/// memoized alone runs (shared by the fast and reference engines).
+fn summarize(
+    config: &SystemConfig,
+    mix: &WorkloadMix,
+    policy: PolicyKind,
+    policy_label: String,
+    results: SystemResults,
+    instructions: u64,
+    seed: u64,
+) -> MixEvaluation {
     let specs = mix.specs();
     let per_app: Vec<PerAppOutcome> = results
         .per_core
@@ -673,7 +727,7 @@ pub fn sweep_policies_on_sources(
             .par_iter()
             .map(|&(m, p)| {
                 let mat = &prepared[m];
-                let built = policies[p].build(config, &mat.mix().thrashing_slots());
+                let built = policies[p].build_dispatch(config, &mat.mix().thrashing_slots());
                 evaluate_prepared(config, mat, policies[p], built, instructions, seed)
             })
             .collect();
@@ -756,6 +810,31 @@ pub fn evaluate_policies_serial(
     for mix in mixes {
         for &policy in policies {
             out.push(evaluate_mix(config, mix, policy, instructions, seed));
+        }
+    }
+    out
+}
+
+/// [`evaluate_policies_serial`] on the frozen pre-refactor hot path (see
+/// [`evaluate_mix_reference`]): the "before" engine the `sim_perf` benchmark times the
+/// data-oriented rewrite against, and the oracle the bit-identity tests compare with.
+pub fn evaluate_policies_serial_reference(
+    config: &SystemConfig,
+    mixes: &[WorkloadMix],
+    policies: &[PolicyKind],
+    instructions: u64,
+    seed: u64,
+) -> Vec<MixEvaluation> {
+    let mut out = Vec::with_capacity(mixes.len() * policies.len());
+    for mix in mixes {
+        for &policy in policies {
+            out.push(evaluate_mix_reference(
+                config,
+                mix,
+                policy,
+                instructions,
+                seed,
+            ));
         }
     }
     out
@@ -877,6 +956,29 @@ mod tests {
         let speedups = speedups_over_baseline(&evals, PolicyKind::AdaptBp32, PolicyKind::TaDrrip);
         assert_eq!(speedups.len(), mixes.len());
         assert!(speedups[0] > 0.0);
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_the_reference_engine() {
+        // The acceptance bar for the data-oriented hot-path rewrite: the SoA LLC +
+        // private caches with enum policy dispatch must reproduce the retained
+        // pre-refactor engine exactly — per-app IPC/MPKI, LLC global stats (including
+        // interval counts), per-bank stats and final cycle.
+        let scale = ExperimentScale::Smoke;
+        let cfg = scale.system_config(StudyKind::Cores4);
+        let mixes = generate_mixes(StudyKind::Cores4, 2, scale.seed());
+        let policies = [
+            PolicyKind::TaDrrip,
+            PolicyKind::AdaptBp32,
+            PolicyKind::Eaf,
+            PolicyKind::Ship,
+        ];
+        let reference = evaluate_policies_serial_reference(&cfg, &mixes, &policies, 20_000, 1);
+        let fast = evaluate_policies_serial(&cfg, &mixes, &policies, 20_000, 1);
+        assert_identical(&reference, &fast);
+        assert!(reference
+            .iter()
+            .all(|e| e.llc_global.intervals_completed > 0 || e.llc_global.total_demand_misses > 0));
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //! * [`EafPolicy`] — the Evicted-Address Filter (Seshadri et al., PACT 2012).
 //! * [`BypassDistant`] — a wrapper that converts distant-priority insertions of any inner
 //!   policy into LLC bypasses, reproducing the bypass ablation of the paper's Figure 6.
+//! * [`AnyPolicy`] — monomorphized enum dispatch over the set above (with a
+//!   `Custom(Box<dyn ...>)` escape hatch), the form the simulator hot path is
+//!   instantiated with; see [`dispatch`].
 //!
 //! All policies are deterministic: "probabilistic" insertions (1/32 bimodal throttles and
 //! the like) are realized with small hardware-style counters exactly as the original papers
 //! describe, so simulations are exactly reproducible.
 
 pub mod bypass;
+pub mod dispatch;
 pub mod drrip;
 pub mod eaf;
 pub mod lru;
@@ -27,6 +31,7 @@ pub mod rrip;
 pub mod ship;
 
 pub use bypass::BypassDistant;
+pub use dispatch::{build_baseline_any, AnyPolicy};
 pub use drrip::{DrripPolicy, TaDrripPolicy};
 pub use eaf::EafPolicy;
 pub use lru::LruPolicy;

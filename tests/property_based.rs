@@ -4,10 +4,16 @@ use proptest::prelude::*;
 
 use adapt_llc::adapt::{AdaptConfig, FootprintMonitor, InsertionPriorityPredictor, PriorityLevel};
 use adapt_llc::metrics as mc;
-use adapt_llc::policies::{LruPolicy, SrripPolicy};
+use adapt_llc::policies::{
+    build_baseline, build_baseline_any, AnyPolicy, BaselineKind, LruPolicy, SrripPolicy,
+};
 use adapt_llc::sim::addr::BlockAddr;
-use adapt_llc::sim::config::{CacheGeometry, PrivateCacheConfig, PrivatePolicyKind};
-use adapt_llc::sim::private_cache::{Lookup, PrivateCache};
+use adapt_llc::sim::config::{
+    BankContentionConfig, CacheGeometry, LlcConfig, PrivateCacheConfig, PrivatePolicyKind,
+};
+use adapt_llc::sim::llc::{LlcModel, SharedLlc};
+use adapt_llc::sim::private_cache::{Lookup, PrivateCache, PrivateCacheModel};
+use adapt_llc::sim::reference::{ReferenceLlc, ReferencePrivateCache};
 use adapt_llc::sim::replacement::{
     AccessContext, InsertionDecision, LineView, LlcReplacementPolicy, RrpvArray,
 };
@@ -186,5 +192,165 @@ proptest! {
         for m in &four {
             prop_assert!(!m.thrashing_slots().is_empty());
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The structure-of-arrays fast-path LLC is bit-identical to the retained
+    /// pre-refactor reference across random geometries (including non-power-of-two bank
+    /// counts), policies (enum-dispatched and the boxed `Custom` path), and access
+    /// streams mixing demand/prefetch reads, writes (dirty lines), L2 write-backs and
+    /// interval rollovers: every lookup outcome, fill outcome, per-core/global/bank
+    /// statistic and the occupancy map must agree.
+    #[test]
+    fn soa_llc_is_bit_identical_to_reference(
+        set_exp in 3u32..7,
+        ways in 1usize..17,
+        banks in 1usize..6,
+        policy_idx in 0usize..8,
+        cores_minus_one in 0usize..4,
+        contended in any::<bool>(),
+        ops in proptest::collection::vec(
+            (0u64..2048, 0usize..16, any::<bool>(), 0usize..8),
+            1..400,
+        ),
+    ) {
+        let num_cores = cores_minus_one + 1;
+        let sets = 1usize << set_exp;
+        let cfg = LlcConfig {
+            geometry: CacheGeometry::with_sets(sets, ways),
+            latency: 10,
+            banks,
+            bank_busy_cycles: 4,
+            mshr_entries: 4,
+            wb_entries: 4,
+            wb_retire_at: 3,
+            contention: if contended {
+                BankContentionConfig::contended(2, 4)
+            } else {
+                BankContentionConfig::flat()
+            },
+        };
+        let kinds = [
+            BaselineKind::Lru,
+            BaselineKind::Srrip,
+            BaselineKind::Brrip,
+            BaselineKind::Drrip,
+            BaselineKind::TaDrrip,
+            BaselineKind::Ship,
+            BaselineKind::Eaf,
+        ];
+        // Small interval so the interval hook rolls over many times inside one case.
+        let interval_misses = 8;
+        let (fast_policy, ref_policy) = if policy_idx < kinds.len() {
+            (
+                build_baseline_any(kinds[policy_idx], &cfg, num_cores),
+                build_baseline(kinds[policy_idx], &cfg, num_cores),
+            )
+        } else {
+            // The retained dynamic path inside the enum must also track the oracle.
+            (
+                AnyPolicy::custom(build_baseline(BaselineKind::TaDrrip, &cfg, num_cores)),
+                build_baseline(BaselineKind::TaDrrip, &cfg, num_cores),
+            )
+        };
+        let mut fast = SharedLlc::new(cfg, num_cores, interval_misses, fast_policy);
+        let mut reference = ReferenceLlc::new(cfg, num_cores, interval_misses, ref_policy);
+
+        for (i, &(addr, pc_sel, is_write, op_sel)) in ops.iter().enumerate() {
+            let block = BlockAddr(addr);
+            let core = i % num_cores;
+            let pc = 0x400 + pc_sel as u64 * 8;
+            let now = (i as u64) * 3;
+            match op_sel {
+                // L2 write-back arriving at the LLC.
+                0 => {
+                    prop_assert_eq!(
+                        fast.writeback(core, block, now),
+                        LlcModel::writeback(&mut reference, core, block, now)
+                    );
+                }
+                // Prefetch lookup (never fills).
+                1 => {
+                    let a = fast.access(core, pc, block, false, false, now);
+                    let b = LlcModel::access(&mut reference, core, pc, block, false, false, now);
+                    prop_assert_eq!(a, b);
+                }
+                // Demand access; fill on miss like the system driver does.
+                _ => {
+                    let a = fast.access(core, pc, block, true, is_write, now);
+                    let b = LlcModel::access(&mut reference, core, pc, block, true, is_write, now);
+                    prop_assert_eq!(a, b, "lookup diverged at op {}", i);
+                    if !a.hit {
+                        let fa = fast.fill(core, pc, block, is_write, now);
+                        let fb = LlcModel::fill(&mut reference, core, pc, block, is_write, now);
+                        prop_assert_eq!(fa, fb, "fill diverged at op {}", i);
+                    }
+                }
+            }
+        }
+
+        prop_assert_eq!(fast.global_stats(), reference.global_stats());
+        for core in 0..num_cores {
+            prop_assert_eq!(fast.core_stats(core), LlcModel::core_stats(&reference, core));
+        }
+        prop_assert_eq!(fast.bank_stats(), LlcModel::bank_stats(&reference));
+        prop_assert_eq!(fast.occupancy(), reference.occupancy());
+        prop_assert_eq!(fast.occupancy_by_core(), reference.occupancy_by_core());
+    }
+
+    /// The structure-of-arrays private cache is bit-identical to the retained reference
+    /// across geometries, replacement policies and access/fill/write-back streams.
+    #[test]
+    fn soa_private_cache_is_bit_identical_to_reference(
+        set_exp in 2u32..6,
+        ways in 1usize..9,
+        policy_idx in 0usize..3,
+        ops in proptest::collection::vec((0u64..1024, any::<bool>(), 0usize..8), 1..400),
+    ) {
+        let policy = [
+            PrivatePolicyKind::Lru,
+            PrivatePolicyKind::Srrip,
+            PrivatePolicyKind::Drrip,
+        ][policy_idx];
+        let cfg = PrivateCacheConfig {
+            geometry: CacheGeometry::with_sets(1 << set_exp, ways),
+            latency: 2,
+            policy,
+        };
+        let mut fast = PrivateCache::new(cfg);
+        let mut reference = ReferencePrivateCache::new(cfg);
+
+        for &(addr, is_write, op_sel) in &ops {
+            let block = BlockAddr(addr);
+            match op_sel {
+                0 => {
+                    prop_assert_eq!(
+                        fast.writeback(block),
+                        PrivateCacheModel::writeback(&mut reference, block)
+                    );
+                }
+                1 => {
+                    prop_assert_eq!(fast.probe(block), PrivateCacheModel::probe(&reference, block));
+                }
+                _ => {
+                    let a = fast.access(block, is_write);
+                    let b = PrivateCacheModel::access(&mut reference, block, is_write);
+                    prop_assert_eq!(a, b);
+                    if a == Lookup::Miss {
+                        // Alternate demand and prefetch fills (prefetch inserts distant).
+                        let prefetch = op_sel == 2;
+                        prop_assert_eq!(
+                            fast.fill(block, is_write, prefetch),
+                            PrivateCacheModel::fill(&mut reference, block, is_write, prefetch)
+                        );
+                    }
+                }
+            }
+        }
+
+        prop_assert_eq!(fast.stats(), PrivateCacheModel::stats(&reference));
     }
 }

@@ -1,12 +1,19 @@
 //! Offline stand-in for `rayon`, covering the slice-parallelism subset this workspace
 //! uses: `par_iter()` followed by `map(..).collect()` or `for_each(..)`.
 //!
-//! Work is executed on `std::thread::scope` threads, one chunk per available core, and
-//! `collect` preserves input order (chunks are joined in order), so results are identical
-//! to the sequential evaluation — matching rayon's deterministic-collect semantics the
-//! experiment runner relies on.
+//! Scheduling is work-stealing-equivalent: instead of pre-splitting the input into one
+//! fixed chunk per worker (which bounds a sweep's speedup by its slowest chunk — the
+//! straggler problem the corpus sweep grid hit), every worker claims the next unclaimed
+//! item from a shared atomic cursor until the input is exhausted. A worker that lands on
+//! an expensive item simply stops claiming; the remaining items are drained by the other
+//! workers, so total wall-clock approaches `max(item)` rather than the sum of the
+//! slowest pre-assigned chunk. Each worker records `(index, result)` pairs, and the
+//! pairs are merged and re-ordered by index before returning, so `collect` preserves
+//! input order and results are identical to the sequential evaluation — matching rayon's
+//! deterministic-collect semantics the experiment runner relies on.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn worker_count(items: usize) -> usize {
     std::thread::available_parallelism()
@@ -16,32 +23,69 @@ fn worker_count(items: usize) -> usize {
         .max(1)
 }
 
-/// Run `f` over every item, in parallel chunks, returning results in input order.
-fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+/// One worker's output: its `(index, result)` pairs plus the claimed indices.
+type WorkerOutput<R> = (Vec<(usize, R)>, Vec<usize>);
+
+/// Work-stealing-equivalent parallel map over `items` on `workers` threads.
+///
+/// Returns the results in input order plus, for scheduler tests, the list of item
+/// indices each worker claimed. Items are claimed one at a time from a shared atomic
+/// cursor; no worker ever holds queued work another idle worker could have taken.
+fn claiming_map<'a, T, R, F>(items: &'a [T], f: &F, workers: usize) -> (Vec<R>, Vec<Vec<usize>>)
 where
     T: Sync,
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
     if items.is_empty() {
-        return Vec::new();
+        return (Vec::new(), vec![Vec::new(); workers]);
     }
-    let workers = worker_count(items.len());
-    if workers == 1 {
-        return items.iter().map(f).collect();
+    if workers <= 1 {
+        let out: Vec<R> = items.iter().map(f).collect();
+        return (out, vec![(0..items.len()).collect()]);
     }
-    let chunk = items.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+    let next = AtomicUsize::new(0);
+    let mut claimed: Vec<WorkerOutput<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    let mut indices: Vec<usize> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        indices.push(i);
+                        mine.push((i, f(&items[i])));
+                    }
+                    (mine, indices)
+                })
+            })
             .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.extend(h.join().expect("rayon stand-in worker panicked"));
-        }
-        out
-    })
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    });
+    let assignments: Vec<Vec<usize>> = claimed.iter().map(|(_, idx)| idx.clone()).collect();
+    let mut pairs: Vec<(usize, R)> = claimed.drain(..).flat_map(|(pairs, _)| pairs).collect();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), items.len());
+    let out = pairs.into_iter().map(|(_, r)| r).collect();
+    (out, assignments)
+}
+
+/// Run `f` over every item with work-stealing scheduling, returning results in input
+/// order.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    claiming_map(items, f, worker_count(items.len())).0
 }
 
 /// Borrowed parallel iterator over a slice.
@@ -116,6 +160,8 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -126,7 +172,7 @@ mod tests {
 
     #[test]
     fn for_each_visits_every_item() {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::atomic::AtomicU64;
         let v: Vec<u64> = (1..=100).collect();
         let sum = AtomicU64::new(0);
         v.par_iter().for_each(|x| {
@@ -140,5 +186,80 @@ mod tests {
         let v: Vec<u32> = vec![];
         let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn claiming_map_orders_results_and_partitions_indices() {
+        let v: Vec<u64> = (0..257).collect();
+        let (out, assignments) = claiming_map(&v, &|x| x * 3, 4);
+        assert_eq!(out, (0..257).map(|x| x * 3).collect::<Vec<u64>>());
+        assert_eq!(assignments.len(), 4);
+        let mut all: Vec<usize> = assignments.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..257).collect::<Vec<usize>>());
+    }
+
+    /// The scheduler regression the corpus sweep grid cares about: with an adversarially
+    /// skewed workload — one expensive item placed *first* — the whole input must still
+    /// complete in roughly `max(item)` shape rather than `chunk-sum` shape. Asserted
+    /// structurally via per-worker task assignments, not wall-clock: the worker that
+    /// claims the slow item must end up with exactly that one task, every other item
+    /// must be drained by the remaining workers *while the slow item is still running*
+    /// (the slow item spins until it observes all other items complete, so mere test
+    /// completion proves it), and no worker may sit on queued work. The old fixed-chunk
+    /// scheduler deadlocks here: the slow item's chunk-mates wait behind it forever.
+    #[test]
+    fn skewed_workload_completes_at_max_item_not_chunk_sum() {
+        const ITEMS: usize = 32;
+        const WORKERS: usize = 4;
+        let v: Vec<usize> = (0..ITEMS).collect();
+        let fast_done = AtomicUsize::new(0);
+        let (out, assignments) = claiming_map(
+            &v,
+            &|&i| {
+                if i == 0 {
+                    // The slow item: runs until every other item has completed. Under
+                    // chunked scheduling items 1..ITEMS/WORKERS sit behind this one in
+                    // the same chunk and the wait can never be satisfied.
+                    let start = std::time::Instant::now();
+                    while fast_done.load(Ordering::SeqCst) < ITEMS - 1 {
+                        assert!(
+                            start.elapsed() < std::time::Duration::from_secs(30),
+                            "scheduler left items queued behind the slow item"
+                        );
+                        std::thread::yield_now();
+                    }
+                } else {
+                    fast_done.fetch_add(1, Ordering::SeqCst);
+                }
+                i * 10
+            },
+            WORKERS,
+        );
+        assert_eq!(out, (0..ITEMS).map(|i| i * 10).collect::<Vec<usize>>());
+        let slow_worker = assignments
+            .iter()
+            .position(|idx| idx.contains(&0))
+            .expect("someone ran item 0");
+        assert_eq!(
+            assignments[slow_worker],
+            vec![0],
+            "the slow item's worker must not have been assigned further queued work"
+        );
+        let drained: usize = assignments
+            .iter()
+            .enumerate()
+            .filter(|(w, _)| *w != slow_worker)
+            .map(|(_, idx)| idx.len())
+            .sum();
+        assert_eq!(drained, ITEMS - 1, "other workers drain everything else");
+    }
+
+    #[test]
+    fn single_worker_falls_back_to_sequential() {
+        let v: Vec<u32> = (0..10).collect();
+        let (out, assignments) = claiming_map(&v, &|x| x + 1, 1);
+        assert_eq!(out, (1..=10).collect::<Vec<u32>>());
+        assert_eq!(assignments, vec![(0..10).collect::<Vec<usize>>()]);
     }
 }
