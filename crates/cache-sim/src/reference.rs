@@ -696,19 +696,41 @@ impl ReferenceSystem {
         assert!(instructions_per_core > 0);
         let n = self.cores.len();
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|i| Reverse((0, i))).collect();
+        let mut frozen_steps: Vec<u64> = vec![0; n];
         let mut remaining = n;
 
         while remaining > 0 {
             let Reverse((_, core_id)) = heap.pop().expect("heap never empties while cores remain");
+            let cycle_before = self.cores[core_id].model.cycle;
             self.step_core(core_id);
             let core = &mut self.cores[core_id];
+            // Whether the core was already finished BEFORE this step — the step that
+            // takes the snapshot itself is not counted, matching the fast engine.
+            let was_finished = core.snapshot.is_some();
             if core.snapshot.is_none() && core.model.instructions >= instructions_per_core {
                 let snap = Self::snapshot_core(core_id, core, &self.llc);
                 core.snapshot = Some(snap);
                 remaining -= 1;
             }
             if remaining > 0 {
-                heap.push(Reverse((self.cores[core_id].model.cycle, core_id)));
+                // Same livelock breaker as the fast engine (see
+                // `crate::system::LIVELOCK_STEPS`): a finished core whose re-executed
+                // stream stops advancing its clock must not starve unfinished cores.
+                let core = &self.cores[core_id];
+                let retire = if was_finished {
+                    if core.model.cycle > cycle_before {
+                        frozen_steps[core_id] = 0;
+                        false
+                    } else {
+                        frozen_steps[core_id] += 1;
+                        frozen_steps[core_id] >= crate::system::LIVELOCK_STEPS
+                    }
+                } else {
+                    false
+                };
+                if !retire {
+                    heap.push(Reverse((core.model.cycle, core_id)));
+                }
             }
         }
 

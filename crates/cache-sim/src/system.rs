@@ -29,6 +29,20 @@ use crate::replacement::{
 use crate::stats::{CoreStats, SystemResults};
 use crate::trace::TraceSource;
 
+/// Consecutive zero-cycle-advance steps after which an already-finished (snapshotted)
+/// core is retired from the scheduler instead of being re-executed further.
+///
+/// The paper's methodology re-executes a finished application so contention persists,
+/// and a step costs zero cycles when the access hits the L1 with no instruction gap.
+/// A *replayed* stream whose whole working set is L1-resident and gapless (trivial with
+/// tiny imported traces) therefore freezes its core's clock; the frozen core stays the
+/// earliest-cycle core forever and starves every unfinished one — an infinite loop.
+/// Terminating workloads cannot reach this bound: 2^22 consecutive gapless L1 hits
+/// would require a multi-million-access window with no L1 miss, which no Table 4
+/// generator (footprints are sized far beyond the L1) produces. Both engines (this one
+/// and `reference`) apply the identical rule, so their bit-identity is preserved.
+pub const LIVELOCK_STEPS: u64 = 1 << 22;
+
 /// One core plus its private hierarchy and trace.
 struct CoreNode {
     model: CoreModel,
@@ -157,6 +171,7 @@ impl<P: LlcReplacementPolicy> MultiCoreSystem<P> {
         // the same pop order as the seed's binary heap (ties break toward the lower
         // core id), without per-step sift work. See the module docs.
         let mut next_cycle: Vec<u64> = vec![0; n];
+        let mut frozen_steps: Vec<u64> = vec![0; n];
         let mut remaining = n;
 
         while remaining > 0 {
@@ -168,6 +183,7 @@ impl<P: LlcReplacementPolicy> MultiCoreSystem<P> {
                     core_id = i;
                 }
             }
+            let cycle_before = self.cores[core_id].model.cycle;
             self.step_core(core_id);
             let core = &mut self.cores[core_id];
             next_cycle[core_id] = core.model.cycle;
@@ -175,6 +191,21 @@ impl<P: LlcReplacementPolicy> MultiCoreSystem<P> {
                 let snap = Self::snapshot_core(core_id, core, &self.llc);
                 core.snapshot = Some(snap);
                 remaining -= 1;
+            } else if core.snapshot.is_some() {
+                // Livelock breaker for re-executed cores (see LIVELOCK_STEPS): a
+                // finished core whose stream has become entirely cache-resident and
+                // gapless advances zero cycles per step, stays the earliest core
+                // forever, and would starve every unfinished core. Once it exceeds the
+                // threshold, retire it from scheduling — its remaining "contribution"
+                // would be infinitely many accesses on one frozen cycle.
+                if core.model.cycle > cycle_before {
+                    frozen_steps[core_id] = 0;
+                } else {
+                    frozen_steps[core_id] += 1;
+                    if frozen_steps[core_id] >= LIVELOCK_STEPS {
+                        next_cycle[core_id] = u64::MAX;
+                    }
+                }
             }
         }
 
@@ -395,6 +426,52 @@ mod tests {
                 Box::new(StridedTrace::new((i as u64) << 32, 64, region, 4)) as Box<dyn TraceSource>
             })
             .collect()
+    }
+
+    /// Regression for the re-execution livelock: a core whose (replayed) stream is
+    /// entirely L1-resident with zero instruction gaps advances zero cycles per step
+    /// once warmed up; after it reaches its instruction target it used to remain the
+    /// scheduler's earliest core forever and starve the unfinished cores — `run` never
+    /// returned. Imported trace files make such streams trivial to construct. Both
+    /// engines must terminate and stay bit-identical to each other.
+    #[test]
+    fn finished_cache_resident_core_cannot_livelock_the_run() {
+        let cfg = SystemConfig::tiny(2);
+        let make_traces = || -> Vec<Box<dyn TraceSource>> {
+            vec![
+                // 4 gapless blocks: fully L1-resident after warmup, zero-cycle steps.
+                Box::new(ReplayTrace::from_addrs(
+                    "frozen",
+                    &[0x1000, 0x1040, 0x1080, 0x10c0],
+                    0,
+                )),
+                // A big sweep that misses constantly, so it finishes far later than
+                // the frozen core (which pre-fix starved it forever).
+                Box::new(StridedTrace::new(1 << 32, 64, 1 << 20, 2)),
+            ]
+        };
+        let target = 30_000;
+        let policy = |cfg: &SystemConfig| {
+            DefaultSrripPolicy::new(cfg.llc.geometry.num_sets(), cfg.llc.geometry.ways)
+        };
+        let mut fast = MultiCoreSystem::new(cfg.clone(), make_traces(), policy(&cfg));
+        let fast_res = fast.run(target);
+        let mut reference = crate::reference::ReferenceSystem::new(
+            cfg.clone(),
+            make_traces(),
+            Box::new(policy(&cfg)),
+        );
+        let ref_res = reference.run(target);
+        for (a, b) in fast_res.per_core.iter().zip(&ref_res.per_core) {
+            assert!(a.instructions >= target);
+            assert_eq!(a.instructions, b.instructions, "core {}", a.core_id);
+            assert_eq!(a.cycles, b.cycles, "core {}", a.core_id);
+            assert_eq!(
+                a.llc.demand_misses, b.llc.demand_misses,
+                "core {}",
+                a.core_id
+            );
+        }
     }
 
     #[test]

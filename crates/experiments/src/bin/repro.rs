@@ -19,9 +19,11 @@
 //!   all      Everything above, in order
 //!
 //! corpus mode:
-//!   corpus --dir DIR [--study 4|8|...|64] [--mixes N]
+//!   corpus --dir DIR [--study 4|8|...|64] [--mixes N] [--compress]
 //!            Materialize the study's workload mixes as a trace corpus: one .atrc per
 //!            mix (captured exactly once) plus a manifest recording geometry and seed.
+//!            --compress writes .atrc v3 with LZ4-compressed blocks (smaller on disk,
+//!            bit-identical sweep results; `tracectl inspect` reports the ratio).
 //!   sweep  --dir DIR
 //!            Run the Figure 3 policy lineup over a materialized corpus: each trace is
 //!            decoded once and the (policy x mix) grid fans out in parallel. The report
@@ -54,7 +56,7 @@ use workloads::{generate_mixes, StudyKind};
 fn usage() -> String {
     "usage: repro <fig1|fig3|fig45|fig6|fig7|fig8|table2|table4|table7|ablation|mixes|diag|all> \
      [--paper-scale|--smoke]\n       repro corpus --dir DIR [--study 4|8|...|64] [--mixes N] \
-     [--paper-scale|--smoke]\n       repro sweep --dir DIR [--paper-scale|--smoke]\n       \
+     [--compress] [--paper-scale|--smoke]\n       repro sweep --dir DIR [--paper-scale|--smoke]\n       \
      repro scale [--cores 32,48,64] [--mixes N] [--flat] [--paper-scale|--smoke]\n\n\
      scale: many-core scaling study under the cycle-accounted bank contention model\n\
      (throughput / fairness / bank-stall share per policy; --flat reruns the same\n\
@@ -86,6 +88,7 @@ fn corpus_cmd(
     dir: &PathBuf,
     study: StudyKind,
     mixes_override: Option<usize>,
+    compress: bool,
 ) -> Result<(), String> {
     let config = scale.system_config(study);
     let llc_sets = config.llc.geometry.num_sets();
@@ -95,14 +98,19 @@ fn corpus_cmd(
     let mixes = generate_mixes(study, count, scale.seed());
     let accesses = synthetic_capture_budget(scale.instructions_per_core());
     let label = format!("{}-core {} corpus", study.num_cores(), scale.label());
-    let corpus = Corpus::materialize(dir, &label, &mixes, llc_sets, scale.seed(), accesses)
-        .map_err(|e| format!("materializing corpus: {e}"))?;
+    let corpus = if compress {
+        Corpus::materialize_compressed(dir, &label, &mixes, llc_sets, scale.seed(), accesses)
+    } else {
+        Corpus::materialize(dir, &label, &mixes, llc_sets, scale.seed(), accesses)
+    }
+    .map_err(|e| format!("materializing corpus: {e}"))?;
     println!(
-        "materialized {} mixes ({} cores, {} accesses/core, llc_sets {}) into {}",
+        "materialized {} mixes ({} cores, {} accesses/core, llc_sets {}{}) into {}",
         corpus.entries().len(),
         study.num_cores(),
         accesses,
         llc_sets,
+        if compress { ", compressed v3" } else { "" },
         dir.display()
     );
     Ok(())
@@ -299,6 +307,7 @@ fn main() -> ExitCode {
     let mut mixes_override: Option<usize> = None;
     let mut cores_list: Vec<usize> = vec![32, 48, 64];
     let mut flat = false;
+    let mut compress = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -324,6 +333,10 @@ fn main() -> ExitCode {
             "--cores" => value("--cores").and_then(|v| parse_cores_list(v).map(|c| cores_list = c)),
             "--flat" => {
                 flat = true;
+                Ok(())
+            }
+            "--compress" => {
+                compress = true;
                 Ok(())
             }
             "--mixes" => value("--mixes").and_then(|v| {
@@ -358,7 +371,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             if experiment == "corpus" {
-                corpus_cmd(scale, &dir, study, mixes_override)
+                corpus_cmd(scale, &dir, study, mixes_override, compress)
             } else {
                 sweep_cmd(scale, &dir)
             }

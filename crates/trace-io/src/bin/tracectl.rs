@@ -3,16 +3,27 @@
 //! ```text
 //! tracectl capture --out FILE (--benchmarks A,B,.. | --study CORES [--mix-id K])
 //!                  [--accesses N] [--llc-sets N] [--seed N] [--label S]
-//!                  [--block-records N] [--no-checksums]
-//! tracectl inspect FILE            print the header and per-core directory
+//!                  [--block-records N] [--no-checksums] [--compress]
+//! tracectl import  --format champsim|csv (--out FILE | --corpus DIR --mix-id K)
+//!                  [--benchmarks A,B,..] [--llc-sets N] [--seed N] [--label S]
+//!                  [--limit N] [--no-compress] [--no-checksums] IN [IN..]
+//! tracectl inspect FILE            print the header, directory, and compression ratio
 //! tracectl stats FILE              decode everything: per-core stats + decode throughput
 //! ```
 //!
 //! `capture --benchmarks` records the named Table 4 synthetic models (one per core, in
 //! order); `capture --study` records a whole generated workload mix, so the resulting file
 //! replays through `experiments::runner::MixSource::replayed`. Captures are written in the
-//! chunked v2 format (streaming, so they work at any size); `inspect` and `stats` read
-//! both format versions. Whole corpus *directories* are materialized by `repro corpus`
+//! chunked v2 format by default, or v3 with LZ4-compressed blocks under `--compress`
+//! (streaming either way, so they work at any size); `inspect` and `stats` read every
+//! format version.
+//!
+//! `import` transcodes external traces into `.atrc` v3 (compressed unless
+//! `--no-compress`): ChampSim-style 64-byte binary records (one input file per core) or
+//! the documented `core,addr,pc,rw,non_mem` CSV (one file, core column inside). With
+//! `--corpus DIR --mix-id K --benchmarks ..` the import lands as `mixNNNN.atrc` inside a
+//! corpus directory and is registered in `corpus.manifest`, so `repro sweep --dir`
+//! consumes it unchanged. Whole corpus *directories* are materialized by `repro corpus`
 //! and swept by `repro sweep` (see `docs/atrc-format.md` for the format spec).
 
 use std::env;
@@ -20,12 +31,17 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use trace_io::{read_header, TraceCaptureOptions, TraceReader, TraceWriter};
+use trace_io::import::{self, ImportFormat, ImportOptions};
+use trace_io::{compression_stats, read_header, TraceCaptureOptions, TraceReader, TraceWriter};
 use workloads::{generate_mixes, StudyKind};
 
 fn usage() -> &'static str {
     "usage:\n  tracectl capture --out FILE (--benchmarks A,B,.. | --study CORES [--mix-id K])\n  \
      [--accesses N] [--llc-sets N] [--seed N] [--label S] [--block-records N] [--no-checksums]\n  \
+     [--compress]\n  \
+     tracectl import --format champsim|csv (--out FILE | --corpus DIR --mix-id K)\n  \
+     [--benchmarks A,B,..] [--llc-sets N] [--seed N] [--label S] [--limit N]\n  \
+     [--no-compress] [--no-checksums] IN [IN..]\n  \
      tracectl inspect FILE\n  tracectl stats FILE"
 }
 
@@ -111,6 +127,7 @@ fn parse_capture(args: &[String]) -> Result<CaptureArgs, String> {
                     .map_err(|e| format!("--block-records: {e}"))?
             }
             "--no-checksums" => parsed.options.checksums = false,
+            "--compress" => parsed.options.compress = true,
             other => return Err(format!("unknown capture flag {other:?}")),
         }
     }
@@ -184,13 +201,183 @@ fn capture(args: CaptureArgs) -> Result<(), String> {
     Ok(())
 }
 
+struct ImportArgs {
+    format: ImportFormat,
+    out: Option<PathBuf>,
+    corpus: Option<PathBuf>,
+    mix_id: usize,
+    inputs: Vec<PathBuf>,
+    seed: u64,
+    options: ImportOptions,
+    capture: TraceCaptureOptions,
+}
+
+fn parse_import(args: &[String]) -> Result<ImportArgs, String> {
+    let mut format = None;
+    let mut parsed = ImportArgs {
+        format: ImportFormat::Csv,
+        out: None,
+        corpus: None,
+        mix_id: 0,
+        inputs: Vec::new(),
+        seed: 1,
+        options: ImportOptions {
+            progress_every: Some(1_000_000),
+            ..Default::default()
+        },
+        capture: trace_io::import::default_capture_options(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--format" => {
+                let name = value("--format")?;
+                format = Some(
+                    ImportFormat::from_name(name)
+                        .ok_or(format!("--format must be champsim or csv, got {name:?}"))?,
+                );
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
+            "--corpus" => parsed.corpus = Some(PathBuf::from(value("--corpus")?)),
+            "--mix-id" => {
+                parsed.mix_id = value("--mix-id")?
+                    .parse()
+                    .map_err(|e| format!("--mix-id: {e}"))?
+            }
+            "--benchmarks" => {
+                parsed.options.core_labels = value("--benchmarks")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--llc-sets" => {
+                parsed.capture.llc_sets = value("--llc-sets")?
+                    .parse()
+                    .map_err(|e| format!("--llc-sets: {e}"))?
+            }
+            "--seed" => {
+                parsed.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--label" => parsed.options.label = Some(value("--label")?.to_string()),
+            "--limit" => {
+                parsed.options.limit = Some(
+                    value("--limit")?
+                        .parse()
+                        .map_err(|e| format!("--limit: {e}"))?,
+                )
+            }
+            "--block-records" => {
+                parsed.capture.records_per_block = value("--block-records")?
+                    .parse()
+                    .map_err(|e| format!("--block-records: {e}"))?
+            }
+            "--no-compress" => parsed.capture.compress = false,
+            "--no-checksums" => parsed.capture.checksums = false,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown import flag {other:?}"))
+            }
+            input => parsed.inputs.push(PathBuf::from(input)),
+        }
+    }
+    parsed.format = format.ok_or("import requires --format champsim|csv")?;
+    parsed.options.capture = Some(parsed.capture);
+    if parsed.inputs.is_empty() {
+        return Err("import needs at least one input file".into());
+    }
+    match (&parsed.out, &parsed.corpus) {
+        (Some(_), Some(_)) => Err("--out and --corpus are mutually exclusive".into()),
+        (None, None) => Err("import requires --out FILE or --corpus DIR".into()),
+        _ => Ok(parsed),
+    }
+}
+
+fn import_cmd(args: ImportArgs) -> Result<(), String> {
+    let stats = if let Some(dir) = &args.corpus {
+        let outcome = import::import_into_corpus(
+            dir,
+            args.mix_id,
+            &args.inputs,
+            args.format,
+            &args.options,
+            args.seed,
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "imported mix {} into corpus {} ({})",
+            outcome.mix_id,
+            dir.display(),
+            outcome.path.display()
+        );
+        outcome.stats
+    } else {
+        let out = args.out.as_ref().expect("validated by parse_import");
+        import::import_to_file(&args.inputs, args.format, out, &args.options)
+            .map_err(|e| e.to_string())?
+    };
+    println!(
+        "transcoded {} records / {} instructions from {} input bytes ({} lines skipped)",
+        stats.records(),
+        stats.instructions(),
+        stats.input_bytes,
+        stats.skipped_lines
+    );
+    for (core, c) in stats.per_core.iter().enumerate() {
+        println!(
+            "  core {core} [{}]: {} records, {} instructions",
+            c.label, c.records, c.instructions
+        );
+    }
+    println!(
+        "  wrote {} ({} bytes, {:.2} bytes/record)",
+        stats.summary.path.display(),
+        stats.summary.file_bytes,
+        stats.summary.bytes_per_record()
+    );
+    let info = compression_stats(&stats.summary.path).map_err(|e| e.to_string())?;
+    if info.compressed_blocks > 0 {
+        println!(
+            "  compression: {}/{} blocks, ratio {:.2}x ({} payload bytes saved)",
+            info.compressed_blocks,
+            info.blocks,
+            info.ratio(),
+            info.saved_bytes()
+        );
+    }
+    Ok(())
+}
+
 fn inspect(path: &Path) -> Result<(), String> {
     let header = read_header(path).map_err(|e| e.to_string())?;
     println!("{}", path.display());
     println!(
-        "  format v{}  chunked={}  checksums={}  llc_sets={}  label={:?}",
-        header.version, header.chunked, header.checksums, header.llc_sets, header.label
+        "  format v{}  chunked={}  checksums={}  compressed={}  llc_sets={}  label={:?}",
+        header.version,
+        header.chunked,
+        header.checksums,
+        header.compressed,
+        header.llc_sets,
+        header.label
     );
+    if header.compressed {
+        let info = compression_stats(path).map_err(|e| e.to_string())?;
+        println!(
+            "  compression: {}/{} blocks compressed, {} -> {} payload bytes \
+             (ratio {:.2}x, {} saved)",
+            info.compressed_blocks,
+            info.blocks,
+            info.raw_payload_bytes,
+            info.disk_payload_bytes,
+            info.ratio(),
+            info.saved_bytes()
+        );
+    }
     println!(
         "  {} cores, {} records, {} instructions",
         header.cores.len(),
@@ -273,6 +460,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("capture") => capture(parse_capture(&args[1..])?),
+        Some("import") => import_cmd(parse_import(&args[1..])?),
         Some("inspect") => match args.get(1) {
             Some(path) if args.len() == 2 => inspect(Path::new(path)),
             _ => Err("inspect takes exactly one FILE".into()),

@@ -28,14 +28,29 @@ pub const FOOTER_MAGIC: [u8; 4] = *b"ATRF";
 /// The original, non-chunked format: header + directory up front, one contiguous stream
 /// per core. Still fully readable; see `docs/atrc-format.md` for the compatibility policy.
 pub const FORMAT_VERSION_V1: u16 = 1;
-/// Current format version: chunked framing (streaming writes, footer-resident directory).
-pub const FORMAT_VERSION: u16 = 2;
+/// Chunked framing (streaming writes, footer-resident directory). The default emitted
+/// version: compression must be requested explicitly.
+pub const FORMAT_VERSION_V2: u16 = 2;
+/// Chunked framing plus optionally LZ4-compressed block payloads, signaled per block.
+/// Emitted only when [`crate::TraceCaptureOptions::compress`] is set.
+pub const FORMAT_VERSION_V3: u16 = 3;
+/// Newest format version this build can read; the strict reader gate.
+pub const MAX_FORMAT_VERSION: u16 = FORMAT_VERSION_V3;
 /// Header flag bit: every block carries an FNV-1a checksum of its payload.
 pub const FLAG_CHECKSUMS: u16 = 1 << 0;
 /// Header flag bit: the file uses chunked framing — blocks carry a core id and are written
 /// in capture order, and the per-core directory lives in a footer at the end of the file.
-/// Mandatory in version 2 files.
+/// Mandatory in version 2+ files.
 pub const FLAG_CHUNKED: u16 = 1 << 1;
+/// Header flag bit: block payloads *may* be LZ4-compressed, signaled per block by
+/// [`BLOCK_COMPRESSED_BIT`] in the chunk's `record_count` field. Mandatory in version 3
+/// files (a v3 writer that compresses nothing still sets it) and invalid below v3.
+pub const FLAG_COMPRESSED: u16 = 1 << 2;
+/// Bit 31 of a v3 chunk's `record_count` field: set when the chunk's payload is stored
+/// compressed (`raw_len u32 || LZ4 block data`) rather than as raw block-encoded records.
+/// Real record counts are capped at [`MAX_BLOCK_RECORDS`] (2^20), so the bit never
+/// collides with a count.
+pub const BLOCK_COMPRESSED_BIT: u32 = 1 << 31;
 /// Default number of records per block.
 pub const DEFAULT_BLOCK_RECORDS: usize = 4096;
 /// Hard upper bound on records per block (sanity check while decoding).
@@ -148,6 +163,43 @@ pub fn decode_block_payload(
         )));
     }
     Ok(())
+}
+
+/// Compress a raw block payload for v3 storage.
+///
+/// Returns the on-disk payload — `raw_len u32 LE` followed by the LZ4 block — but only
+/// when that is strictly smaller than storing `raw` directly; `None` means the writer
+/// should store the block uncompressed (clear [`BLOCK_COMPRESSED_BIT`]). Incompressible
+/// payloads therefore never grow a file beyond its v2 size.
+pub fn compress_payload(raw: &[u8]) -> Option<Vec<u8>> {
+    let compressed = lz4_flex::compress(raw);
+    if 4 + compressed.len() >= raw.len() {
+        return None;
+    }
+    let mut disk = Vec::with_capacity(4 + compressed.len());
+    put_u32(&mut disk, raw.len() as u32);
+    disk.extend_from_slice(&compressed);
+    Some(disk)
+}
+
+/// Inverse of [`compress_payload`]: expand a compressed on-disk payload back to the raw
+/// block-encoded bytes.
+///
+/// The `raw_len` prefix is untrusted input, so it is bounded by [`MAX_BLOCK_PAYLOAD`]
+/// before any allocation, and the LZ4 decoder is required to produce exactly `raw_len`
+/// bytes — a block that under- or over-runs its declaration is corrupt.
+pub fn decompress_payload(disk: &[u8]) -> Result<Vec<u8>, TraceError> {
+    if disk.len() < 4 {
+        return Err(TraceError::Truncated("compressed block length prefix"));
+    }
+    let raw_len = u32::from_le_bytes([disk[0], disk[1], disk[2], disk[3]]) as usize;
+    if raw_len > MAX_BLOCK_PAYLOAD {
+        return Err(TraceError::Corrupt(format!(
+            "compressed block declares {raw_len} raw bytes (over the {MAX_BLOCK_PAYLOAD} bound)"
+        )));
+    }
+    lz4_flex::decompress(&disk[4..], raw_len)
+        .map_err(|e| TraceError::Corrupt(format!("block decompression failed: {e}")))
 }
 
 // ---- little-endian scalar helpers shared by header and block framing ----
@@ -294,5 +346,57 @@ mod tests {
     fn fnv_is_stable_and_input_sensitive() {
         assert_eq!(fnv1a32(b""), 0x811c_9dc5);
         assert_ne!(fnv1a32(b"abc"), fnv1a32(b"abd"));
+    }
+
+    #[test]
+    fn payload_compression_roundtrips_and_declines_incompressible_blocks() {
+        // A strided stream delta-encodes to a repeating byte pattern: must compress.
+        let records: Vec<MemAccess> = (0..2000)
+            .map(|i| MemAccess {
+                addr: 0x10_0000 + i * 64,
+                pc: 0x400,
+                is_write: false,
+                non_mem_instrs: 3,
+            })
+            .collect();
+        let mut raw = Vec::new();
+        encode_block_payload(&records, &mut raw);
+        let disk = compress_payload(&raw).expect("strided payload must compress");
+        assert!(disk.len() < raw.len());
+        assert_eq!(decompress_payload(&disk).unwrap(), raw);
+
+        // A near-random payload must be declined rather than stored bigger.
+        let mut state = 7u64;
+        let noise: Vec<u8> = (0..512)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        assert!(compress_payload(&noise).is_none());
+    }
+
+    #[test]
+    fn decompress_payload_rejects_bad_prefixes() {
+        assert!(matches!(
+            decompress_payload(&[1, 2, 3]),
+            Err(TraceError::Truncated(_))
+        ));
+        let mut oversized = Vec::new();
+        put_u32(&mut oversized, (MAX_BLOCK_PAYLOAD + 1) as u32);
+        oversized.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decompress_payload(&oversized),
+            Err(TraceError::Corrupt(_))
+        ));
+        // Declared length mismatching the actual expansion is corruption.
+        let raw = b"abcdabcdabcdabcdabcdabcdabcdabcd".to_vec();
+        let mut disk = compress_payload(&raw).expect("repetitive payload compresses");
+        let wrong = (raw.len() as u32 - 1).to_le_bytes();
+        disk[..4].copy_from_slice(&wrong);
+        assert!(matches!(
+            decompress_payload(&disk),
+            Err(TraceError::Corrupt(_))
+        ));
     }
 }

@@ -54,7 +54,7 @@ use std::io::{Read, Seek, SeekFrom};
 use crate::error::TraceError;
 use crate::format::{
     get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, read_exact, FLAG_CHECKSUMS, FLAG_CHUNKED,
-    FOOTER_MAGIC, FORMAT_VERSION, FORMAT_VERSION_V1, MAGIC,
+    FLAG_COMPRESSED, FOOTER_MAGIC, FORMAT_VERSION_V1, MAGIC, MAX_FORMAT_VERSION,
 };
 
 /// Maximum label length accepted on both the write and read side.
@@ -82,12 +82,15 @@ pub struct CoreStreamInfo {
 /// Parsed trace-file header, independent of which on-disk layout it came from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceHeader {
-    /// On-disk format version (1 or 2).
+    /// On-disk format version (1, 2, or 3).
     pub version: u16,
     /// Whether blocks carry per-block payload checksums.
     pub checksums: bool,
     /// Whether the file uses chunked framing (true for every version >= 2 file).
     pub chunked: bool,
+    /// Whether block payloads may be LZ4-compressed, signaled per block (true for every
+    /// version >= 3 file; see `format::BLOCK_COMPRESSED_BIT`).
+    pub compressed: bool,
     /// LLC set count the captured sources were parameterized with (0 = unknown). Replay
     /// validates this against the consuming system so a corpus sized for one geometry is
     /// never silently evaluated under another.
@@ -117,6 +120,7 @@ impl TraceHeader {
     /// Only used to construct legacy files for compatibility tests; writers emit v2.
     pub fn encode_v1(&self) -> Vec<u8> {
         assert!(!self.chunked, "v1 layout cannot carry chunked streams");
+        assert!(!self.compressed, "v1 layout cannot carry compressed blocks");
         let mut out = Vec::with_capacity(self.v1_encoded_len() as usize);
         out.extend_from_slice(&MAGIC);
         put_u16(&mut out, FORMAT_VERSION_V1);
@@ -146,6 +150,9 @@ impl TraceHeader {
         let mut flags = FLAG_CHUNKED;
         if self.checksums {
             flags |= FLAG_CHECKSUMS;
+        }
+        if self.compressed {
+            flags |= FLAG_COMPRESSED;
         }
         put_u16(&mut out, flags);
         put_u32(&mut out, self.cores.len() as u32);
@@ -183,13 +190,13 @@ impl TraceHeader {
             return Err(TraceError::BadMagic(magic));
         }
         let version = get_u16(r, "version")?;
-        if version == 0 || version > FORMAT_VERSION {
+        if version == 0 || version > MAX_FORMAT_VERSION {
             return Err(TraceError::UnsupportedVersion(version));
         }
         let flags = get_u16(r, "flags")?;
         // Flag bits are only assigned together with a version bump, so within a known
         // version an unknown bit is corruption, not a feature to ignore.
-        if flags & !(FLAG_CHECKSUMS | FLAG_CHUNKED) != 0 {
+        if flags & !(FLAG_CHECKSUMS | FLAG_CHUNKED | FLAG_COMPRESSED) != 0 {
             return Err(TraceError::Corrupt(format!(
                 "unknown flag bits {flags:#06x}"
             )));
@@ -209,10 +216,18 @@ impl TraceHeader {
                  contiguous and v2+ must be chunked"
             )));
         }
+        let compressed = flags & FLAG_COMPRESSED != 0;
+        if (version >= 3) != compressed {
+            return Err(TraceError::Corrupt(format!(
+                "version {version} file with compressed flag {compressed}: the flag is \
+                 mandatory in v3+ and unassigned below"
+            )));
+        }
         let mut header = TraceHeader {
             version,
             checksums: flags & FLAG_CHECKSUMS != 0,
             chunked,
+            compressed,
             llc_sets,
             label,
             cores: Vec::new(),
@@ -251,7 +266,7 @@ impl TraceHeader {
                         core.offset, data_start, self.data_end
                     )));
                 }
-                check_record_density(i, core)?;
+                check_record_density(i, core, self.compressed)?;
                 total = total
                     .checked_add(core.bytes)
                     .ok_or_else(|| TraceError::Corrupt("stream bytes overflow".into()))?;
@@ -271,7 +286,7 @@ impl TraceHeader {
                         core.offset
                     )));
                 }
-                check_record_density(i, core)?;
+                check_record_density(i, core, self.compressed)?;
                 expected += core.bytes;
             }
         }
@@ -289,11 +304,18 @@ impl TraceHeader {
     }
 }
 
-/// A record is at least three 1-byte varints, so a stream can never hold more than
-/// bytes/3 records; a directory claiming otherwise is corrupt (and would otherwise let
-/// readers pre-allocate from an untrusted count).
-fn check_record_density(i: usize, core: &CoreStreamInfo) -> Result<(), TraceError> {
-    if core.records.saturating_mul(3) > core.bytes {
+/// A record is at least three 1-byte varints, so an uncompressed stream can never hold
+/// more than bytes/3 records; a directory claiming otherwise is corrupt (and would
+/// otherwise let readers pre-allocate from an untrusted count). Compressed (v3) streams
+/// get the same bound scaled by LZ4's maximum expansion ratio of 255:1 — raw bytes per
+/// on-disk byte — so the guard stays sound for maximally compressible blocks.
+fn check_record_density(
+    i: usize,
+    core: &CoreStreamInfo,
+    compressed: bool,
+) -> Result<(), TraceError> {
+    let max_raw_per_disk_byte: u128 = if compressed { 255 } else { 1 };
+    if u128::from(core.records) * 3 > u128::from(core.bytes) * max_raw_per_disk_byte {
         return Err(TraceError::Corrupt(format!(
             "core {i} claims {} records in {} bytes (impossible)",
             core.records, core.bytes
@@ -393,6 +415,7 @@ fn read_label(r: &mut impl Read, what: &'static str) -> Result<String, TraceErro
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::format::FORMAT_VERSION_V2;
     use std::io::Cursor;
 
     fn sample_v1_header() -> TraceHeader {
@@ -400,6 +423,7 @@ mod tests {
             version: FORMAT_VERSION_V1,
             checksums: true,
             chunked: false,
+            compressed: false,
             llc_sets: 1024,
             label: "mix0:2cores".into(),
             cores: vec![
@@ -429,9 +453,10 @@ mod tests {
 
     fn sample_v2_file() -> (TraceHeader, Vec<u8>) {
         let mut h = TraceHeader {
-            version: FORMAT_VERSION,
+            version: FORMAT_VERSION_V2,
             checksums: false,
             chunked: true,
+            compressed: false,
             llc_sets: 512,
             label: "chunked".into(),
             cores: vec![
@@ -526,7 +551,55 @@ mod tests {
     #[test]
     fn unknown_flag_bits_are_rejected() {
         let mut bytes = sample_v1_header().encode_v1();
-        bytes[6] |= 0x04; // bit 2 is unassigned in every known version
+        bytes[6] |= 0x08; // bit 3 is unassigned in every known version
+        assert!(matches!(
+            TraceHeader::read(&mut Cursor::new(&bytes)),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn version_and_compressed_flag_must_agree() {
+        // The compressed flag is mandatory in v3 and unassigned below: a v2 file with it
+        // (or a v3 file without it) is malformed.
+        let (h, mut bytes) = sample_v2_file();
+        bytes[6] |= FLAG_COMPRESSED as u8;
+        assert!(matches!(
+            TraceHeader::read(&mut Cursor::new(&bytes)),
+            Err(TraceError::Corrupt(_))
+        ));
+        let mut v3 = h.clone();
+        v3.version = crate::format::FORMAT_VERSION_V3;
+        let mut bytes = v3.encode_preamble(); // compressed=false: flag stays clear
+        bytes.resize(v3.data_end as usize, 0xaa);
+        bytes.extend_from_slice(&v3.encode_footer(v3.data_end));
+        assert!(matches!(
+            TraceHeader::read(&mut Cursor::new(&bytes)),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn v3_header_roundtrips_and_relaxes_record_density() {
+        let (mut h, _) = sample_v2_file();
+        h.version = crate::format::FORMAT_VERSION_V3;
+        h.compressed = true;
+        // 40 stream bytes could never hold 200 raw records, but compressed streams may:
+        // the v2 density guard would reject this directory, the v3 one must not.
+        h.cores[0].records = 200;
+        h.cores[0].instructions = 200;
+        let mut bytes = h.encode_preamble();
+        bytes.resize(h.data_end as usize, 0xaa);
+        bytes.extend_from_slice(&h.encode_footer(h.data_end));
+        let parsed = TraceHeader::read(&mut Cursor::new(&bytes)).unwrap();
+        assert_eq!(parsed, h);
+        assert!(parsed.compressed);
+        // The scaled bound still exists: 255 raw bytes per disk byte at 3 bytes/record.
+        let mut bomb = h.clone();
+        bomb.cores[0].records = bomb.cores[0].bytes * 86;
+        let mut bytes = bomb.encode_preamble();
+        bytes.resize(bomb.data_end as usize, 0xaa);
+        bytes.extend_from_slice(&bomb.encode_footer(bomb.data_end));
         assert!(matches!(
             TraceHeader::read(&mut Cursor::new(&bytes)),
             Err(TraceError::Corrupt(_))

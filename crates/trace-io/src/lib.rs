@@ -54,11 +54,15 @@ pub mod corpus;
 pub mod error;
 pub mod format;
 pub mod header;
+pub mod import;
 pub mod reader;
 pub mod writer;
 
 pub use corpus::{Corpus, CorpusEntry, CorpusMeta};
 pub use error::TraceError;
 pub use header::{CoreStreamInfo, TraceHeader};
-pub use reader::{decode_all, open_all, read_header, TraceReader};
-pub use writer::{TraceCaptureOptions, TraceSummary, TraceWriter};
+pub use import::{import_into_corpus, import_to_file, ImportFormat, ImportOptions, ImportStats};
+pub use reader::{
+    compression_stats, decode_all, open_all, read_header, CompressionInfo, TraceReader,
+};
+pub use writer::{CompressedTraceWriter, TraceCaptureOptions, TraceSummary, TraceWriter};

@@ -15,8 +15,8 @@ use cache_sim::trace::{MemAccess, TraceSink, TraceSource};
 use workloads::CaptureTarget;
 
 use crate::format::{
-    encode_block_payload, fnv1a32, put_u32, DEFAULT_BLOCK_RECORDS, FORMAT_VERSION,
-    MAX_BLOCK_RECORDS,
+    compress_payload, encode_block_payload, fnv1a32, put_u32, BLOCK_COMPRESSED_BIT,
+    DEFAULT_BLOCK_RECORDS, FORMAT_VERSION_V2, FORMAT_VERSION_V3, MAX_BLOCK_RECORDS,
 };
 use crate::header::{CoreStreamInfo, TraceHeader, MAX_CORES};
 
@@ -30,6 +30,11 @@ pub struct TraceCaptureOptions {
     /// LLC set count the captured sources were parameterized with, recorded in the
     /// header so replay can refuse a geometry-mismatched system (0 = unknown).
     pub llc_sets: u32,
+    /// Compress block payloads with the LZ4 block codec, bumping the file to format
+    /// version 3. Each block is compressed independently and stored raw when compression
+    /// would not shrink it, so a v3 file is never larger than its v2 twin. Off by
+    /// default: v2 stays the emitted format unless compression is requested.
+    pub compress: bool,
 }
 
 impl Default for TraceCaptureOptions {
@@ -38,6 +43,7 @@ impl Default for TraceCaptureOptions {
             records_per_block: DEFAULT_BLOCK_RECORDS,
             checksums: true,
             llc_sets: 0,
+            compress: false,
         }
     }
 }
@@ -161,9 +167,14 @@ impl TraceWriter {
     /// The in-memory header reflecting everything captured so far.
     fn header(&self) -> TraceHeader {
         TraceHeader {
-            version: FORMAT_VERSION,
+            version: if self.opts.compress {
+                FORMAT_VERSION_V3
+            } else {
+                FORMAT_VERSION_V2
+            },
             checksums: self.opts.checksums,
             chunked: true,
+            compressed: self.opts.compress,
             llc_sets: self.opts.llc_sets,
             label: self.label.clone(),
             cores: self
@@ -188,7 +199,10 @@ impl TraceWriter {
             .ok_or_else(|| core_out_of_range(core, n))
     }
 
-    /// Frame and write `core`'s pending records as one chunk.
+    /// Frame and write `core`'s pending records as one chunk. With compression enabled
+    /// the raw payload is swapped for `raw_len || LZ4(payload)` when that is smaller,
+    /// signaled by [`BLOCK_COMPRESSED_BIT`] in the record-count field; checksums always
+    /// cover the bytes as stored, so integrity is checked *before* decompression.
     fn flush_chunk(&mut self, core: usize) -> io::Result<()> {
         if self.cores[core].pending.is_empty() {
             return Ok(());
@@ -196,9 +210,16 @@ impl TraceWriter {
         self.scratch.clear();
         self.frame.clear();
         encode_block_payload(&self.cores[core].pending, &mut self.scratch);
+        let mut record_field = self.cores[core].pending.len() as u32;
+        if self.opts.compress {
+            if let Some(disk) = compress_payload(&self.scratch) {
+                self.scratch = disk;
+                record_field |= BLOCK_COMPRESSED_BIT;
+            }
+        }
         put_u32(&mut self.frame, core as u32);
         put_u32(&mut self.frame, self.scratch.len() as u32);
-        put_u32(&mut self.frame, self.cores[core].pending.len() as u32);
+        put_u32(&mut self.frame, record_field);
         if self.opts.checksums {
             put_u32(&mut self.frame, fnv1a32(&self.scratch));
         }
@@ -304,6 +325,45 @@ impl CaptureTarget for TraceWriter {
 
     fn finish(self) -> io::Result<()> {
         TraceWriter::finish(self).map(drop)
+    }
+}
+
+/// A [`TraceWriter`] with block compression on: captures emit `.atrc` format v3.
+///
+/// Exists so capture entry points that are generic over [`CaptureTarget`] (which has no
+/// options parameter) — `workloads::capture_to_file`, `workloads::materialize_corpus`,
+/// [`crate::Corpus::materialize_compressed`] — can choose the compressed format by type.
+pub struct CompressedTraceWriter(TraceWriter);
+
+impl CompressedTraceWriter {
+    /// The wrapped writer (chunks already pushed stay pushed).
+    pub fn into_inner(self) -> TraceWriter {
+        self.0
+    }
+}
+
+impl TraceSink for CompressedTraceWriter {
+    fn begin_core(&mut self, core: usize, label: &str) -> io::Result<()> {
+        self.0.begin_core(core, label)
+    }
+
+    fn record(&mut self, core: usize, access: MemAccess) -> io::Result<()> {
+        self.0.record(core, access)
+    }
+}
+
+impl CaptureTarget for CompressedTraceWriter {
+    fn create(path: &Path, num_cores: usize, label: &str, llc_sets: usize) -> io::Result<Self> {
+        let opts = TraceCaptureOptions {
+            llc_sets: llc_sets.try_into().unwrap_or(u32::MAX),
+            compress: true,
+            ..Default::default()
+        };
+        TraceWriter::with_options(path, num_cores, label, opts).map(CompressedTraceWriter)
+    }
+
+    fn finish(self) -> io::Result<()> {
+        TraceWriter::finish(self.0).map(drop)
     }
 }
 

@@ -1,0 +1,169 @@
+//! Truncated / interrupted-capture regression tests for v2 AND v3.
+//!
+//! An interrupted capture (no footer) and a torn tail (partial final block) must both
+//! surface as *detectably incomplete* — a typed error from `read_header`/`TraceReader`
+//! and a non-zero exit from `tracectl inspect` — never as a silently shorter stream.
+//! The v3 compression bump must not weaken any of this, so every scenario runs against
+//! both chunked versions.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use cache_sim::trace::MemAccess;
+use trace_io::{read_header, TraceCaptureOptions, TraceReader, TraceWriter};
+
+fn write_trace(path: &PathBuf, compress: bool, records: u64) {
+    let opts = TraceCaptureOptions {
+        records_per_block: 16,
+        checksums: true,
+        llc_sets: 64,
+        compress,
+    };
+    let mut w = TraceWriter::with_options(path, 1, "trunc", opts).unwrap();
+    for i in 0..records {
+        w.push(
+            0,
+            MemAccess {
+                addr: 0x8000 + i * 64,
+                pc: 0x400,
+                is_write: i % 3 == 0,
+                non_mem_instrs: (i % 7) as u32,
+            },
+        )
+        .unwrap();
+    }
+    w.finish().unwrap();
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("trace_io_truncation_{name}.atrc"))
+}
+
+/// `tracectl inspect` must report the file as unreadable (non-zero exit, diagnostic on
+/// stderr) — the CLI face of "detectably incomplete".
+fn assert_inspect_rejects(path: &PathBuf) {
+    let output = Command::new(env!("CARGO_BIN_EXE_tracectl"))
+        .arg("inspect")
+        .arg(path)
+        .output()
+        .expect("tracectl must run");
+    assert!(
+        !output.status.success(),
+        "tracectl inspect accepted a truncated file: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    assert!(
+        !output.stderr.is_empty(),
+        "tracectl inspect must say why it rejected the file"
+    );
+}
+
+#[test]
+fn missing_footer_is_detected_in_both_versions() {
+    for compress in [false, true] {
+        let version = if compress { 3 } else { 2 };
+        let path = tmp(&format!("nofooter_v{version}"));
+        write_trace(&path, compress, 100);
+        let header = read_header(&path).unwrap();
+        // Cut the file at the end of the data region: chunks intact, footer gone —
+        // exactly what an interrupted capture leaves behind.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..header.data_end as usize]).unwrap();
+        assert!(
+            read_header(&path).is_err(),
+            "v{version}: a footer-less capture must not parse"
+        );
+        assert!(TraceReader::open(&path, 0).is_err());
+        assert_inspect_rejects(&path);
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn partial_final_block_is_detected_in_both_versions() {
+    for compress in [false, true] {
+        let version = if compress { 3 } else { 2 };
+        let path = tmp(&format!("torn_v{version}"));
+        write_trace(&path, compress, 100);
+        let header = read_header(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Splice out the tail of the last chunk but keep the (now stale) footer: the
+        // directory's byte accounting no longer partitions the data region, which the
+        // header validator must catch before any decode is attempted.
+        let footer = &bytes[header.data_end as usize..];
+        let torn_data = &bytes[..header.data_end as usize - 5];
+        let mut torn = torn_data.to_vec();
+        torn.extend_from_slice(footer);
+        std::fs::write(&path, &torn).unwrap();
+        assert!(
+            read_header(&path).is_err(),
+            "v{version}: a torn final block must not parse as complete"
+        );
+        assert_inspect_rejects(&path);
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn arbitrary_tail_truncations_never_yield_a_short_stream() {
+    // Sweep cut points across the file tail (footer, directory, trailing offset): each
+    // truncated file must either fail to open or fail verify() — a reader must never
+    // hand back fewer records than the capture claimed.
+    for compress in [false, true] {
+        let version = if compress { 3 } else { 2 };
+        let path = tmp(&format!("tailsweep_v{version}"));
+        write_trace(&path, compress, 64);
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 1..70 {
+            let truncated = &bytes[..bytes.len() - cut];
+            std::fs::write(&path, truncated).unwrap();
+            match TraceReader::open(&path, 0) {
+                Err(_) => {}
+                Ok(mut reader) => {
+                    let verified = reader.verify();
+                    assert!(
+                        verified.is_err(),
+                        "v{version}: cutting {cut} tail bytes still verified \
+                         ({verified:?})"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn interrupted_writer_leaves_a_detectably_incomplete_file() {
+    // Belt-and-braces against the real interruption path (not a post-hoc cut): drop
+    // the writer mid-capture and confirm both versions leave no readable file.
+    for compress in [false, true] {
+        let version = if compress { 3 } else { 2 };
+        let path = tmp(&format!("interrupted_v{version}"));
+        let opts = TraceCaptureOptions {
+            records_per_block: 8,
+            compress,
+            ..Default::default()
+        };
+        let mut w = TraceWriter::with_options(&path, 1, "t", opts).unwrap();
+        for i in 0..40u64 {
+            w.push(
+                0,
+                MemAccess {
+                    addr: 0x100 + i * 64,
+                    pc: 0,
+                    is_write: false,
+                    non_mem_instrs: 0,
+                },
+            )
+            .unwrap();
+        }
+        drop(w); // no finish(): chunks may be on disk, the footer is not
+        assert!(
+            read_header(&path).is_err(),
+            "v{version}: an unfinished capture must not parse"
+        );
+        assert_inspect_rejects(&path);
+        std::fs::remove_file(path).ok();
+    }
+}

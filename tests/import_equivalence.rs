@@ -1,0 +1,296 @@
+//! Replay-equivalence tests for external trace import, plus the compressed-corpus
+//! acceptance sweep.
+//!
+//! The import pipeline is only trustworthy if a stream that takes the long way around —
+//! generated in-process → exported to a foreign layout → transcoded back through
+//! `trace_io::import` into `.atrc` v3 → swept — produces *bit-identical* per-core
+//! IPC/MPKI to evaluating the generators directly. Same bar as the capture↔replay
+//! equivalence the native path is held to.
+
+use std::path::PathBuf;
+
+use adapt_llc::sim::trace::MemAccess;
+use experiments::runner::{
+    evaluate_mix, evaluate_mix_source, evaluate_policies_serial, sweep_policies_on_corpus,
+    MixSource,
+};
+use experiments::{ExperimentScale, PolicyKind};
+use trace_io::import::{export_champsim, import_to_file, ImportFormat, ImportOptions};
+use trace_io::{Corpus, TraceCaptureOptions};
+use workloads::{generate_mixes, StudyKind, WorkloadMix};
+
+const INSTRUCTIONS: u64 = 20_000;
+const SEED: u64 = 1;
+
+fn policies() -> [PolicyKind; 2] {
+    [PolicyKind::TaDrrip, PolicyKind::AdaptBp32]
+}
+
+/// A [`TraceSource`] wrapper that counts how many records the simulation pulls.
+struct CountingSource {
+    inner: Box<dyn adapt_llc::sim::trace::TraceSource>,
+    pulled: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl adapt_llc::sim::trace::TraceSource for CountingSource {
+    fn next_access(&mut self) -> MemAccess {
+        self.pulled
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.next_access()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset()
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
+/// Per-core record counts an `INSTRUCTIONS`-long run of `mix` actually consumes, maxed
+/// over `policies`. Re-execution makes this exceed the per-core instruction target —
+/// a core that finishes early keeps pulling accesses until the slowest core is done —
+/// so the exact count is measured rather than estimated: the captured prefix must cover
+/// the whole run or the replay would wrap and diverge from the live generators.
+fn consumption(
+    cfg: &adapt_llc::sim::config::SystemConfig,
+    mix: &WorkloadMix,
+    policies: &[PolicyKind],
+    llc_sets: usize,
+    seed: u64,
+) -> Vec<u64> {
+    let mut max_pulled = vec![0u64; mix.benchmarks.len()];
+    for &policy in policies {
+        let counters: Vec<std::sync::Arc<std::sync::atomic::AtomicU64>> = (0..mix.benchmarks.len())
+            .map(|_| std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)))
+            .collect();
+        let sources: Vec<Box<dyn adapt_llc::sim::trace::TraceSource>> = mix
+            .trace_sources(llc_sets, seed)
+            .into_iter()
+            .zip(&counters)
+            .map(|(inner, pulled)| {
+                Box::new(CountingSource {
+                    inner,
+                    pulled: pulled.clone(),
+                }) as Box<dyn adapt_llc::sim::trace::TraceSource>
+            })
+            .collect();
+        let built = policy.build_dispatch(cfg, &mix.thrashing_slots());
+        let mut system = adapt_llc::sim::system::MultiCoreSystem::new(cfg.clone(), sources, built);
+        system.run(INSTRUCTIONS);
+        for (m, c) in max_pulled.iter_mut().zip(&counters) {
+            *m = (*m).max(c.load(std::sync::atomic::Ordering::Relaxed));
+        }
+    }
+    max_pulled
+}
+
+/// Capture exactly the prefix of one core's generator stream that the measured run
+/// consumes (plus a small safety margin).
+fn capture_stream(
+    mix: &WorkloadMix,
+    core: usize,
+    records: u64,
+    llc_sets: usize,
+    seed: u64,
+) -> Vec<MemAccess> {
+    let mut sources = mix.trace_sources(llc_sets, seed);
+    let source = &mut sources[core];
+    source.reset();
+    (0..records + 16).map(|_| source.next_access()).collect()
+}
+
+fn import_options(mix: &WorkloadMix, llc_sets: usize) -> ImportOptions {
+    ImportOptions {
+        capture: Some(TraceCaptureOptions {
+            llc_sets: llc_sets as u32,
+            compress: true,
+            ..Default::default()
+        }),
+        core_labels: mix.benchmarks.clone(),
+        ..Default::default()
+    }
+}
+
+#[track_caller]
+fn assert_bit_identical(
+    label: &str,
+    direct: &experiments::runner::MixEvaluation,
+    imported: &experiments::runner::MixEvaluation,
+) {
+    assert_eq!(direct.policy, imported.policy);
+    assert_eq!(
+        direct.weighted_speedup(),
+        imported.weighted_speedup(),
+        "{label}: weighted speedup diverged"
+    );
+    assert_eq!(direct.final_cycle, imported.final_cycle, "{label}");
+    for (a, b) in direct.per_app.iter().zip(&imported.per_app) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.ipc, b.ipc, "{label}: {} IPC diverged", a.name);
+        assert_eq!(a.llc_mpki, b.llc_mpki, "{label}: {} MPKI diverged", a.name);
+    }
+}
+
+#[test]
+fn champsim_import_sweeps_bit_identical_to_the_direct_path() {
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let llc_sets = cfg.llc.geometry.num_sets();
+    let mix = generate_mixes(StudyKind::Cores4, 1, scale.seed()).remove(0);
+
+    let dir = std::env::temp_dir().join("import_equiv_champsim");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Generated stream → ChampSim-style binary files (one per core), sized to the
+    // measured per-core consumption so the replay never wraps.
+    let needed = consumption(&cfg, &mix, &policies(), llc_sets, SEED);
+    let streams: Vec<Vec<MemAccess>> = needed
+        .iter()
+        .enumerate()
+        .map(|(core, &records)| capture_stream(&mix, core, records, llc_sets, SEED))
+        .collect();
+    let inputs: Vec<PathBuf> = streams
+        .iter()
+        .enumerate()
+        .map(|(core, records)| {
+            let p = dir.join(format!("core{core}.champsim"));
+            std::fs::write(&p, export_champsim(records).unwrap()).unwrap();
+            p
+        })
+        .collect();
+
+    // ChampSim → .atrc v3. The transcode must be lossless before any sweep claims.
+    let out = dir.join("imported.atrc");
+    let opts = import_options(&mix, llc_sets);
+    let stats = import_to_file(&inputs, ImportFormat::ChampSim, &out, &opts).unwrap();
+    assert_eq!(trace_io::read_header(&out).unwrap().version, 3);
+    assert_eq!(trace_io::decode_all(&out).unwrap(), streams);
+    assert_eq!(
+        stats.instructions(),
+        streams
+            .iter()
+            .flatten()
+            .map(|r| r.instructions())
+            .sum::<u64>()
+    );
+
+    // Sweep: per-core IPC/MPKI bit-identical to evaluating the live generators.
+    let source = MixSource::replayed_with_id(&out, mix.id).unwrap();
+    for policy in policies() {
+        let direct = evaluate_mix(&cfg, &mix, policy, INSTRUCTIONS, SEED);
+        let imported = evaluate_mix_source(&cfg, &source, policy, INSTRUCTIONS, SEED).unwrap();
+        assert_bit_identical("champsim", &direct, &imported);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn csv_import_sweeps_bit_identical_to_the_direct_path() {
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let llc_sets = cfg.llc.geometry.num_sets();
+    let mix = generate_mixes(StudyKind::Cores4, 2, scale.seed()).remove(1);
+
+    let dir = std::env::temp_dir().join("import_equiv_csv");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Generated stream → the documented CSV text format, cores interleaved.
+    let needed = consumption(&cfg, &mix, &policies(), llc_sets, SEED);
+    let streams: Vec<Vec<MemAccess>> = needed
+        .iter()
+        .enumerate()
+        .map(|(core, &records)| capture_stream(&mix, core, records, llc_sets, SEED))
+        .collect();
+    let mut csv = String::from("core,addr,pc,rw,non_mem\n");
+    let longest = streams.iter().map(Vec::len).max().unwrap();
+    for i in 0..longest {
+        for (core, records) in streams.iter().enumerate() {
+            if let Some(r) = records.get(i) {
+                csv.push_str(&format!(
+                    "{core},0x{:x},0x{:x},{},{}\n",
+                    r.addr,
+                    r.pc,
+                    if r.is_write { 'W' } else { 'R' },
+                    r.non_mem_instrs
+                ));
+            }
+        }
+    }
+    let input = dir.join("mix.csv");
+    std::fs::write(&input, csv).unwrap();
+
+    let out = dir.join("imported.atrc");
+    let opts = import_options(&mix, llc_sets);
+    import_to_file(&[input], ImportFormat::Csv, &out, &opts).unwrap();
+    assert_eq!(trace_io::decode_all(&out).unwrap(), streams);
+
+    let source = MixSource::replayed_with_id(&out, mix.id).unwrap();
+    for policy in policies() {
+        let direct = evaluate_mix(&cfg, &mix, policy, INSTRUCTIONS, SEED);
+        let imported = evaluate_mix_source(&cfg, &source, policy, INSTRUCTIONS, SEED).unwrap();
+        assert_bit_identical("csv", &direct, &imported);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance sweep for the compression bump: a v3 compressed corpus must sweep
+/// bit-identically to its uncompressed v2 twin — and both to the serial synthetic
+/// reference — while being measurably smaller on disk.
+#[test]
+fn compressed_corpus_sweeps_bit_identical_to_uncompressed_twin_serial_and_parallel() {
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let llc_sets = cfg.llc.geometry.num_sets();
+    let mixes = generate_mixes(StudyKind::Cores4, 2, scale.seed());
+    let policies = policies();
+    let budget = experiments::runner::synthetic_capture_budget(INSTRUCTIONS);
+
+    let base = std::env::temp_dir().join("import_equiv_corpus_twin");
+    std::fs::remove_dir_all(&base).ok();
+    let plain =
+        Corpus::materialize(base.join("v2"), "twin", &mixes, llc_sets, SEED, budget).unwrap();
+    let packed =
+        Corpus::materialize_compressed(base.join("v3"), "twin", &mixes, llc_sets, SEED, budget)
+            .unwrap();
+
+    let dir_size = |c: &Corpus| -> u64 {
+        c.entries()
+            .iter()
+            .map(|e| std::fs::metadata(c.path_for(e)).unwrap().len())
+            .sum()
+    };
+    let (plain_bytes, packed_bytes) = (dir_size(&plain), dir_size(&packed));
+    assert!(
+        packed_bytes < plain_bytes,
+        "compressed corpus must be measurably smaller ({packed_bytes} vs {plain_bytes})"
+    );
+
+    // Serial reference (regenerates every mix per policy) vs both corpora through the
+    // parallel grid engine.
+    let serial = evaluate_policies_serial(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    let from_plain = sweep_policies_on_corpus(&cfg, &plain, &policies, INSTRUCTIONS).unwrap();
+    let from_packed = sweep_policies_on_corpus(&cfg, &packed, &policies, INSTRUCTIONS).unwrap();
+    assert_eq!(
+        from_plain.total_replay_wraps(),
+        0,
+        "budget must cover the run"
+    );
+    assert_eq!(from_packed.total_replay_wraps(), 0);
+    assert_eq!(serial.len(), from_plain.evaluations.len());
+    assert_eq!(serial.len(), from_packed.evaluations.len());
+    for ((s, a), b) in serial
+        .iter()
+        .zip(&from_plain.evaluations)
+        .zip(&from_packed.evaluations)
+    {
+        assert_eq!(s.mix_id, a.mix_id);
+        assert_eq!(s.mix_id, b.mix_id);
+        assert_bit_identical("v2 corpus vs serial", s, a);
+        assert_bit_identical("v3 corpus vs serial", s, b);
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,387 @@
+//! Offline stand-in for `lz4_flex`: an [LZ4 block format] codec with no dependencies.
+//!
+//! Implements the subset the workspace consumes — [`compress`] and [`decompress`] over
+//! standalone blocks — producing and accepting **spec-conformant LZ4 block data**:
+//!
+//! * sequences of `token | literal-length ext | literals | offset u16 LE | match-length
+//!   ext`, token nibbles saturating at 15 with 255-valued extension bytes,
+//! * minimum match length 4 (token stores `length - 4`), offsets in `1..=65535`,
+//! * end-of-block rules: the final sequence is literals-only, matches never start within
+//!   the last 12 bytes nor extend into the last 5.
+//!
+//! Because the *format* (not this encoder's particular choices) is what `.atrc` v3 pins,
+//! swapping this stand-in for the real `lz4_flex` keeps every existing compressed trace
+//! readable: any conformant decoder accepts any conformant encoder's output. The greedy
+//! hash-chain encoder here favours simplicity and determinism over ratio; only
+//! self-inverse round-trips and deterministic output are promised.
+//!
+//! The decoder is hardened for untrusted input: every read and copy is bounds-checked,
+//! the output never grows beyond the caller-declared size, and malformed blocks
+//! (truncated sequences, zero or out-of-window offsets, size mismatches) are rejected
+//! with a typed [`DecompressError`] rather than panicking.
+//!
+//! [LZ4 block format]: https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md
+
+use std::fmt;
+
+/// Log2 of the match-finder hash table size (positions of previously seen 4-byte
+/// prefixes). 2^13 entries keeps the table cache-resident while finding the repeats
+/// that matter in delta-encoded trace payloads.
+const HASH_BITS: u32 = 13;
+/// A match may not start within the last `MIN_TAIL_LITERALS + 7` bytes and the final
+/// sequence must be literals-only (LZ4 end-of-block restrictions).
+const LAST_MATCH_DISTANCE: usize = 12;
+/// Matches must not extend into the final 5 bytes of the block.
+const MIN_TAIL_LITERALS: usize = 5;
+/// Maximum backwards offset the 2-byte field can express.
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+/// Why a block failed to decompress. All variants mean the input is not a valid LZ4
+/// block for the declared uncompressed size — nothing here is recoverable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The input ended in the middle of a sequence (token, extension byte, literal run,
+    /// or offset field).
+    Truncated,
+    /// A match referenced data before the start of the output (offset 0 is also
+    /// invalid: the format has no way to express it).
+    BadOffset {
+        /// The offending offset value.
+        offset: usize,
+        /// Bytes of output available to copy from when it was used.
+        output_len: usize,
+    },
+    /// Literals or a match would grow the output beyond the declared uncompressed size.
+    OutputOverrun,
+    /// The input decoded cleanly but produced fewer bytes than declared.
+    SizeMismatch {
+        /// Bytes actually produced.
+        actual: usize,
+        /// Bytes the caller declared.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "LZ4 block truncated mid-sequence"),
+            DecompressError::BadOffset { offset, output_len } => write!(
+                f,
+                "LZ4 match offset {offset} invalid with {output_len} output bytes"
+            ),
+            DecompressError::OutputOverrun => {
+                write!(f, "LZ4 block decodes past the declared uncompressed size")
+            }
+            DecompressError::SizeMismatch { actual, expected } => write!(
+                f,
+                "LZ4 block decoded to {actual} bytes but {expected} were declared"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+#[inline]
+fn read_u32_prefix(input: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]])
+}
+
+#[inline]
+fn hash(v: u32) -> usize {
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Append `len` as a token nibble's 255-valued extension bytes (`len` is the amount
+/// *beyond* the nibble's saturated 15).
+fn push_length_extension(out: &mut Vec<u8>, mut len: usize) {
+    while len >= 255 {
+        out.push(255);
+        len -= 255;
+    }
+    out.push(len as u8);
+}
+
+fn push_sequence(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    let lit_nibble = literals.len().min(15) as u8;
+    let match_nibble = match m {
+        Some((_, mlen)) => {
+            debug_assert!(mlen >= 4);
+            (mlen - 4).min(15) as u8
+        }
+        None => 0,
+    };
+    out.push((lit_nibble << 4) | match_nibble);
+    if literals.len() >= 15 {
+        push_length_extension(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, mlen)) = m {
+        debug_assert!((1..=MAX_OFFSET).contains(&offset));
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if mlen - 4 >= 15 {
+            push_length_extension(out, mlen - 4 - 15);
+        }
+    }
+}
+
+/// Compress `input` as one LZ4 block.
+///
+/// Deterministic: the same input always yields the same bytes. The output of an empty
+/// input is the single token `0x00` (zero literals, no match), which decompresses to an
+/// empty block.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + input.len() + input.len() / 255);
+    if input.len() < LAST_MATCH_DISTANCE + 4 {
+        push_sequence(&mut out, input, None);
+        return out;
+    }
+    let mut table = [usize::MAX; 1 << HASH_BITS];
+    // Matches may start only while at least LAST_MATCH_DISTANCE bytes remain, and may
+    // extend at most to the last MIN_TAIL_LITERALS bytes.
+    let match_start_limit = input.len() - LAST_MATCH_DISTANCE;
+    let match_end_limit = input.len() - MIN_TAIL_LITERALS;
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    while pos <= match_start_limit {
+        let here = read_u32_prefix(input, pos);
+        let slot = hash(here);
+        let candidate = table[slot];
+        table[slot] = pos;
+        if candidate != usize::MAX
+            && pos - candidate <= MAX_OFFSET
+            && read_u32_prefix(input, candidate) == here
+        {
+            let mut mlen = 4;
+            while pos + mlen < match_end_limit && input[candidate + mlen] == input[pos + mlen] {
+                mlen += 1;
+            }
+            push_sequence(
+                &mut out,
+                &input[literal_start..pos],
+                Some((pos - candidate, mlen)),
+            );
+            pos += mlen;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    push_sequence(&mut out, &input[literal_start..], None);
+    out
+}
+
+/// Decompress one LZ4 block that is declared to expand to exactly `uncompressed_size`
+/// bytes. The declared size bounds every allocation and copy, so a hostile block cannot
+/// make the decoder produce more than the caller expects.
+pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out: Vec<u8> = Vec::with_capacity(uncompressed_size);
+    let mut pos = 0usize;
+    loop {
+        let token = *input.get(pos).ok_or(DecompressError::Truncated)?;
+        pos += 1;
+        let mut literal_len = (token >> 4) as usize;
+        if literal_len == 15 {
+            loop {
+                let b = *input.get(pos).ok_or(DecompressError::Truncated)?;
+                pos += 1;
+                literal_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        let literals = input
+            .get(pos..pos + literal_len)
+            .ok_or(DecompressError::Truncated)?;
+        if out.len() + literal_len > uncompressed_size {
+            return Err(DecompressError::OutputOverrun);
+        }
+        out.extend_from_slice(literals);
+        pos += literal_len;
+        if pos == input.len() {
+            break; // The final sequence is literals-only.
+        }
+        let offset_bytes = input.get(pos..pos + 2).ok_or(DecompressError::Truncated)?;
+        let offset = u16::from_le_bytes([offset_bytes[0], offset_bytes[1]]) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(DecompressError::BadOffset {
+                offset,
+                output_len: out.len(),
+            });
+        }
+        let mut match_len = (token & 0x0f) as usize + 4;
+        if token & 0x0f == 15 {
+            loop {
+                let b = *input.get(pos).ok_or(DecompressError::Truncated)?;
+                pos += 1;
+                match_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        if out.len() + match_len > uncompressed_size {
+            return Err(DecompressError::OutputOverrun);
+        }
+        // Matches may overlap their own output (offset < match_len is the RLE case), so
+        // copy byte-at-a-time from the already-produced output.
+        let start = out.len() - offset;
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+    if out.len() != uncompressed_size {
+        return Err(DecompressError::SizeMismatch {
+            actual: out.len(),
+            expected: uncompressed_size,
+        });
+    }
+    Ok(out)
+}
+
+/// `block` module alias matching the real crate's layout (`lz4_flex::block::compress`).
+pub mod block {
+    pub use super::{compress, decompress, DecompressError};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let compressed = compress(data);
+        decompress(&compressed, data.len()).expect("round-trip must decode")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_roundtrip() {
+        for data in [&b""[..], b"a", b"abc", b"0123456789abcde"] {
+            assert_eq!(roundtrip(data), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_roundtrips_and_shrinks() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| [(i % 7) as u8, 42]).collect();
+        let compressed = compress(&data);
+        assert!(
+            compressed.len() < data.len() / 4,
+            "periodic data must compress well, got {} of {}",
+            compressed.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&compressed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_overlapping_matches_roundtrip() {
+        // offset 1 with long matches: the overlap-copy path.
+        let data = vec![0xabu8; 4096];
+        let compressed = compress(&data);
+        assert!(compressed.len() < 64);
+        assert_eq!(decompress(&compressed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // SplitMix64 stream: effectively random, nothing to match.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let data: Vec<u8> = (0..4096).map(|_| (next() & 0xff) as u8).collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(compress(&data), compress(&data));
+    }
+
+    #[test]
+    fn long_literal_and_match_extensions_roundtrip() {
+        // >15 literals up front, then a match longer than 19 (nibble 15 + extension).
+        let mut data: Vec<u8> = (0..600u32).map(|i| (i % 256) as u8).collect();
+        data.extend(std::iter::repeat_n(7u8, 1000));
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn truncated_blocks_are_rejected() {
+        let data: Vec<u8> = (0..3000u32).flat_map(|i| [(i % 5) as u8, 9]).collect();
+        let compressed = compress(&data);
+        for cut in [0, 1, compressed.len() / 2, compressed.len() - 1] {
+            assert!(
+                decompress(&compressed[..cut], data.len()).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_offsets_and_size_mismatches_are_rejected() {
+        // Hand-built block: 4 literals then a match with offset 9 (> output so far).
+        let mut bad = vec![0x40u8];
+        bad.extend_from_slice(b"abcd");
+        bad.extend_from_slice(&9u16.to_le_bytes());
+        bad.push(0); // terminate the match-length cleanly
+        assert!(matches!(
+            decompress(&bad, 100),
+            Err(DecompressError::BadOffset { .. })
+        ));
+        // Offset 0 is unrepresentable and must be rejected.
+        let mut zero = vec![0x40u8];
+        zero.extend_from_slice(b"abcd");
+        zero.extend_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            decompress(&zero, 100),
+            Err(DecompressError::BadOffset { offset: 0, .. })
+        ));
+        // Valid block, wrong declared size: both directions must fail.
+        let data = b"the same bytes the same bytes the same bytes";
+        let compressed = compress(data);
+        assert!(decompress(&compressed, data.len() - 1).is_err());
+        assert!(matches!(
+            decompress(&compressed, data.len() + 1),
+            Err(DecompressError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_size_caps_output_even_for_hostile_blocks() {
+        // An RLE bomb claiming a huge match must stop at the declared size, not OOM.
+        let mut bomb = vec![0x1fu8]; // 1 literal, match nibble 15
+        bomb.push(b'x');
+        bomb.extend_from_slice(&1u16.to_le_bytes());
+        bomb.extend(std::iter::repeat_n(255u8, 1000)); // ~255k of match length extensions
+        bomb.push(0);
+        assert!(matches!(
+            decompress(&bomb, 64),
+            Err(DecompressError::OutputOverrun)
+        ));
+    }
+
+    #[test]
+    fn matches_respect_end_of_block_rules() {
+        // A block whose only repeats are near the tail: the encoder must still end with
+        // a literals-only sequence and never match into the final 5 bytes.
+        let mut data = vec![0u8; 64];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 3) as u8;
+        }
+        let compressed = compress(&data);
+        assert_eq!(decompress(&compressed, data.len()).unwrap(), data);
+        // The final byte of a block is always part of a literal run (spec rule); a
+        // conformant encoder therefore never emits a trailing offset field.
+        assert_eq!(*compressed.last().unwrap(), *data.last().unwrap());
+    }
+}

@@ -46,8 +46,15 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment variable (matching
+    /// real proptest) so CI can run a larger count than local edit-compile loops.
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
