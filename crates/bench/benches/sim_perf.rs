@@ -16,11 +16,17 @@
 //!    bar), and the grid's throughput in (mix, policy) pairs per second.
 //! 3. **parallel** — the same grid through the work-stealing parallel engine; the
 //!    serial-vs-parallel speedup scales with the host's worker count (≈ 1.0 on the
-//!    single-core containers CI sometimes runs on).
+//!    single-core containers CI sometimes runs on, where the ≥[`PARALLEL_FLOOR`]
+//!    assertion is skipped with a stderr note instead of silently passing).
+//! 4. **obs** — the sim-obs zero-overhead contract: the LLC micro-loop with one
+//!    *disabled* instrumentation call per access must run within
+//!    [`OBS_OVERHEAD_CEILING`] (2%) of the uninstrumented loop. This section always
+//!    runs full-size (the ratio needs real windows) and always asserts.
 //!
-//! All three engines are asserted bit-identical before any number is written. Set
-//! `BENCH_QUICK=1` to shrink the grid for CI smoke runs; `BENCH_SIM_JSON` overrides the
-//! output path.
+//! All three engines are asserted bit-identical before any number is written — and the
+//! grid is re-run once with the flight recorder *enabled* to assert instrumentation
+//! cannot change results either. Set `BENCH_QUICK=1` to shrink the grid for CI smoke
+//! runs; `BENCH_SIM_JSON` overrides the output path.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -46,6 +52,14 @@ const SEED: u64 = 1;
 /// wobble across hosts.
 const HOT_PATH_FLOOR: f64 = 1.15;
 const HOT_PATH_TARGET: f64 = 1.3;
+
+/// Minimum serial→parallel grid speedup on multi-worker hosts. Deliberately loose —
+/// it guards "parallelism stopped working", not "parallelism got slower".
+const PARALLEL_FLOOR: f64 = 1.05;
+
+/// Hard ceiling on the disabled-mode instrumentation overhead ratio: the sim-obs
+/// zero-overhead contract (one relaxed atomic load + branch per call site).
+const OBS_OVERHEAD_CEILING: f64 = 1.02;
 
 fn quick() -> bool {
     std::env::var("BENCH_QUICK")
@@ -76,6 +90,71 @@ fn drive_llc<L: LlcModel>(llc: &mut L, accesses: u64) -> f64 {
     }
     black_box(acc);
     accesses as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Same workload as [`drive_llc`] with one sim-obs call per access — the worst-case
+/// instrumentation density the simulator could ever see. With recording disabled the
+/// call must compile down to a relaxed load and a branch; the obs section measures
+/// exactly that delta.
+fn drive_llc_observed<L: LlcModel>(llc: &mut L, accesses: u64) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..accesses {
+        let block = if i % 8 < 6 {
+            BlockAddr((i.wrapping_mul(2654435761)) % 6144)
+        } else {
+            BlockAddr(0x10_0000 + (i.wrapping_mul(40503)) % 32768)
+        };
+        let core = (i % 4) as usize;
+        let is_write = i % 7 == 0;
+        let lookup = llc.access(core, 0x400 + (i % 64), block, true, is_write, i);
+        if !lookup.hit {
+            llc.fill(core, 0x400 + (i % 64), block, is_write, i);
+        }
+        sim_obs::counter("bench", "latency", lookup.latency as f64);
+        acc = acc.wrapping_add(lookup.latency);
+    }
+    black_box(acc);
+    accesses as f64 / start.elapsed().as_secs_f64()
+}
+
+struct ObsNumbers {
+    accesses: u64,
+    plain_per_sec: f64,
+    observed_per_sec: f64,
+}
+
+/// Measure the disabled-mode instrumentation overhead: identical LLC micro-loops, one
+/// with a per-access sim-obs call, recorder off. Best-of-5 interleaved rounds; always
+/// full-size, because a 2% bound needs real measurement windows.
+fn obs_section() -> ObsNumbers {
+    assert!(!sim_obs::enabled(), "recorder must be off for this section");
+    let cfg = SystemConfig::scaled(4);
+    let accesses: u64 = 2_000_000;
+
+    let policy = build_baseline_any(BaselineKind::TaDrrip, &cfg.llc, 4);
+    let mut plain = SharedLlc::new(cfg.llc, 4, 1_000_000, policy);
+    let policy = build_baseline_any(BaselineKind::TaDrrip, &cfg.llc, 4);
+    let mut observed = SharedLlc::new(cfg.llc, 4, 1_000_000, policy);
+
+    drive_llc(&mut plain, accesses / 4);
+    drive_llc_observed(&mut observed, accesses / 4);
+    let mut plain_per_sec = 0f64;
+    let mut observed_per_sec = 0f64;
+    for _ in 0..5 {
+        plain_per_sec = plain_per_sec.max(drive_llc(&mut plain, accesses));
+        observed_per_sec = observed_per_sec.max(drive_llc_observed(&mut observed, accesses));
+    }
+    assert_eq!(
+        plain.global_stats(),
+        observed.global_stats(),
+        "instrumented micro workload diverged from plain"
+    );
+    ObsNumbers {
+        accesses,
+        plain_per_sec,
+        observed_per_sec,
+    }
 }
 
 struct MicroNumbers {
@@ -183,6 +262,15 @@ fn grid_section() -> GridNumbers {
     assert_grid_identical(&reference, &fast, "reference vs fast serial");
     assert_grid_identical(&fast, &parallel, "fast serial vs parallel grid");
 
+    // Bit-identity with the flight recorder ON: profiling a sweep must never change
+    // its results (sampling piggybacks on interval rollovers the simulator already
+    // performs). The recorded events are discarded.
+    sim_obs::enable();
+    let profiled = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    sim_obs::disable();
+    sim_obs::reset();
+    assert_grid_identical(&fast, &profiled, "plain vs profiled grid");
+
     GridNumbers {
         policies: policies.len(),
         mixes: mixes.len(),
@@ -234,7 +322,45 @@ fn main() {
         "  parallel grid    : {:>8.3}s  ({parallel_speedup:.2}x vs fast serial)",
         grid.parallel_secs
     );
-    println!("  results bit-identical across all three engines");
+    println!("  results bit-identical across all three engines (and with profiling on)");
+
+    println!("sim_perf: disabled-mode instrumentation overhead (sim-obs contract)...");
+    let obs = obs_section();
+    let obs_overhead = obs.plain_per_sec / obs.observed_per_sec.max(1e-9);
+    println!(
+        "  plain       : {:>10.2} M accesses/s\n  instrumented: {:>10.2} M accesses/s  \
+         ({:.2}% overhead, ceiling {:.0}%)",
+        obs.plain_per_sec / 1e6,
+        obs.observed_per_sec / 1e6,
+        (obs_overhead - 1.0) * 100.0,
+        (OBS_OVERHEAD_CEILING - 1.0) * 100.0,
+    );
+    assert!(
+        obs_overhead <= OBS_OVERHEAD_CEILING,
+        "disabled-mode instrumentation overhead {obs_overhead:.4}x exceeds the \
+         {OBS_OVERHEAD_CEILING}x ceiling"
+    );
+
+    if parallel_speedup < PARALLEL_FLOOR {
+        if workers == 1 {
+            // A single-worker host cannot show parallel speedup; skipping the floor
+            // must be loud, not a silent pass.
+            eprintln!(
+                "sim_perf: NOTE: parallel-speedup floor ({PARALLEL_FLOOR}x) skipped: \
+                 host has 1 worker (measured {parallel_speedup:.2}x)"
+            );
+        } else if quick() {
+            eprintln!(
+                "sim_perf: WARNING: quick-mode parallel speedup {parallel_speedup:.2}x \
+                 below the {PARALLEL_FLOOR}x floor (not fatal in quick mode)"
+            );
+        } else {
+            panic!(
+                "parallel speedup regressed to {parallel_speedup:.2}x with {workers} \
+                 workers (floor {PARALLEL_FLOOR}x)"
+            );
+        }
+    }
 
     if hot_path_speedup < HOT_PATH_TARGET {
         eprintln!(
@@ -262,11 +388,13 @@ fn main() {
         "{{\n  \"schema\": \"bench-sim/1\",\n  \"quick\": {},\n  \"workers\": {},\n  \
          \"micro\": {{\n    \"accesses\": {},\n    \"fast_accesses_per_sec\": {:.0},\n    \
          \"reference_accesses_per_sec\": {:.0},\n    \"speedup\": {:.3}\n  }},\n  \
-         \"grid\": {{\n    \"policies\": {},\n    \"mixes\": {},\n    \
+         \"grid\": {{\n    \"policies\": {},\n    \"mixes\": {},\n    \"workers\": {},\n    \
          \"instructions_per_core\": {},\n    \"reference_serial_secs\": {:.4},\n    \
          \"fast_serial_secs\": {:.4},\n    \"parallel_secs\": {:.4},\n    \
          \"fast_serial_pairs_per_sec\": {:.3},\n    \"hot_path_speedup\": {:.3},\n    \
-         \"parallel_speedup\": {:.3}\n  }}\n}}\n",
+         \"parallel_speedup\": {:.3}\n  }},\n  \
+         \"obs\": {{\n    \"accesses\": {},\n    \"plain_accesses_per_sec\": {:.0},\n    \
+         \"instrumented_accesses_per_sec\": {:.0},\n    \"disabled_overhead_ratio\": {:.4}\n  }}\n}}\n",
         quick(),
         workers,
         micro.accesses,
@@ -275,6 +403,7 @@ fn main() {
         micro_speedup,
         grid.policies,
         grid.mixes,
+        workers,
         INSTRUCTIONS,
         grid.reference_serial_secs,
         grid.fast_serial_secs,
@@ -282,6 +411,10 @@ fn main() {
         pairs / grid.fast_serial_secs.max(1e-9),
         hot_path_speedup,
         parallel_speedup,
+        obs.accesses,
+        obs.plain_per_sec,
+        obs.observed_per_sec,
+        obs_overhead,
     );
     let path = output_path();
     std::fs::write(&path, json).expect("write BENCH_sim.json");

@@ -42,6 +42,17 @@
 //! The default scale is `scaled` (minutes); `--paper-scale` selects the paper's full
 //! parameters (hours); `--smoke` is a seconds-long sanity run. Corpus mode must load a
 //! corpus materialized at the same scale (the manifest's geometry is validated).
+//!
+//! # Profiling and logging
+//!
+//! `--profile [DIR]` (or `REPRO_PROFILE=1`, directory `profile/`) turns on the sim-obs
+//! flight recorder for the run and exports `trace.json` (Chrome trace-event format —
+//! load it in Perfetto), `intervals.csv` (per-interval core/bank/LLC time-series) and
+//! `summary.txt` into DIR. Profiling never changes simulation results: the recorder
+//! samples at interval rollovers the simulator already performs.
+//!
+//! `--log-level error|warn|info|debug|trace|off` (or `REPRO_LOG`) filters the
+//! structured stderr diagnostics; the repro default is `info`.
 
 use std::env;
 use std::path::PathBuf;
@@ -60,7 +71,11 @@ fn usage() -> String {
      repro scale [--cores 32,48,64] [--mixes N] [--flat] [--paper-scale|--smoke]\n\n\
      scale: many-core scaling study under the cycle-accounted bank contention model\n\
      (throughput / fairness / bank-stall share per policy; --flat reruns the same\n\
-     geometry with the latency-only seed banking)"
+     geometry with the latency-only seed banking)\n\n\
+     global: --profile [DIR]   record a sim-obs profile and export trace.json /\n\
+                               intervals.csv / summary.txt into DIR (default 'profile';\n\
+                               REPRO_PROFILE=1 does the same)\n\
+             --log-level LVL   error|warn|info|debug|trace|off (default info; REPRO_LOG)"
         .to_string()
 }
 
@@ -131,8 +146,9 @@ fn sweep_cmd(scale: ExperimentScale, dir: &PathBuf) -> Result<(), String> {
     let config = scale.system_config(study);
     let mut policies = vec![PolicyKind::TaDrrip];
     policies.extend(PolicyKind::figure3_lineup());
-    eprintln!(
-        "[repro] corpus sweep: {} policies x {} mixes from {}",
+    sim_obs::obs_info!(
+        "repro",
+        "corpus sweep: {} policies x {} mixes from {}",
         policies.len(),
         corpus.entries().len(),
         dir.display()
@@ -159,8 +175,9 @@ fn scale_cmd(
     contention: bool,
     mixes_override: Option<usize>,
 ) -> Result<(), String> {
-    eprintln!(
-        "[repro] scaling study over {cores:?} cores ({} banking)",
+    sim_obs::obs_info!(
+        "repro",
+        "scaling study over {cores:?} cores ({} banking)",
         if contention { "contended" } else { "flat" }
     );
     let result = scaling::run(scale, cores, contention, mixes_override)?;
@@ -294,11 +311,68 @@ fn run_one(name: &str, scale: ExperimentScale) -> Result<(), String> {
     Ok(())
 }
 
+/// Subcommand names, used to disambiguate `--profile`'s optional DIR operand from the
+/// positional experiment name.
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig3", "fig45", "fig6", "fig7", "fig8", "table2", "table4", "table7", "ablation",
+    "mixes", "diag", "all", "corpus", "sweep", "scale",
+];
+
+/// Resolve the profile directory: the `--profile` flag wins, then `REPRO_PROFILE`
+/// (`1`/`true` mean the default `profile/` directory, anything else is the directory).
+fn profile_dir(flag: Option<PathBuf>) -> Option<PathBuf> {
+    if flag.is_some() {
+        return flag;
+    }
+    match env::var("REPRO_PROFILE").ok().as_deref() {
+        None | Some("") | Some("0") => None,
+        Some("1") | Some("true") => Some(PathBuf::from("profile")),
+        Some(dir) => Some(PathBuf::from(dir)),
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
+    }
+    // Global flags, extracted up front so they work in any position.
+    let mut profile_flag: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        args.remove(pos);
+        // Optional DIR operand: consume the next token unless it is a flag or the
+        // experiment name itself.
+        let dir = match args.get(pos) {
+            Some(next) if !next.starts_with('-') && !EXPERIMENTS.contains(&next.as_str()) => {
+                PathBuf::from(args.remove(pos))
+            }
+            _ => PathBuf::from("profile"),
+        };
+        profile_flag = Some(dir);
+    }
+    // Default to `info` so the progress lines stay; an explicit --log-level wins over
+    // REPRO_LOG, which wins over the default (left to the library's lazy init).
+    let mut log_setting = Some(Some(sim_obs::Level::Info));
+    if let Some(pos) = args.iter().position(|a| a == "--log-level") {
+        if pos + 1 >= args.len() {
+            eprintln!("--log-level needs a value\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        match sim_obs::Level::parse(&value) {
+            Some(setting) => log_setting = Some(setting),
+            None => {
+                eprintln!("--log-level: unknown level {value:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if env::var_os("REPRO_LOG").is_some() {
+        log_setting = None;
+    }
+    if let Some(setting) = log_setting {
+        sim_obs::set_log_level(setting);
     }
     let mut scale = ExperimentScale::Scaled;
     let mut experiment = None;
@@ -363,7 +437,13 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    eprintln!("[repro] running '{experiment}' at {} scale", scale.label());
+    let profile = profile_dir(profile_flag);
+    if let Some(dir) = &profile {
+        sim_obs::enable();
+        sim_obs::set_thread_name("main");
+        sim_obs::obs_info!("repro", "profiling to {}", dir.display());
+    }
+    sim_obs::obs_info!("repro", "running '{experiment}' at {} scale", scale.label());
     let outcome = match experiment.as_str() {
         "corpus" | "sweep" => {
             let Some(dir) = dir else {
@@ -379,10 +459,32 @@ fn main() -> ExitCode {
         "scale" => scale_cmd(scale, &cores_list, !flat, mixes_override),
         name => run_one(name, scale),
     };
+    // Export the profile even when the experiment failed: the partial timeline is
+    // usually exactly what explains the failure.
+    let mut export_failed = false;
+    if let Some(dir) = &profile {
+        match sim_obs::export_profile(dir) {
+            Ok(report) => sim_obs::obs_info!(
+                "repro",
+                "profile: {} events ({} dropped) -> {} (trace.json {} events, \
+                 intervals.csv {} rows)",
+                report.events,
+                report.dropped,
+                dir.display(),
+                report.trace_events,
+                report.csv_rows
+            ),
+            Err(e) => {
+                sim_obs::obs_error!("repro", "profile export to {} failed: {e}", dir.display());
+                export_failed = true;
+            }
+        }
+    }
     match outcome {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) if !export_failed => ExitCode::SUCCESS,
+        Ok(()) => ExitCode::FAILURE,
         Err(e) => {
-            eprintln!("{e}");
+            sim_obs::obs_error!("repro", "{e}");
             ExitCode::FAILURE
         }
     }

@@ -252,6 +252,12 @@ impl MixSource {
         llc_sets: usize,
         seed: u64,
     ) -> Result<MaterializedMixStreams, TraceError> {
+        let _ctx = if sim_obs::enabled() {
+            Some(sim_obs::push_context(&format!("mix{}", self.mix().id)))
+        } else {
+            None
+        };
+        let _span = sim_obs::span("sweep", "materialize");
         let streams = match self {
             MixSource::Synthetic(mix) => mix
                 .trace_sources(llc_sets, seed)
@@ -260,7 +266,11 @@ impl MixSource {
                 .collect(),
             MixSource::Replayed { path, mix } => {
                 self.check_geometry(path, llc_sets)?;
-                trace_io::decode_all(path)?
+                let decoded = {
+                    let _span = sim_obs::span("sweep", "decode");
+                    trace_io::decode_all(path)?
+                };
+                decoded
                     .into_iter()
                     .zip(&mix.benchmarks)
                     .map(|(records, name)| MaterializedStream::Decoded {
@@ -427,6 +437,12 @@ pub fn alone_ipc(config: &SystemConfig, benchmark: &str, instructions: u64, seed
     if let Some(v) = alone_cache().lock().get(&key) {
         return *v;
     }
+    let _ctx = if sim_obs::enabled() {
+        Some(sim_obs::push_context(&format!("alone/{benchmark}")))
+    } else {
+        None
+    };
+    let _span = sim_obs::span("sweep", "alone_run");
     let spec = benchmark_by_name(benchmark).expect("known benchmark");
     let llc_sets = config.llc.geometry.num_sets();
     let trace = Box::new(spec.trace(0, llc_sets, seed));
@@ -727,6 +743,16 @@ pub fn sweep_policies_on_sources(
             .par_iter()
             .map(|&(m, p)| {
                 let mat = &prepared[m];
+                let _ctx = if sim_obs::enabled() {
+                    Some(sim_obs::push_context(&format!(
+                        "mix{}/{}",
+                        mat.mix().id,
+                        policies[p].label()
+                    )))
+                } else {
+                    None
+                };
+                let _span = sim_obs::span("sweep", "simulate");
                 let built = policies[p].build_dispatch(config, &mat.mix().thrashing_slots());
                 evaluate_prepared(config, mat, policies[p], built, instructions, seed)
             })
@@ -743,8 +769,9 @@ pub fn sweep_policies_on_sources(
                 wraps,
             });
             if wraps > 0 {
-                eprintln!(
-                    "[runner] corpus replay of mix {} wrapped {wraps} time(s): the \
+                sim_obs::obs_warn!(
+                    "runner",
+                    "corpus replay of mix {} wrapped {wraps} time(s): the \
                      capture budget is smaller than the run; results follow re-execution \
                      semantics and may differ from a live-generator sweep",
                     mat.mix().id

@@ -7,9 +7,17 @@
 //! tracectl import  --format champsim|csv (--out FILE | --corpus DIR --mix-id K)
 //!                  [--benchmarks A,B,..] [--llc-sets N] [--seed N] [--label S]
 //!                  [--limit N] [--no-compress] [--no-checksums] IN [IN..]
-//! tracectl inspect FILE            print the header, directory, and compression ratio
-//! tracectl stats FILE              decode everything: per-core stats + decode throughput
+//! tracectl inspect FILE [--json] [--timings]
+//!                                  print the header, directory, and compression ratio;
+//!                                  --timings decodes everything and attributes time to
+//!                                  checksum/decompress/decode per core
+//! tracectl stats FILE [--json]     decode everything: per-core stats + decode throughput
 //! ```
+//!
+//! `--json` prints machine-readable output (same hand-rolled style as `BENCH_sim.json`).
+//! A global `--log-level error|warn|info|debug|trace|off` (or the `REPRO_LOG` environment
+//! variable) filters the structured diagnostics; the tool default is `info` so import
+//! progress lines stay visible.
 //!
 //! `capture --benchmarks` records the named Table 4 synthetic models (one per core, in
 //! order); `capture --study` records a whole generated workload mix, so the resulting file
@@ -42,7 +50,8 @@ fn usage() -> &'static str {
      tracectl import --format champsim|csv (--out FILE | --corpus DIR --mix-id K)\n  \
      [--benchmarks A,B,..] [--llc-sets N] [--seed N] [--label S] [--limit N]\n  \
      [--no-compress] [--no-checksums] IN [IN..]\n  \
-     tracectl inspect FILE\n  tracectl stats FILE"
+     tracectl inspect FILE [--json] [--timings]\n  tracectl stats FILE [--json]\n\
+     global: --log-level error|warn|info|debug|trace|off (default info; REPRO_LOG)"
 }
 
 struct CaptureArgs {
@@ -353,8 +362,120 @@ fn import_cmd(args: ImportArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn inspect(path: &Path) -> Result<(), String> {
+/// Minimal JSON string escaping for the hand-rolled `--json` emitters.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Decode every core once with sim-obs recording on and report where the time went.
+fn decode_timings_per_core(
+    path: &Path,
+    header: &trace_io::TraceHeader,
+) -> Result<Vec<trace_io::DecodeTimings>, String> {
+    let was_enabled = sim_obs::enabled();
+    sim_obs::enable();
+    let result = (0..header.cores.len())
+        .map(|core| {
+            let mut reader = TraceReader::open(path, core).map_err(|e| e.to_string())?;
+            reader.verify().map_err(|e| format!("core {core}: {e}"))?;
+            Ok(reader.decode_timings())
+        })
+        .collect();
+    if !was_enabled {
+        sim_obs::disable();
+    }
+    result
+}
+
+fn inspect(path: &Path, json: bool, timings: bool) -> Result<(), String> {
     let header = read_header(path).map_err(|e| e.to_string())?;
+    let compression = if header.compressed {
+        Some(compression_stats(path).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let decode = if timings {
+        Some(decode_timings_per_core(path, &header)?)
+    } else {
+        None
+    };
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"path\": \"{}\",\n",
+            json_escape(&path.display().to_string())
+        ));
+        out.push_str(&format!("  \"format_version\": {},\n", header.version));
+        out.push_str(&format!("  \"chunked\": {},\n", header.chunked));
+        out.push_str(&format!("  \"checksums\": {},\n", header.checksums));
+        out.push_str(&format!("  \"compressed\": {},\n", header.compressed));
+        out.push_str(&format!("  \"llc_sets\": {},\n", header.llc_sets));
+        out.push_str(&format!(
+            "  \"label\": \"{}\",\n",
+            json_escape(&header.label)
+        ));
+        if let Some(info) = &compression {
+            out.push_str(&format!(
+                "  \"compression\": {{ \"blocks\": {}, \"compressed_blocks\": {}, \
+                 \"disk_payload_bytes\": {}, \"raw_payload_bytes\": {}, \"ratio\": {:.4} }},\n",
+                info.blocks,
+                info.compressed_blocks,
+                info.disk_payload_bytes,
+                info.raw_payload_bytes,
+                info.ratio()
+            ));
+        } else {
+            out.push_str("  \"compression\": null,\n");
+        }
+        out.push_str(&format!(
+            "  \"total_records\": {},\n  \"total_instructions\": {},\n",
+            header.total_records(),
+            header.total_instructions()
+        ));
+        out.push_str("  \"cores\": [\n");
+        for (i, core) in header.cores.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"core\": {i}, \"label\": \"{}\", \"records\": {}, \
+                 \"instructions\": {}, \"bytes\": {}",
+                json_escape(&core.label),
+                core.records,
+                core.instructions,
+                core.bytes
+            ));
+            if let Some(timings) = &decode {
+                let t = timings[i];
+                out.push_str(&format!(
+                    ", \"timings\": {{ \"blocks\": {}, \"payload_bytes\": {}, \
+                     \"checksum_ms\": {:.3}, \"decompress_ms\": {:.3}, \"decode_ms\": {:.3} }}",
+                    t.blocks,
+                    t.payload_bytes,
+                    t.checksum_ns as f64 / 1e6,
+                    t.decompress_ns as f64 / 1e6,
+                    t.decode_ns as f64 / 1e6
+                ));
+            }
+            out.push_str(if i + 1 < header.cores.len() {
+                " },\n"
+            } else {
+                " }\n"
+            });
+        }
+        out.push_str("  ]\n}");
+        println!("{out}");
+        return Ok(());
+    }
     println!("{}", path.display());
     println!(
         "  format v{}  chunked={}  checksums={}  compressed={}  llc_sets={}  label={:?}",
@@ -365,8 +486,7 @@ fn inspect(path: &Path) -> Result<(), String> {
         header.llc_sets,
         header.label
     );
-    if header.compressed {
-        let info = compression_stats(path).map_err(|e| e.to_string())?;
+    if let Some(info) = &compression {
         println!(
             "  compression: {}/{} blocks compressed, {} -> {} payload bytes \
              (ratio {:.2}x, {} saved)",
@@ -399,25 +519,47 @@ fn inspect(path: &Path) -> Result<(), String> {
             core.bytes as f64 / core.records.max(1) as f64
         );
     }
+    if let Some(timings) = &decode {
+        println!("  decode timings (full pass, checksums re-validated):");
+        println!(
+            "  {:<5} {:>8} {:>14} {:>12} {:>14} {:>10}",
+            "core", "blocks", "payload bytes", "checksum ms", "decompress ms", "decode ms"
+        );
+        for (i, t) in timings.iter().enumerate() {
+            println!(
+                "  {:<5} {:>8} {:>14} {:>12.3} {:>14.3} {:>10.3}",
+                i,
+                t.blocks,
+                t.payload_bytes,
+                t.checksum_ns as f64 / 1e6,
+                t.decompress_ns as f64 / 1e6,
+                t.decode_ns as f64 / 1e6
+            );
+        }
+    }
     Ok(())
 }
 
-fn stats(path: &Path) -> Result<(), String> {
+struct CoreStats {
+    label: String,
+    records: u64,
+    writes: u64,
+    unique_blocks: u64,
+    non_mem: u64,
+    verify_secs: f64,
+    decode_secs: f64,
+    validations: u64,
+}
+
+fn stats(path: &Path, json: bool) -> Result<(), String> {
     let header = read_header(path).map_err(|e| e.to_string())?;
-    println!(
-        "{}: {} cores, label {:?}",
-        path.display(),
-        header.cores.len(),
-        header.label
-    );
-    let mut total_records = 0u64;
-    let mut total_secs = 0f64;
+    let mut cores = Vec::with_capacity(header.cores.len());
     for core in 0..header.cores.len() {
         let mut reader = TraceReader::open(path, core).map_err(|e| e.to_string())?;
         let info = reader.info().clone();
         let start = Instant::now();
         reader.verify().map_err(|e| format!("core {core}: {e}"))?;
-        let verify_elapsed = start.elapsed().as_secs_f64();
+        let verify_secs = start.elapsed().as_secs_f64();
 
         let mut writes = 0u64;
         let mut unique = std::collections::HashSet::new();
@@ -429,46 +571,144 @@ fn stats(path: &Path) -> Result<(), String> {
             non_mem += u64::from(a.non_mem_instrs);
             unique.insert(a.addr >> 6);
         }
-        let decode_elapsed = start.elapsed().as_secs_f64();
-        total_records += info.records;
-        total_secs += decode_elapsed;
+        cores.push(CoreStats {
+            label: info.label.clone(),
+            records: info.records,
+            writes,
+            unique_blocks: unique.len() as u64,
+            non_mem,
+            verify_secs,
+            decode_secs: start.elapsed().as_secs_f64(),
+            validations: reader.checksum_validations(),
+        });
+    }
+    let total_records: u64 = cores.iter().map(|c| c.records).sum();
+    let total_secs: f64 = cores.iter().map(|c| c.decode_secs).sum();
+    let aggregate_rate = total_records as f64 / total_secs.max(1e-12);
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"path\": \"{}\",\n",
+            json_escape(&path.display().to_string())
+        ));
+        out.push_str(&format!(
+            "  \"label\": \"{}\",\n",
+            json_escape(&header.label)
+        ));
+        out.push_str("  \"cores\": [\n");
+        for (i, c) in cores.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"core\": {i}, \"label\": \"{}\", \"records\": {}, \
+                 \"write_fraction\": {:.6}, \"unique_blocks\": {}, \"mean_gap\": {:.4}, \
+                 \"verify_ms\": {:.3}, \"decode_records_per_s\": {:.1}, \
+                 \"checksum_validations\": {} }}{}\n",
+                json_escape(&c.label),
+                c.records,
+                c.writes as f64 / c.records.max(1) as f64,
+                c.unique_blocks,
+                c.non_mem as f64 / c.records.max(1) as f64,
+                c.verify_secs * 1e3,
+                c.records as f64 / c.decode_secs.max(1e-12),
+                c.validations,
+                if i + 1 < cores.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"total_records\": {total_records},\n  \
+             \"aggregate_records_per_s\": {aggregate_rate:.1}\n}}"
+        ));
+        println!("{out}");
+        return Ok(());
+    }
+    println!(
+        "{}: {} cores, label {:?}",
+        path.display(),
+        header.cores.len(),
+        header.label
+    );
+    for (core, c) in cores.iter().enumerate() {
         println!(
             "  core {core} [{}]: {} records, {:.1}% writes, {} unique blocks, mean gap {:.2}",
-            info.label,
-            info.records,
-            100.0 * writes as f64 / info.records.max(1) as f64,
-            unique.len(),
-            non_mem as f64 / info.records.max(1) as f64
+            c.label,
+            c.records,
+            100.0 * c.writes as f64 / c.records.max(1) as f64,
+            c.unique_blocks,
+            c.non_mem as f64 / c.records.max(1) as f64
         );
         println!(
             "    verify {:.0} ms, decode {:.3e} records/s ({} checksum validations, \
              re-decode skipped them)",
-            verify_elapsed * 1e3,
-            info.records as f64 / decode_elapsed.max(1e-12),
-            reader.checksum_validations()
+            c.verify_secs * 1e3,
+            c.records as f64 / c.decode_secs.max(1e-12),
+            c.validations
         );
     }
     println!(
-        "ok: {} records decode clean at {:.3e} records/s aggregate",
-        total_records,
-        total_records as f64 / total_secs.max(1e-12)
+        "ok: {total_records} records decode clean at {aggregate_rate:.3e} records/s aggregate"
     );
     Ok(())
 }
 
+/// Split `FILE [--json] [--timings]`-style argument lists: returns the positional path
+/// plus which of the allowed flags were present.
+fn parse_inspect_args<'a>(
+    cmd: &str,
+    args: &'a [String],
+    allow_timings: bool,
+) -> Result<(&'a str, bool, bool), String> {
+    let mut path = None;
+    let mut json = false;
+    let mut timings = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--timings" if allow_timings => timings = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown {cmd} flag {other:?}"))
+            }
+            positional => {
+                if path.replace(positional).is_some() {
+                    return Err(format!("{cmd} takes exactly one FILE"));
+                }
+            }
+        }
+    }
+    let path = path.ok_or_else(|| format!("{cmd} takes exactly one FILE"))?;
+    Ok((path, json, timings))
+}
+
 fn run() -> Result<(), String> {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    // Global --log-level: extractable from any position; CLI tools default to `info`
+    // (overridable by the flag, which also beats REPRO_LOG).
+    let mut log_setting = Some(Some(sim_obs::Level::Info));
+    if let Some(pos) = args.iter().position(|a| a == "--log-level") {
+        if pos + 1 >= args.len() {
+            return Err("--log-level needs a value".into());
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        log_setting = Some(
+            sim_obs::Level::parse(&value).ok_or(format!("--log-level: unknown level {value:?}"))?,
+        );
+    } else if std::env::var_os("REPRO_LOG").is_some() {
+        log_setting = None; // let the library's lazy REPRO_LOG init decide
+    }
+    if let Some(setting) = log_setting {
+        sim_obs::set_log_level(setting);
+    }
     match args.first().map(String::as_str) {
         Some("capture") => capture(parse_capture(&args[1..])?),
         Some("import") => import_cmd(parse_import(&args[1..])?),
-        Some("inspect") => match args.get(1) {
-            Some(path) if args.len() == 2 => inspect(Path::new(path)),
-            _ => Err("inspect takes exactly one FILE".into()),
-        },
-        Some("stats") => match args.get(1) {
-            Some(path) if args.len() == 2 => stats(Path::new(path)),
-            _ => Err("stats takes exactly one FILE".into()),
-        },
+        Some("inspect") => {
+            let (path, json, timings) = parse_inspect_args("inspect", &args[1..], true)?;
+            inspect(Path::new(path), json, timings)
+        }
+        Some("stats") => {
+            let (path, json, _) = parse_inspect_args("stats", &args[1..], false)?;
+            stats(Path::new(path), json)
+        }
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{}", usage());
             Ok(())
@@ -481,7 +721,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("tracectl: {msg}");
+            sim_obs::obs_error!("tracectl", "{msg}");
             ExitCode::FAILURE
         }
     }

@@ -260,7 +260,7 @@ impl CoreFeed {
 fn progress_tick(opts: &ImportOptions, total_records: u64) {
     if let Some(every) = opts.progress_every {
         if every > 0 && total_records.is_multiple_of(every) {
-            eprintln!("[import] {total_records} records transcoded...");
+            sim_obs::obs_info!("import", "{total_records} records transcoded...");
         }
     }
 }

@@ -63,6 +63,7 @@ pub use error::TraceError;
 pub use header::{CoreStreamInfo, TraceHeader};
 pub use import::{import_into_corpus, import_to_file, ImportFormat, ImportOptions, ImportStats};
 pub use reader::{
-    compression_stats, decode_all, open_all, read_header, CompressionInfo, TraceReader,
+    compression_stats, decode_all, open_all, read_header, CompressionInfo, DecodeTimings,
+    TraceReader,
 };
 pub use writer::{CompressedTraceWriter, TraceCaptureOptions, TraceSummary, TraceWriter};

@@ -41,11 +41,13 @@ pub fn decode_all(path: impl AsRef<Path>) -> Result<Vec<Vec<MemAccess>>, TraceEr
     let header = read_header(path)?;
     let mut streams = Vec::with_capacity(header.cores.len());
     for core in 0..header.cores.len() {
+        let _span = sim_obs::span("trace-io", "decode_core");
         let mut reader = TraceReader::open(path, core)?;
         let mut records = Vec::with_capacity(header.cores[core].records as usize);
         for _ in 0..header.cores[core].records {
             records.push(reader.try_next()?);
         }
+        reader.emit_decode_counters();
         streams.push(records);
     }
     Ok(streams)
@@ -95,6 +97,31 @@ pub struct TraceReader {
     payload_buf: Vec<u8>,
     wraps: u64,
     records_read: u64,
+    timings: DecodeTimings,
+}
+
+/// Per-reader accounting of where block-decode time goes, populated only while
+/// `sim-obs` recording is enabled (`tracectl inspect --timings`, profiled sweeps).
+/// All fields are zero otherwise — the read hot path never pays for the clock reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeTimings {
+    /// Blocks of this core's stream decoded.
+    pub blocks: u64,
+    /// Payload bytes processed (as stored on disk).
+    pub payload_bytes: u64,
+    /// Nanoseconds spent verifying FNV-1a checksums.
+    pub checksum_ns: u64,
+    /// Nanoseconds spent LZ4-decompressing v3 block payloads.
+    pub decompress_ns: u64,
+    /// Nanoseconds spent in delta+varint record decoding.
+    pub decode_ns: u64,
+}
+
+impl DecodeTimings {
+    /// Total accounted nanoseconds (checksum + decompress + decode).
+    pub fn total_ns(&self) -> u64 {
+        self.checksum_ns + self.decompress_ns + self.decode_ns
+    }
 }
 
 impl TraceReader {
@@ -135,6 +162,7 @@ impl TraceReader {
             payload_buf: Vec::new(),
             wraps: 0,
             records_read: 0,
+            timings: DecodeTimings::default(),
         })
     }
 
@@ -162,6 +190,31 @@ impl TraceReader {
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Where this reader's decode time went so far. Only populated while `sim-obs`
+    /// recording was enabled during the reads; all-zero otherwise.
+    pub fn decode_timings(&self) -> DecodeTimings {
+        self.timings
+    }
+
+    /// Record this reader's accumulated [`DecodeTimings`] as sim-obs counters
+    /// (category `trace-io`), tagged with the current observation context. No-op when
+    /// recording is disabled or nothing was timed.
+    pub fn emit_decode_counters(&self) {
+        if !sim_obs::enabled() || self.timings.blocks == 0 {
+            return;
+        }
+        let t = self.timings;
+        sim_obs::counter("trace-io", "decode.blocks", t.blocks as f64);
+        sim_obs::counter("trace-io", "decode.payload_bytes", t.payload_bytes as f64);
+        sim_obs::counter("trace-io", "decode.checksum_ms", t.checksum_ns as f64 / 1e6);
+        sim_obs::counter(
+            "trace-io",
+            "decode.decompress_ms",
+            t.decompress_ns as f64 / 1e6,
+        );
+        sim_obs::counter("trace-io", "decode.decode_ms", t.decode_ns as f64 / 1e6);
     }
 
     fn rewind_stream(&mut self) -> Result<(), TraceError> {
@@ -256,12 +309,21 @@ impl TraceReader {
                 }
             })?;
             let block_end = self.consumed + frame_len + payload_len as u64;
+            // Latched once per block: when profiling is on, attribute this block's time
+            // to checksum / decompress / decode. The disabled path pays one relaxed
+            // atomic load per block, never a clock read.
+            let timed = sim_obs::enabled();
             if let Some(stored) = stored_checksum {
                 // Validate-once: blocks below the high-water mark were already verified
                 // on an earlier pass, so wraps and resets skip the FNV recomputation.
                 if block_end > self.validated {
                     self.validations += 1;
-                    if fnv1a32(&self.payload_buf) != stored {
+                    let start = if timed { sim_obs::now_ns() } else { 0 };
+                    let ok = fnv1a32(&self.payload_buf) == stored;
+                    if timed {
+                        self.timings.checksum_ns += sim_obs::now_ns().saturating_sub(start);
+                    }
+                    if !ok {
                         return Err(TraceError::ChecksumMismatch {
                             core: self.core,
                             stream_offset: self.consumed,
@@ -273,10 +335,26 @@ impl TraceReader {
             if block_compressed {
                 // The checksum above covered the stored (compressed) bytes, so a
                 // corrupted block is rejected before the decompressor ever runs.
+                let start = if timed { sim_obs::now_ns() } else { 0 };
                 let raw = decompress_payload(&self.payload_buf)?;
-                decode_block_payload(&raw, record_count, &mut self.block)?;
+                if timed {
+                    let mid = sim_obs::now_ns();
+                    self.timings.decompress_ns += mid.saturating_sub(start);
+                    decode_block_payload(&raw, record_count, &mut self.block)?;
+                    self.timings.decode_ns += sim_obs::now_ns().saturating_sub(mid);
+                } else {
+                    decode_block_payload(&raw, record_count, &mut self.block)?;
+                }
             } else {
+                let start = if timed { sim_obs::now_ns() } else { 0 };
                 decode_block_payload(&self.payload_buf, record_count, &mut self.block)?;
+                if timed {
+                    self.timings.decode_ns += sim_obs::now_ns().saturating_sub(start);
+                }
+            }
+            if timed {
+                self.timings.blocks += 1;
+                self.timings.payload_bytes += payload_len as u64;
             }
             self.block_pos = 0;
             self.consumed = block_end;
@@ -795,6 +873,46 @@ mod tests {
             r.verify(),
             Err(TraceError::ChecksumMismatch { .. }) | Err(TraceError::Corrupt(_))
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn decode_timings_populate_only_while_observing() {
+        let path = tmp("timings");
+        let opts = TraceCaptureOptions {
+            records_per_block: 16,
+            compress: true,
+            ..Default::default()
+        };
+        let mut w = TraceWriter::with_options(&path, 1, "t", opts).unwrap();
+        for a in counting_records(128) {
+            w.push(0, a).unwrap();
+        }
+        w.finish().unwrap();
+
+        let mut cold = TraceReader::open(&path, 0).unwrap();
+        let cold_records: Vec<MemAccess> = (0..128).map(|_| cold.next_access()).collect();
+        assert_eq!(
+            cold.decode_timings(),
+            DecodeTimings::default(),
+            "no timing accumulation while recording is disabled"
+        );
+
+        sim_obs::enable();
+        let mut hot = TraceReader::open(&path, 0).unwrap();
+        let hot_records: Vec<MemAccess> = (0..128).map(|_| hot.next_access()).collect();
+        let timings = hot.decode_timings();
+        sim_obs::disable();
+        assert_eq!(
+            cold_records, hot_records,
+            "timing must not perturb decoding"
+        );
+        assert_eq!(timings.blocks, 8);
+        assert!(timings.payload_bytes > 0);
+        assert!(
+            timings.checksum_ns > 0 || timings.decompress_ns > 0 || timings.decode_ns > 0,
+            "some stage must have accumulated time: {timings:?}"
+        );
         std::fs::remove_file(path).ok();
     }
 

@@ -1,0 +1,192 @@
+//! Integration tests of the sim-obs instrumentation layer against the sweep engine:
+//! profiling must never change results, serial and parallel runs must record the same
+//! logical story, and exported profiles must be valid Chrome trace JSON.
+//!
+//! The flight recorder is process-global, so every test takes [`obs_lock`] and starts
+//! from [`sim_obs::reset`].
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use experiments::runner::{evaluate_policies_on_mixes, warm_alone_cache};
+use experiments::{ExperimentScale, PolicyKind};
+use sim_obs::{Drained, EventKind};
+use workloads::{generate_mixes, StudyKind};
+
+const INSTRUCTIONS: u64 = 20_000;
+const SEED: u64 = 1;
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn policies() -> [PolicyKind; 3] {
+    [PolicyKind::TaDrrip, PolicyKind::AdaptBp32, PolicyKind::Eaf]
+}
+
+/// The sweep's logical event multiset: (kind, cat, name, context) with counts, for the
+/// sweep spans and simulator samples. Worker ids, timestamps and rayon scheduling events
+/// are deliberately excluded — they legitimately differ between serial and parallel runs.
+fn logical_events(
+    drained: &Drained,
+) -> BTreeMap<(String, &'static str, &'static str, String), usize> {
+    let mut set = BTreeMap::new();
+    for thread in &drained.threads {
+        for event in &thread.events {
+            let keep = match event.kind {
+                EventKind::Span => event.cat == "sweep",
+                EventKind::Sample => event.cat == "sim",
+                _ => false,
+            };
+            if !keep {
+                continue;
+            }
+            let kind = format!("{:?}", event.kind);
+            let ctx = drained.context(event.ctx).to_string();
+            *set.entry((kind, event.cat, event.name, ctx)).or_insert(0) += 1;
+        }
+    }
+    set
+}
+
+#[test]
+fn profiling_does_not_change_sweep_results() {
+    let _guard = obs_lock();
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let mixes = generate_mixes(StudyKind::Cores4, 2, scale.seed());
+    let policies = policies();
+    warm_alone_cache(&cfg, &mixes, INSTRUCTIONS, SEED);
+
+    sim_obs::reset();
+    let plain = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+
+    sim_obs::enable();
+    let profiled = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    sim_obs::disable();
+    let drained = sim_obs::drain();
+
+    assert!(
+        drained.total_events() > 0,
+        "profiled run must actually record events"
+    );
+    assert_eq!(plain.len(), profiled.len());
+    for (a, b) in plain.iter().zip(&profiled) {
+        assert_eq!(a.mix_id, b.mix_id);
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.weighted_speedup(), b.weighted_speedup());
+        assert_eq!(
+            a.llc_global, b.llc_global,
+            "LLC stats must be bit-identical"
+        );
+        assert_eq!(a.llc_banks, b.llc_banks, "bank stats must be bit-identical");
+        assert_eq!(a.final_cycle, b.final_cycle, "timing must be bit-identical");
+        for (p, q) in a.per_app.iter().zip(&b.per_app) {
+            assert_eq!(p.ipc, q.ipc, "{}: IPC changed under profiling", p.name);
+            assert_eq!(
+                p.llc_mpki, q.llc_mpki,
+                "{}: MPKI changed under profiling",
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_and_parallel_profiled_sweeps_tell_the_same_story() {
+    let _guard = obs_lock();
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let mixes = generate_mixes(StudyKind::Cores4, 2, scale.seed());
+    let policies = policies();
+    warm_alone_cache(&cfg, &mixes, INSTRUCTIONS, SEED);
+
+    sim_obs::reset();
+    sim_obs::enable();
+    let serial = rayon::with_worker_limit(1, || {
+        evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED)
+    });
+    sim_obs::disable();
+    let serial_events = logical_events(&sim_obs::drain());
+
+    sim_obs::reset();
+    sim_obs::enable();
+    let parallel = rayon::with_worker_limit(4, || {
+        evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED)
+    });
+    sim_obs::disable();
+    let parallel_events = logical_events(&sim_obs::drain());
+
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.weighted_speedup(), b.weighted_speedup());
+    }
+    assert!(
+        serial_events
+            .keys()
+            .any(|(_, cat, name, _)| *cat == "sweep" && *name == "simulate"),
+        "sweep spans missing from the serial profile"
+    );
+    assert!(
+        serial_events.keys().any(|(kind, _, _, _)| kind == "Sample"),
+        "interval samples missing from the serial profile"
+    );
+    assert_eq!(
+        serial_events, parallel_events,
+        "serial and parallel sweeps must record the same logical span/sample multiset \
+         (modulo worker ids and timestamps)"
+    );
+}
+
+#[test]
+fn exported_profile_is_perfetto_loadable_and_complete() {
+    let _guard = obs_lock();
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let mixes = generate_mixes(StudyKind::Cores4, 1, scale.seed());
+    let policies = policies();
+    warm_alone_cache(&cfg, &mixes, INSTRUCTIONS, SEED);
+
+    let dir = std::env::temp_dir().join("e2e_obs_profile");
+    std::fs::remove_dir_all(&dir).ok();
+
+    sim_obs::reset();
+    sim_obs::enable();
+    let _ = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+    sim_obs::disable();
+    let report = sim_obs::export_profile(&dir).expect("profile export");
+    assert!(report.events > 0);
+    assert!(report.trace_events > 0);
+    assert!(report.csv_rows > 0, "interval samples must reach the CSV");
+
+    // The exporter validated the trace before writing; re-validate from disk anyway so
+    // the test holds the file, not the exporter's in-memory copy, to the schema.
+    let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+    let events = sim_obs::validate_chrome_trace(&trace).expect("schema-valid trace.json");
+    assert_eq!(events, report.trace_events);
+    let parsed = sim_obs::JsonValue::parse(&trace).expect("trace.json parses");
+    assert!(parsed.as_array().is_some_and(|a| !a.is_empty()));
+
+    let csv = std::fs::read_to_string(dir.join("intervals.csv")).unwrap();
+    let mut lines = csv.lines();
+    let header = lines.next().expect("csv header");
+    for col in ["context", "series", "tid", "ts_us", "ipc", "llc_mpki"] {
+        assert!(header.split(',').any(|c| c == col), "missing column {col}");
+    }
+    assert_eq!(lines.count(), report.csv_rows);
+
+    let summary = std::fs::read_to_string(dir.join("summary.txt")).unwrap();
+    assert!(
+        summary.contains("sweep/simulate"),
+        "summary lists sweep spans"
+    );
+    assert!(
+        summary.contains("interval.core"),
+        "summary lists sample series"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

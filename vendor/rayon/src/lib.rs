@@ -11,16 +11,55 @@
 //! pairs are merged and re-ordered by index before returning, so `collect` preserves
 //! input order and results are identical to the sequential evaluation — matching rayon's
 //! deterministic-collect semantics the experiment runner relies on.
+//!
+//! When `sim-obs` recording is enabled the scheduler emits a per-worker task timeline
+//! (one span per claimed item) plus end-of-pool `rayon.tasks` / `rayon.steals` /
+//! `rayon.idle_ns` counters, so a profiled sweep shows exactly how the grid was
+//! load-balanced. All of it is gated on `sim_obs::enabled()` — a relaxed atomic load —
+//! and the scheduling itself is never affected.
+//!
+//! The worker count honours, in order: a [`with_worker_limit`] override (used by tests
+//! to force a serial run), the `RAYON_NUM_THREADS` environment variable (matching real
+//! rayon), and `available_parallelism`.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    static WORKER_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Run `f` with parallel calls *started from this thread* capped at `limit` workers.
+/// `with_worker_limit(1, ..)` forces sequential execution — profiled serial-vs-parallel
+/// comparisons rely on it.
+pub fn with_worker_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    let prev = WORKER_LIMIT.with(|cell| cell.replace(Some(limit.max(1))));
+    let out = f();
+    WORKER_LIMIT.with(|cell| cell.set(prev));
+    out
+}
+
+fn env_worker_limit() -> Option<usize> {
+    static LIMIT: OnceLock<Option<usize>> = OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
 
 fn worker_count(items: usize) -> usize {
-    std::thread::available_parallelism()
+    let hardware = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items)
-        .max(1)
+        .unwrap_or(1);
+    let cap = WORKER_LIMIT
+        .with(Cell::get)
+        .or_else(env_worker_limit)
+        .unwrap_or(hardware);
+    cap.min(items).max(1)
 }
 
 /// One worker's output: its `(index, result)` pairs plus the claimed indices.
@@ -41,15 +80,29 @@ where
         return (Vec::new(), vec![Vec::new(); workers]);
     }
     if workers <= 1 {
-        let out: Vec<R> = items.iter().map(f).collect();
+        let out: Vec<R> = items
+            .iter()
+            .map(|item| {
+                let _task = sim_obs::span("rayon", "task");
+                f(item)
+            })
+            .collect();
         return (out, vec![(0..items.len()).collect()]);
     }
     let next = AtomicUsize::new(0);
     let mut claimed: Vec<WorkerOutput<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let next = &next;
                 scope.spawn(move || {
+                    let observing = sim_obs::enabled();
+                    let pool_start = if observing {
+                        sim_obs::set_thread_name(&format!("rayon-worker-{worker}"));
+                        sim_obs::now_ns()
+                    } else {
+                        0
+                    };
+                    let mut busy_ns = 0u64;
                     let mut mine: Vec<(usize, R)> = Vec::new();
                     let mut indices: Vec<usize> = Vec::new();
                     loop {
@@ -58,7 +111,30 @@ where
                             break;
                         }
                         indices.push(i);
-                        mine.push((i, f(&items[i])));
+                        if observing {
+                            let task_start = sim_obs::now_ns();
+                            {
+                                let _task = sim_obs::span("rayon", "task");
+                                mine.push((i, f(&items[i])));
+                            }
+                            busy_ns += sim_obs::now_ns().saturating_sub(task_start);
+                        } else {
+                            mine.push((i, f(&items[i])));
+                        }
+                    }
+                    if observing {
+                        // A claim beyond the even static split is work this worker
+                        // "stole" from a straggler relative to chunked scheduling.
+                        let fair_share = items.len().div_ceil(workers);
+                        let steals = indices.len().saturating_sub(fair_share);
+                        let total_ns = sim_obs::now_ns().saturating_sub(pool_start);
+                        sim_obs::counter("rayon", "tasks", indices.len() as f64);
+                        sim_obs::counter("rayon", "steals", steals as f64);
+                        sim_obs::counter(
+                            "rayon",
+                            "idle_ns",
+                            total_ns.saturating_sub(busy_ns) as f64,
+                        );
                     }
                     (mine, indices)
                 })
@@ -253,6 +329,56 @@ mod tests {
             .map(|(_, idx)| idx.len())
             .sum();
         assert_eq!(drained, ITEMS - 1, "other workers drain everything else");
+    }
+
+    #[test]
+    fn worker_limit_overrides_parallelism() {
+        with_worker_limit(1, || assert_eq!(worker_count(100), 1));
+        with_worker_limit(3, || assert_eq!(worker_count(100), 3));
+        with_worker_limit(3, || {
+            assert_eq!(worker_count(2), 2, "still capped by item count")
+        });
+        with_worker_limit(7, || {
+            let v: Vec<u64> = (0..50).collect();
+            let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+            assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<u64>>());
+        });
+    }
+
+    /// With recording enabled the pool must emit one `task` span per item and
+    /// per-worker `tasks` counters summing to the item count. Other tests in this
+    /// binary may run pools concurrently while recording is on, so the assertions
+    /// are lower bounds.
+    #[test]
+    fn observed_pool_emits_worker_timeline() {
+        sim_obs::reset();
+        sim_obs::enable();
+        let v: Vec<u64> = (0..64).collect();
+        let (out, _) = claiming_map(&v, &|x| x + 1, 3);
+        sim_obs::disable();
+        let drained = sim_obs::drain();
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+        let events: Vec<&sim_obs::Event> = drained.threads.iter().flat_map(|t| &t.events).collect();
+        let task_spans = events
+            .iter()
+            .filter(|e| e.kind == sim_obs::EventKind::Span && e.name == "task")
+            .count();
+        assert!(
+            task_spans >= 64,
+            "expected >=64 task spans, saw {task_spans}"
+        );
+        let claimed: f64 = events
+            .iter()
+            .filter(|e| e.kind == sim_obs::EventKind::Counter && e.name == "tasks")
+            .map(|e| e.value)
+            .sum();
+        assert!(claimed >= 64.0, "workers reported {claimed} claims");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == sim_obs::EventKind::Counter && e.name == "idle_ns"),
+            "workers report idle time"
+        );
     }
 
     #[test]
