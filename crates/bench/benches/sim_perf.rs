@@ -22,6 +22,14 @@
 //!    *disabled* instrumentation call per access must run within
 //!    [`OBS_OVERHEAD_CEILING`] (2%) of the uninstrumented loop. This section always
 //!    runs full-size (the ratio needs real windows) and always asserts.
+//! 5. **decode** — what a sweep pays to turn a captured 4-core `.atrc` mix into
+//!    records: buffered `decode_all` (the PR 2 materialize path — per-mix `Vec`s,
+//!    block-buffered reads, validation, decode) vs. the zero-copy pipeline
+//!    (`MappedTrace` + batch decode into a reused arena) in sweep steady state, with
+//!    the fresh-mapping first-pass rate (scan + FNV + decode) reported alongside.
+//!    The decoders are asserted bit-identical before any number counts. The
+//!    ≥ [`DECODE_FLOOR`] speedup asserts in quick mode too: it is a ratio of two
+//!    interleaved measurements in one process, so host-speed wobble cancels out.
 //!
 //! All three engines are asserted bit-identical before any number is written — and the
 //! grid is re-run once with the flight recorder *enabled* to assert instrumentation
@@ -29,19 +37,25 @@
 //! runs; `BENCH_SIM_JSON` overrides the output path.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cache_sim::addr::BlockAddr;
 use cache_sim::config::SystemConfig;
 use cache_sim::llc::{LlcModel, SharedLlc};
 use cache_sim::reference::ReferenceLlc;
+use cache_sim::trace::{arena_peak_bytes, reset_arena_peak, ArenaTracker, BatchSource, MemAccess};
 use experiments::runner::{
     evaluate_policies_on_mixes, evaluate_policies_serial, evaluate_policies_serial_reference,
     warm_alone_cache, MixEvaluation,
 };
 use experiments::{ExperimentScale, PolicyKind};
 use llc_policies::{build_baseline, build_baseline_any, BaselineKind};
-use workloads::{generate_mixes, StudyKind};
+use trace_io::{
+    decode_all, decode_all_mapped, MappedStreamDecoder, MappedTrace, TraceWriter,
+    DEFAULT_BATCH_RECORDS,
+};
+use workloads::{benchmark_by_name, generate_mixes, StudyKind};
 
 const INSTRUCTIONS: u64 = 200_000;
 const SEED: u64 = 1;
@@ -60,6 +74,12 @@ const PARALLEL_FLOOR: f64 = 1.05;
 /// Hard ceiling on the disabled-mode instrumentation overhead ratio: the sim-obs
 /// zero-overhead contract (one relaxed atomic load + branch per call site).
 const OBS_OVERHEAD_CEILING: f64 = 1.02;
+
+/// Minimum zero-copy replay speedup over the buffered per-record reader (the PR 2
+/// decode baseline). The batch decoder amortizes framing, bounds checks and branch
+/// misprediction over whole blocks, so the win is architectural, not host-dependent —
+/// the floor therefore asserts even in quick mode (CI's `BENCH_QUICK=1` runs guard it).
+const DECODE_FLOOR: f64 = 3.0;
 
 fn quick() -> bool {
     std::env::var("BENCH_QUICK")
@@ -280,6 +300,145 @@ fn grid_section() -> GridNumbers {
     }
 }
 
+struct DecodeNumbers {
+    /// Records decoded per pass (all cores of the mix).
+    records: u64,
+    cores: usize,
+    buffered_per_sec: f64,
+    zero_copy_per_sec: f64,
+    /// Fresh-mapping rate including the validating first pass (scan + FNV + decode).
+    zero_copy_first_pass_per_sec: f64,
+    /// Peak bytes of reusable decode arenas + scratch held by the zero-copy path.
+    arena_peak: u64,
+}
+
+/// Trace decode throughput on a captured 4-core mix — the before/after of what a sweep
+/// pays to turn a corpus file into records:
+///
+/// * **buffered** — `decode_all`, the PR 2 materialize path: allocate per-mix `Vec`s,
+///   read the file block-buffered, validate, decode. A sweep paid this for every mix
+///   on every invocation.
+/// * **zero-copy** — the mapped batch pipeline in sweep steady state: blocks decode
+///   straight from the mapping into one reused fixed-size arena, and the validating
+///   FNV pass has already been absorbed once per *file* (the shared high-water mark),
+///   which is exactly the state every replay after the first runs in. The fresh-mapping
+///   first pass (scan + checksums + decode, the cold cost) is reported alongside.
+///
+/// The two decoders are asserted bit-identical (here on this mix, and by the fuzz wall
+/// in general) before any number counts.
+fn decode_section() -> DecodeNumbers {
+    let per_core: u64 = if quick() { 120_000 } else { 600_000 };
+    let llc_sets = 1024;
+    let path = std::env::temp_dir().join("adapt_sim_perf_decode.atrc");
+    let mix = generate_mixes(StudyKind::Cores4, 1, 7).remove(0);
+    let cores = mix.benchmarks.len();
+    let mut writer = TraceWriter::create(&path, cores, "bench").unwrap();
+    for (core, name) in mix.benchmarks.iter().enumerate() {
+        benchmark_by_name(name)
+            .unwrap()
+            .capture(&mut writer, core, llc_sets, 7, per_core)
+            .unwrap();
+    }
+    writer.finish().unwrap();
+    let records = per_core * cores as u64;
+
+    // Numbers only count if the decoders agree bit for bit — whole-file equality, and
+    // the batch cursor's concatenated fills against the buffered streams.
+    let reference = decode_all(&path).unwrap();
+    assert_eq!(
+        reference,
+        decode_all_mapped(&path).unwrap(),
+        "mapped decode diverged from the buffered decode"
+    );
+    {
+        let trace = Arc::new(MappedTrace::open(&path).unwrap());
+        let mut arena = Vec::new();
+        for (core, expected) in reference.iter().enumerate() {
+            let mut decoder =
+                MappedStreamDecoder::new(trace.clone(), core, DEFAULT_BATCH_RECORDS).unwrap();
+            let mut stream = Vec::new();
+            while !decoder.fill(&mut arena) {
+                stream.extend_from_slice(&arena);
+            }
+            stream.extend_from_slice(&arena);
+            assert_eq!(&stream, expected, "batch fills diverged on core {core}");
+        }
+    }
+    drop(reference);
+
+    // Fill every core's stream once, counting records (`u64::MAX` batches would hide a
+    // short stream) and black-boxing the arena so the decode isn't optimized away.
+    let fill_pass =
+        |decoders: &mut Vec<MappedStreamDecoder>, arena: &mut Vec<MemAccess>| -> (f64, u64) {
+            let start = Instant::now();
+            let mut n = 0u64;
+            for decoder in decoders.iter_mut() {
+                loop {
+                    let wrapped = decoder.fill(arena);
+                    n += arena.len() as u64;
+                    black_box(&*arena);
+                    if wrapped {
+                        break;
+                    }
+                }
+            }
+            (records as f64 / start.elapsed().as_secs_f64(), n)
+        };
+
+    // Cold cost: a fresh mapping per round pays the open-time scan, the validating
+    // FNV pass and the decode (interleaved with the buffered rounds below). The bench
+    // owns the arena, so it registers it with the arena accounting the way
+    // `ArenaReplayTrace` does for the runner's replay cursors.
+    reset_arena_peak();
+    let mut arena: Vec<MemAccess> = Vec::new();
+    let mut arena_tracker = ArenaTracker::new();
+    let mut buffered_per_sec = 0f64;
+    let mut zero_copy_first_pass_per_sec = 0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let decoded = decode_all(&path).unwrap();
+        black_box(&decoded);
+        buffered_per_sec = buffered_per_sec.max(records as f64 / start.elapsed().as_secs_f64());
+
+        let fresh = Arc::new(MappedTrace::open(&path).unwrap());
+        let mut decoders: Vec<MappedStreamDecoder> = (0..cores)
+            .map(|core| {
+                MappedStreamDecoder::new(fresh.clone(), core, DEFAULT_BATCH_RECORDS).unwrap()
+            })
+            .collect();
+        let (rate, n) = fill_pass(&mut decoders, &mut arena);
+        assert_eq!(n, records);
+        zero_copy_first_pass_per_sec = zero_copy_first_pass_per_sec.max(rate);
+        arena_tracker.set_bytes((arena.capacity() * std::mem::size_of::<MemAccess>()) as u64);
+    }
+
+    // Steady state: one shared mapping, checksums already validated, arenas reused —
+    // what every replay after a file's first pass runs in.
+    let trace = Arc::new(MappedTrace::open(&path).unwrap());
+    let mut decoders: Vec<MappedStreamDecoder> = (0..cores)
+        .map(|core| MappedStreamDecoder::new(trace.clone(), core, DEFAULT_BATCH_RECORDS).unwrap())
+        .collect();
+    let (_, warm) = fill_pass(&mut decoders, &mut arena); // validate + fault pages in
+    assert_eq!(warm, records);
+    let mut zero_copy_per_sec = 0f64;
+    for _ in 0..3 {
+        let (rate, n) = fill_pass(&mut decoders, &mut arena);
+        assert_eq!(n, records);
+        zero_copy_per_sec = zero_copy_per_sec.max(rate);
+    }
+    let arena_peak = arena_peak_bytes();
+    assert!(arena_peak > 0, "zero-copy arenas must be accounted");
+    std::fs::remove_file(&path).ok();
+    DecodeNumbers {
+        records,
+        cores,
+        buffered_per_sec,
+        zero_copy_per_sec,
+        zero_copy_first_pass_per_sec,
+        arena_peak,
+    }
+}
+
 fn output_path() -> std::path::PathBuf {
     if let Ok(p) = std::env::var("BENCH_SIM_JSON") {
         return p.into();
@@ -323,6 +482,32 @@ fn main() {
         grid.parallel_secs
     );
     println!("  results bit-identical across all three engines (and with profiling on)");
+
+    println!("sim_perf: trace replay decode (buffered reader vs zero-copy pipeline)...");
+    let decode = decode_section();
+    let decode_speedup = decode.zero_copy_per_sec / decode.buffered_per_sec.max(1e-9);
+    println!(
+        "  {} records x {} cores per pass",
+        decode.records / decode.cores as u64,
+        decode.cores
+    );
+    println!(
+        "  buffered decode_all    : {:>9.2} M records/s\n  \
+         zero-copy (steady)     : {:>9.2} M records/s  ({decode_speedup:.2}x, floor \
+         {DECODE_FLOOR}x)\n  \
+         zero-copy (first pass) : {:>9.2} M records/s  (fresh mapping: scan + FNV)",
+        decode.buffered_per_sec / 1e6,
+        decode.zero_copy_per_sec / 1e6,
+        decode.zero_copy_first_pass_per_sec / 1e6,
+    );
+    println!(
+        "  arena peak: {} KiB (decoders asserted bit-identical)",
+        decode.arena_peak / 1024
+    );
+    assert!(
+        decode_speedup >= DECODE_FLOOR,
+        "zero-copy decode speedup regressed to {decode_speedup:.2}x (floor {DECODE_FLOOR}x)"
+    );
 
     println!("sim_perf: disabled-mode instrumentation overhead (sim-obs contract)...");
     let obs = obs_section();
@@ -394,7 +579,12 @@ fn main() {
          \"fast_serial_pairs_per_sec\": {:.3},\n    \"hot_path_speedup\": {:.3},\n    \
          \"parallel_speedup\": {:.3}\n  }},\n  \
          \"obs\": {{\n    \"accesses\": {},\n    \"plain_accesses_per_sec\": {:.0},\n    \
-         \"instrumented_accesses_per_sec\": {:.0},\n    \"disabled_overhead_ratio\": {:.4}\n  }}\n}}\n",
+         \"instrumented_accesses_per_sec\": {:.0},\n    \"disabled_overhead_ratio\": {:.4}\n  }},\n  \
+         \"decode\": {{\n    \"records_per_pass\": {},\n    \"cores\": {},\n    \
+         \"buffered_records_per_sec\": {:.0},\n    \"zero_copy_records_per_sec\": {:.0},\n    \
+         \"zero_copy_first_pass_records_per_sec\": {:.0},\n    \
+         \"zero_copy_speedup\": {:.3},\n    \"floor\": {:.1},\n    \
+         \"arena_peak_bytes\": {}\n  }}\n}}\n",
         quick(),
         workers,
         micro.accesses,
@@ -415,6 +605,14 @@ fn main() {
         obs.plain_per_sec,
         obs.observed_per_sec,
         obs_overhead,
+        decode.records,
+        decode.cores,
+        decode.buffered_per_sec,
+        decode.zero_copy_per_sec,
+        decode.zero_copy_first_pass_per_sec,
+        decode_speedup,
+        DECODE_FLOOR,
+        decode.arena_peak,
     );
     let path = output_path();
     std::fs::write(&path, json).expect("write BENCH_sim.json");

@@ -9,14 +9,21 @@
 //! floor holds on the ≥ 4-core machines CI and development use. The final section
 //! measures the `TraceReader` validate-once fix: wrapped replay passes skip the per-block
 //! FNV pass, so steady-state decode outruns the first (validating) pass.
+//!
+//! `sweep_report` additionally runs the from-disk grid a second time through the
+//! zero-copy streamed path (an arena budget far below the corpus's decoded size, so
+//! every mix streams batches from the mapping instead of materializing) and asserts it
+//! bit-identical to the decoded engines — the constant-memory claim, exercised at bench
+//! scale on every CI run. Set `BENCH_QUICK=1` to shrink the report grid for smoke runs.
 
 use criterion::{criterion_group, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use cache_sim::trace::{arena_peak_bytes, reset_arena_peak};
 use experiments::runner::{
     evaluate_policies_on_corpus, evaluate_policies_on_mixes, evaluate_policies_serial,
-    synthetic_capture_budget, warm_alone_cache,
+    sweep_policies_on_corpus_with, synthetic_capture_budget, warm_alone_cache, ReplayConfig,
 };
 use experiments::{ExperimentScale, PolicyKind};
 use trace_io::{Corpus, TraceReader};
@@ -25,6 +32,12 @@ use workloads::{generate_mixes, StudyKind, WorkloadMix};
 const INSTRUCTIONS: u64 = 20_000;
 const SEED: u64 = 1;
 const GRID_MIXES: usize = 8;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
 
 fn grid_policies() -> [PolicyKind; 4] {
     [
@@ -135,7 +148,7 @@ fn bench_revalidation(c: &mut Criterion) {
 /// One-shot wall-clock comparison on the acceptance grid (4 policies × 8 mixes), both
 /// engines fed identical inputs, plus the corpus-from-disk variant.
 fn sweep_report() {
-    let (cfg, mixes) = grid_setup(GRID_MIXES);
+    let (cfg, mixes) = grid_setup(if quick() { 2 } else { GRID_MIXES });
     let policies = grid_policies();
     warm_alone_cache(&cfg, &mixes, INSTRUCTIONS, SEED);
     let workers = std::thread::available_parallelism()
@@ -164,13 +177,52 @@ fn sweep_report() {
     let start = Instant::now();
     let from_disk = evaluate_policies_on_corpus(&cfg, &corpus, &policies, INSTRUCTIONS).unwrap();
     let disk_time = start.elapsed();
+
+    // The same from-disk grid, zero-copy streamed: an arena budget well below any
+    // single mix's decoded size forces every mix onto the mapped batch pipeline,
+    // which must reproduce the decoded engines bit for bit while staying under the
+    // cap.
+    let decoded_bytes = corpus.decoded_bytes().unwrap();
+    let per_mix_bytes = decoded_bytes / corpus.entries().len() as u64;
+    let streamed_cfg = ReplayConfig {
+        arena_budget_bytes: (per_mix_bytes / 2).max(64 << 10),
+        ..ReplayConfig::default()
+    };
+    assert!(
+        streamed_cfg.arena_budget_bytes < per_mix_bytes,
+        "budget must force streaming"
+    );
+    reset_arena_peak();
+    let start = Instant::now();
+    let streamed =
+        sweep_policies_on_corpus_with(&cfg, &corpus, &policies, INSTRUCTIONS, &streamed_cfg)
+            .unwrap()
+            .evaluations;
+    let streamed_time = start.elapsed();
+    let streamed_peak = arena_peak_bytes();
+    assert!(
+        streamed_peak > 0,
+        "the streamed sweep must actually engage the arena pipeline"
+    );
+    assert!(
+        streamed_peak <= streamed_cfg.arena_budget_bytes,
+        "streamed sweep arenas peaked at {streamed_peak} bytes, over the \
+         {}-byte budget",
+        streamed_cfg.arena_budget_bytes
+    );
     std::fs::remove_dir_all(&dir).ok();
 
     assert_eq!(serial.len(), grid.len());
     assert_eq!(serial.len(), from_disk.len());
-    for ((a, b), c) in serial.iter().zip(&grid).zip(&from_disk) {
+    assert_eq!(serial.len(), streamed.len());
+    for (((a, b), c), d) in serial.iter().zip(&grid).zip(&from_disk).zip(&streamed) {
         assert_eq!(a.weighted_speedup(), b.weighted_speedup());
         assert_eq!(a.weighted_speedup(), c.weighted_speedup());
+        assert_eq!(
+            a.weighted_speedup(),
+            d.weighted_speedup(),
+            "zero-copy streamed sweep diverged"
+        );
     }
 
     let ratio = serial_time.as_secs_f64() / grid_time.as_secs_f64().max(1e-9);
@@ -186,7 +238,14 @@ fn sweep_report() {
         "  corpus grid (from disk)    : {disk_time:>10.3?}  ({:.2}x vs serial)",
         serial_time.as_secs_f64() / disk_time.as_secs_f64().max(1e-9)
     );
-    println!("  results bit-identical across all three engines");
+    println!(
+        "  corpus grid (zero-copy)    : {streamed_time:>10.3?}  (arena peak {} KiB \
+         under a {} KiB cap, corpus decodes to {} KiB)",
+        streamed_peak / 1024,
+        streamed_cfg.arena_budget_bytes / 1024,
+        decoded_bytes / 1024
+    );
+    println!("  results bit-identical across all four engines");
     if workers >= 4 && ratio < 2.0 {
         eprintln!(
             "sweep_report: WARNING: expected >= 2x on a {workers}-core host, measured {ratio:.2}x"

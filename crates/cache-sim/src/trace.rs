@@ -210,6 +210,163 @@ impl TraceSource for SharedReplayTrace {
     }
 }
 
+/// Produces a wrapping record stream one caller-owned batch at a time — the streaming
+/// counterpart of handing out an `Arc<Vec<MemAccess>>`.
+///
+/// Implementations decode (or generate) the *next* run of records into the arena the
+/// caller passes in, reusing its capacity; nothing about the whole stream is ever
+/// resident at once. `trace_io`'s zero-copy mapped decoder is the main implementor; the
+/// consumer side is [`ArenaReplayTrace`].
+pub trait BatchSource: Send {
+    /// Replace `arena`'s contents with the next batch of the stream (at least one
+    /// record — a [`TraceSource`] must never terminate, so neither may a batch stream).
+    ///
+    /// Returns `true` when this batch *ends a full pass* over the stream: the record
+    /// following the batch's last is the stream's first again. Consumers use it to
+    /// count wraps with the same eager semantics as [`SharedReplayTrace`].
+    fn fill(&mut self, arena: &mut Vec<MemAccess>) -> bool;
+
+    /// Restart the stream: the next [`fill`](BatchSource::fill) produces the first
+    /// batch again, bit-identical to a freshly constructed source (the same exact-reset
+    /// contract as [`TraceSource::reset`]).
+    fn rewind(&mut self);
+
+    /// Short human-readable name for reports.
+    fn label(&self) -> String;
+}
+
+/// Process-wide accounting of live replay-arena bytes (see [`ArenaTracker`]).
+static ARENA_CURRENT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// High-water mark of [`ARENA_CURRENT`]; read by [`arena_peak_bytes`].
+static ARENA_PEAK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Bytes currently held by live replay arenas (all [`ArenaTracker`]s).
+pub fn arena_current_bytes() -> u64 {
+    ARENA_CURRENT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// High-water mark of [`arena_current_bytes`] since process start or the last
+/// [`reset_arena_peak`]. The constant-memory sweep tests and the decode benchmark
+/// assert against this.
+pub fn arena_peak_bytes() -> u64 {
+    ARENA_PEAK.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Reset the peak to the *currently live* arena bytes, so a test can bracket one run.
+pub fn reset_arena_peak() {
+    ARENA_PEAK.store(arena_current_bytes(), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// RAII registration of one replay buffer's bytes in the process-wide arena accounting.
+///
+/// Holders call [`set_bytes`](ArenaTracker::set_bytes) with the buffer's current
+/// capacity after each refill; dropping the tracker releases its contribution. The
+/// global peak ([`arena_peak_bytes`]) is what constant-memory tests cap.
+#[derive(Debug, Default)]
+pub struct ArenaTracker {
+    registered: u64,
+}
+
+impl ArenaTracker {
+    /// A tracker contributing zero bytes until the first `set_bytes`.
+    pub fn new() -> Self {
+        ArenaTracker::default()
+    }
+
+    /// Update this tracker's contribution to the live total (and the peak).
+    pub fn set_bytes(&mut self, bytes: u64) {
+        use std::sync::atomic::Ordering;
+        if bytes == self.registered {
+            return;
+        }
+        let now = if bytes >= self.registered {
+            ARENA_CURRENT.fetch_add(bytes - self.registered, Ordering::Relaxed) + bytes
+                - self.registered
+        } else {
+            ARENA_CURRENT.fetch_sub(self.registered - bytes, Ordering::Relaxed) + bytes
+                - self.registered
+        };
+        self.registered = bytes;
+        ARENA_PEAK.fetch_max(now, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ArenaTracker {
+    fn drop(&mut self) {
+        self.set_bytes(0);
+    }
+}
+
+/// Adapts a [`BatchSource`] into an infinite [`TraceSource`]: serves records from a
+/// reused fixed-size arena, refilling from the source when the arena is drained.
+///
+/// Wrap counting is *eager*, exactly like [`SharedReplayTrace`]: serving the last record
+/// of a pass-ending batch increments [`wraps`](ArenaReplayTrace::wraps) immediately.
+/// Arena capacity is registered with the process-wide accounting
+/// ([`arena_peak_bytes`]) after every refill.
+pub struct ArenaReplayTrace {
+    source: Box<dyn BatchSource>,
+    arena: Vec<MemAccess>,
+    pos: usize,
+    /// The current arena contents end a full pass (wrap fires on its last record).
+    end_of_pass: bool,
+    wraps: u64,
+    tracker: ArenaTracker,
+}
+
+impl ArenaReplayTrace {
+    /// Wrap `source`; no records are pulled until the first `next_access`.
+    pub fn new(source: Box<dyn BatchSource>) -> Self {
+        ArenaReplayTrace {
+            source,
+            arena: Vec::new(),
+            pos: 0,
+            end_of_pass: false,
+            wraps: 0,
+            tracker: ArenaTracker::new(),
+        }
+    }
+
+    /// How many times the stream wrapped past its end (eager count, matching
+    /// [`SharedReplayTrace::wraps`]).
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+impl TraceSource for ArenaReplayTrace {
+    fn next_access(&mut self) -> MemAccess {
+        if self.pos >= self.arena.len() {
+            self.end_of_pass = self.source.fill(&mut self.arena);
+            assert!(
+                !self.arena.is_empty(),
+                "BatchSource::fill must produce at least one record"
+            );
+            self.tracker
+                .set_bytes((self.arena.capacity() * std::mem::size_of::<MemAccess>()) as u64);
+            self.pos = 0;
+        }
+        let a = self.arena[self.pos];
+        self.pos += 1;
+        if self.end_of_pass && self.pos == self.arena.len() {
+            self.wraps += 1;
+        }
+        a
+    }
+
+    fn reset(&mut self) {
+        self.source.rewind();
+        self.arena.clear();
+        self.pos = 0;
+        self.end_of_pass = false;
+        self.wraps = 0;
+    }
+
+    fn label(&self) -> String {
+        self.source.label()
+    }
+}
+
 /// Number of records generated per chunk by [`LazySharedTrace`].
 const LAZY_CHUNK_RECORDS: usize = 4096;
 
@@ -456,6 +613,114 @@ mod tests {
     #[should_panic]
     fn empty_shared_replay_trace_panics() {
         let _ = SharedReplayTrace::new("empty", std::sync::Arc::new(Vec::new()));
+    }
+
+    /// Test double: serves a fixed record vector in batches of `batch` records.
+    struct VecBatchSource {
+        records: Vec<MemAccess>,
+        batch: usize,
+        pos: usize,
+        fills: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl BatchSource for VecBatchSource {
+        fn fill(&mut self, arena: &mut Vec<MemAccess>) -> bool {
+            self.fills
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            arena.clear();
+            let end = (self.pos + self.batch).min(self.records.len());
+            arena.extend_from_slice(&self.records[self.pos..end]);
+            self.pos = end;
+            if self.pos == self.records.len() {
+                self.pos = 0;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn rewind(&mut self) {
+            self.pos = 0;
+        }
+
+        fn label(&self) -> String {
+            "vec-batch".to_string()
+        }
+    }
+
+    fn batch_fixture(n: u64, batch: usize) -> (ArenaReplayTrace, SharedReplayTrace) {
+        let records: Vec<MemAccess> = (0..n)
+            .map(|i| MemAccess {
+                addr: i * 64,
+                pc: 0x100 + i,
+                is_write: i % 3 == 0,
+                non_mem_instrs: (i % 5) as u32,
+            })
+            .collect();
+        let arena = ArenaReplayTrace::new(Box::new(VecBatchSource {
+            records: records.clone(),
+            batch,
+            pos: 0,
+            fills: Default::default(),
+        }));
+        let shared = SharedReplayTrace::new("vec-batch", std::sync::Arc::new(records));
+        (arena, shared)
+    }
+
+    #[test]
+    fn arena_replay_matches_shared_replay_across_wraps() {
+        // Batch sizes that divide the stream, don't, and exceed it.
+        for batch in [1usize, 3, 7, 10, 64] {
+            let (mut arena, mut shared) = batch_fixture(10, batch);
+            assert_eq!(arena.label(), shared.label());
+            for step in 0..53 {
+                assert_eq!(
+                    arena.next_access(),
+                    shared.next_access(),
+                    "batch {batch} diverged at step {step}"
+                );
+                assert_eq!(
+                    arena.wraps(),
+                    shared.wraps(),
+                    "batch {batch}: wrap counting diverged at step {step} \
+                     (both sides must count eagerly)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_replay_reset_restores_the_initial_stream() {
+        let (mut arena, _) = batch_fixture(10, 4);
+        let first: Vec<MemAccess> = (0..17).map(|_| arena.next_access()).collect();
+        arena.reset();
+        assert_eq!(arena.wraps(), 0);
+        let second: Vec<MemAccess> = (0..17).map(|_| arena.next_access()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn arena_tracker_accounts_live_and_peak_bytes() {
+        // Tracker contributions are never negative, so the global counters are bounded
+        // below by what *our* trackers hold — sound even with other tests' trackers
+        // coming and going concurrently.
+        let mut a = ArenaTracker::new();
+        let mut b = ArenaTracker::new();
+        a.set_bytes(1000);
+        b.set_bytes(500);
+        assert!(arena_current_bytes() >= 1500);
+        assert!(arena_peak_bytes() >= 1500);
+        a.set_bytes(200);
+        drop(b);
+        assert!(arena_current_bytes() >= 200);
+        drop(a);
+        let (mut arena, _) = batch_fixture(10, 4);
+        arena.next_access();
+        assert!(
+            arena_current_bytes() >= 4 * std::mem::size_of::<MemAccess>() as u64,
+            "a filled arena must register its capacity"
+        );
+        drop(arena);
     }
 
     #[test]

@@ -45,10 +45,12 @@ use cache_sim::replacement::LlcReplacementPolicy;
 use cache_sim::single::run_alone;
 use cache_sim::stats::SystemResults;
 use cache_sim::system::MultiCoreSystem;
-use cache_sim::trace::{LazySharedTrace, MemAccess, SharedReplayTrace, TraceSource};
+use cache_sim::trace::{
+    ArenaReplayTrace, BatchSource, LazySharedTrace, MemAccess, SharedReplayTrace, TraceSource,
+};
 use llc_policies::TaDrripPolicy;
 use mc_metrics::MulticoreMetrics;
-use trace_io::{Corpus, TraceError};
+use trace_io::{Corpus, MappedStreamDecoder, MappedTrace, PrefetchingSource, TraceError};
 use workloads::{benchmark_by_name, StudyKind, WorkloadMix};
 
 use crate::policies::PolicyKind;
@@ -124,6 +126,93 @@ impl MixEvaluation {
     /// Look up an application's outcome by benchmark name (first occurrence).
     pub fn app(&self, name: &str) -> Option<&PerAppOutcome> {
         self.per_app.iter().find(|a| a.name == name)
+    }
+}
+
+/// How replayed (and spilled synthetic) streams are materialized: fully decoded into
+/// shared buffers when they fit the arena budget, or zero-copy streamed in fixed-size
+/// batches straight from the memory-mapped file when they do not.
+///
+/// The budget bounds *replay arena* memory for one simulated mix: a streamed mix holds
+/// two rotating record buffers per core (consumer + prefetch) plus a decompression
+/// scratch, sized so their sum stays at roughly half the budget. Both modes are
+/// bit-identical — the corpus sweep tests and `tests/corpus_sweep.rs` enforce it — so
+/// the config only trades memory against decode locality, never results.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Replay arena budget in bytes for one mix's streams (default 256 MiB). A replayed
+    /// mix whose decoded size exceeds this streams from the mapping instead of being
+    /// decoded up front, so sweeps run in constant memory on corpora far larger than
+    /// RAM.
+    pub arena_budget_bytes: u64,
+    /// Decode the next batch on the background pool while the simulator consumes the
+    /// current one (default on). Off means batches decode inline on first use;
+    /// results are identical either way.
+    pub prefetch: bool,
+    /// When set (with a non-zero [`spill_capture_accesses`](Self::spill_capture_accesses)),
+    /// synthetic mixes whose estimated materialized size exceeds the arena budget are
+    /// captured to a `.atrc` file under this directory and zero-copy streamed back,
+    /// instead of being memoized unboundedly in memory.
+    pub spill_dir: Option<PathBuf>,
+    /// Per-core accesses to capture when spilling a synthetic mix. Must cover the run
+    /// (see [`synthetic_capture_budget`]) for the spilled replay to stay bit-identical
+    /// to the live generators; 0 disables spilling.
+    pub spill_capture_accesses: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            arena_budget_bytes: 256 << 20,
+            prefetch: true,
+            spill_dir: None,
+            spill_capture_accesses: 0,
+        }
+    }
+}
+
+impl ReplayConfig {
+    /// Defaults overridden by the `REPLAY_ARENA_BYTES`, `REPLAY_PREFETCH`
+    /// (`0`/`false`/`off` disable), `REPLAY_SPILL_DIR` and `REPLAY_SPILL_ACCESSES`
+    /// environment variables — the knobs `docs/repro-guide.md` documents.
+    pub fn from_env() -> ReplayConfig {
+        let mut cfg = ReplayConfig::default();
+        if let Some(n) = std::env::var("REPLAY_ARENA_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.arena_budget_bytes = n;
+        }
+        if let Ok(v) = std::env::var("REPLAY_PREFETCH") {
+            cfg.prefetch = !matches!(v.as_str(), "0" | "false" | "off");
+        }
+        if let Ok(v) = std::env::var("REPLAY_SPILL_DIR") {
+            if !v.is_empty() {
+                cfg.spill_dir = Some(PathBuf::from(v));
+            }
+        }
+        if let Some(n) = std::env::var("REPLAY_SPILL_ACCESSES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.spill_capture_accesses = n;
+        }
+        cfg
+    }
+
+    /// Records per decode batch for a `cores`-wide streamed mix: two buffers per core
+    /// rotate, so `cores × 2 × batch × 16B` — half the budget — is the steady-state
+    /// arena footprint, leaving the other half for decompression scratch and slop.
+    pub fn batch_records(&self, cores: usize) -> usize {
+        let record = std::mem::size_of::<MemAccess>() as u64;
+        let per_core = self.arena_budget_bytes / (cores.max(1) as u64 * 4 * record);
+        per_core.clamp(1024, 1 << 22) as usize
+    }
+
+    /// Whether a decoded size of `bytes` fits the arena budget (and may therefore be
+    /// materialized up front instead of streamed).
+    fn fits_budget(&self, bytes: u64) -> bool {
+        bytes <= self.arena_budget_bytes
     }
 }
 
@@ -242,15 +331,30 @@ impl MixSource {
 
     /// Produce this mix's streams exactly once, shared across any number of policies.
     ///
-    /// Synthetic mixes become [`LazySharedTrace`]s: accesses are generated on demand
-    /// and memoized, so each record is produced exactly once across the whole sweep and
-    /// nothing beyond what the simulations actually consume is ever generated. Replayed
-    /// mixes are decoded from disk in one pass (which also validates every block
-    /// checksum once) into shared buffers.
+    /// [`materialize_with`](MixSource::materialize_with) under the environment-derived
+    /// [`ReplayConfig`].
     pub fn materialize(
         &self,
         llc_sets: usize,
         seed: u64,
+    ) -> Result<MaterializedMixStreams, TraceError> {
+        self.materialize_with(llc_sets, seed, &ReplayConfig::from_env())
+    }
+
+    /// Produce this mix's streams exactly once, shared across any number of policies.
+    ///
+    /// Synthetic mixes become [`LazySharedTrace`]s: accesses are generated on demand and
+    /// memoized, so each record is produced exactly once across the whole sweep —
+    /// unless `replay` requests spilling, in which case oversized synthetic mixes are
+    /// captured to disk and streamed back zero-copy. Replayed mixes that fit the arena
+    /// budget are batch-decoded from the mapping in one pass into shared buffers;
+    /// larger ones stream in fixed-size batches so memory stays constant however big
+    /// the corpus is.
+    pub fn materialize_with(
+        &self,
+        llc_sets: usize,
+        seed: u64,
+        replay: &ReplayConfig,
     ) -> Result<MaterializedMixStreams, TraceError> {
         let _ctx = if sim_obs::enabled() {
             Some(sim_obs::push_context(&format!("mix{}", self.mix().id)))
@@ -259,26 +363,46 @@ impl MixSource {
         };
         let _span = sim_obs::span("sweep", "materialize");
         let streams = match self {
-            MixSource::Synthetic(mix) => mix
-                .trace_sources(llc_sets, seed)
-                .into_iter()
-                .map(|source| MaterializedStream::Lazy(LazySharedTrace::new(source)))
-                .collect(),
+            MixSource::Synthetic(mix) => {
+                let record = std::mem::size_of::<MemAccess>() as u64;
+                let estimated =
+                    replay.spill_capture_accesses * mix.benchmarks.len() as u64 * record;
+                match &replay.spill_dir {
+                    Some(dir)
+                        if replay.spill_capture_accesses > 0 && !replay.fits_budget(estimated) =>
+                    {
+                        let path = spill_mix(dir, mix, llc_sets, seed, replay)?;
+                        streamed_streams(&path, &mix.benchmarks, llc_sets, replay)?
+                    }
+                    _ => mix
+                        .trace_sources(llc_sets, seed)
+                        .into_iter()
+                        .map(|source| MaterializedStream::Lazy(LazySharedTrace::new(source)))
+                        .collect(),
+                }
+            }
             MixSource::Replayed { path, mix } => {
                 self.check_geometry(path, llc_sets)?;
-                let decoded = {
-                    let _span = sim_obs::span("sweep", "decode");
-                    trace_io::decode_all(path)?
-                };
-                decoded
-                    .into_iter()
-                    .zip(&mix.benchmarks)
-                    .map(|(records, name)| MaterializedStream::Decoded {
-                        records: Arc::new(records),
-                        label: name.clone(),
-                        wraps: Arc::new(AtomicU64::new(0)),
-                    })
-                    .collect()
+                let header = trace_io::read_header(path)?;
+                let decoded_bytes =
+                    header.total_records() * std::mem::size_of::<MemAccess>() as u64;
+                if replay.fits_budget(decoded_bytes) {
+                    let decoded = {
+                        let _span = sim_obs::span("sweep", "decode");
+                        trace_io::decode_all_mapped(path)?
+                    };
+                    decoded
+                        .into_iter()
+                        .zip(&mix.benchmarks)
+                        .map(|(records, name)| MaterializedStream::Decoded {
+                            records: Arc::new(records),
+                            label: name.clone(),
+                            wraps: Arc::new(AtomicU64::new(0)),
+                        })
+                        .collect()
+                } else {
+                    streamed_streams(path, &mix.benchmarks, llc_sets, replay)?
+                }
             }
         };
         Ok(MaterializedMixStreams {
@@ -286,6 +410,71 @@ impl MixSource {
             streams,
         })
     }
+}
+
+/// Capture `mix` to a spill file under `dir` (reproducibly named by mix id, seed and
+/// geometry) and return its path. An existing spill file with the same name is reused:
+/// capture is deterministic, so the bytes would come out identical anyway.
+fn spill_mix(
+    dir: &Path,
+    mix: &WorkloadMix,
+    llc_sets: usize,
+    seed: u64,
+    replay: &ReplayConfig,
+) -> Result<PathBuf, TraceError> {
+    std::fs::create_dir_all(dir).map_err(TraceError::Io)?;
+    let path = dir.join(format!(
+        "spill_mix{}_sets{}_seed{}_n{}.atrc",
+        mix.id, llc_sets, seed, replay.spill_capture_accesses
+    ));
+    if !path.exists() {
+        let _span = sim_obs::span("sweep", "spill_capture");
+        workloads::capture_to_file::<trace_io::TraceWriter>(
+            &path,
+            mix,
+            llc_sets,
+            seed,
+            replay.spill_capture_accesses,
+        )
+        .map_err(TraceError::Io)?;
+    }
+    Ok(path)
+}
+
+/// Open `path` as a shared mapping and build one [`MaterializedStream::Streamed`] per
+/// core, validating every stream eagerly so `sources()` cannot fail later.
+fn streamed_streams(
+    path: &Path,
+    benchmarks: &[String],
+    llc_sets: usize,
+    replay: &ReplayConfig,
+) -> Result<Vec<MaterializedStream>, TraceError> {
+    let trace = Arc::new(MappedTrace::open(path)?);
+    if trace.header().llc_sets != 0 && trace.header().llc_sets as usize != llc_sets {
+        return Err(TraceError::Corrupt(format!(
+            "corpus {} was captured for {} LLC sets but the system has {llc_sets}",
+            path.display(),
+            trace.header().llc_sets,
+        )));
+    }
+    let batch_records = replay.batch_records(benchmarks.len());
+    benchmarks
+        .iter()
+        .enumerate()
+        .map(|(core, name)| {
+            // Constructing (and dropping) a cursor validates core index and non-empty
+            // stream up front, keeping `sources()` infallible like the decoded path.
+            MappedStreamDecoder::new(trace.clone(), core, batch_records)?;
+            Ok(MaterializedStream::Streamed {
+                trace: trace.clone(),
+                core,
+                label: name.clone(),
+                wraps: Arc::new(AtomicU64::new(0)),
+                batch_records,
+                prefetch: replay.prefetch,
+            })
+        })
+        .collect()
 }
 
 /// One core's materialized stream (see [`MixSource::materialize`]).
@@ -301,6 +490,18 @@ enum MaterializedStream {
         /// followed the paper's re-execution methodology instead of being bit-identical
         /// to an infinite generator.
         wraps: Arc<AtomicU64>,
+    },
+    /// Zero-copy streamed from a shared memory-mapped corpus file in fixed-size
+    /// batches — the constant-memory path for mixes larger than the arena budget.
+    /// Bit-identical to [`MaterializedStream::Decoded`] (wraps eagerly the same way).
+    Streamed {
+        trace: Arc<MappedTrace>,
+        core: usize,
+        label: String,
+        /// Same wrap accounting as the decoded variant.
+        wraps: Arc<AtomicU64>,
+        batch_records: usize,
+        prefetch: bool,
     },
 }
 
@@ -334,6 +535,38 @@ impl TraceSource for WrapReporting {
     }
 }
 
+/// [`WrapReporting`] for the zero-copy streamed path: an [`ArenaReplayTrace`] cursor
+/// whose wrap count is mirrored into the stream's shared counter. The label is the
+/// mix's benchmark name (not the file's core label), matching the decoded variant.
+struct ArenaWrapReporting {
+    inner: ArenaReplayTrace,
+    label: String,
+    wraps: Arc<AtomicU64>,
+    reported: u64,
+}
+
+impl TraceSource for ArenaWrapReporting {
+    fn next_access(&mut self) -> MemAccess {
+        let access = self.inner.next_access();
+        let wraps = self.inner.wraps();
+        if wraps != self.reported {
+            self.wraps
+                .fetch_add(wraps - self.reported, Ordering::Relaxed);
+            self.reported = wraps;
+        }
+        access
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.reported = 0;
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
 /// One mix's access streams, produced exactly once and shared across every policy of a
 /// sweep (see [`MixSource::materialize`]).
 pub struct MaterializedMixStreams {
@@ -355,6 +588,9 @@ impl MaterializedMixStreams {
             .map(|s| match s {
                 MaterializedStream::Lazy(t) => t.records_generated(),
                 MaterializedStream::Decoded { records, .. } => records.len(),
+                MaterializedStream::Streamed { trace, core, .. } => {
+                    trace.header().cores[*core].records as usize
+                }
             })
             .collect()
     }
@@ -368,7 +604,8 @@ impl MaterializedMixStreams {
             .iter()
             .map(|s| match s {
                 MaterializedStream::Lazy(_) => 0,
-                MaterializedStream::Decoded { wraps, .. } => wraps.load(Ordering::Relaxed),
+                MaterializedStream::Decoded { wraps, .. }
+                | MaterializedStream::Streamed { wraps, .. } => wraps.load(Ordering::Relaxed),
             })
             .sum()
     }
@@ -388,6 +625,28 @@ impl MaterializedMixStreams {
                     wraps: wraps.clone(),
                     reported: 0,
                 }) as Box<dyn TraceSource>,
+                MaterializedStream::Streamed {
+                    trace,
+                    core,
+                    label,
+                    wraps,
+                    batch_records,
+                    prefetch,
+                } => {
+                    let decoder = MappedStreamDecoder::new(trace.clone(), *core, *batch_records)
+                        .expect("stream was validated when materialized");
+                    let source: Box<dyn BatchSource> = if *prefetch {
+                        Box::new(PrefetchingSource::new(decoder))
+                    } else {
+                        Box::new(decoder)
+                    };
+                    Box::new(ArenaWrapReporting {
+                        inner: ArenaReplayTrace::new(source),
+                        label: label.clone(),
+                        wraps: wraps.clone(),
+                        reported: 0,
+                    }) as Box<dyn TraceSource>
+                }
             })
             .collect()
     }
@@ -720,6 +979,27 @@ pub fn sweep_policies_on_sources(
     instructions: u64,
     seed: u64,
 ) -> Result<SweepOutcome, TraceError> {
+    sweep_policies_on_sources_with(
+        config,
+        sources,
+        policies,
+        instructions,
+        seed,
+        &ReplayConfig::from_env(),
+    )
+}
+
+/// [`sweep_policies_on_sources`] with an explicit [`ReplayConfig`], so callers (and the
+/// constant-memory tests) control the arena budget, prefetching and spilling instead of
+/// inheriting the environment.
+pub fn sweep_policies_on_sources_with(
+    config: &SystemConfig,
+    sources: &[MixSource],
+    policies: &[PolicyKind],
+    instructions: u64,
+    seed: u64,
+    replay: &ReplayConfig,
+) -> Result<SweepOutcome, TraceError> {
     let mixes: Vec<WorkloadMix> = sources.iter().map(|s| s.mix().clone()).collect();
     warm_alone_cache(config, &mixes, instructions, seed);
     let llc_sets = config.llc.geometry.num_sets();
@@ -730,7 +1010,7 @@ pub fn sweep_policies_on_sources(
         // Materialize this window's mixes once each, in parallel.
         let prepared: Vec<MaterializedMixStreams> = chunk
             .par_iter()
-            .map(|source| source.materialize(llc_sets, seed))
+            .map(|source| source.materialize_with(llc_sets, seed, replay))
             .collect::<Vec<Result<_, _>>>()
             .into_iter()
             .collect::<Result<_, _>>()?;
@@ -811,13 +1091,38 @@ pub fn sweep_policies_on_corpus(
     policies: &[PolicyKind],
     instructions: u64,
 ) -> Result<SweepOutcome, TraceError> {
+    sweep_policies_on_corpus_with(
+        config,
+        corpus,
+        policies,
+        instructions,
+        &ReplayConfig::from_env(),
+    )
+}
+
+/// [`sweep_policies_on_corpus`] with an explicit [`ReplayConfig`] (arena budget,
+/// prefetching, spilling).
+pub fn sweep_policies_on_corpus_with(
+    config: &SystemConfig,
+    corpus: &Corpus,
+    policies: &[PolicyKind],
+    instructions: u64,
+    replay: &ReplayConfig,
+) -> Result<SweepOutcome, TraceError> {
     corpus.validate_geometry(config.llc.geometry.num_sets())?;
     let sources: Vec<MixSource> = corpus
         .entries()
         .iter()
         .map(|e| MixSource::replayed_with_id(corpus.path_for(e), e.mix_id))
         .collect::<Result<_, _>>()?;
-    sweep_policies_on_sources(config, &sources, policies, instructions, corpus.meta().seed)
+    sweep_policies_on_sources_with(
+        config,
+        &sources,
+        policies,
+        instructions,
+        corpus.meta().seed,
+        replay,
+    )
 }
 
 /// The serial reference sweep: regenerate every mix for every policy, one evaluation at
@@ -1224,6 +1529,88 @@ mod tests {
         std::fs::write(&path, b"not a trace at all").unwrap();
         assert!(MixSource::replayed(&path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn streamed_replay_is_bit_identical_to_decoded_replay() {
+        // The zero-copy acceptance bar inside the runner: forcing a corpus onto the
+        // streamed path (tiny arena budget), with and without prefetching, must
+        // reproduce the fully-decoded sweep exactly — results and wrap counts.
+        let (cfg, mixes) = smoke_setup();
+        let llc_sets = cfg.llc.geometry.num_sets();
+        let instructions = 20_000u64;
+        let path = std::env::temp_dir().join("runner_streamed_identity.atrc");
+        workloads::capture_to_file::<trace_io::TraceWriter>(
+            &path,
+            &mixes[0],
+            llc_sets,
+            1,
+            synthetic_capture_budget(instructions),
+        )
+        .unwrap();
+        let sources = vec![MixSource::replayed(&path).unwrap()];
+        let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32];
+
+        let decoded = ReplayConfig::default();
+        assert!(decoded.fits_budget(std::fs::metadata(&path).unwrap().len()));
+        let tiny = ReplayConfig {
+            arena_budget_bytes: 64 << 10,
+            ..ReplayConfig::default()
+        };
+        let tiny_no_prefetch = ReplayConfig {
+            prefetch: false,
+            ..tiny.clone()
+        };
+
+        let baseline =
+            sweep_policies_on_sources_with(&cfg, &sources, &policies, instructions, 1, &decoded)
+                .unwrap();
+        for replay in [&tiny, &tiny_no_prefetch] {
+            let streamed =
+                sweep_policies_on_sources_with(&cfg, &sources, &policies, instructions, 1, replay)
+                    .unwrap();
+            assert_identical(&baseline.evaluations, &streamed.evaluations);
+            assert_eq!(baseline.mix_wraps, streamed.mix_wraps);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn spilled_synthetic_mix_matches_the_lazy_path() {
+        // Spilling a synthetic mix to disk and zero-copy streaming it back must be
+        // invisible in the results, provided the capture budget covers the run.
+        let (cfg, mixes) = smoke_setup();
+        let instructions = 20_000u64;
+        let policies = [PolicyKind::TaDrrip];
+        let sources = vec![MixSource::synthetic(mixes[0].clone())];
+        let dir = std::env::temp_dir().join("runner_spill_test");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let lazy = sweep_policies_on_sources_with(
+            &cfg,
+            &sources,
+            &policies,
+            instructions,
+            1,
+            &ReplayConfig::default(),
+        )
+        .unwrap();
+        let spilling = ReplayConfig {
+            arena_budget_bytes: 64 << 10,
+            spill_dir: Some(dir.clone()),
+            spill_capture_accesses: synthetic_capture_budget(instructions),
+            ..ReplayConfig::default()
+        };
+        let spilled =
+            sweep_policies_on_sources_with(&cfg, &sources, &policies, instructions, 1, &spilling)
+                .unwrap();
+        assert_identical(&lazy.evaluations, &spilled.evaluations);
+        assert_eq!(spilled.total_replay_wraps(), 0, "budget must cover the run");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() == 1,
+            "the mix must actually have been spilled to disk"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -165,6 +165,167 @@ pub fn decode_block_payload(
     Ok(())
 }
 
+/// Decode a block payload holding exactly `record_count` records, *appending* to `out`.
+///
+/// This is the zero-copy reader's batch decoder: unlike [`decode_block_payload`] it does
+/// not clear `out` (several blocks accumulate into one arena), reserves exactly (so a
+/// reused arena's capacity tracks the configured batch size instead of doubling), and
+/// reads varints a word at a time. It accepts exactly the payloads
+/// [`decode_block_payload`] accepts and produces identical records — the fuzz wall in
+/// `tests/atrc_fuzz.rs` and the unit tests below hold the two decoders bit-identical.
+pub fn decode_block_payload_append(
+    payload: &[u8],
+    record_count: usize,
+    out: &mut Vec<MemAccess>,
+) -> Result<(), TraceError> {
+    let mut pos = 0usize;
+    let mut prev_addr = 0i64;
+    let mut prev_pc = 0i64;
+    out.reserve_exact(record_count);
+    let len = payload.len();
+    let base = out.len();
+    let mut produced = 0usize;
+    // Bulk loop: away from the payload tail every varint read can load a full 8-byte
+    // word and every record can be written straight into the reserved spare capacity,
+    // so the per-record cost is three unchecked loads and one unchecked store. The
+    // window arithmetic: reads happen at `pos`, `pos + ≤10` and `pos + ≤20` (a varint
+    // spans at most 10 bytes), each needing 8 readable bytes, so `pos + 28 <= len`
+    // keeps every load in bounds.
+    //
+    // SAFETY: `reserve_exact` above guarantees capacity for `record_count` writes and
+    // `produced` never exceeds it; the loop condition bounds every 8-byte load as
+    // argued above; `set_len` only covers records actually written (early `?` returns
+    // leave the length untouched, abandoning writes in spare capacity).
+    unsafe {
+        let mut dst = out.as_mut_ptr().add(base);
+        while produced < record_count && pos + 28 <= len {
+            let addr = prev_addr.wrapping_add(unzigzag(read_varint_unchecked(payload, &mut pos)?));
+            let pc = prev_pc.wrapping_add(unzigzag(read_varint_unchecked(payload, &mut pos)?));
+            let packed = read_varint_unchecked(payload, &mut pos)?;
+            let non_mem = packed >> 1;
+            if non_mem > u64::from(u32::MAX) {
+                return Err(TraceError::Corrupt("non_mem_instrs exceeds u32".into()));
+            }
+            std::ptr::write(
+                dst,
+                MemAccess {
+                    addr: addr as u64,
+                    pc: pc as u64,
+                    is_write: packed & 1 == 1,
+                    non_mem_instrs: non_mem as u32,
+                },
+            );
+            dst = dst.add(1);
+            produced += 1;
+            prev_addr = addr;
+            prev_pc = pc;
+        }
+        out.set_len(base + produced);
+    }
+    // Tail: the last few records, whose varints may touch the final payload bytes, go
+    // through the bounds-checked reader (which also supplies truncation errors).
+    for _ in produced..record_count {
+        let addr = prev_addr.wrapping_add(unzigzag(read_varint_fast(payload, &mut pos)?));
+        let pc = prev_pc.wrapping_add(unzigzag(read_varint_fast(payload, &mut pos)?));
+        let packed = read_varint_fast(payload, &mut pos)?;
+        let non_mem = packed >> 1;
+        if non_mem > u64::from(u32::MAX) {
+            return Err(TraceError::Corrupt("non_mem_instrs exceeds u32".into()));
+        }
+        out.push(MemAccess {
+            addr: addr as u64,
+            pc: pc as u64,
+            is_write: packed & 1 == 1,
+            non_mem_instrs: non_mem as u32,
+        });
+        prev_addr = addr;
+        prev_pc = pc;
+    }
+    if pos != payload.len() {
+        return Err(TraceError::Corrupt(format!(
+            "block payload has {} trailing bytes",
+            payload.len() - pos
+        )));
+    }
+    Ok(())
+}
+
+/// Word-at-a-time LEB128 read: one bounds check and one 8-byte load cover varints up to
+/// 8 bytes (56 bits — every delta a real trace produces); the last 7 payload bytes and
+/// 9-10-byte varints fall back to the byte-loop [`read_varint`], which also supplies the
+/// truncation/overflow errors, keeping accept/reject behavior identical to the slow path.
+/// [`read_varint_fast`] without the window bounds check, for the bulk decode loop.
+///
+/// Accept/reject behavior is identical to [`read_varint`]: varints of 3–8 bytes are
+/// extracted branchlessly from the loaded word, and 9–10-byte encodings (which only
+/// corrupt or adversarial payloads produce) fall back to the byte loop for its
+/// overflow/length errors.
+///
+/// # Safety
+///
+/// `buf[*pos..*pos + 8]` must be in bounds.
+#[inline(always)]
+unsafe fn read_varint_unchecked(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let p = *pos;
+    debug_assert!(p + 8 <= buf.len());
+    let word = u64::from_le_bytes(std::ptr::read_unaligned(
+        buf.as_ptr().add(p) as *const [u8; 8]
+    ));
+    if word & 0x80 == 0 {
+        *pos = p + 1;
+        return Ok(word & 0x7f);
+    }
+    if word & 0x8000 == 0 {
+        *pos = p + 2;
+        return Ok((word & 0x7f) | ((word >> 1) & 0x3f80));
+    }
+    let stops = !word & 0x8080_8080_8080_8080;
+    if stops != 0 {
+        let vlen = stops.trailing_zeros() as usize / 8 + 1;
+        // Mask to the varint's bytes, then squeeze out every continuation bit in one
+        // parallel pass (each 7-bit group shifts down by its byte index).
+        let x = word & (u64::MAX >> (64 - 8 * vlen));
+        let v = (x & 0x7f)
+            | ((x & 0x7f00) >> 1)
+            | ((x & 0x7f_0000) >> 2)
+            | ((x & 0x7f00_0000) >> 3)
+            | ((x & 0x7f_0000_0000) >> 4)
+            | ((x & 0x7f00_0000_0000) >> 5)
+            | ((x & 0x7f_0000_0000_0000) >> 6)
+            | ((x & 0x7f00_0000_0000_0000) >> 7);
+        *pos = p + vlen;
+        return Ok(v);
+    }
+    read_varint(buf, pos)
+}
+
+#[inline(always)]
+fn read_varint_fast(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let p = *pos;
+    if let Some(window) = buf.get(p..p + 8) {
+        let word = u64::from_le_bytes(window.try_into().expect("8-byte window"));
+        if word & 0x80 == 0 {
+            *pos = p + 1;
+            return Ok(word & 0x7f);
+        }
+        if word & 0x8000 == 0 {
+            *pos = p + 2;
+            return Ok((word & 0x7f) | ((word >> 1) & 0x3f80));
+        }
+        let stops = !word & 0x8080_8080_8080_8080;
+        if stops != 0 {
+            let len = stops.trailing_zeros() as usize / 8 + 1;
+            let mut v = 0u64;
+            for (i, byte) in word.to_le_bytes()[..len].iter().enumerate() {
+                v |= u64::from(byte & 0x7f) << (7 * i);
+            }
+            *pos = p + len;
+            return Ok(v);
+        }
+    }
+    read_varint(buf, pos)
+}
+
 /// Compress a raw block payload for v3 storage.
 ///
 /// Returns the on-disk payload — `raw_len u32 LE` followed by the LZ4 block — but only
@@ -200,6 +361,32 @@ pub fn decompress_payload(disk: &[u8]) -> Result<Vec<u8>, TraceError> {
     }
     lz4_flex::decompress(&disk[4..], raw_len)
         .map_err(|e| TraceError::Corrupt(format!("block decompression failed: {e}")))
+}
+
+/// [`decompress_payload`] into a reusable scratch buffer (cleared and resized to the
+/// declared raw length). Accepts and rejects exactly the payloads
+/// [`decompress_payload`] does; the zero-copy reader uses this to decompress v3 blocks
+/// without a fresh allocation per block.
+pub fn decompress_payload_into(disk: &[u8], scratch: &mut Vec<u8>) -> Result<(), TraceError> {
+    if disk.len() < 4 {
+        return Err(TraceError::Truncated("compressed block length prefix"));
+    }
+    let raw_len = u32::from_le_bytes([disk[0], disk[1], disk[2], disk[3]]) as usize;
+    if raw_len > MAX_BLOCK_PAYLOAD {
+        return Err(TraceError::Corrupt(format!(
+            "compressed block declares {raw_len} raw bytes (over the {MAX_BLOCK_PAYLOAD} bound)"
+        )));
+    }
+    scratch.clear();
+    scratch.resize(raw_len, 0);
+    let written = lz4_flex::decompress_into(&disk[4..], scratch)
+        .map_err(|e| TraceError::Corrupt(format!("block decompression failed: {e}")))?;
+    if written != raw_len {
+        return Err(TraceError::Corrupt(format!(
+            "block decompression failed: LZ4 block decoded to {written} bytes but {raw_len} were declared"
+        )));
+    }
+    Ok(())
 }
 
 // ---- little-endian scalar helpers shared by header and block framing ----
@@ -340,6 +527,104 @@ mod tests {
         let mut decoded = Vec::new();
         let err = decode_block_payload(&payload, 1, &mut decoded).unwrap_err();
         assert!(matches!(err, TraceError::Corrupt(_)));
+    }
+
+    /// Adversarial varint mix for the fast decoder: every encoded length from 1 to 10
+    /// bytes appears, plus values straddling each 7-bit boundary.
+    fn varint_stress_records() -> Vec<MemAccess> {
+        let mut deltas: Vec<i64> = vec![0, 1, -1, 63, -64, 64, -65, 8191, -8192];
+        for shift in [13u32, 20, 27, 34, 41, 48, 55, 62] {
+            deltas.push(1i64 << shift);
+            deltas.push(-(1i64 << shift));
+            deltas.push((1i64 << shift) - 1);
+        }
+        deltas.push(i64::MAX);
+        deltas.push(i64::MIN);
+        let mut addr = 0i64;
+        let mut pc = 0i64;
+        let mut records = Vec::new();
+        for (i, &d) in deltas.iter().cycle().take(600).enumerate() {
+            addr = addr.wrapping_add(d);
+            pc = pc.wrapping_add(d.rotate_left(3));
+            records.push(MemAccess {
+                addr: addr as u64,
+                pc: pc as u64,
+                is_write: i % 3 == 0,
+                non_mem_instrs: (i as u32).wrapping_mul(2654435761) % (u32::MAX / 2),
+            });
+        }
+        records
+    }
+
+    #[test]
+    fn append_decoder_matches_reference_decoder_on_stress_payload() {
+        let records = varint_stress_records();
+        let mut payload = Vec::new();
+        encode_block_payload(&records, &mut payload);
+        let mut reference = Vec::new();
+        decode_block_payload(&payload, records.len(), &mut reference).unwrap();
+        let mut fast = Vec::new();
+        decode_block_payload_append(&payload, records.len(), &mut fast).unwrap();
+        assert_eq!(fast, reference);
+        assert_eq!(fast, records);
+        // Appending: a second decode grows the arena rather than clearing it.
+        decode_block_payload_append(&payload, records.len(), &mut fast).unwrap();
+        assert_eq!(fast.len(), 2 * records.len());
+        assert_eq!(&fast[records.len()..], &records[..]);
+    }
+
+    #[test]
+    fn append_decoder_rejects_what_the_reference_rejects() {
+        let records = varint_stress_records();
+        let mut payload = Vec::new();
+        encode_block_payload(&records, &mut payload);
+        // Truncation at every point near the tail, plus trailing garbage and a
+        // record-count mismatch: both decoders must agree on accept/reject.
+        let mut cases: Vec<(Vec<u8>, usize)> = (1..payload.len().min(40))
+            .map(|cut| (payload[..payload.len() - cut].to_vec(), records.len()))
+            .collect();
+        let mut garbage = payload.clone();
+        garbage.push(0);
+        cases.push((garbage, records.len()));
+        cases.push((payload.clone(), records.len() - 1));
+        // Overlong varint: 10 continuation bytes overflowing 64 bits.
+        cases.push((
+            vec![0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f],
+            1,
+        ));
+        for (bad, count) in cases {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let reference = decode_block_payload(&bad, count, &mut a);
+            let fast = decode_block_payload_append(&bad, count, &mut b);
+            assert!(
+                reference.is_err() && fast.is_err(),
+                "decoders disagree on a corrupt payload (reference {reference:?}, fast {fast:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn decompress_payload_into_matches_the_allocating_path() {
+        let records = varint_stress_records();
+        let mut raw = Vec::new();
+        encode_block_payload(&records[..300], &mut raw);
+        // Make it compressible by repeating the encoding twice.
+        let doubled: Vec<u8> = raw.iter().chain(raw.iter()).copied().collect();
+        let disk = compress_payload(&doubled).expect("doubled payload compresses");
+        let mut scratch = vec![0u8; 3]; // deliberately wrong size: must be resized
+        decompress_payload_into(&disk, &mut scratch).unwrap();
+        assert_eq!(scratch, decompress_payload(&disk).unwrap());
+        // Reuse with a corrupt declared length: both paths must reject.
+        let mut wrong = disk.clone();
+        let bad_len = (doubled.len() as u32 - 1).to_le_bytes();
+        wrong[..4].copy_from_slice(&bad_len);
+        assert!(decompress_payload(&wrong).is_err());
+        assert!(decompress_payload_into(&wrong, &mut scratch).is_err());
+        assert!(matches!(
+            decompress_payload_into(&[1, 2, 3], &mut scratch),
+            Err(TraceError::Truncated(_))
+        ));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod error;
 pub mod format;
 pub mod header;
 pub mod import;
+pub mod mmap;
 pub mod reader;
 pub mod writer;
 
@@ -62,6 +63,9 @@ pub use corpus::{Corpus, CorpusEntry, CorpusMeta};
 pub use error::TraceError;
 pub use header::{CoreStreamInfo, TraceHeader};
 pub use import::{import_into_corpus, import_to_file, ImportFormat, ImportOptions, ImportStats};
+pub use mmap::{
+    decode_all_mapped, MappedStreamDecoder, MappedTrace, PrefetchingSource, DEFAULT_BATCH_RECORDS,
+};
 pub use reader::{
     compression_stats, decode_all, open_all, read_header, CompressionInfo, DecodeTimings,
     TraceReader,

@@ -1,0 +1,720 @@
+//! Zero-copy mapped replay: the streaming counterpart of [`crate::TraceReader`].
+//!
+//! [`MappedTrace::open`] memory-maps a `.atrc` file (via the `memmap2` stand-in, which
+//! falls back to a plain read where mapping is unavailable), parses the header straight
+//! from the mapped bytes, and eagerly scans every core's chunk frames into an in-memory
+//! chunk index. The scan applies exactly the structural checks the buffered reader
+//! applies per block — implausible framing, payload overruns, directory byte accounting —
+//! so torn or truncated files are rejected at `open` before any records are surfaced.
+//!
+//! Decoding then never copies payload bytes into an intermediate buffer:
+//! [`MappedStreamDecoder`] batch-decodes blocks directly from the mapping into a reusable
+//! caller-owned arena ([`cache_sim::trace::BatchSource`]), using the word-at-a-time
+//! appending decoder in [`crate::format`]. [`PrefetchingSource`] double-buffers on top:
+//! while the simulator consumes one arena, the next batch decodes on the shared `rayon`
+//! background pool, and the two buffers rotate with no allocation in steady state.
+//!
+//! # Integrity
+//!
+//! Checksums keep the buffered reader's semantics: FNV-1a over the *stored* bytes, so a
+//! corrupted compressed block is rejected before the decompressor runs, and each block is
+//! validated exactly once per file — the high-water mark is shared across every cursor of
+//! a [`MappedTrace`] (the buffered reader tracks it per reader), so a policy sweep with P
+//! cursors validates each block once, not P times. Every accept/reject decision is
+//! fuzz-locked against the buffered reader in `tests/atrc_fuzz.rs`; the mapped path is
+//! permitted to be stricter on corrupt files (its eager scan also cross-checks the
+//! directory record counts), never looser.
+
+use std::fs::File;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use cache_sim::trace::{ArenaTracker, BatchSource, MemAccess};
+
+use crate::error::TraceError;
+use crate::format::{
+    decode_block_payload_append, decompress_payload_into, fnv1a32, BLOCK_COMPRESSED_BIT,
+    MAX_BLOCK_PAYLOAD, MAX_BLOCK_RECORDS,
+};
+use crate::header::TraceHeader;
+
+/// Default records per decode batch when no arena budget dictates one (512 KiB of
+/// records at 16 bytes each).
+pub const DEFAULT_BATCH_RECORDS: usize = 1 << 15;
+
+/// One block of one core's stream, as located by the open-time scan.
+#[derive(Debug, Clone, Copy)]
+struct ChunkRef {
+    /// Absolute offset of the payload in the mapped file.
+    payload_off: usize,
+    /// Stored payload length (compressed length for compressed blocks).
+    payload_len: u32,
+    /// Decoded record count (compressed bit stripped).
+    records: u32,
+    /// Payload is `raw_len u32 || LZ4 block` rather than raw block encoding.
+    compressed: bool,
+    /// Stored FNV-1a of the payload, when the file carries checksums.
+    checksum: Option<u32>,
+    /// Stream-relative offset of the frame (checksum-mismatch reporting parity with the
+    /// buffered reader).
+    stream_offset: u64,
+    /// Stream-relative end of frame+payload (validate-once high-water coordinate).
+    stream_end: u64,
+}
+
+/// A fully indexed, memory-mapped trace file shared by any number of decode cursors.
+pub struct MappedTrace {
+    path: PathBuf,
+    bytes: memmap2::Mmap,
+    header: TraceHeader,
+    /// Per-core chunk index in stream order.
+    chunks: Vec<Vec<ChunkRef>>,
+    /// Per-core high-water mark of stream bytes whose checksums have been verified —
+    /// shared by all cursors, so each block is validated once per *file*.
+    validated: Vec<AtomicU64>,
+    /// Total FNV validations performed (telemetry; tests of validate-once).
+    validations: AtomicU64,
+}
+
+impl std::fmt::Debug for MappedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedTrace")
+            .field("path", &self.path)
+            .field("bytes", &self.bytes.len())
+            .field("cores", &self.chunks.len())
+            .finish()
+    }
+}
+
+impl MappedTrace {
+    /// Map and index the trace file at `path`.
+    ///
+    /// Structural corruption — torn final block, missing footer, truncated payloads,
+    /// chunk/directory disagreement — is rejected here, with the same [`TraceError`]
+    /// classes the buffered reader produces. Checksums are *not* verified here; they are
+    /// verified once, lazily, as blocks are first decoded.
+    pub fn open(path: impl AsRef<Path>) -> Result<MappedTrace, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path).map_err(TraceError::Io)?;
+        // SAFETY: trace corpora are immutable once written (`TraceWriter::finish` is the
+        // last write); the repo-wide contract is that files are not mutated during
+        // replay, the same assumption the buffered reader's open/read sequence makes.
+        let bytes = unsafe { memmap2::Mmap::map(&file) }.map_err(TraceError::Io)?;
+        drop(file);
+        let header = TraceHeader::read(&mut Cursor::new(&bytes[..]))?;
+        if header.data_end > bytes.len() as u64 {
+            return Err(TraceError::Truncated("file"));
+        }
+        let chunks = (0..header.cores.len())
+            .map(|core| scan_core(&bytes, &header, core))
+            .collect::<Result<Vec<_>, _>>()?;
+        let validated = (0..header.cores.len()).map(|_| AtomicU64::new(0)).collect();
+        Ok(MappedTrace {
+            path,
+            bytes,
+            header,
+            chunks,
+            validated,
+            validations: AtomicU64::new(0),
+        })
+    }
+
+    /// The parsed file header (directory, flags, geometry).
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Blocks in `core`'s stream.
+    pub fn chunk_count(&self, core: usize) -> usize {
+        self.chunks.get(core).map_or(0, Vec::len)
+    }
+
+    /// Total FNV validations performed across all cursors of this mapping. Stops
+    /// growing once every block has been seen once — the validate-once guarantee.
+    pub fn checksum_validations(&self) -> u64 {
+        self.validations.load(Ordering::Relaxed)
+    }
+
+    /// Decode one chunk, appending its records to `arena`.
+    ///
+    /// Mirrors the buffered reader's per-block sequence exactly: validate-once FNV over
+    /// the stored bytes (so corruption is rejected *before* decompression), then
+    /// decompress if the block is compressed, then batch varint decode.
+    fn decode_chunk(
+        &self,
+        core: usize,
+        chunk: &ChunkRef,
+        arena: &mut Vec<MemAccess>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), TraceError> {
+        let payload =
+            &self.bytes[chunk.payload_off..chunk.payload_off + chunk.payload_len as usize];
+        if let Some(stored) = chunk.checksum {
+            if chunk.stream_end > self.validated[core].load(Ordering::Acquire) {
+                self.validations.fetch_add(1, Ordering::Relaxed);
+                if fnv1a32(payload) != stored {
+                    return Err(TraceError::ChecksumMismatch {
+                        core,
+                        stream_offset: chunk.stream_offset,
+                    });
+                }
+                self.validated[core].fetch_max(chunk.stream_end, Ordering::Release);
+            }
+        }
+        if chunk.compressed {
+            decompress_payload_into(payload, scratch)?;
+            decode_block_payload_append(scratch, chunk.records as usize, arena)
+        } else {
+            decode_block_payload_append(payload, chunk.records as usize, arena)
+        }
+    }
+
+    /// Decode `core`'s complete stream once (the zero-copy counterpart of the per-core
+    /// loop in [`crate::decode_all`]).
+    pub fn decode_core(&self, core: usize) -> Result<Vec<MemAccess>, TraceError> {
+        let _span = sim_obs::span("trace-io", "decode_core");
+        let info = self.header.cores.get(core).ok_or_else(|| {
+            TraceError::Corrupt(format!(
+                "core {core} out of range: file has {} streams",
+                self.header.cores.len()
+            ))
+        })?;
+        if info.records == 0 {
+            return Err(TraceError::Corrupt(format!(
+                "core {core} stream is empty; a TraceSource must never terminate"
+            )));
+        }
+        let mut records = Vec::new();
+        records.reserve_exact(info.records as usize);
+        let mut scratch = Vec::new();
+        for chunk in &self.chunks[core] {
+            self.decode_chunk(core, chunk, &mut records, &mut scratch)?;
+        }
+        Ok(records)
+    }
+}
+
+/// Locate every chunk of `core`'s stream, reproducing the buffered reader's structural
+/// validation (see `TraceReader::load_next_block`) plus a directory record-count
+/// cross-check the lazy reader can only perform in `verify()`.
+fn scan_core(bytes: &[u8], header: &TraceHeader, core: usize) -> Result<Vec<ChunkRef>, TraceError> {
+    let info = &header.cores[core];
+    let frame_len: u64 =
+        if header.chunked { 4 } else { 0 } + 8 + if header.checksums { 4 } else { 0 };
+    let mut file_pos = info.offset;
+    let mut consumed = 0u64;
+    let mut chunks = Vec::new();
+    let mut records_total = 0u64;
+    while consumed < info.bytes {
+        if header.data_end.saturating_sub(file_pos) < frame_len {
+            return Err(TraceError::Truncated("block header"));
+        }
+        let mut pos = file_pos as usize;
+        let chunk_core = if header.chunked {
+            let v = read_u32_at(bytes, &mut pos)?;
+            v as usize
+        } else {
+            core
+        };
+        let payload_len = read_u32_at(bytes, &mut pos)? as usize;
+        let record_field = read_u32_at(bytes, &mut pos)?;
+        // v3 marks compressed payloads with bit 31 of the record count; in earlier
+        // versions a set high bit fails the implausibility check below.
+        let block_compressed = header.compressed && record_field & BLOCK_COMPRESSED_BIT != 0;
+        let record_count = if block_compressed {
+            (record_field & !BLOCK_COMPRESSED_BIT) as usize
+        } else {
+            record_field as usize
+        };
+        let checksum = if header.checksums {
+            Some(read_u32_at(bytes, &mut pos)?)
+        } else {
+            None
+        };
+        if payload_len > MAX_BLOCK_PAYLOAD || record_count == 0 || record_count > MAX_BLOCK_RECORDS
+        {
+            return Err(TraceError::Corrupt(format!(
+                "implausible block framing: {payload_len} payload bytes, \
+                 {record_count} records"
+            )));
+        }
+        if header.data_end - file_pos - frame_len < payload_len as u64 {
+            return Err(TraceError::Truncated("block payload"));
+        }
+        if chunk_core != core {
+            // Another core's chunk: hop over it without touching the payload.
+            file_pos += frame_len + payload_len as u64;
+            continue;
+        }
+        if info.bytes - consumed < frame_len + payload_len as u64 {
+            return Err(TraceError::Corrupt(format!(
+                "core {core} chunk overruns its directory byte count"
+            )));
+        }
+        chunks.push(ChunkRef {
+            payload_off: pos,
+            payload_len: payload_len as u32,
+            records: record_count as u32,
+            compressed: block_compressed,
+            checksum,
+            stream_offset: consumed,
+            stream_end: consumed + frame_len + payload_len as u64,
+        });
+        records_total += record_count as u64;
+        consumed += frame_len + payload_len as u64;
+        file_pos += frame_len + payload_len as u64;
+    }
+    if records_total != info.records {
+        return Err(TraceError::Corrupt(format!(
+            "core {core} stream frames {records_total} records but directory claims {}",
+            info.records
+        )));
+    }
+    Ok(chunks)
+}
+
+fn read_u32_at(bytes: &[u8], pos: &mut usize) -> Result<u32, TraceError> {
+    let window = bytes
+        .get(*pos..*pos + 4)
+        .ok_or(TraceError::Truncated("block framing"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(
+        window.try_into().expect("4-byte window"),
+    ))
+}
+
+/// Decode every core's complete stream from a mapping — the zero-copy drop-in for
+/// [`crate::decode_all`], proven bit-identical to it by the fuzz wall.
+pub fn decode_all_mapped(path: impl AsRef<Path>) -> Result<Vec<Vec<MemAccess>>, TraceError> {
+    let trace = MappedTrace::open(path)?;
+    (0..trace.header.cores.len())
+        .map(|core| trace.decode_core(core))
+        .collect()
+}
+
+/// A batch-decode cursor over one core of a [`MappedTrace`].
+///
+/// Implements [`BatchSource`]: each [`fill`](BatchSource::fill) decodes whole blocks
+/// from the mapping into the caller's arena until `batch_records` is reached (never
+/// splitting a block, and never exceeding `max(batch_records, largest block)` records),
+/// wrapping at end of stream exactly like the buffered reader.
+pub struct MappedStreamDecoder {
+    trace: Arc<MappedTrace>,
+    core: usize,
+    next_chunk: usize,
+    batch_records: usize,
+    /// Reused decompression buffer for v3 blocks (registered with arena accounting).
+    scratch: Vec<u8>,
+    scratch_tracker: ArenaTracker,
+}
+
+impl MappedStreamDecoder {
+    /// A cursor at the start of `core`'s stream, batching roughly `batch_records`
+    /// records per fill (clamped to at least 1).
+    pub fn new(
+        trace: Arc<MappedTrace>,
+        core: usize,
+        batch_records: usize,
+    ) -> Result<MappedStreamDecoder, TraceError> {
+        let info = trace.header.cores.get(core).ok_or_else(|| {
+            TraceError::Corrupt(format!(
+                "core {core} out of range: file has {} streams",
+                trace.header.cores.len()
+            ))
+        })?;
+        if info.records == 0 {
+            return Err(TraceError::Corrupt(format!(
+                "core {core} stream is empty; a TraceSource must never terminate"
+            )));
+        }
+        Ok(MappedStreamDecoder {
+            trace,
+            core,
+            next_chunk: 0,
+            batch_records: batch_records.max(1),
+            scratch: Vec::new(),
+            scratch_tracker: ArenaTracker::new(),
+        })
+    }
+
+    /// Fallible fill: replace `arena`'s contents with the next batch, reporting whether
+    /// the batch ends a full pass over the stream. Errors are decode-time corruption
+    /// (checksum mismatch, bad varints) — structural problems were already rejected at
+    /// [`MappedTrace::open`].
+    pub fn try_fill(&mut self, arena: &mut Vec<MemAccess>) -> Result<bool, TraceError> {
+        arena.clear();
+        let trace = &*self.trace;
+        let chunks = &trace.chunks[self.core];
+        loop {
+            let chunk = &chunks[self.next_chunk];
+            if !arena.is_empty() && arena.len() + chunk.records as usize > self.batch_records {
+                return Ok(false);
+            }
+            trace.decode_chunk(self.core, chunk, arena, &mut self.scratch)?;
+            self.scratch_tracker
+                .set_bytes(self.scratch.capacity() as u64);
+            self.next_chunk += 1;
+            if self.next_chunk == chunks.len() {
+                self.next_chunk = 0;
+                return Ok(true);
+            }
+            if arena.len() >= self.batch_records {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Restart the stream (the next fill produces the first batch again).
+    pub fn rewind_stream(&mut self) {
+        self.next_chunk = 0;
+    }
+
+    /// The shared mapping this cursor reads.
+    pub fn trace(&self) -> &Arc<MappedTrace> {
+        &self.trace
+    }
+
+    fn stream_label(&self) -> String {
+        self.trace.header.cores[self.core].label.clone()
+    }
+
+    fn panic_on(&self, e: TraceError) -> ! {
+        panic!(
+            "zero-copy replay failed for core {} of {}: {e}",
+            self.core,
+            self.trace.path.display()
+        )
+    }
+}
+
+impl BatchSource for MappedStreamDecoder {
+    /// Infallible by trait contract, like `TraceSource::next_access`: an error here
+    /// means the file changed or was corrupted after `open` succeeded, and panics with
+    /// context.
+    fn fill(&mut self, arena: &mut Vec<MemAccess>) -> bool {
+        let _span = sim_obs::span("trace-io", "zero_copy_batch");
+        match self.try_fill(arena) {
+            Ok(ended_pass) => ended_pass,
+            Err(e) => self.panic_on(e),
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.rewind_stream();
+    }
+
+    fn label(&self) -> String {
+        self.stream_label()
+    }
+}
+
+/// What a prefetch task hands back: the cursor, the arena it filled, and the outcome.
+struct PrefetchSlot {
+    decoder: MappedStreamDecoder,
+    arena: Vec<MemAccess>,
+    outcome: Result<bool, TraceError>,
+}
+
+/// Double-buffering wrapper around a [`MappedStreamDecoder`]: while the consumer works
+/// through one arena, the next batch decodes on the shared `rayon` background pool.
+///
+/// Exactly two record buffers circulate per stream — the consumer's and the one in
+/// flight — so memory stays bounded by `2 × batch` regardless of stream length. The
+/// consumption-side span (`trace-io/zero_copy_batch`, one per delivered batch) is
+/// emitted here, never inside the background task, so profiled span multisets are
+/// identical with prefetch on or off.
+pub struct PrefetchingSource {
+    label: String,
+    /// Receiver for the batch currently decoding in the background. Always `Some`
+    /// between calls (a fresh decode is dispatched before `fill` returns).
+    slot_rx: Option<mpsc::Receiver<PrefetchSlot>>,
+    /// Accounts the in-flight buffer's bytes in the arena accounting.
+    buffer_tracker: ArenaTracker,
+}
+
+impl PrefetchingSource {
+    /// Wrap `decoder` and immediately start decoding its first batch in the background.
+    pub fn new(decoder: MappedStreamDecoder) -> PrefetchingSource {
+        let mut source = PrefetchingSource {
+            label: decoder.stream_label(),
+            slot_rx: None,
+            buffer_tracker: ArenaTracker::new(),
+        };
+        source.dispatch(decoder, Vec::new());
+        source
+    }
+
+    /// Send `decoder` + `buffer` to the background pool to decode the next batch.
+    fn dispatch(&mut self, mut decoder: MappedStreamDecoder, mut buffer: Vec<MemAccess>) {
+        self.buffer_tracker
+            .set_bytes((buffer.capacity() * std::mem::size_of::<MemAccess>()) as u64);
+        let (tx, rx) = mpsc::channel();
+        rayon::spawn(move || {
+            let outcome = decoder.try_fill(&mut buffer);
+            let _ = tx.send(PrefetchSlot {
+                decoder,
+                arena: buffer,
+                outcome,
+            });
+        });
+        self.slot_rx = Some(rx);
+    }
+
+    /// Block for the in-flight batch.
+    fn await_slot(&mut self) -> PrefetchSlot {
+        let rx = self.slot_rx.take().expect("a prefetch is always in flight");
+        rx.recv()
+            .expect("prefetch worker dropped its result (background decode panicked)")
+    }
+}
+
+impl BatchSource for PrefetchingSource {
+    fn fill(&mut self, arena: &mut Vec<MemAccess>) -> bool {
+        let _span = sim_obs::span("trace-io", "zero_copy_batch");
+        let slot = self.await_slot();
+        let ended_pass = match slot.outcome {
+            Ok(ended_pass) => ended_pass,
+            Err(e) => slot.decoder.panic_on(e),
+        };
+        // Hand the decoded arena to the caller; its drained buffer becomes the next
+        // decode target.
+        let spare = std::mem::replace(arena, slot.arena);
+        self.dispatch(slot.decoder, spare);
+        ended_pass
+    }
+
+    fn rewind(&mut self) {
+        let slot = self.await_slot();
+        let mut decoder = slot.decoder;
+        // The in-flight batch (and any error it hit — the rewound stream will surface
+        // it again if it is real) is discarded; its buffer is reused.
+        decoder.rewind_stream();
+        self.dispatch(decoder, slot.arena);
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::decode_all;
+    use crate::writer::{TraceCaptureOptions, TraceWriter};
+    use cache_sim::trace::{ArenaReplayTrace, TraceSource};
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("trace_io_mmap_{name}.atrc"))
+    }
+
+    fn write_trace(path: &Path, cores: usize, records: u64, compress: bool) {
+        let opts = TraceCaptureOptions {
+            records_per_block: 16,
+            compress,
+            ..Default::default()
+        };
+        let mut w = TraceWriter::with_options(path, cores, "t", opts).unwrap();
+        for i in 0..records {
+            for core in 0..cores {
+                w.push(
+                    core,
+                    MemAccess {
+                        addr: (core as u64) << 40 | (i * 64),
+                        pc: 0x400 + (i % 13) * 4,
+                        is_write: i % 4 == 0,
+                        non_mem_instrs: (i % 7) as u32,
+                    },
+                )
+                .unwrap();
+            }
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn mapped_decode_matches_buffered_decode() {
+        for compress in [false, true] {
+            let path = tmp(if compress { "match_v3" } else { "match_v2" });
+            write_trace(&path, 3, 100, compress);
+            let buffered = decode_all(&path).unwrap();
+            let mapped = decode_all_mapped(&path).unwrap();
+            assert_eq!(mapped, buffered);
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn mapped_cursor_wraps_like_the_buffered_reader() {
+        let path = tmp("wrap");
+        write_trace(&path, 2, 40, false);
+        let trace = Arc::new(MappedTrace::open(&path).unwrap());
+        let reference = decode_all(&path).unwrap();
+        for (core, core_reference) in reference.iter().enumerate() {
+            let decoder = MappedStreamDecoder::new(trace.clone(), core, 12).unwrap();
+            let mut cursor = ArenaReplayTrace::new(Box::new(decoder));
+            assert_eq!(cursor.label(), trace.header().cores[core].label);
+            for pass in 0..3 {
+                for (i, want) in core_reference.iter().enumerate() {
+                    assert_eq!(
+                        cursor.next_access(),
+                        *want,
+                        "core {core} pass {pass} record {i}"
+                    );
+                }
+                assert_eq!(cursor.wraps(), pass + 1, "eager wrap counting");
+            }
+            cursor.reset();
+            assert_eq!(cursor.wraps(), 0);
+            assert_eq!(cursor.next_access(), core_reference[0]);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checksums_validate_once_across_cursors_and_passes() {
+        let path = tmp("validate_once");
+        write_trace(&path, 1, 64, false); // 4 blocks of 16
+        let trace = Arc::new(MappedTrace::open(&path).unwrap());
+        assert_eq!(
+            trace.checksum_validations(),
+            0,
+            "open must not validate checksums (validation is lazy)"
+        );
+        let mut a = ArenaReplayTrace::new(Box::new(
+            MappedStreamDecoder::new(trace.clone(), 0, 16).unwrap(),
+        ));
+        for _ in 0..64 {
+            a.next_access();
+        }
+        assert_eq!(trace.checksum_validations(), 4, "first pass validates");
+        for _ in 0..128 {
+            a.next_access();
+        }
+        assert_eq!(
+            trace.checksum_validations(),
+            4,
+            "wraps must not re-validate"
+        );
+        // A second cursor over the same mapping inherits the validated state.
+        let mut b = ArenaReplayTrace::new(Box::new(
+            MappedStreamDecoder::new(trace.clone(), 0, 16).unwrap(),
+        ));
+        for _ in 0..64 {
+            b.next_access();
+        }
+        assert_eq!(
+            trace.checksum_validations(),
+            4,
+            "validation is once per file, not once per cursor"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn prefetching_source_is_bit_identical_to_the_direct_decoder() {
+        for compress in [false, true] {
+            let path = tmp(if compress {
+                "prefetch_v3"
+            } else {
+                "prefetch_v2"
+            });
+            write_trace(&path, 2, 90, compress);
+            let trace = Arc::new(MappedTrace::open(&path).unwrap());
+            for core in 0..2 {
+                let direct = MappedStreamDecoder::new(trace.clone(), core, 24).unwrap();
+                let prefetched = PrefetchingSource::new(
+                    MappedStreamDecoder::new(trace.clone(), core, 24).unwrap(),
+                );
+                let mut direct = ArenaReplayTrace::new(Box::new(direct));
+                let mut prefetched = ArenaReplayTrace::new(Box::new(prefetched));
+                assert_eq!(direct.label(), prefetched.label());
+                for i in 0..300 {
+                    assert_eq!(
+                        direct.next_access(),
+                        prefetched.next_access(),
+                        "diverged at record {i} (core {core}, compress {compress})"
+                    );
+                    assert_eq!(direct.wraps(), prefetched.wraps());
+                }
+                prefetched.reset();
+                direct.reset();
+                for i in 0..50 {
+                    assert_eq!(
+                        direct.next_access(),
+                        prefetched.next_access(),
+                        "post-reset divergence at record {i}"
+                    );
+                }
+            }
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn open_rejects_corrupt_framing_and_decode_rejects_payload_flips() {
+        let path = tmp("corrupt");
+        write_trace(&path, 1, 64, false);
+        let clean = std::fs::read(&path).unwrap();
+        let header = crate::read_header(&path).unwrap();
+
+        // Flip a bit in a frame's record-count field: the eager scan must reject at
+        // open (directory cross-check), where the buffered reader misparses lazily.
+        let frame_records_at = header.preamble_len() as usize + 8;
+        let mut bytes = clean.clone();
+        bytes[frame_records_at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(MappedTrace::open(&path).is_err());
+
+        // Flip a payload byte: open succeeds (checksums are lazy) and the first decode
+        // of that block reports a checksum mismatch.
+        let mut bytes = clean.clone();
+        let payload_at = header.data_end as usize - 3;
+        bytes[payload_at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let trace = MappedTrace::open(&path).unwrap();
+        let err = trace.decode_core(0).unwrap_err();
+        assert!(
+            matches!(err, TraceError::ChecksumMismatch { core: 0, .. }),
+            "payload flip must be caught by FNV, got {err:?}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_streams_are_rejected_like_the_buffered_reader() {
+        let path = tmp("empty");
+        let w = TraceWriter::create(&path, 1, "empty").unwrap();
+        w.finish().unwrap();
+        assert!(matches!(
+            decode_all_mapped(&path),
+            Err(TraceError::Corrupt(_))
+        ));
+        let trace = Arc::new(MappedTrace::open(&path).unwrap());
+        assert!(MappedStreamDecoder::new(trace, 0, 16).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fallback_backing_decodes_identically() {
+        // MEMMAP2_FORCE_FALLBACK makes the stand-in read the file instead of mapping
+        // it; every decode above it must be oblivious. Setting an env var is process
+        // global, but the only effect on concurrent tests is that they too use the
+        // fallback — which this very test asserts is equivalent.
+        let path = tmp("fallback");
+        write_trace(&path, 2, 50, true);
+        let mapped = decode_all_mapped(&path).unwrap();
+        std::env::set_var("MEMMAP2_FORCE_FALLBACK", "1");
+        let fallback = decode_all_mapped(&path);
+        std::env::remove_var("MEMMAP2_FORCE_FALLBACK");
+        assert_eq!(fallback.unwrap(), mapped);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -10,7 +10,9 @@ use std::path::PathBuf;
 use std::process::Command;
 
 use cache_sim::trace::MemAccess;
-use trace_io::{read_header, TraceCaptureOptions, TraceReader, TraceWriter};
+use trace_io::{
+    decode_all_mapped, read_header, MappedTrace, TraceCaptureOptions, TraceReader, TraceWriter,
+};
 
 fn write_trace(path: &PathBuf, compress: bool, records: u64) {
     let opts = TraceCaptureOptions {
@@ -128,6 +130,61 @@ fn arbitrary_tail_truncations_never_yield_a_short_stream() {
                     );
                 }
             }
+        }
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn mapped_reader_detects_missing_footer_and_torn_final_block() {
+    // The zero-copy path must hold the same line as the buffered reader: an
+    // interrupted capture (footer gone) and a torn final block (stale footer kept)
+    // both error cleanly from a mapped file — a typed error, no panic, no records.
+    for compress in [false, true] {
+        let version = if compress { 3 } else { 2 };
+        let path = tmp(&format!("mmap_nofooter_v{version}"));
+        write_trace(&path, compress, 100);
+        let header = read_header(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Footer cut off entirely.
+        std::fs::write(&path, &bytes[..header.data_end as usize]).unwrap();
+        assert!(
+            MappedTrace::open(&path).is_err(),
+            "v{version}: the mapped reader must reject a footer-less capture"
+        );
+
+        // Tail of the last chunk spliced out, stale footer kept.
+        let footer = &bytes[header.data_end as usize..];
+        let mut torn = bytes[..header.data_end as usize - 5].to_vec();
+        torn.extend_from_slice(footer);
+        std::fs::write(&path, &torn).unwrap();
+        assert!(
+            MappedTrace::open(&path).is_err(),
+            "v{version}: the mapped reader must reject a torn final block"
+        );
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn mapped_reader_survives_arbitrary_tail_cuts_without_partial_records() {
+    // Tail-cut sweep on the mapped path, including cuts that land mid-batch inside the
+    // data region: every truncated file must fail at open or decode with a typed error.
+    // `decode_all_mapped` returning Ok would mean partial records were surfaced.
+    for compress in [false, true] {
+        let version = if compress { 3 } else { 2 };
+        let path = tmp(&format!("mmap_tailsweep_v{version}"));
+        write_trace(&path, compress, 64);
+        let bytes = std::fs::read(&path).unwrap();
+        // Sweep deep enough to cut past the footer into the final chunks.
+        for cut in 1..(bytes.len() - bytes.len() / 3) {
+            let truncated = &bytes[..bytes.len() - cut];
+            std::fs::write(&path, truncated).unwrap();
+            assert!(
+                decode_all_mapped(&path).is_err(),
+                "v{version}: cutting {cut} tail bytes still decoded from the mapping"
+            );
         }
         std::fs::remove_file(path).ok();
     }

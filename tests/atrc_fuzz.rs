@@ -12,13 +12,22 @@
 //!   (checksum/flag/framing error) or change the decoded interpretation — a flipped
 //!   file that reads back bit-identically to the original would mean some byte region
 //!   carries no meaning and no protection.
+//!
+//! Both families also lock the zero-copy mapped pipeline (`MappedTrace`,
+//! `MappedStreamDecoder`) to the buffered reader: bit-identical on well-formed files
+//! across random batch sizes, never more permissive on corrupt ones, and rejecting
+//! corrupted compressed blocks on the stored-byte checksum *before* decompression.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use adapt_llc::sim::trace::{MemAccess, TraceSource};
-use adapt_llc::traces::{decode_all, read_header, TraceCaptureOptions, TraceHeader, TraceWriter};
+use adapt_llc::sim::trace::{ArenaReplayTrace, MemAccess, TraceSource};
+use adapt_llc::traces::{
+    decode_all, decode_all_mapped, read_header, MappedStreamDecoder, MappedTrace,
+    TraceCaptureOptions, TraceError, TraceHeader, TraceWriter,
+};
 
 fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("adapt_atrc_fuzz_{name}.atrc"))
@@ -57,6 +66,16 @@ fn interpret(path: &PathBuf) -> Result<(TraceHeader, Vec<Vec<MemAccess>>), Strin
     Ok((header, streams))
 }
 
+/// [`interpret`] through the zero-copy mapped pipeline. The identity contract: on
+/// well-formed files this equals `interpret`; on corrupt files it may only be
+/// *stricter* (the eager scan also cross-checks the directory record counts), never
+/// accept something the buffered reader rejects, and never absorb a flip silently.
+fn interpret_mapped(path: &PathBuf) -> Result<(TraceHeader, Vec<Vec<MemAccess>>), String> {
+    let header = read_header(path).map_err(|e| e.to_string())?;
+    let streams = decode_all_mapped(path).map_err(|e| e.to_string())?;
+    Ok((header, streams))
+}
+
 proptest! {
     #[test]
     fn random_streams_roundtrip_bit_identically(
@@ -68,6 +87,7 @@ proptest! {
         split in 0usize..7,
         compress in any::<bool>(),
         checksums in any::<bool>(),
+        batch_records in 1usize..96,
     ) {
         let records: Vec<MemAccess> = raw
             .iter()
@@ -99,6 +119,30 @@ proptest! {
         let second: Vec<MemAccess> = (0..n).map(|_| reader.next_access()).collect();
         prop_assert_eq!(&first, &streams[0]);
         prop_assert_eq!(first, second);
+
+        // Zero-copy identity: the mapped full decode and a batch-streamed cursor over
+        // the mapping (random batch size) must reproduce the buffered interpretation
+        // bit for bit, wraps included.
+        let (mapped_header, mapped) = interpret_mapped(&path)
+            .expect("the mapped reader must accept what the buffered reader accepts");
+        prop_assert_eq!(&mapped_header, &header);
+        prop_assert_eq!(&mapped, &streams);
+        let trace = Arc::new(MappedTrace::open(&path).unwrap());
+        for (core, expected) in streams.iter().enumerate() {
+            let decoder = MappedStreamDecoder::new(trace.clone(), core, batch_records).unwrap();
+            let mut cursor = ArenaReplayTrace::new(Box::new(decoder));
+            for pass in 0..2u64 {
+                for (i, want) in expected.iter().enumerate() {
+                    let got = cursor.next_access();
+                    prop_assert_eq!(
+                        got, *want,
+                        "mapped cursor diverged: core {} pass {} record {}",
+                        core, pass, i
+                    );
+                }
+                prop_assert_eq!(cursor.wraps(), pass + 1);
+            }
+        }
         std::fs::remove_file(path).ok();
     }
 
@@ -130,15 +174,37 @@ proptest! {
         let target = flip_position % corrupted.len();
         corrupted[target] ^= 1 << flip_bit;
         std::fs::write(&path, &corrupted).unwrap();
-        if let Ok(interpretation) = interpret(&path) {
+        let buffered = interpret(&path);
+        if let Ok(interpretation) = &buffered {
             prop_assert_ne!(
                 interpretation,
-                baseline,
+                &baseline,
                 "flipping bit {} of byte {} changed the file but not its decoded \
                  interpretation",
                 flip_bit,
                 target
             );
+        }
+        // The mapped path must hold the same line: never absorb the flip, and never
+        // accept a file the buffered reader rejects.
+        match interpret_mapped(&path) {
+            Err(_) => {}
+            Ok(interpretation) => {
+                prop_assert_ne!(
+                    &interpretation,
+                    &baseline,
+                    "mapped: flipping bit {} of byte {} was silently absorbed",
+                    flip_bit,
+                    target
+                );
+                prop_assert!(
+                    buffered.is_ok(),
+                    "mapped reader accepted a flip (byte {} bit {}) the buffered \
+                     reader rejects",
+                    target,
+                    flip_bit
+                );
+            }
         }
         std::fs::remove_file(path).ok();
     }
@@ -167,17 +233,19 @@ fn every_single_bit_flip_is_detected_or_changes_the_interpretation() {
         let original = std::fs::read(&path).unwrap();
         let header = read_header(&path).unwrap();
         let payload_region = header.preamble_len() as usize..header.data_end as usize;
+        let mut checksum_rejections = 0u64;
 
         for byte in 0..original.len() {
             for bit in 0..8 {
                 let mut corrupted = original.clone();
                 corrupted[byte] ^= 1 << bit;
                 std::fs::write(&path, &corrupted).unwrap();
-                match interpret(&path) {
+                let buffered = interpret(&path);
+                match &buffered {
                     Err(_) => {}
                     Ok(interpretation) => {
                         assert_ne!(
-                            interpretation, baseline,
+                            interpretation, &baseline,
                             "v{}: flipping bit {bit} of byte {byte} was silently \
                              absorbed",
                             header.version
@@ -193,8 +261,54 @@ fn every_single_bit_flip_is_detected_or_changes_the_interpretation() {
                         );
                     }
                 }
+                // The mapped pipeline under the same exhaustive sweep: reject or
+                // visibly change, and never be more permissive than the buffered
+                // reader.
+                match interpret_mapped(&path) {
+                    Err(_) => {}
+                    Ok(interpretation) => {
+                        assert_ne!(
+                            interpretation, baseline,
+                            "v{}: mapped reader silently absorbed bit {bit} of byte \
+                             {byte}",
+                            header.version
+                        );
+                        assert!(
+                            buffered.is_ok() && !payload_region.contains(&byte),
+                            "v{}: mapped reader accepted a data-region flip (byte \
+                             {byte} bit {bit}) it must reject",
+                            header.version
+                        );
+                    }
+                }
+                // Checksum-before-decompression on the mmap path: a data-region flip
+                // either damages a frame (caught structurally, at open or decode) or a
+                // payload (caught by the FNV over the *stored* bytes). Either way the
+                // decompressor must never run on garbage, so no flip anywhere may
+                // surface as a decompression error.
+                if payload_region.contains(&byte) {
+                    if let Ok(mapped) = MappedTrace::open(&path) {
+                        let err = mapped.decode_core(0).expect_err("flip must not decode");
+                        assert!(
+                            !err.to_string().contains("decompression failed"),
+                            "v{}: data-region flip at byte {byte} bit {bit} reached \
+                             the decompressor instead of being rejected first: {err}",
+                            header.version
+                        );
+                        if matches!(err, TraceError::ChecksumMismatch { .. }) {
+                            checksum_rejections += 1;
+                        }
+                    }
+                }
             }
         }
+        // The FNV gate must actually have fired — most payload-byte flips leave the
+        // framing intact and are only distinguishable by checksum.
+        assert!(
+            checksum_rejections > 0,
+            "v{}: no flip was ever rejected by the mapped checksum gate",
+            header.version
+        );
         std::fs::remove_file(path).ok();
     }
 }

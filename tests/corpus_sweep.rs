@@ -1,11 +1,18 @@
 //! End-to-end tests of the corpus-backed sweep engine: materialize a corpus on disk,
-//! sweep it, and hold the results against the serial synthetic reference path.
+//! sweep it, and hold the results against the serial synthetic reference path —
+//! including the zero-copy streamed replay path (constant-memory arenas, double
+//! buffering), which must be invisible in results and in the profiled logical story.
 
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use cache_sim::trace::{arena_peak_bytes, reset_arena_peak};
 use experiments::runner::{
     evaluate_policies_on_corpus, evaluate_policies_on_mixes, evaluate_policies_serial,
-    synthetic_capture_budget,
+    sweep_policies_on_corpus_with, synthetic_capture_budget, MixEvaluation, ReplayConfig,
 };
 use experiments::{ExperimentScale, PolicyKind};
+use sim_obs::{Drained, EventKind};
 use trace_io::{Corpus, TraceError};
 use workloads::{generate_mixes, StudyKind};
 
@@ -14,6 +21,32 @@ const SEED: u64 = 1;
 
 fn policies() -> [PolicyKind; 3] {
     [PolicyKind::TaDrrip, PolicyKind::AdaptBp32, PolicyKind::Eaf]
+}
+
+/// Arena accounting and the sim-obs recorder are process-global; the tests that touch
+/// either serialize on this lock so concurrent test threads cannot pollute peaks or
+/// profiles.
+fn global_state_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn assert_evaluations_identical(a: &[MixEvaluation], b: &[MixEvaluation]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.mix_id, y.mix_id);
+        assert_eq!(x.policy, y.policy);
+        assert_eq!(x.weighted_speedup(), y.weighted_speedup());
+        assert_eq!(x.final_cycle, y.final_cycle);
+        for (p, q) in x.per_app.iter().zip(&y.per_app) {
+            assert_eq!(p.ipc, q.ipc, "{}: IPC differs", p.name);
+            assert_eq!(p.llc_mpki, q.llc_mpki, "{}: LLC MPKI differs", p.name);
+            assert_eq!(p.l2_mpki, q.l2_mpki, "{}: L2 MPKI differs", p.name);
+        }
+    }
 }
 
 #[test]
@@ -57,6 +90,154 @@ fn corpus_sweep_reproduces_the_serial_synthetic_path_bit_for_bit() {
             assert_eq!(a.llc_mpki, b.llc_mpki);
             assert_eq!(a.llc_mpki, c.llc_mpki);
         }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn constant_memory_sweep_stays_under_the_arena_cap_and_matches_the_buffered_path() {
+    // The zero-copy acceptance bar: a corpus 10x larger than the arena budget must
+    // sweep with peak replay-arena bytes under the cap, while producing results
+    // bit-identical to the fully-buffered (decode-everything-up-front) path.
+    let _guard = global_state_lock();
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let llc_sets = cfg.llc.geometry.num_sets();
+    let mixes = generate_mixes(StudyKind::Cores4, 1, scale.seed());
+    let budget: u64 = 2 << 20;
+    // 4 cores x 16-byte records: ~20 MiB decoded, 10x the 2 MiB budget.
+    let accesses_per_core = 10 * budget / (4 * 16);
+
+    let dir = std::env::temp_dir().join("e2e_constant_memory_sweep");
+    std::fs::remove_dir_all(&dir).ok();
+    let corpus =
+        Corpus::materialize(&dir, "cm", &mixes, llc_sets, SEED, accesses_per_core).unwrap();
+    let entry_path = corpus.path_for(&corpus.entries()[0]);
+    let decoded_bytes = trace_io::read_header(&entry_path).unwrap().total_records()
+        * std::mem::size_of::<cache_sim::trace::MemAccess>() as u64;
+    assert!(
+        decoded_bytes >= 10 * budget,
+        "corpus must be at least 10x the arena budget (got {decoded_bytes} vs {budget})"
+    );
+
+    let policies = [PolicyKind::TaDrrip];
+    let buffered = ReplayConfig::default();
+    assert!(
+        buffered.arena_budget_bytes >= decoded_bytes,
+        "baseline decodes up front"
+    );
+    let baseline =
+        sweep_policies_on_corpus_with(&cfg, &corpus, &policies, INSTRUCTIONS, &buffered).unwrap();
+
+    let constant_memory = ReplayConfig {
+        arena_budget_bytes: budget,
+        ..ReplayConfig::default()
+    };
+    reset_arena_peak();
+    let streamed =
+        sweep_policies_on_corpus_with(&cfg, &corpus, &policies, INSTRUCTIONS, &constant_memory)
+            .unwrap();
+    let peak = arena_peak_bytes();
+    assert!(
+        peak > 0,
+        "the streamed sweep must actually have used replay arenas"
+    );
+    assert!(
+        peak <= budget,
+        "peak arena bytes {peak} exceeded the {budget}-byte budget"
+    );
+    assert_evaluations_identical(&baseline.evaluations, &streamed.evaluations);
+    assert_eq!(baseline.mix_wraps, streamed.mix_wraps);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The logical event multiset of a profiled sweep: sweep spans, zero-copy batch spans
+/// and simulator samples, keyed with context. Worker ids, timestamps and scheduling are
+/// excluded — they legitimately differ across worker counts and prefetch modes.
+fn logical_events(
+    drained: &Drained,
+) -> BTreeMap<(String, &'static str, &'static str, String), usize> {
+    let mut set = BTreeMap::new();
+    for thread in &drained.threads {
+        for event in &thread.events {
+            let keep = match event.kind {
+                EventKind::Span => event.cat == "sweep" || event.name == "zero_copy_batch",
+                EventKind::Sample => event.cat == "sim",
+                _ => false,
+            };
+            if !keep {
+                continue;
+            }
+            let kind = format!("{:?}", event.kind);
+            let ctx = drained.context(event.ctx).to_string();
+            *set.entry((kind, event.cat, event.name, ctx)).or_insert(0) += 1;
+        }
+    }
+    set
+}
+
+#[test]
+fn double_buffered_replay_is_deterministic_across_prefetch_and_worker_count() {
+    // Prefetch on/off and serial/parallel workers are pure scheduling choices: every
+    // combination must produce identical per-core IPC/MPKI and the identical logical
+    // span multiset — the consumption-side `zero_copy_batch` spans included, which
+    // pins down that batches are consumed in the same order and number everywhere.
+    let _guard = global_state_lock();
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.system_config(StudyKind::Cores4);
+    let llc_sets = cfg.llc.geometry.num_sets();
+    let mixes = generate_mixes(StudyKind::Cores4, 1, scale.seed());
+
+    let dir = std::env::temp_dir().join("e2e_double_buffer_determinism");
+    std::fs::remove_dir_all(&dir).ok();
+    let corpus = Corpus::materialize(
+        &dir,
+        "db",
+        &mixes,
+        llc_sets,
+        SEED,
+        synthetic_capture_budget(INSTRUCTIONS),
+    )
+    .unwrap();
+    let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32];
+
+    let mut results = Vec::new();
+    for prefetch in [true, false] {
+        for workers in [1usize, 4] {
+            let replay = ReplayConfig {
+                arena_budget_bytes: 64 << 10, // force the streamed path
+                prefetch,
+                ..ReplayConfig::default()
+            };
+            sim_obs::reset();
+            sim_obs::enable();
+            let outcome = rayon::with_worker_limit(workers, || {
+                sweep_policies_on_corpus_with(&cfg, &corpus, &policies, INSTRUCTIONS, &replay)
+            })
+            .unwrap();
+            sim_obs::disable();
+            let events = logical_events(&sim_obs::drain());
+            results.push((prefetch, workers, outcome, events));
+        }
+    }
+
+    let (_, _, reference, reference_events) = &results[0];
+    assert!(
+        reference_events
+            .keys()
+            .any(|(_, _, name, _)| *name == "zero_copy_batch"),
+        "streamed replay must emit consumption-side batch spans"
+    );
+    for (prefetch, workers, outcome, events) in &results[1..] {
+        assert_evaluations_identical(&reference.evaluations, &outcome.evaluations);
+        assert_eq!(
+            reference.mix_wraps, outcome.mix_wraps,
+            "wrap accounting diverged (prefetch={prefetch}, workers={workers})"
+        );
+        assert_eq!(
+            reference_events, events,
+            "logical span multiset diverged (prefetch={prefetch}, workers={workers})"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

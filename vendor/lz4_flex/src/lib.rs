@@ -172,11 +172,16 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompress one LZ4 block that is declared to expand to exactly `uncompressed_size`
-/// bytes. The declared size bounds every allocation and copy, so a hostile block cannot
-/// make the decoder produce more than the caller expects.
-pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, DecompressError> {
-    let mut out: Vec<u8> = Vec::with_capacity(uncompressed_size);
+/// Decompress one LZ4 block into a caller-provided buffer, returning the number of
+/// bytes written (matching the real crate's `decompress_into`).
+///
+/// `output.len()` bounds every copy, so a hostile block cannot write more than the
+/// caller sized the buffer for — sizing it to the declared uncompressed size gives the
+/// same guarantee as [`decompress`]. Unlike [`decompress`], producing *fewer* bytes than
+/// the buffer holds is not an error here; callers reusing a scratch buffer check the
+/// returned count against the size they expected.
+pub fn decompress_into(input: &[u8], output: &mut [u8]) -> Result<usize, DecompressError> {
+    let mut written = 0usize;
     let mut pos = 0usize;
     loop {
         let token = *input.get(pos).ok_or(DecompressError::Truncated)?;
@@ -195,10 +200,11 @@ pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, Dec
         let literals = input
             .get(pos..pos + literal_len)
             .ok_or(DecompressError::Truncated)?;
-        if out.len() + literal_len > uncompressed_size {
-            return Err(DecompressError::OutputOverrun);
-        }
-        out.extend_from_slice(literals);
+        let dest = output
+            .get_mut(written..written + literal_len)
+            .ok_or(DecompressError::OutputOverrun)?;
+        dest.copy_from_slice(literals);
+        written += literal_len;
         pos += literal_len;
         if pos == input.len() {
             break; // The final sequence is literals-only.
@@ -206,10 +212,10 @@ pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, Dec
         let offset_bytes = input.get(pos..pos + 2).ok_or(DecompressError::Truncated)?;
         let offset = u16::from_le_bytes([offset_bytes[0], offset_bytes[1]]) as usize;
         pos += 2;
-        if offset == 0 || offset > out.len() {
+        if offset == 0 || offset > written {
             return Err(DecompressError::BadOffset {
                 offset,
-                output_len: out.len(),
+                output_len: written,
             });
         }
         let mut match_len = (token & 0x0f) as usize + 4;
@@ -223,20 +229,29 @@ pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, Dec
                 }
             }
         }
-        if out.len() + match_len > uncompressed_size {
+        if written + match_len > output.len() {
             return Err(DecompressError::OutputOverrun);
         }
         // Matches may overlap their own output (offset < match_len is the RLE case), so
         // copy byte-at-a-time from the already-produced output.
-        let start = out.len() - offset;
+        let start = written - offset;
         for i in 0..match_len {
-            let b = out[start + i];
-            out.push(b);
+            output[written + i] = output[start + i];
         }
+        written += match_len;
     }
-    if out.len() != uncompressed_size {
+    Ok(written)
+}
+
+/// Decompress one LZ4 block that is declared to expand to exactly `uncompressed_size`
+/// bytes. The declared size bounds every allocation and copy, so a hostile block cannot
+/// make the decoder produce more than the caller expects.
+pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = vec![0u8; uncompressed_size];
+    let written = decompress_into(input, &mut out)?;
+    if written != uncompressed_size {
         return Err(DecompressError::SizeMismatch {
-            actual: out.len(),
+            actual: written,
             expected: uncompressed_size,
         });
     }
@@ -245,7 +260,7 @@ pub fn decompress(input: &[u8], uncompressed_size: usize) -> Result<Vec<u8>, Dec
 
 /// `block` module alias matching the real crate's layout (`lz4_flex::block::compress`).
 pub mod block {
-    pub use super::{compress, decompress, DecompressError};
+    pub use super::{compress, decompress, decompress_into, DecompressError};
 }
 
 #[cfg(test)]
@@ -368,6 +383,35 @@ mod tests {
             decompress(&bomb, 64),
             Err(DecompressError::OutputOverrun)
         ));
+    }
+
+    #[test]
+    fn decompress_into_reuses_a_scratch_buffer() {
+        let a: Vec<u8> = (0..5000u32).flat_map(|i| [(i % 11) as u8, 3]).collect();
+        let b: Vec<u8> = (0..1200u32).map(|i| (i % 254) as u8).collect();
+        let mut scratch = vec![0u8; a.len().max(b.len())];
+        for data in [&a, &b, &a] {
+            let compressed = compress(data);
+            let written = decompress_into(&compressed, &mut scratch[..data.len()]).unwrap();
+            assert_eq!(written, data.len());
+            assert_eq!(&scratch[..written], &data[..]);
+        }
+    }
+
+    #[test]
+    fn decompress_into_rejects_undersized_buffers_and_reports_short_output() {
+        let data = vec![0x5au8; 2048];
+        let compressed = compress(&data);
+        let mut small = vec![0u8; data.len() - 1];
+        assert!(matches!(
+            decompress_into(&compressed, &mut small),
+            Err(DecompressError::OutputOverrun)
+        ));
+        // An oversized buffer is fine: the true length comes back as the written count.
+        let mut big = vec![0u8; data.len() + 100];
+        let written = decompress_into(&compressed, &mut big).unwrap();
+        assert_eq!(written, data.len());
+        assert_eq!(&big[..written], &data[..]);
     }
 
     #[test]

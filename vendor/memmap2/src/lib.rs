@@ -1,0 +1,285 @@
+//! Offline stand-in for the `memmap2` crate (read-only subset).
+//!
+//! Mirrors the real crate's API shape — [`Mmap`], [`MmapOptions`], `unsafe fn map(&File)`,
+//! `Deref<Target = [u8]>` — so swapping to the registry crate needs no source changes.
+//! Only read-only, whole-file, shared-to-private mappings are supported, which is all the
+//! `.atrc` zero-copy reader needs.
+//!
+//! Two backings exist behind the same type:
+//!
+//! * **Mapped** (64-bit unix): a real `mmap(2)` of the whole file, `PROT_READ` /
+//!   `MAP_PRIVATE`, unmapped on drop.
+//! * **Owned** (everything else, zero-length files, or any `mmap` failure): the file is
+//!   read into an anonymous buffer. Callers observe identical bytes either way — the
+//!   fallback trades the page cache sharing for portability, never correctness.
+//!
+//! Stand-in-only test knob: setting the environment variable `MEMMAP2_FORCE_FALLBACK`
+//! (to any value) forces the plain-read backing, so equivalence tests can exercise the
+//! fallback deterministically. The real crate ignores the variable, and nothing in the
+//! workspace depends on it outside of tests.
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// Backing storage for an [`Mmap`]. Private so the fallback is invisible to callers.
+enum Backing {
+    /// A live `mmap(2)` region, unmapped on drop.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Plain-read fallback (also used for empty files, where `mmap` would reject len 0).
+    Owned(Box<[u8]>),
+}
+
+// SAFETY: the mapped region is read-only (`PROT_READ`, `MAP_PRIVATE`) and the owned
+// variant is a plain buffer; neither has interior mutability, so sharing references
+// across threads is safe, as is moving the handle.
+unsafe impl Send for Backing {}
+// SAFETY: see `Send` above — all access is through `&[u8]`.
+unsafe impl Sync for Backing {}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Backing::Mapped { ptr, len } = *self {
+            // SAFETY: `ptr`/`len` came from a successful `mmap` call of exactly `len`
+            // bytes and are unmapped exactly once, here.
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+/// An immutable memory-mapped view of a file (stand-in subset of `memmap2::Mmap`).
+pub struct Mmap {
+    backing: Backing,
+}
+
+/// Builder matching `memmap2::MmapOptions` (only the read-only whole-file subset).
+#[derive(Debug, Default, Clone)]
+pub struct MmapOptions {
+    _private: (),
+}
+
+impl MmapOptions {
+    /// A builder with default options (map the whole file, read-only).
+    pub fn new() -> Self {
+        MmapOptions::default()
+    }
+
+    /// Map `file` read-only.
+    ///
+    /// # Safety
+    ///
+    /// As in the real crate: the caller must ensure the underlying file is not truncated
+    /// or mutated while the mapping is alive, otherwise reads through the returned slice
+    /// are undefined (the plain-read fallback is immune, but callers must not rely on
+    /// landing on it).
+    pub unsafe fn map(&self, file: &File) -> io::Result<Mmap> {
+        Mmap::map(file)
+    }
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// See [`MmapOptions::map`]: the file must not be mutated or truncated while the
+    /// mapping is alive.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 || std::env::var_os("MEMMAP2_FORCE_FALLBACK").is_some() {
+            return Ok(Mmap {
+                backing: Backing::Owned(read_fallback(file, len)?),
+            });
+        }
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: mapping `len` bytes of an open fd at offset 0; failure is checked
+            // against MAP_FAILED below and falls back to a plain read.
+            let ptr = sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            );
+            if ptr != usize::MAX as *mut std::ffi::c_void && !ptr.is_null() {
+                return Ok(Mmap {
+                    backing: Backing::Mapped {
+                        ptr: ptr as *const u8,
+                        len,
+                    },
+                });
+            }
+        }
+        Ok(Mmap {
+            backing: Backing::Owned(read_fallback(file, len)?),
+        })
+    }
+
+    /// Length of the mapped view in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: the region [ptr, ptr+len) is a live PROT_READ mapping owned by
+                // `self`; it stays valid for the lifetime of the returned borrow.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Owned(bytes) => bytes,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { .. } => "mapped",
+            Backing::Owned(_) => "owned",
+        };
+        f.debug_struct("Mmap")
+            .field("backing", &kind)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Read the whole file without disturbing its seek cursor.
+fn read_fallback(file: &File, len: usize) -> io::Result<Box<[u8]>> {
+    let mut buf = vec![0u8; len];
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(&mut buf, 0)?;
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut handle = file;
+        let saved = handle.seek(SeekFrom::Current(0))?;
+        handle.seek(SeekFrom::Start(0))?;
+        handle.read_exact(&mut buf)?;
+        handle.seek(SeekFrom::Start(saved))?;
+    }
+    Ok(buf.into_boxed_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!("memmap2-standin-{name}-{}", contents.len()));
+        let mut f = File::create(&path).expect("create temp file");
+        f.write_all(contents).expect("write temp file");
+        f.sync_all().ok();
+        drop(f);
+        let f = File::open(&path).expect("reopen temp file");
+        (path, f)
+    }
+
+    #[test]
+    fn maps_file_contents_bit_identically() {
+        let contents: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let (path, file) = temp_file("roundtrip", &contents);
+        // SAFETY: the temp file is private to this test and not mutated while mapped.
+        let map = unsafe { Mmap::map(&file) }.expect("map");
+        assert_eq!(&map[..], &contents[..]);
+        assert_eq!(map.len(), contents.len());
+        assert!(!map.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let (path, file) = temp_file("empty", b"");
+        // SAFETY: private temp file, not mutated while mapped.
+        let map = unsafe { Mmap::map(&file) }.expect("map");
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fallback_read_does_not_disturb_the_cursor() {
+        use std::io::{Read, Seek, SeekFrom};
+        let contents = b"cursor-stability".to_vec();
+        let (path, mut file) = temp_file("cursor", &contents);
+        file.seek(SeekFrom::Start(7)).unwrap();
+        let owned = read_fallback(&file, contents.len()).expect("fallback read");
+        assert_eq!(&owned[..], &contents[..]);
+        let mut rest = Vec::new();
+        file.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, &contents[7..], "cursor moved by fallback read");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn options_builder_maps_like_the_direct_call() {
+        let contents = vec![0xabu8; 4096];
+        let (path, file) = temp_file("options", &contents);
+        // SAFETY: private temp file, not mutated while mapped.
+        let map = unsafe { MmapOptions::new().map(&file) }.expect("map");
+        assert_eq!(map.as_ref(), &contents[..]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mmap_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+}

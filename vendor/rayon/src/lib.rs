@@ -23,9 +23,10 @@
 //! rayon), and `available_parallelism`.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 thread_local! {
     static WORKER_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
@@ -60,6 +61,68 @@ fn worker_count(items: usize) -> usize {
         .or_else(env_worker_limit)
         .unwrap_or(hardware);
     cap.min(items).max(1)
+}
+
+/// The shared queue behind [`spawn`]: jobs plus the condvar workers sleep on.
+struct SpawnPool {
+    queue: Mutex<VecDeque<Box<dyn FnOnce() + Send>>>,
+    work_ready: Condvar,
+}
+
+fn spawn_pool() -> &'static SpawnPool {
+    static POOL: OnceLock<&'static SpawnPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static SpawnPool = Box::leak(Box::new(SpawnPool {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        }));
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(2, 8);
+        for worker in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-bg-{worker}"))
+                .spawn(move || loop {
+                    let job = {
+                        let mut queue = pool.queue.lock().unwrap_or_else(|e| e.into_inner());
+                        loop {
+                            if let Some(job) = queue.pop_front() {
+                                break job;
+                            }
+                            queue = pool
+                                .work_ready
+                                .wait(queue)
+                                .unwrap_or_else(|e| e.into_inner());
+                        }
+                    };
+                    // A panicking job must not take the worker down with it: senders
+                    // waiting on a channel the job owned see a disconnect instead of a
+                    // silently shrinking pool. Real rayon aborts here; tolerating the
+                    // unwind is the stand-in's conservative choice.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                })
+                .expect("spawn rayon stand-in background worker");
+        }
+        pool
+    })
+}
+
+/// Fire-and-forget a job on the shared background pool (subset of `rayon::spawn`).
+///
+/// Jobs run in FIFO order on a small detached worker pool that is started lazily and
+/// lives for the rest of the process. There is no join handle — jobs communicate
+/// results through channels or shared state, exactly like the real API. Unlike
+/// [`with_worker_limit`], the background pool is not throttled: it exists for latency
+/// hiding (e.g. prefetching the next decode batch), not for throughput scaling, so a
+/// serial `with_worker_limit(1)` sweep may still overlap decode with simulation.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) {
+    let pool = spawn_pool();
+    {
+        let mut queue = pool.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push_back(Box::new(f));
+    }
+    pool.work_ready.notify_one();
 }
 
 /// One worker's output: its `(index, result)` pairs plus the claimed indices.
@@ -379,6 +442,42 @@ mod tests {
                 .any(|e| e.kind == sim_obs::EventKind::Counter && e.name == "idle_ns"),
             "workers report idle time"
         );
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs_and_delivers_results_via_channels() {
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32u64 {
+            let tx = tx.clone();
+            spawn(move || {
+                let _ = tx.send(i * i);
+            });
+        }
+        drop(tx);
+        let mut results: Vec<u64> = rx.iter().collect();
+        results.sort_unstable();
+        assert_eq!(results, (0..32).map(|i| i * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn spawn_survives_a_panicking_job() {
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel::<u32>();
+        spawn(move || {
+            let _tx = tx; // dropped on unwind: receiver sees a disconnect, not a hang
+            panic!("job panic must not kill the pool");
+        });
+        assert!(
+            rx.recv().is_err(),
+            "panicking job's channel must disconnect"
+        );
+        // The pool must still process jobs afterwards.
+        let (tx2, rx2) = mpsc::channel();
+        spawn(move || {
+            let _ = tx2.send(7u32);
+        });
+        assert_eq!(rx2.recv(), Ok(7));
     }
 
     #[test]
