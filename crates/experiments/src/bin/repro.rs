@@ -58,7 +58,7 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use experiments::runner::{sweep_policies_on_corpus, synthetic_capture_budget};
+use experiments::runner::{sweep_policies_on_corpus_with, synthetic_capture_budget, ReplayConfig};
 use experiments::{ablation, figure1, figure3, figure45, figure6, figure7, figure8, scaling};
 use experiments::{table2, table4, table7, ExperimentScale, PolicyKind};
 use trace_io::Corpus;
@@ -67,8 +67,15 @@ use workloads::{generate_mixes, StudyKind};
 fn usage() -> String {
     "usage: repro <fig1|fig3|fig45|fig6|fig7|fig8|table2|table4|table7|ablation|mixes|diag|all> \
      [--paper-scale|--smoke]\n       repro corpus --dir DIR [--study 4|8|...|64] [--mixes N] \
-     [--compress] [--paper-scale|--smoke]\n       repro sweep --dir DIR [--paper-scale|--smoke]\n       \
+     [--compress] [--paper-scale|--smoke]\n       repro sweep --dir DIR [--paper-scale|--smoke]\n         \
+     [--arena-bytes N] [--prefetch on|off] [--spill-dir DIR] [--spill-accesses N]\n       \
      repro scale [--cores 32,48,64] [--mixes N] [--flat] [--paper-scale|--smoke]\n\n\
+     sweep replay knobs (flags win over the REPLAY_ARENA_BYTES / REPLAY_PREFETCH /\n\
+     REPLAY_SPILL_DIR / REPLAY_SPILL_ACCESSES environment variables):\n\
+       --arena-bytes N     replay arena budget per mix in bytes (default 256 MiB)\n\
+       --prefetch on|off   background batch decode during replay (default on)\n\
+       --spill-dir DIR     spill oversized synthetic mixes to .atrc files under DIR\n\
+       --spill-accesses N  per-core accesses to capture when spilling (0 disables)\n\n\
      scale: many-core scaling study under the cycle-accounted bank contention model\n\
      (throughput / fairness / bank-stall share per policy; --flat reruns the same\n\
      geometry with the latency-only seed banking)\n\n\
@@ -132,7 +139,7 @@ fn corpus_cmd(
 }
 
 /// Run the Figure 3 policy lineup over a materialized corpus.
-fn sweep_cmd(scale: ExperimentScale, dir: &PathBuf) -> Result<(), String> {
+fn sweep_cmd(scale: ExperimentScale, dir: &PathBuf, replay: &ReplayConfig) -> Result<(), String> {
     let corpus = Corpus::load(dir).map_err(|e| format!("loading corpus: {e}"))?;
     let first = corpus
         .entries()
@@ -155,9 +162,14 @@ fn sweep_cmd(scale: ExperimentScale, dir: &PathBuf) -> Result<(), String> {
     );
     // The sweep seed comes from the corpus manifest, so the alone-run normalization
     // matches the generators the traces were captured from.
-    let outcome =
-        sweep_policies_on_corpus(&config, &corpus, &policies, scale.instructions_per_core())
-            .map_err(|e| format!("corpus sweep: {e}"))?;
+    let outcome = sweep_policies_on_corpus_with(
+        &config,
+        &corpus,
+        &policies,
+        scale.instructions_per_core(),
+        replay,
+    )
+    .map_err(|e| format!("corpus sweep: {e}"))?;
     let result = figure3::SCurveResult {
         study_cores: study.num_cores(),
         workloads: corpus.entries().len(),
@@ -382,6 +394,9 @@ fn main() -> ExitCode {
     let mut cores_list: Vec<usize> = vec![32, 48, 64];
     let mut flat = false;
     let mut compress = false;
+    // Replay knobs: environment first (the documented REPLAY_* variables), explicit
+    // flags win.
+    let mut replay = ReplayConfig::from_env();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -418,6 +433,30 @@ fn main() -> ExitCode {
                     .map(|n| mixes_override = Some(n))
                     .map_err(|e| format!("--mixes: {e}"))
             }),
+            "--arena-bytes" => value("--arena-bytes").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| replay.arena_budget_bytes = n)
+                    .map_err(|e| format!("--arena-bytes: {e}"))
+            }),
+            "--prefetch" => value("--prefetch").and_then(|v| match v {
+                "on" | "1" | "true" => {
+                    replay.prefetch = true;
+                    Ok(())
+                }
+                "off" | "0" | "false" => {
+                    replay.prefetch = false;
+                    Ok(())
+                }
+                other => Err(format!("--prefetch must be on|off, got {other:?}")),
+            }),
+            "--spill-dir" => {
+                value("--spill-dir").map(|v| replay.spill_dir = Some(PathBuf::from(v)))
+            }
+            "--spill-accesses" => value("--spill-accesses").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| replay.spill_capture_accesses = n)
+                    .map_err(|e| format!("--spill-accesses: {e}"))
+            }),
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -453,7 +492,7 @@ fn main() -> ExitCode {
             if experiment == "corpus" {
                 corpus_cmd(scale, &dir, study, mixes_override, compress)
             } else {
-                sweep_cmd(scale, &dir)
+                sweep_cmd(scale, &dir, &replay)
             }
         }
         "scale" => scale_cmd(scale, &cores_list, !flat, mixes_override),

@@ -68,6 +68,32 @@ impl PolicyKind {
         }
     }
 
+    /// Parse a figure-legend label back into its policy — the exact inverse of
+    /// [`PolicyKind::label`] (`parse(kind.label()) == Some(kind)` for every variant),
+    /// so external callers (the `sweepd` API, CLI flags) can name policies by the
+    /// strings the reports print.
+    pub fn parse(label: &str) -> Option<PolicyKind> {
+        Some(match label {
+            "LRU" => PolicyKind::Lru,
+            "SRRIP" => PolicyKind::Srrip,
+            "BRRIP" => PolicyKind::Brrip,
+            "DRRIP" => PolicyKind::Drrip,
+            "TA-DRRIP" => PolicyKind::TaDrrip,
+            "TA-DRRIP(forced)" => PolicyKind::TaDrripForced,
+            "SHiP" => PolicyKind::Ship,
+            "EAF" => PolicyKind::Eaf,
+            "ADAPT_ins" => PolicyKind::AdaptIns,
+            "ADAPT_bp32" => PolicyKind::AdaptBp32,
+            "TA-DRRIP+bypass" => PolicyKind::TaDrripBypass,
+            "SHiP+bypass" => PolicyKind::ShipBypass,
+            "EAF+bypass" => PolicyKind::EafBypass,
+            other => {
+                let n = other.strip_prefix("TA-DRRIP(SD=")?.strip_suffix(')')?;
+                PolicyKind::TaDrripSd(n.parse().ok()?)
+            }
+        })
+    }
+
     /// The lineup of the paper's Figure 3 / Figure 8 comparisons, in legend order.
     pub fn figure3_lineup() -> Vec<PolicyKind> {
         vec![
@@ -205,7 +231,18 @@ mod tests {
             let d = k.build_dispatch(&cfg, &[1, 3]);
             assert_eq!(d.name(), p.name(), "{k:?}: dispatch form must agree");
             assert!(!k.label().is_empty());
+            assert_eq!(
+                PolicyKind::parse(&k.label()),
+                Some(k),
+                "parse must invert label for {k:?}"
+            );
         }
+        assert_eq!(
+            PolicyKind::parse("TA-DRRIP(SD=128)"),
+            Some(PolicyKind::TaDrripSd(128))
+        );
+        assert_eq!(PolicyKind::parse("NOPE"), None);
+        assert_eq!(PolicyKind::parse("TA-DRRIP(SD=x)"), None);
     }
 
     #[test]

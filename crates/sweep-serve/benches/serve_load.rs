@@ -1,0 +1,172 @@
+//! `serve_load` — the serving-layer load benchmark behind `BENCH_serve.json`.
+//!
+//! Materializes a small corpus, starts an in-process `sweepd`, and drives it with
+//! concurrent clients (1000 connections in the full run; hundreds with
+//! `BENCH_QUICK=1`): a warm phase computes every unique `(policy, mix)` cell through
+//! the fair queue, then the hot phase hammers `/eval` with memo-hit requests from all
+//! connections at once. Floors asserted here (and therefore in CI):
+//!
+//! * **zero errors** — every hot-phase request answers 200 (429 backpressure is
+//!   retried, counted separately, and also asserted to resolve);
+//! * **memo effectiveness** — the run's hit rate is at least [`HIT_RATE_FLOOR`]
+//!   (repeat queries must be served from the memo, not recomputed);
+//! * **fairness** — warm-phase min/max completion ratio across equally-loaded clients
+//!   is at least [`FAIRNESS_FLOOR`] (the round-robin queue must not starve anyone);
+//! * **throughput** — at least [`THROUGHPUT_FLOOR`] requests/s in the hot phase, a
+//!   loose guard against the serving path becoming accidentally quadratic.
+//!
+//! `BENCH_SERVE_JSON` overrides the output path (default: workspace root).
+
+use experiments::runner::synthetic_capture_budget;
+use experiments::ExperimentScale;
+use sweep_serve::{run_load, LoadSpec, Server, ServerConfig};
+use trace_io::Corpus;
+use workloads::{generate_mixes, StudyKind};
+
+/// Minimum hot-phase hit rate: with every cell precomputed, essentially every request
+/// should be a memo hit (the warm phase's misses are the only misses in the run).
+const HIT_RATE_FLOOR: f64 = 0.85;
+
+/// Minimum warm-phase min/max completion ratio across equally-loaded clients.
+const FAIRNESS_FLOOR: f64 = 0.5;
+
+/// Minimum hot-phase throughput, requests/s. Deliberately loose: it guards against the
+/// serving path collapsing, not against host-speed wobble.
+const THROUGHPUT_FLOOR: f64 = 100.0;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+fn output_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("BENCH_SERVE_JSON") {
+        return p.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json")
+}
+
+fn main() {
+    let quick = quick();
+    let scale = ExperimentScale::Smoke;
+    let study = StudyKind::Cores4;
+
+    // A fresh corpus per run: no stale progress file, so the warm phase really
+    // computes (and the hit-rate floor measures memoization, not leftovers).
+    let dir = std::env::temp_dir().join("sweep_serve_bench_corpus");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create bench corpus dir");
+    let config = scale.system_config(study);
+    let mixes = generate_mixes(study, 2, scale.seed());
+    Corpus::materialize(
+        &dir,
+        "serve_load bench corpus",
+        &mixes,
+        config.llc.geometry.num_sets(),
+        scale.seed(),
+        synthetic_capture_budget(scale.instructions_per_core()),
+    )
+    .expect("materialize bench corpus");
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let handle = Server::spawn(ServerConfig {
+        workers,
+        queue_capacity: 64,
+        scale,
+        corpora: vec![("bench".to_string(), dir.clone())],
+        ..ServerConfig::default()
+    })
+    .expect("spawn sweepd");
+
+    let spec = LoadSpec {
+        corpus: "bench".to_string(),
+        policies: ["TA-DRRIP", "LRU", "SHiP", "EAF", "ADAPT_ins", "ADAPT_bp32"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        mix_ids: mixes.iter().map(|m| m.id).collect(),
+        warm_clients: 4,
+        clients: if quick { 100 } else { 1000 },
+        requests_per_client: 3,
+        client_groups: 8,
+    };
+    println!(
+        "serve_load: {} cells over {} policies x {} mixes; {} connections x {} requests \
+         ({} workers{})",
+        spec.policies.len() * spec.mix_ids.len(),
+        spec.policies.len(),
+        spec.mix_ids.len(),
+        spec.clients,
+        spec.requests_per_client,
+        workers,
+        if quick { ", quick" } else { "" },
+    );
+
+    let report = run_load(handle.addr(), &spec).expect("load run failed");
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!(
+        "  warm  : {} cells in {:.2}s, fairness min/max {:.3}",
+        report.cells, report.warm_seconds, report.warm_fairness_min_max
+    );
+    println!(
+        "  hot   : {} requests in {:.2}s = {:.0} req/s ({} retried 429s, {} errors)",
+        report.requests, report.wall_seconds, report.throughput_rps, report.retries, report.errors
+    );
+    println!(
+        "  lat   : p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  max {:.2}ms",
+        report.p50_ms, report.p90_ms, report.p99_ms, report.max_ms
+    );
+    println!(
+        "  memo  : {} hits / {} misses = {:.3} hit rate",
+        report.memo_hits, report.memo_misses, report.memo_hit_rate
+    );
+
+    let json = sweep_serve::load::render_report_json(&spec, &report, quick);
+    let path = output_path();
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("serve_load: wrote {}", path.display());
+
+    let expected = (spec.clients * spec.requests_per_client) as u64;
+    assert_eq!(
+        report.errors, 0,
+        "{} hot-phase request(s) failed (expected zero errors)",
+        report.errors
+    );
+    assert_eq!(
+        report.requests, expected,
+        "only {}/{expected} hot-phase requests completed",
+        report.requests
+    );
+    assert!(
+        report.memo_hit_rate >= HIT_RATE_FLOOR,
+        "memo hit rate {:.3} below the {HIT_RATE_FLOOR} floor",
+        report.memo_hit_rate
+    );
+    assert!(
+        report.warm_fairness_min_max >= FAIRNESS_FLOOR,
+        "warm-phase fairness {:.3} below the {FAIRNESS_FLOOR} floor",
+        report.warm_fairness_min_max
+    );
+    if report.throughput_rps < THROUGHPUT_FLOOR {
+        if quick {
+            eprintln!(
+                "serve_load: WARNING: quick-mode throughput {:.0} req/s below the \
+                 {THROUGHPUT_FLOOR} floor (not fatal in quick mode)",
+                report.throughput_rps
+            );
+        } else {
+            panic!(
+                "throughput {:.0} req/s below the {THROUGHPUT_FLOOR} req/s floor",
+                report.throughput_rps
+            );
+        }
+    }
+    println!("serve_load: all floors passed");
+}

@@ -1,0 +1,167 @@
+//! A minimal HTTP/1.1 client for `sweepctl`, the test walls, and the load harness.
+//!
+//! Keep-alive by default ([`Client`] reuses one connection across requests — what the
+//! load harness runs thousands of concurrently); [`raw_roundtrip`] sends arbitrary
+//! bytes for the protocol-robustness tests, including torn requests via half-close.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body (assumed UTF-8; the server only emits JSON).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    Ok(line.trim_end_matches(['\r', '\n']).to_string())
+}
+
+/// Parse one response off `reader` (status line, headers, `Content-Length` body).
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<HttpResponse> {
+    let status_line = read_line(reader)?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// A keep-alive connection to the daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    client_id: Option<String>,
+}
+
+impl Client {
+    /// Connect to `addr`. `client_id`, when set, is sent as `X-Client` on every
+    /// request (the fairness-scheduling identity).
+    pub fn connect(addr: SocketAddr, client_id: Option<&str>) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(700)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            client_id: client_id.map(str::to_string),
+        })
+    }
+
+    fn id_header(&self) -> String {
+        match &self.client_id {
+            Some(id) => format!("X-Client: {id}\r\n"),
+            None => String::new(),
+        }
+    }
+
+    /// `GET path` on the persistent connection.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        let req = format!(
+            "GET {path} HTTP/1.1\r\nHost: sweepd\r\n{}\r\n",
+            self.id_header()
+        );
+        self.writer.write_all(req.as_bytes())?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+
+    /// `POST path` with a JSON body on the persistent connection.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        let req = format!(
+            "POST {path} HTTP/1.1\r\nHost: sweepd\r\nContent-Length: {}\r\n{}\r\n{body}",
+            body.len(),
+            self.id_header()
+        );
+        self.writer.write_all(req.as_bytes())?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// One-shot `GET` on a fresh connection.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
+    Client::connect(addr, None)?.get(path)
+}
+
+/// One-shot `POST` on a fresh connection.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    client_id: Option<&str>,
+) -> io::Result<HttpResponse> {
+    Client::connect(addr, client_id)?.post(path, body)
+}
+
+/// Send `bytes` verbatim on a fresh connection and read one response — the protocol
+/// test wall's probe. With `half_close`, the write side is shut down after sending
+/// (so a body shorter than its `Content-Length` presents as a torn request rather
+/// than stalling until the server's read timeout).
+pub fn raw_roundtrip(addr: SocketAddr, bytes: &[u8], half_close: bool) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.write_all(bytes)?;
+    stream.flush()?;
+    if half_close {
+        stream.shutdown(std::net::Shutdown::Write)?;
+    }
+    read_response(&mut BufReader::new(stream))
+}

@@ -1,0 +1,342 @@
+//! Bounded job queue with per-client round-robin fairness.
+//!
+//! The serving layer dogfoods the paper's fairness thinking one level up: concurrent
+//! clients contending for a bounded worker pool are the shared-resource problem the
+//! LLC insertion policies solve for co-running applications. A plain FIFO queue gives
+//! a burst-happy client head-of-line ownership of every worker; this queue instead
+//! keeps one sub-queue per client id and serves clients round-robin, so a client
+//! submitting 1000 jobs cannot starve one submitting 2 — the serving analogue of the
+//! `mc-metrics` min/max fairness metric, which `/stats` reports over the same
+//! accounting ([`FairnessSnapshot::min_max_ratio`]).
+//!
+//! Capacity is global (jobs across all clients); producers choose between
+//! [`FairQueue::try_push`] (fail fast → 429 backpressure) and
+//! [`FairQueue::push_blocking`] (bounded wait, used by `/sweep`'s bulk enqueue).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (try again later — the server answers 429).
+    Full,
+    /// The queue was closed for shutdown.
+    Closed,
+}
+
+/// Per-client service counters (see [`FairQueue::fairness`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientService {
+    /// Jobs this client enqueued (accepted pushes).
+    pub enqueued: u64,
+    /// Jobs dequeued by workers on this client's behalf.
+    pub dequeued: u64,
+    /// Jobs whose execution completed.
+    pub completed: u64,
+}
+
+/// Snapshot of the fairness accounting across every client seen so far.
+#[derive(Debug, Clone)]
+pub struct FairnessSnapshot {
+    /// `(client id, counters)` pairs, sorted by client id for deterministic output.
+    pub clients: Vec<(String, ClientService)>,
+    /// Smallest completed-job count among clients that enqueued work.
+    pub min_completed: u64,
+    /// Largest completed-job count among clients that enqueued work.
+    pub max_completed: u64,
+}
+
+impl FairnessSnapshot {
+    /// Min/max ratio of completed jobs across clients — 1.0 is perfectly fair service,
+    /// mirroring the `mc-metrics::fairness` min/max normalized-IPC metric. 1.0 when
+    /// fewer than two clients have enqueued work.
+    pub fn min_max_ratio(&self) -> f64 {
+        if self.clients.len() < 2 || self.max_completed == 0 {
+            1.0
+        } else {
+            self.min_completed as f64 / self.max_completed as f64
+        }
+    }
+}
+
+struct Inner<T> {
+    per_client: HashMap<String, VecDeque<T>>,
+    /// Client ids with a non-empty sub-queue, in service order; each id appears once.
+    rotation: VecDeque<String>,
+    len: usize,
+    closed: bool,
+    service: HashMap<String, ClientService>,
+    enqueued_total: u64,
+    completed_total: u64,
+    rejected_total: u64,
+}
+
+/// The bounded fair queue; see the module docs.
+pub struct FairQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    space: Condvar,
+    capacity: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue admitting at most `capacity` queued jobs across all clients.
+    pub fn new(capacity: usize) -> FairQueue<T> {
+        FairQueue {
+            inner: Mutex::new(Inner {
+                per_client: HashMap::new(),
+                rotation: VecDeque::new(),
+                len: 0,
+                closed: false,
+                service: HashMap::new(),
+                enqueued_total: 0,
+                completed_total: 0,
+                rejected_total: 0,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn enqueue_locked(inner: &mut Inner<T>, client: &str, item: T) {
+        let queue = inner.per_client.entry(client.to_string()).or_default();
+        if queue.is_empty() {
+            inner.rotation.push_back(client.to_string());
+        }
+        queue.push_back(item);
+        inner.len += 1;
+        inner.enqueued_total += 1;
+        inner
+            .service
+            .entry(client.to_string())
+            .or_default()
+            .enqueued += 1;
+    }
+
+    /// Enqueue without waiting; [`PushError::Full`] at capacity.
+    pub fn try_push(&self, client: &str, item: T) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.len >= self.capacity {
+            inner.rejected_total += 1;
+            return Err(PushError::Full);
+        }
+        Self::enqueue_locked(&mut inner, client, item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, waiting up to `timeout` for space. Used by bulk producers (`/sweep`)
+    /// so a grid larger than the queue drains through it instead of failing.
+    pub fn push_blocking(&self, client: &str, item: T, timeout: Duration) -> Result<(), PushError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.len < self.capacity {
+                Self::enqueue_locked(&mut inner, client, item);
+                drop(inner);
+                self.ready.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                inner.rejected_total += 1;
+                return Err(PushError::Full);
+            }
+            let (guard, _) = self
+                .space
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Dequeue the next job, blocking while the queue is empty. Serves client
+    /// sub-queues round-robin: the client at the front of the rotation gives up one
+    /// job and moves to the back (if it still has work). `None` once the queue is
+    /// closed — remaining jobs are dropped, which is shutdown semantics: their reply
+    /// channels disconnect and waiting connections answer 503.
+    pub fn pop(&self) -> Option<(String, T)> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return None;
+            }
+            if let Some(client) = inner.rotation.pop_front() {
+                let queue = inner
+                    .per_client
+                    .get_mut(&client)
+                    .expect("rotation entries always have a sub-queue");
+                let item = queue.pop_front().expect("rotation entries are non-empty");
+                if !queue.is_empty() {
+                    inner.rotation.push_back(client.clone());
+                }
+                inner.len -= 1;
+                inner.service.entry(client.clone()).or_default().dequeued += 1;
+                drop(inner);
+                self.space.notify_one();
+                return Some((client, item));
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Record that a dequeued job finished executing (fairness accounting).
+    pub fn note_completed(&self, client: &str) {
+        let mut inner = self.lock();
+        inner.completed_total += 1;
+        inner
+            .service
+            .entry(client.to_string())
+            .or_default()
+            .completed += 1;
+    }
+
+    /// Close the queue: producers get [`PushError::Closed`], consumers drain to `None`,
+    /// queued-but-unstarted jobs are dropped.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        inner.per_client.clear();
+        inner.rotation.clear();
+        inner.len = 0;
+        drop(inner);
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().len
+    }
+
+    /// The capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(enqueued, completed, rejected)` totals since startup.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        let inner = self.lock();
+        (
+            inner.enqueued_total,
+            inner.completed_total,
+            inner.rejected_total,
+        )
+    }
+
+    /// Snapshot the per-client service accounting.
+    pub fn fairness(&self) -> FairnessSnapshot {
+        let inner = self.lock();
+        let mut clients: Vec<(String, ClientService)> = inner
+            .service
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        clients.sort_by(|a, b| a.0.cmp(&b.0));
+        let served: Vec<u64> = clients
+            .iter()
+            .filter(|(_, s)| s.enqueued > 0)
+            .map(|(_, s)| s.completed)
+            .collect();
+        FairnessSnapshot {
+            min_completed: served.iter().copied().min().unwrap_or(0),
+            max_completed: served.iter().copied().max().unwrap_or(0),
+            clients,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_clients_regardless_of_burst_order() {
+        let q: FairQueue<u32> = FairQueue::new(16);
+        // A burst-happy client enqueues 4 jobs before a second client gets 2 in.
+        for i in 0..4 {
+            q.try_push("hog", i).unwrap();
+        }
+        q.try_push("mouse", 100).unwrap();
+        q.try_push("mouse", 101).unwrap();
+        let order: Vec<String> = (0..6).map(|_| q.pop().unwrap().0).collect();
+        assert_eq!(order, ["hog", "mouse", "hog", "mouse", "hog", "hog"]);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_rejections_counted() {
+        let q: FairQueue<u32> = FairQueue::new(2);
+        q.try_push("a", 1).unwrap();
+        q.try_push("b", 2).unwrap();
+        assert_eq!(q.try_push("c", 3), Err(PushError::Full));
+        assert_eq!(
+            q.push_blocking("c", 3, Duration::from_millis(10)),
+            Err(PushError::Full)
+        );
+        assert_eq!(q.totals().2, 2, "both rejections counted");
+        // Space frees after a pop; a blocking push succeeds.
+        assert!(q.pop().is_some());
+        q.push_blocking("c", 3, Duration::from_millis(10)).unwrap();
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn blocking_push_wakes_when_a_consumer_frees_space() {
+        use std::sync::Arc;
+        let q: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(1));
+        q.try_push("a", 1).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || {
+            q2.push_blocking("b", 2, Duration::from_secs(10)).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop().unwrap().1, 1);
+        producer.join().unwrap();
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn close_drops_queued_work_and_unblocks_everyone() {
+        let q: FairQueue<u32> = FairQueue::new(4);
+        q.try_push("a", 1).unwrap();
+        q.close();
+        assert!(q.pop().is_none());
+        assert_eq!(q.try_push("a", 2), Err(PushError::Closed));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn fairness_snapshot_tracks_min_max_service() {
+        let q: FairQueue<u32> = FairQueue::new(16);
+        for i in 0..3 {
+            q.try_push("a", i).unwrap();
+        }
+        q.try_push("b", 9).unwrap();
+        for _ in 0..4 {
+            let (client, _) = q.pop().unwrap();
+            q.note_completed(&client);
+        }
+        let snap = q.fairness();
+        assert_eq!(snap.min_completed, 1);
+        assert_eq!(snap.max_completed, 3);
+        assert!((snap.min_max_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        // A single client is trivially fair.
+        let q1: FairQueue<u32> = FairQueue::new(4);
+        q1.try_push("solo", 1).unwrap();
+        assert_eq!(q1.fairness().min_max_ratio(), 1.0);
+    }
+}

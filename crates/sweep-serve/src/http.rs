@@ -1,0 +1,389 @@
+//! A minimal, dependency-free HTTP/1.1 subset for the `sweepd` server.
+//!
+//! The server speaks exactly what its clients need and rejects everything else with a
+//! clean 4xx — never a panic, never an unbounded read. Hard limits protect the process
+//! from hostile or broken peers:
+//!
+//! * request line and each header line are bounded by [`Limits::max_header_bytes`];
+//! * at most [`MAX_HEADER_COUNT`] headers;
+//! * `POST` bodies require a `Content-Length` no larger than
+//!   [`Limits::max_body_bytes`]; `Transfer-Encoding` is not supported (501);
+//! * a body shorter than its `Content-Length` (torn request) is a 400, surfaced once
+//!   the socket hits EOF or its read timeout.
+//!
+//! Keep-alive follows HTTP/1.1 defaults: connections persist unless the client sends
+//! `Connection: close` (or speaks HTTP/1.0 without `keep-alive`).
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum number of request headers accepted before the parser answers 431.
+pub const MAX_HEADER_COUNT: usize = 64;
+
+/// Parser bounds; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Cap on the request line and on each individual header line, in bytes.
+    pub max_header_bytes: usize,
+    /// Cap on a request body's `Content-Length`, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET` or `POST` — anything else is rejected during parsing).
+    pub method: String,
+    /// Request target as sent (no query-string splitting; the API does not use them).
+    pub path: String,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should close after this exchange.
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed, mapped onto the status line the peer gets.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line: a clean
+    /// keep-alive end, not an error.
+    Closed,
+    /// Protocol violation answered with the given status code and message.
+    Bad {
+        /// HTTP status code to answer with (4xx/5xx).
+        status: u16,
+        /// Human-readable reason, echoed in the JSON error body.
+        message: String,
+    },
+    /// The underlying socket failed mid-request (including read timeouts on torn
+    /// bodies); the connection is answered 400 if still writable, then dropped.
+    Io(io::Error),
+}
+
+impl ParseError {
+    fn bad(status: u16, message: impl Into<String>) -> ParseError {
+        ParseError::Bad {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Read one `\n`-terminated line, capped at `cap` bytes. `Ok(None)` means EOF before
+/// any byte was read.
+fn read_line_bounded(reader: &mut impl BufRead, cap: usize) -> Result<Option<String>, ParseError> {
+    let mut line = Vec::with_capacity(128);
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::bad(400, "connection closed mid-line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| ParseError::bad(400, "request line is not valid UTF-8"));
+                }
+                line.push(byte[0]);
+                if line.len() > cap {
+                    return Err(ParseError::bad(431, "header line exceeds the size limit"));
+                }
+            }
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+    }
+}
+
+/// Parse one request from `reader` under `limits`.
+///
+/// `Err(ParseError::Closed)` is the clean between-requests EOF of a keep-alive
+/// connection; every other error carries (or implies) the 4xx/5xx to answer with.
+pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Request, ParseError> {
+    let line = match read_line_bounded(reader, limits.max_header_bytes)? {
+        None => return Err(ParseError::Closed),
+        Some(line) => line,
+    };
+    let mut parts = line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::bad(
+            400,
+            format!("malformed request line {line:?}"),
+        ));
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return Err(ParseError::bad(
+                505,
+                format!("unsupported protocol version {version:?}"),
+            ))
+        }
+    };
+    if method != "GET" && method != "POST" {
+        return Err(ParseError::bad(
+            405,
+            format!("method {method:?} not allowed"),
+        ));
+    }
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(ParseError::bad(
+            400,
+            format!("malformed request target {path:?}"),
+        ));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let Some(line) = read_line_bounded(reader, limits.max_header_bytes)? else {
+            return Err(ParseError::bad(400, "connection closed inside headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::bad(
+                400,
+                format!("malformed header line {line:?}"),
+            ));
+        };
+        if headers.len() >= MAX_HEADER_COUNT {
+            return Err(ParseError::bad(431, "too many headers"));
+        }
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let close = if http11 {
+        matches!(headersv(&headers, "connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    } else {
+        !matches!(headersv(&headers, "connection"), Some(v) if v.eq_ignore_ascii_case("keep-alive"))
+    };
+
+    if headersv(&headers, "transfer-encoding").is_some() {
+        return Err(ParseError::bad(501, "transfer-encoding is not supported"));
+    }
+
+    let mut body = Vec::new();
+    if method == "POST" {
+        let Some(len_text) = headersv(&headers, "content-length") else {
+            return Err(ParseError::bad(411, "POST requires Content-Length"));
+        };
+        let Ok(len) = len_text.parse::<u64>() else {
+            return Err(ParseError::bad(
+                400,
+                format!("malformed Content-Length {len_text:?}"),
+            ));
+        };
+        if len > limits.max_body_bytes as u64 {
+            return Err(ParseError::bad(
+                413,
+                format!(
+                    "Content-Length {len} exceeds the {}-byte limit",
+                    limits.max_body_bytes
+                ),
+            ));
+        }
+        body = vec![0u8; len as usize];
+        if let Err(e) = reader.read_exact(&mut body) {
+            return Err(match e.kind() {
+                io::ErrorKind::UnexpectedEof => {
+                    ParseError::bad(400, "request body shorter than Content-Length")
+                }
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                    ParseError::bad(408, "timed out waiting for the request body")
+                }
+                _ => ParseError::Io(e),
+            });
+        }
+    } else if headersv(&headers, "content-length").is_some_and(|v| v != "0") {
+        // A GET with a body is almost always a torn or confused client; refuse rather
+        // than desynchronize the keep-alive stream (parse errors drop the connection).
+        return Err(ParseError::bad(400, "GET requests must not carry a body"));
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+        close,
+    })
+}
+
+fn headersv<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write one JSON response. `extra_headers` land verbatim after the standard set.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let mut out = String::with_capacity(128 + body.len());
+    out.push_str(&format!(
+        "HTTP/1.1 {} {}\r\n",
+        status,
+        status_reason(status)
+    ));
+    out.push_str("Content-Type: application/json\r\n");
+    out.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    out.push_str(if close {
+        "Connection: close\r\n"
+    } else {
+        "Connection: keep-alive\r\n"
+    });
+    for (name, value) in extra_headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    fn status_of(r: Result<Request, ParseError>) -> u16 {
+        match r {
+            Err(ParseError::Bad { status, .. }) => status,
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_simple_get_and_post() {
+        let req = parse(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(!req.close);
+
+        let req = parse(b"POST /eval HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(req.body, b"{}");
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+    }
+
+    #[test]
+    fn eof_before_a_request_is_a_clean_close() {
+        assert!(matches!(parse(b""), Err(ParseError::Closed)));
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_the_documented_status_codes() {
+        assert_eq!(status_of(parse(b"GARBAGE\r\n\r\n")), 400);
+        assert_eq!(status_of(parse(b"GET /x HTTP/9.9\r\n\r\n")), 505);
+        assert_eq!(status_of(parse(b"DELETE /x HTTP/1.1\r\n\r\n")), 405);
+        assert_eq!(status_of(parse(b"POST /x HTTP/1.1\r\n\r\n")), 411);
+        assert_eq!(
+            status_of(parse(b"POST /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n")),
+            400
+        );
+        assert_eq!(
+            status_of(parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"
+            )),
+            413
+        );
+        assert_eq!(
+            status_of(parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+            )),
+            400
+        );
+        assert_eq!(
+            status_of(parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n")),
+            400
+        );
+        assert_eq!(
+            status_of(parse(
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )),
+            501
+        );
+    }
+
+    #[test]
+    fn oversized_header_lines_and_counts_are_431() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert_eq!(status_of(parse(long.as_bytes())), 431);
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..70 {
+            many.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert_eq!(status_of(parse(many.as_bytes())), 431);
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_http() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, &[("Retry-After", "1".into())], "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

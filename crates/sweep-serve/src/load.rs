@@ -1,0 +1,349 @@
+//! The `serve_load` harness: drive an in-process daemon with concurrent clients and
+//! report throughput, latency percentiles, memo effectiveness and fairness.
+//!
+//! Two phases, mirroring how a resident evaluation service is actually used:
+//!
+//! 1. **Warm** — a handful of named clients compute every unique `(policy, mix)` cell
+//!    once, concurrently, through the fair queue. This is the cold-compute phase whose
+//!    per-client completion counts exercise the round-robin scheduler (reported as
+//!    `warm_fairness_min_max`).
+//! 2. **Hot** — the headline phase: many concurrent connections (thousands in the full
+//!    bench) issuing `/eval` requests that are memo hits by construction, measuring the
+//!    serving layer itself — parse, route, memo lookup, response — rather than
+//!    simulation throughput. 429s are retried and counted separately from errors; any
+//!    other non-200 is an error, and the floors assert zero.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use sim_obs::JsonValue;
+
+use crate::client::Client;
+use crate::json::{fmt_f64, json_str};
+use crate::server::CONNECTION_STACK_BYTES;
+
+/// What to drive at the daemon.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Registry name of the corpus to evaluate.
+    pub corpus: String,
+    /// Policy labels forming the grid.
+    pub policies: Vec<String>,
+    /// Mix ids forming the grid.
+    pub mix_ids: Vec<usize>,
+    /// Concurrent clients in the warm (cold-compute) phase.
+    pub warm_clients: usize,
+    /// Concurrent connections in the hot phase.
+    pub clients: usize,
+    /// Requests each hot connection issues.
+    pub requests_per_client: usize,
+    /// Distinct `X-Client` identities the hot connections share.
+    pub client_groups: usize,
+}
+
+/// What happened; the bench serializes this into `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Unique cells in the grid (`policies × mix_ids`).
+    pub cells: usize,
+    /// Wall-clock of the warm phase.
+    pub warm_seconds: f64,
+    /// Fairness min/max completion ratio across warm clients (from `/stats`).
+    pub warm_fairness_min_max: f64,
+    /// Successful hot-phase requests.
+    pub requests: u64,
+    /// Hot-phase responses that were neither 200 nor a retried 429.
+    pub errors: u64,
+    /// 429 responses absorbed by retry.
+    pub retries: u64,
+    /// Wall-clock of the hot phase.
+    pub wall_seconds: f64,
+    /// Successful hot-phase requests per second.
+    pub throughput_rps: f64,
+    /// Hot-phase latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    /// 90th percentile latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst observed latency, milliseconds.
+    pub max_ms: f64,
+    /// Memo hits observed by the daemon over the whole run.
+    pub memo_hits: u64,
+    /// Memo misses observed by the daemon over the whole run.
+    pub memo_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub memo_hit_rate: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn eval_body(corpus: &str, policy: &str, mix_id: usize) -> String {
+    format!(
+        "{{\"corpus\":{},\"policy\":{},\"mix_id\":{mix_id}}}",
+        json_str(corpus),
+        json_str(policy)
+    )
+}
+
+/// POST one `/eval`, absorbing 429 backpressure with bounded retries. Returns the
+/// final status and how many 429s were absorbed.
+fn eval_with_retry(
+    client: &mut Client,
+    body: &str,
+    max_retries: u32,
+) -> std::io::Result<(u16, u64)> {
+    let mut retries = 0u64;
+    loop {
+        let resp = client.post("/eval", body)?;
+        if resp.status == 429 && retries < max_retries as u64 {
+            retries += 1;
+            let wait = resp
+                .header("retry-after")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(1)
+                .min(2);
+            std::thread::sleep(Duration::from_millis(50 * wait.max(1)));
+            continue;
+        }
+        return Ok((resp.status, retries));
+    }
+}
+
+fn stats_numbers(addr: SocketAddr) -> Result<(u64, u64, f64), String> {
+    let resp = crate::client::get(addr, "/stats").map_err(|e| format!("GET /stats: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /stats answered {}", resp.status));
+    }
+    let v = JsonValue::parse(&resp.body).map_err(|e| format!("parsing /stats: {e}"))?;
+    let memo = v.get("memo").ok_or("stats missing \"memo\"")?;
+    let hits = memo
+        .get("hits")
+        .and_then(JsonValue::as_number)
+        .ok_or("stats missing memo.hits")? as u64;
+    let misses = memo
+        .get("misses")
+        .and_then(JsonValue::as_number)
+        .ok_or("stats missing memo.misses")? as u64;
+    let ratio = v
+        .get("fairness")
+        .and_then(|f| f.get("min_max_ratio"))
+        .and_then(JsonValue::as_number)
+        .ok_or("stats missing fairness.min_max_ratio")?;
+    Ok((hits, misses, ratio))
+}
+
+/// Run the two-phase load against a daemon at `addr`.
+pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> Result<LoadReport, String> {
+    let cells: Vec<(String, usize)> = spec
+        .mix_ids
+        .iter()
+        .flat_map(|&mix| spec.policies.iter().map(move |p| (p.clone(), mix)))
+        .collect();
+    if cells.is_empty() {
+        return Err("load grid is empty".to_string());
+    }
+
+    // Warm phase: partition the cells round-robin across the warm clients so each
+    // enqueues a comparable share — the fair queue should then complete them at a
+    // min/max ratio near 1.
+    let warm_clients = spec.warm_clients.max(1);
+    let warm_start = Instant::now();
+    let warm_errors = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for w in 0..warm_clients {
+            let cells = &cells;
+            let errors = warm_errors.clone();
+            let corpus = &spec.corpus;
+            scope.spawn(move || {
+                let Ok(mut client) = Client::connect(addr, Some(&format!("warm-{w}"))) else {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                for (policy, mix) in cells.iter().skip(w).step_by(warm_clients) {
+                    let body = eval_body(corpus, policy, *mix);
+                    match eval_with_retry(&mut client, &body, 200) {
+                        Ok((200, _)) => {}
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let warm_seconds = warm_start.elapsed().as_secs_f64();
+    if warm_errors.load(Ordering::Relaxed) > 0 {
+        return Err(format!(
+            "{} warm-phase request(s) failed",
+            warm_errors.load(Ordering::Relaxed)
+        ));
+    }
+    let (_, _, warm_fairness_min_max) = stats_numbers(addr)?;
+
+    // Hot phase: every cell is now memoized, so these requests measure the serving
+    // layer. All connections start together behind a barrier.
+    let hot_clients = spec.clients.max(1);
+    let groups = spec.client_groups.max(1);
+    let barrier = Arc::new(Barrier::new(hot_clients + 1));
+    let errors = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
+    let requests = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::with_capacity(
+        hot_clients * spec.requests_per_client,
+    )));
+    let mut wall_seconds = 0.0;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::with_capacity(hot_clients);
+        for t in 0..hot_clients {
+            let cells = &cells;
+            let corpus = &spec.corpus;
+            let barrier = barrier.clone();
+            let errors = errors.clone();
+            let retries = retries.clone();
+            let requests = requests.clone();
+            let latencies = latencies.clone();
+            let n = spec.requests_per_client;
+            let handle = std::thread::Builder::new()
+                .stack_size(CONNECTION_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    let id = format!("load-{}", t % groups);
+                    // Connect before the barrier so the timed window measures
+                    // requests, not the connection storm.
+                    let client = Client::connect(addr, Some(&id));
+                    barrier.wait();
+                    let Ok(mut client) = client else {
+                        errors.fetch_add(n as u64, Ordering::Relaxed);
+                        return;
+                    };
+                    let mut local = Vec::with_capacity(n);
+                    for i in 0..n {
+                        let (policy, mix) = &cells[(t * 31 + i * 7) % cells.len()];
+                        let body = eval_body(corpus, policy, *mix);
+                        let start = Instant::now();
+                        match eval_with_retry(&mut client, &body, 50) {
+                            Ok((200, r)) => {
+                                local.push(start.elapsed().as_secs_f64() * 1e3);
+                                retries.fetch_add(r, Ordering::Relaxed);
+                                requests.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok((_, r)) => {
+                                retries.fetch_add(r, Ordering::Relaxed);
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    latencies
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .extend(local);
+                })
+                .map_err(|e| format!("spawning load client {t}: {e}"))?;
+            handles.push(handle);
+        }
+        barrier.wait();
+        let hot_start = Instant::now();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        wall_seconds = hot_start.elapsed().as_secs_f64();
+        Ok(())
+    })?;
+
+    let mut sorted = {
+        let mut guard = latencies.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *guard)
+    };
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let requests = requests.load(Ordering::Relaxed);
+    let (memo_hits, memo_misses, _) = stats_numbers(addr)?;
+    Ok(LoadReport {
+        cells: cells.len(),
+        warm_seconds,
+        warm_fairness_min_max,
+        requests,
+        errors: errors.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
+        wall_seconds,
+        throughput_rps: requests as f64 / wall_seconds.max(1e-9),
+        p50_ms: percentile(&sorted, 50.0),
+        p90_ms: percentile(&sorted, 90.0),
+        p99_ms: percentile(&sorted, 99.0),
+        max_ms: sorted.last().copied().unwrap_or(0.0),
+        memo_hits,
+        memo_misses,
+        memo_hit_rate: memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64,
+    })
+}
+
+/// Serialize a report (plus the run's shape) as the `BENCH_serve.json` document.
+pub fn render_report_json(spec: &LoadSpec, report: &LoadReport, quick: bool) -> String {
+    format!(
+        "{{\n  \"schema\": \"bench-serve/1\",\n  \"quick\": {quick},\n  \
+         \"load\": {{\n    \"clients\": {},\n    \"requests_per_client\": {},\n    \
+         \"client_groups\": {},\n    \"warm_clients\": {},\n    \"cells\": {}\n  }},\n  \
+         \"throughput\": {{\n    \"requests\": {},\n    \"errors\": {},\n    \
+         \"retries_429\": {},\n    \"wall_seconds\": {},\n    \
+         \"requests_per_sec\": {}\n  }},\n  \
+         \"latency_ms\": {{\n    \"p50\": {},\n    \"p90\": {},\n    \"p99\": {},\n    \
+         \"max\": {}\n  }},\n  \
+         \"memo\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {}\n  }},\n  \
+         \"fairness\": {{\n    \"warm_min_max_ratio\": {}\n  }},\n  \
+         \"warm_seconds\": {}\n}}\n",
+        spec.clients,
+        spec.requests_per_client,
+        spec.client_groups,
+        spec.warm_clients,
+        report.cells,
+        report.requests,
+        report.errors,
+        report.retries,
+        fmt_f64(report.wall_seconds),
+        fmt_f64(report.throughput_rps),
+        fmt_f64(report.p50_ms),
+        fmt_f64(report.p90_ms),
+        fmt_f64(report.p99_ms),
+        fmt_f64(report.max_ms),
+        report.memo_hits,
+        report.memo_misses,
+        fmt_f64(report.memo_hit_rate),
+        fmt_f64(report.warm_fairness_min_max),
+        fmt_f64(report.warm_seconds),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_the_expected_ranks() {
+        let ms: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&ms, 50.0), 51.0);
+        assert_eq!(percentile(&ms, 99.0), 99.0);
+        assert_eq!(percentile(&ms, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn eval_body_is_strict_json() {
+        let body = eval_body("c1", "TA-DRRIP", 3);
+        let v = JsonValue::parse(&body).unwrap();
+        assert_eq!(
+            v.get("policy").and_then(JsonValue::as_str),
+            Some("TA-DRRIP")
+        );
+        assert_eq!(v.get("mix_id").and_then(JsonValue::as_number), Some(3.0));
+    }
+}

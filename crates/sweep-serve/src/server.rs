@@ -1,0 +1,668 @@
+//! `sweepd`: the resident policy-evaluation server.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept thread ── thread per connection ──> route()
+//!                        │                      │ memo hit: answer immediately
+//!                        │                      │ memo miss: enqueue Job ──┐
+//!                        ▼                      ▼                          ▼
+//!                  HTTP parse (bounded)    FairQueue (bounded, per-client round-robin)
+//!                                                                          │
+//!                                          worker pool: evaluate on resident streams,
+//!                                          memoize, append sweep.progress, reply
+//! ```
+//!
+//! Connection threads only parse, route, and wait on reply channels; all simulation
+//! happens in the fixed-size worker pool fed by the [`FairQueue`], so a thousand
+//! concurrent connections contend for workers through the fairness rotation rather
+//! than through the scheduler. Handler and worker bodies are wrapped in
+//! `catch_unwind`: a panicking request answers 500 and never wedges a worker.
+//!
+//! # Backpressure
+//!
+//! `/eval` uses [`FairQueue::try_push`]: a full queue answers `429 Too Many Requests`
+//! with `Retry-After`, making overload explicit instead of queueing unboundedly.
+//! `/sweep` — a bulk producer by design — uses [`FairQueue::push_blocking`] so grids
+//! larger than the queue drain through it, still bounded by the push timeout.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use experiments::runner::ReplayConfig;
+use experiments::{ExperimentScale, PolicyKind};
+use sim_obs::JsonValue;
+
+use crate::fairqueue::{FairQueue, PushError};
+use crate::http::{read_request, write_response, Limits, ParseError};
+use crate::json::{error_body, evaluation_json, fmt_f64, json_str};
+use crate::memo::{MemoKey, MemoStore};
+use crate::registry::{LoadedCorpus, Registry};
+
+/// How long a connection thread waits for a worker before giving up (a liveness
+/// backstop; workers normally answer in milliseconds).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Per-cell bound on `/sweep`'s blocking enqueue.
+const SWEEP_PUSH_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Idle read timeout on accepted sockets: bounds torn-body stalls (408) and reclaims
+/// abandoned keep-alive connections.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Stack size for connection and client threads: they parse, route and block on
+/// channels — no simulation — so small stacks let thousands coexist.
+pub const CONNECTION_STACK_BYTES: usize = 256 * 1024;
+
+/// Everything `sweepd` needs to start serving.
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port, reported by
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads executing evaluations.
+    pub workers: usize,
+    /// Bound on queued (accepted but unstarted) jobs across all clients.
+    pub queue_capacity: usize,
+    /// HTTP parser limits.
+    pub limits: Limits,
+    /// Experiment scale the corpora were materialized at (geometry + run length).
+    pub scale: ExperimentScale,
+    /// Replay knobs for corpus materialization (arena budget, prefetch, spill).
+    pub replay: ReplayConfig,
+    /// `(name, directory)` pairs of corpora to load at startup.
+    pub corpora: Vec<(String, PathBuf)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 256,
+            limits: Limits::default(),
+            scale: ExperimentScale::Scaled,
+            replay: ReplayConfig::default(),
+            corpora: Vec::new(),
+        }
+    }
+}
+
+/// A unit of work for the pool: one `(corpus, policy, mix)` cell.
+struct Job {
+    corpus: Arc<LoadedCorpus>,
+    policy: PolicyKind,
+    key: MemoKey,
+    reply: mpsc::Sender<WorkerReply>,
+}
+
+enum WorkerReply {
+    Done(Arc<String>),
+    Panicked,
+}
+
+struct Shared {
+    registry: Registry,
+    memo: MemoStore,
+    queue: FairQueue<Job>,
+    limits: Limits,
+    running: AtomicBool,
+    recovered_cells: usize,
+    workers: usize,
+    addr: SocketAddr,
+}
+
+/// A running daemon; dropping (or [`ServerHandle::stop`]) shuts it down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Daemon entry point: [`Server::spawn`] binds, loads corpora, and starts the pool.
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr`, load every corpus (recovering persisted sweep progress into
+    /// the memo store), start the worker pool and the accept loop.
+    pub fn spawn(config: ServerConfig) -> Result<ServerHandle, String> {
+        let memo = MemoStore::new();
+        let (registry, recovered_cells) =
+            Registry::load(&config.corpora, config.scale, &config.replay, &memo)?;
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("resolving bound address: {e}"))?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            memo,
+            queue: FairQueue::new(config.queue_capacity.max(1)),
+            limits: config.limits,
+            running: AtomicBool::new(true),
+            recovered_cells,
+            workers,
+            addr,
+        });
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("sweepd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| format!("spawning worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("sweepd-accept".to_string())
+                .spawn(move || accept_loop(&shared, listener))
+                .map_err(|e| format!("spawning accept loop: {e}"))?
+        };
+        if recovered_cells > 0 {
+            sim_obs::obs_info!(
+                "sweepd",
+                "recovered {recovered_cells} persisted sweep cell(s) into the memo store"
+            );
+        }
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Block until the daemon shuts down (via `/shutdown` or [`ServerHandle::stop`]).
+    pub fn wait(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Initiate shutdown and join the accept loop and worker pool. Queued-but-unstarted
+    /// jobs are dropped (their clients get 503); the job a worker is executing finishes
+    /// and is persisted, which is what makes kill-and-restart resumable.
+    pub fn stop(mut self) {
+        initiate_shutdown(&self.shared);
+        self.wait();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        initiate_shutdown(&self.shared);
+        self.wait();
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if !shared.running.swap(false, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+    // Wake the accept loop so it observes `running == false`.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if !shared.running.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .stack_size(CONNECTION_STACK_BYTES)
+            .spawn(move || connection_loop(&shared, stream));
+        if spawned.is_err() {
+            // Out of threads: shed load instead of dying.
+            continue;
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    loop {
+        if !shared.running.load(Ordering::SeqCst) {
+            let _ = write_response(
+                &mut writer,
+                503,
+                &[],
+                &error_body("server is shutting down"),
+                true,
+            );
+            return;
+        }
+        match read_request(&mut reader, &shared.limits) {
+            Ok(req) => {
+                let resp = catch_unwind(AssertUnwindSafe(|| route(shared, &req)))
+                    .unwrap_or_else(|_| Response::error(500, "internal error"));
+                let headers: Vec<(&str, String)> =
+                    resp.headers.iter().map(|(n, v)| (*n, v.clone())).collect();
+                if write_response(&mut writer, resp.status, &headers, &resp.body, req.close)
+                    .is_err()
+                {
+                    return;
+                }
+                if resp.shutdown {
+                    initiate_shutdown(shared);
+                    return;
+                }
+                if req.close {
+                    return;
+                }
+            }
+            // Clean keep-alive EOF.
+            Err(ParseError::Closed) => return,
+            // Protocol violation: answer, then drop the (possibly desynchronized)
+            // connection. The worker pool never saw this request.
+            Err(ParseError::Bad { status, message }) => {
+                let _ = write_response(&mut writer, status, &[], &error_body(&message), true);
+                return;
+            }
+            Err(ParseError::Io(_)) => return,
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some((client, job)) = shared.queue.pop() {
+        // Another worker (or a restart recovery) may have filled this cell while the
+        // job sat queued; the re-check is quiet so /stats counters only reflect what
+        // requests observed.
+        let result = match shared.memo.peek(&job.key) {
+            Some(hit) => Some(hit),
+            None => catch_unwind(AssertUnwindSafe(|| {
+                job.corpus.evaluate(job.policy, job.key.mix_id)
+            }))
+            .ok()
+            .flatten()
+            .map(|eval| {
+                let json = Arc::new(evaluation_json(&eval));
+                shared.memo.insert(job.key.clone(), json.clone());
+                job.corpus.progress.append(
+                    &job.key.policy,
+                    job.key.mix_id,
+                    job.key.instructions,
+                    &json,
+                );
+                json
+            }),
+        };
+        shared.queue.note_completed(&client);
+        let _ = job.reply.send(match result {
+            Some(json) => WorkerReply::Done(json),
+            None => WorkerReply::Panicked,
+        });
+    }
+}
+
+struct Response {
+    status: u16,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+    shutdown: bool,
+}
+
+impl Response {
+    fn ok(body: String) -> Response {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+            shutdown: false,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: error_body(message),
+            shutdown: false,
+        }
+    }
+
+    fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &crate::http::Request) -> Response {
+    let client = req.header("x-client").unwrap_or("anon").to_string();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::ok("{\"status\":\"ok\"}".to_string()),
+        ("GET", "/stats") => Response::ok(stats_body(shared)),
+        ("GET", "/corpora") => Response::ok(corpora_body(shared)),
+        ("POST", "/eval") => eval_endpoint(shared, &client, &req.body),
+        ("POST", "/sweep") => sweep_endpoint(shared, &client, &req.body),
+        ("POST", "/shutdown") => Response {
+            status: 200,
+            headers: Vec::new(),
+            body: "{\"status\":\"shutting-down\"}".to_string(),
+            shutdown: true,
+        },
+        ("GET", "/eval" | "/sweep" | "/shutdown")
+        | ("POST", "/healthz" | "/stats" | "/corpora") => {
+            Response::error(405, "wrong method for this endpoint")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Parse and validate the common `(corpus, policy, mix_id)` request triple.
+fn parse_cell<'a>(
+    shared: &'a Shared,
+    body: &JsonValue,
+) -> Result<(&'a Arc<LoadedCorpus>, PolicyKind), Response> {
+    let corpus_name = body
+        .get("corpus")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| Response::error(400, "missing string field \"corpus\""))?;
+    let corpus = shared
+        .registry
+        .get(corpus_name)
+        .ok_or_else(|| Response::error(404, &format!("no corpus named {corpus_name:?}")))?;
+    let policy_label = body
+        .get("policy")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| Response::error(400, "missing string field \"policy\""))?;
+    let policy = PolicyKind::parse(policy_label)
+        .ok_or_else(|| Response::error(400, &format!("unknown policy {policy_label:?}")))?;
+    Ok((corpus, policy))
+}
+
+fn parse_mix_id(body: &JsonValue, corpus: &LoadedCorpus) -> Result<usize, Response> {
+    let raw = body
+        .get("mix_id")
+        .and_then(JsonValue::as_number)
+        .ok_or_else(|| Response::error(400, "missing numeric field \"mix_id\""))?;
+    if raw < 0.0 || raw.fract() != 0.0 {
+        return Err(Response::error(
+            400,
+            "\"mix_id\" must be a non-negative integer",
+        ));
+    }
+    let mix_id = raw as usize;
+    if corpus.prepared(mix_id).is_none() {
+        return Err(Response::error(
+            404,
+            &format!("corpus {:?} has no mix {mix_id}", corpus.name),
+        ));
+    }
+    Ok(mix_id)
+}
+
+fn parse_json_body(body: &[u8]) -> Result<JsonValue, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "request body is not valid UTF-8"))?;
+    JsonValue::parse(text).map_err(|e| Response::error(400, &format!("malformed JSON body: {e}")))
+}
+
+/// `POST /eval` — one `(corpus, policy, mix)` cell. Memo hits answer immediately
+/// (`X-Memo: hit`); misses enqueue fail-fast and answer 429 under backpressure.
+fn eval_endpoint(shared: &Arc<Shared>, client: &str, raw_body: &[u8]) -> Response {
+    let body = match parse_json_body(raw_body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let (corpus, policy) = match parse_cell(shared, &body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let mix_id = match parse_mix_id(&body, corpus) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let key = corpus.memo_key(&policy.label(), mix_id);
+    if let Some(hit) = shared.memo.lookup(&key) {
+        return Response::ok(hit.as_str().to_string()).with_header("X-Memo", "hit".to_string());
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        corpus: corpus.clone(),
+        policy,
+        key,
+        reply: tx,
+    };
+    match shared.queue.try_push(client, job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            return Response::error(429, "evaluation queue is full")
+                .with_header("Retry-After", "1".to_string())
+        }
+        Err(PushError::Closed) => return Response::error(503, "server is shutting down"),
+    }
+    match rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(WorkerReply::Done(json)) => {
+            Response::ok(json.as_str().to_string()).with_header("X-Memo", "miss".to_string())
+        }
+        Ok(WorkerReply::Panicked) => Response::error(500, "evaluation panicked"),
+        Err(_) => Response::error(503, "server is shutting down"),
+    }
+}
+
+/// `POST /sweep` — a full `(policies × mixes)` grid over one corpus, in the exact
+/// `(mix outer, policy inner)` order `repro sweep` evaluates. Memo hits are served
+/// in place; misses drain through the bounded queue (blocking push). The response's
+/// `results` array concatenates the canonical per-cell JSON bodies, so each element
+/// is byte-identical to the corresponding `/eval` response.
+fn sweep_endpoint(shared: &Arc<Shared>, client: &str, raw_body: &[u8]) -> Response {
+    let body = match parse_json_body(raw_body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let corpus_name = match body.get("corpus").and_then(JsonValue::as_str) {
+        Some(name) => name,
+        None => return Response::error(400, "missing string field \"corpus\""),
+    };
+    let Some(corpus) = shared.registry.get(corpus_name) else {
+        return Response::error(404, &format!("no corpus named {corpus_name:?}"));
+    };
+    // Default lineup = `repro sweep`'s: TA-DRRIP plus the Figure 3 legend.
+    let policies: Vec<PolicyKind> = match body.get("policies") {
+        None => {
+            let mut p = vec![PolicyKind::TaDrrip];
+            p.extend(PolicyKind::figure3_lineup());
+            p
+        }
+        Some(v) => {
+            let Some(items) = v.as_array() else {
+                return Response::error(400, "\"policies\" must be an array of labels");
+            };
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let Some(label) = item.as_str() else {
+                    return Response::error(400, "\"policies\" must be an array of labels");
+                };
+                let Some(kind) = PolicyKind::parse(label) else {
+                    return Response::error(400, &format!("unknown policy {label:?}"));
+                };
+                out.push(kind);
+            }
+            out
+        }
+    };
+    let mix_ids: Vec<usize> = match body.get("mix_ids") {
+        None => corpus.mix_ids(),
+        Some(v) => {
+            let Some(items) = v.as_array() else {
+                return Response::error(400, "\"mix_ids\" must be an array of integers");
+            };
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let Some(raw) = item.as_number() else {
+                    return Response::error(400, "\"mix_ids\" must be an array of integers");
+                };
+                if raw < 0.0 || raw.fract() != 0.0 {
+                    return Response::error(400, "\"mix_ids\" must be an array of integers");
+                }
+                let mix_id = raw as usize;
+                if corpus.prepared(mix_id).is_none() {
+                    return Response::error(
+                        404,
+                        &format!("corpus {corpus_name:?} has no mix {mix_id}"),
+                    );
+                }
+                out.push(mix_id);
+            }
+            out
+        }
+    };
+    if policies.is_empty() || mix_ids.is_empty() {
+        return Response::error(400, "sweep grid is empty");
+    }
+
+    // First pass: probe the memo (counting — each cell is one observed request),
+    // enqueue every miss. Cells stay in (mix, policy) order throughout.
+    enum Slot {
+        Hit(Arc<String>),
+        Pending(mpsc::Receiver<WorkerReply>),
+    }
+    let mut slots = Vec::with_capacity(mix_ids.len() * policies.len());
+    let mut hits = 0u64;
+    for &mix_id in &mix_ids {
+        for &policy in &policies {
+            let key = corpus.memo_key(&policy.label(), mix_id);
+            if let Some(hit) = shared.memo.lookup(&key) {
+                hits += 1;
+                slots.push(Slot::Hit(hit));
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            let job = Job {
+                corpus: corpus.clone(),
+                policy,
+                key,
+                reply: tx,
+            };
+            match shared.queue.push_blocking(client, job, SWEEP_PUSH_TIMEOUT) {
+                Ok(()) => slots.push(Slot::Pending(rx)),
+                Err(PushError::Full) => {
+                    return Response::error(429, "evaluation queue is saturated")
+                        .with_header("Retry-After", "1".to_string())
+                }
+                Err(PushError::Closed) => return Response::error(503, "server is shutting down"),
+            }
+        }
+    }
+
+    // Second pass: collect, preserving order.
+    let mut results = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Slot::Hit(json) => results.push(json),
+            Slot::Pending(rx) => match rx.recv_timeout(REPLY_TIMEOUT) {
+                Ok(WorkerReply::Done(json)) => results.push(json),
+                Ok(WorkerReply::Panicked) => return Response::error(500, "evaluation panicked"),
+                Err(_) => return Response::error(503, "server is shutting down"),
+            },
+        }
+    }
+
+    let mut out = String::with_capacity(64 + results.iter().map(|r| r.len() + 1).sum::<usize>());
+    out.push_str(&format!(
+        "{{\"corpus\":{},\"cells\":{},\"results\":[",
+        json_str(corpus_name),
+        results.len()
+    ));
+    for (i, cell) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(cell);
+    }
+    out.push_str("]}");
+    Response::ok(out).with_header("X-Memo-Hits", hits.to_string())
+}
+
+fn stats_body(shared: &Shared) -> String {
+    let (enqueued, completed, rejected) = shared.queue.totals();
+    let (hits, misses) = shared.memo.counters();
+    let fairness = shared.queue.fairness();
+    let mut clients = String::new();
+    for (i, (id, s)) in fairness.clients.iter().enumerate() {
+        if i > 0 {
+            clients.push(',');
+        }
+        clients.push_str(&format!(
+            "{{\"id\":{},\"enqueued\":{},\"dequeued\":{},\"completed\":{}}}",
+            json_str(id),
+            s.enqueued,
+            s.dequeued,
+            s.completed
+        ));
+    }
+    format!(
+        "{{\"queue\":{{\"depth\":{},\"capacity\":{}}},\
+         \"jobs\":{{\"enqueued\":{enqueued},\"completed\":{completed},\"rejected\":{rejected}}},\
+         \"memo\":{{\"entries\":{},\"hits\":{hits},\"misses\":{misses},\"recovered\":{}}},\
+         \"workers\":{},\
+         \"fairness\":{{\"min_completed\":{},\"max_completed\":{},\"min_max_ratio\":{},\
+         \"clients\":[{clients}]}}}}",
+        shared.queue.depth(),
+        shared.queue.capacity(),
+        shared.memo.len(),
+        shared.recovered_cells,
+        shared.workers,
+        fairness.min_completed,
+        fairness.max_completed,
+        fmt_f64(fairness.min_max_ratio()),
+    )
+}
+
+fn corpora_body(shared: &Shared) -> String {
+    let mut out = String::from("{\"corpora\":[");
+    for (i, corpus) in shared.registry.iter().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mix_ids = corpus
+            .mix_ids()
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "{{\"name\":{},\"hash\":\"{:016x}\",\"label\":{},\"cores\":{},\"llc_sets\":{},\
+             \"seed\":{},\"instructions\":{},\"mix_ids\":[{mix_ids}]}}",
+            json_str(&corpus.name),
+            corpus.hash,
+            json_str(&corpus.corpus.meta().label),
+            corpus.config.num_cores,
+            corpus.config.llc.geometry.num_sets(),
+            corpus.seed,
+            corpus.instructions,
+        ));
+    }
+    out.push_str("]}");
+    out
+}

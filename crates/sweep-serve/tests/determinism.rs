@@ -1,0 +1,129 @@
+//! Determinism-under-concurrency wall: results served under concurrent load must be
+//! byte-identical to a serial `repro sweep` over the same corpus, and a daemon killed
+//! mid-sweep must resume from its persisted progress and still produce the exact same
+//! bytes.
+
+mod common;
+
+use sweep_serve::Client;
+
+/// The full `/sweep` response body the daemon must produce for `test_policies` over
+/// the corpus at `dir`, assembled from the serial reference cells.
+fn expected_sweep_body(corpus_name: &str, cells: &[(String, usize, String)]) -> String {
+    let mut out = format!(
+        "{{\"corpus\":\"{corpus_name}\",\"cells\":{},\"results\":[",
+        cells.len()
+    );
+    for (i, (_, _, json)) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(json);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn sweep_request_body() -> String {
+    let labels = common::test_policy_labels()
+        .iter()
+        .map(|l| format!("\"{l}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"corpus\":\"c\",\"policies\":[{labels}]}}")
+}
+
+#[test]
+fn concurrent_sweeps_are_byte_identical_to_the_serial_reference() {
+    let dir = common::test_dir("determinism");
+    common::materialize_corpus(&dir, "determinism corpus", 2);
+    let reference = common::reference_cells(&dir, &common::test_policies());
+    assert_eq!(reference.len(), 3 * 2, "3 policies x 2 mixes");
+    let expected = expected_sweep_body("c", &reference);
+
+    let handle = common::spawn_server(vec![("c".to_string(), dir)], 2);
+    let addr = handle.addr();
+    let request = sweep_request_body();
+
+    // Eight clients race full sweeps against the cold daemon: every interleaving of
+    // queue contention, memo fills, and duplicate in-flight cells must still produce
+    // the serial bytes.
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let request = &request;
+                scope.spawn(move || {
+                    let id = format!("racer-{t}");
+                    let mut client = Client::connect(addr, Some(&id)).expect("connect");
+                    let resp = client.post("/sweep", request).expect("sweep");
+                    assert_eq!(resp.status, 200, "client {t}: {}", resp.body);
+                    resp.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, body) in bodies.iter().enumerate() {
+        assert_eq!(
+            body, &expected,
+            "client {t}'s sweep response differs from the serial repro sweep bytes"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn killed_daemon_resumes_from_persisted_progress_bit_identically() {
+    let dir = common::test_dir("determinism_resume");
+    common::materialize_corpus(&dir, "resume corpus", 2);
+    let reference = common::reference_cells(&dir, &common::test_policies());
+    let expected = expected_sweep_body("c", &reference);
+
+    // First daemon lifetime: evaluate a prefix of the grid, then die. Every completed
+    // cell is flushed to sweep.progress before the reply goes out, so stop() — which
+    // lets in-flight work finish but drops the rest — models a mid-sweep kill.
+    let first = common::spawn_server(vec![("c".to_string(), dir.clone())], 1);
+    let addr = first.addr();
+    let mut client = Client::connect(addr, Some("phase-1")).expect("connect");
+    let prefix = [("TA-DRRIP", 0usize), ("LRU", 0), ("TA-DRRIP", 1)];
+    for (policy, mix) in prefix {
+        let body = format!("{{\"corpus\":\"c\",\"policy\":\"{policy}\",\"mix_id\":{mix}}}");
+        let resp = client.post("/eval", &body).expect("eval");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(resp.header("x-memo"), Some("miss"));
+    }
+    first.stop();
+
+    // Second lifetime over the same directory: the three persisted cells must come
+    // back as recovered memo entries and be served as hits, and the completed sweep
+    // must still match the serial reference byte-for-byte.
+    let second = common::spawn_server(vec![("c".to_string(), dir)], 1);
+    let addr = second.addr();
+    let stats = sweep_serve::client::get(addr, "/stats").expect("stats");
+    let parsed = sim_obs::JsonValue::parse(&stats.body).expect("stats JSON");
+    let recovered = parsed
+        .get("memo")
+        .and_then(|m| m.get("recovered"))
+        .and_then(sim_obs::JsonValue::as_number)
+        .expect("memo.recovered");
+    assert_eq!(recovered as usize, prefix.len(), "stats: {}", stats.body);
+
+    let mut client = Client::connect(addr, Some("phase-2")).expect("connect");
+    let resp = client.post("/sweep", &sweep_request_body()).expect("sweep");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let hits: u64 = resp
+        .header("x-memo-hits")
+        .and_then(|v| v.parse().ok())
+        .expect("X-Memo-Hits header");
+    assert_eq!(
+        hits,
+        prefix.len() as u64,
+        "exactly the persisted prefix should be served from recovery"
+    );
+    assert_eq!(
+        resp.body, expected,
+        "post-restart sweep differs from the serial repro sweep bytes"
+    );
+    second.stop();
+}

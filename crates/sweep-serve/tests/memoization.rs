@@ -1,0 +1,185 @@
+//! Memoization-correctness wall: a memo hit is bit-identical to the cold run that
+//! produced it, `/stats` counters match exactly what clients observed, and editing a
+//! corpus on disk (hash change) invalidates exactly the affected keys — other corpora
+//! keep their recovered entries.
+
+mod common;
+
+use std::path::Path;
+
+use sim_obs::JsonValue;
+use sweep_serve::Client;
+use trace_io::corpus::MANIFEST_FILE;
+
+fn eval_body(corpus: &str, policy: &str, mix: usize) -> String {
+    format!("{{\"corpus\":\"{corpus}\",\"policy\":\"{policy}\",\"mix_id\":{mix}}}")
+}
+
+fn stat(stats: &JsonValue, section: &str, field: &str) -> u64 {
+    stats
+        .get(section)
+        .and_then(|s| s.get(field))
+        .and_then(JsonValue::as_number)
+        .unwrap_or_else(|| panic!("missing {section}.{field}")) as u64
+}
+
+#[test]
+fn hits_are_bit_identical_and_stats_count_exactly_what_clients_observed() {
+    let dir = common::test_dir("memoization");
+    common::materialize_corpus(&dir, "memo corpus", 2);
+    let handle = common::spawn_server(vec![("c".to_string(), dir)], 1);
+    let mut client = Client::connect(handle.addr(), Some("counter")).expect("connect");
+
+    // Known request pattern: 2 cold cells, each then repeated twice, then a /sweep of
+    // LRU over both mixes — probing (LRU, 0), already memoized, and (LRU, 1), cold.
+    let cold_a = client.post("/eval", &eval_body("c", "LRU", 0)).unwrap();
+    assert_eq!(cold_a.status, 200, "{}", cold_a.body);
+    assert_eq!(cold_a.header("x-memo"), Some("miss"));
+    let cold_b = client
+        .post("/eval", &eval_body("c", "TA-DRRIP", 0))
+        .unwrap();
+    assert_eq!(cold_b.status, 200, "{}", cold_b.body);
+    assert_eq!(cold_b.header("x-memo"), Some("miss"));
+
+    for (policy, cold) in [("LRU", &cold_a), ("TA-DRRIP", &cold_b)] {
+        for _ in 0..2 {
+            let hit = client.post("/eval", &eval_body("c", policy, 0)).unwrap();
+            assert_eq!(hit.status, 200);
+            assert_eq!(hit.header("x-memo"), Some("hit"));
+            assert_eq!(
+                hit.body, cold.body,
+                "memo hit for {policy} is not bit-identical to its cold run"
+            );
+        }
+    }
+
+    // The sweep probes (LRU, 0) — already memoized — and (LRU, 1) — cold.
+    let sweep = client
+        .post("/sweep", "{\"corpus\":\"c\",\"policies\":[\"LRU\"]}")
+        .unwrap();
+    assert_eq!(sweep.status, 200, "{}", sweep.body);
+    assert_eq!(sweep.header("x-memo-hits"), Some("1"));
+
+    // Ledger: 2 cold /evals (misses) + 4 repeat /evals (hits) + sweep (1 hit, 1 miss).
+    let stats = client.get("/stats").unwrap();
+    let parsed = JsonValue::parse(&stats.body).expect("stats JSON");
+    assert_eq!(stat(&parsed, "memo", "hits"), 5, "stats: {}", stats.body);
+    assert_eq!(stat(&parsed, "memo", "misses"), 3, "stats: {}", stats.body);
+    assert_eq!(stat(&parsed, "memo", "entries"), 3, "stats: {}", stats.body);
+    assert_eq!(
+        stat(&parsed, "jobs", "enqueued"),
+        3,
+        "stats: {}",
+        stats.body
+    );
+    assert_eq!(
+        stat(&parsed, "jobs", "completed"),
+        3,
+        "stats: {}",
+        stats.body
+    );
+    handle.stop();
+}
+
+/// Rewrite the corpus manifest's free-text label: the corpus hash changes while every
+/// evaluation result stays identical — the sharpest possible invalidation probe.
+fn edit_manifest_label(dir: &Path, new_label: &str) {
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path).expect("read manifest");
+    let edited: String = text
+        .lines()
+        .map(|line| {
+            if line.starts_with("label ") {
+                format!("label {new_label}\n")
+            } else {
+                format!("{line}\n")
+            }
+        })
+        .collect();
+    assert_ne!(text, edited, "label line not found");
+    std::fs::write(&path, edited).expect("write manifest");
+}
+
+#[test]
+fn corpus_edit_invalidates_exactly_the_affected_keys() {
+    let dir_a = common::test_dir("memoization_inval_a");
+    let dir_b = common::test_dir("memoization_inval_b");
+    common::materialize_corpus(&dir_a, "corpus a", 1);
+    common::materialize_corpus(&dir_b, "corpus b", 1);
+    let corpora = vec![
+        ("a".to_string(), dir_a.clone()),
+        ("b".to_string(), dir_b.clone()),
+    ];
+
+    // First lifetime: persist one cell per corpus.
+    let first = common::spawn_server(corpora.clone(), 1);
+    let mut client = Client::connect(first.addr(), Some("seed")).expect("connect");
+    let a_cold = client.post("/eval", &eval_body("a", "LRU", 0)).unwrap();
+    assert_eq!(a_cold.header("x-memo"), Some("miss"));
+    let b_cold = client.post("/eval", &eval_body("b", "LRU", 0)).unwrap();
+    assert_eq!(b_cold.header("x-memo"), Some("miss"));
+    let hash_of = |body: &str| {
+        let parsed = JsonValue::parse(body).expect("corpora JSON");
+        let list = parsed.get("corpora").and_then(JsonValue::as_array).unwrap();
+        list.iter()
+            .map(|c| {
+                (
+                    c.get("name")
+                        .and_then(JsonValue::as_str)
+                        .unwrap()
+                        .to_string(),
+                    c.get("hash")
+                        .and_then(JsonValue::as_str)
+                        .unwrap()
+                        .to_string(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let hashes_before = hash_of(&client.get("/corpora").unwrap().body);
+    first.stop();
+
+    // Edit corpus A's manifest label: its content hash changes, its results do not.
+    edit_manifest_label(&dir_a, "corpus a (edited)");
+
+    // Second lifetime: only B's persisted cell survives recovery; A's progress file
+    // (stamped with the old hash) is discarded wholesale.
+    let second = common::spawn_server(corpora, 1);
+    let mut client = Client::connect(second.addr(), Some("probe")).expect("connect");
+    let hashes_after = hash_of(&client.get("/corpora").unwrap().body);
+    assert_ne!(
+        hashes_before.iter().find(|(n, _)| n == "a").unwrap(),
+        hashes_after.iter().find(|(n, _)| n == "a").unwrap(),
+        "editing the manifest label must change corpus a's hash"
+    );
+    assert_eq!(
+        hashes_before.iter().find(|(n, _)| n == "b").unwrap(),
+        hashes_after.iter().find(|(n, _)| n == "b").unwrap(),
+        "corpus b's hash must be untouched"
+    );
+
+    let stats = JsonValue::parse(&client.get("/stats").unwrap().body).unwrap();
+    assert_eq!(
+        stat(&stats, "memo", "recovered"),
+        1,
+        "only b's cell survives"
+    );
+
+    let b_probe = client.post("/eval", &eval_body("b", "LRU", 0)).unwrap();
+    assert_eq!(b_probe.header("x-memo"), Some("hit"), "b must be recovered");
+    assert_eq!(
+        b_probe.body, b_cold.body,
+        "recovered b cell must be bit-identical"
+    );
+
+    let a_probe = client.post("/eval", &eval_body("a", "LRU", 0)).unwrap();
+    assert_eq!(
+        a_probe.header("x-memo"),
+        Some("miss"),
+        "a's stale cell must have been invalidated"
+    );
+    // The label is metadata, not simulation input: re-evaluation reproduces the
+    // pre-edit bytes exactly.
+    assert_eq!(a_probe.body, a_cold.body);
+    second.stop();
+}
