@@ -21,7 +21,10 @@
 //! 4. **obs** — the sim-obs zero-overhead contract: the LLC micro-loop with one
 //!    *disabled* instrumentation call per access must run within
 //!    [`OBS_OVERHEAD_CEILING`] (2%) of the uninstrumented loop. This section always
-//!    runs full-size (the ratio needs real windows) and always asserts.
+//!    runs full-size (the ratio needs real windows) and always asserts. A sibling
+//!    **fault** section holds `sim_fault::fire` to the same discipline with an even
+//!    tighter [`FAULT_OVERHEAD_CEILING`] (1%): with no plan installed, the
+//!    fault-injection layer must be a relaxed load and a branch.
 //! 5. **decode** — what a sweep pays to turn a captured 4-core `.atrc` mix into
 //!    records: buffered `decode_all` (the PR 2 materialize path — per-mix `Vec`s,
 //!    block-buffered reads, validation, decode) vs. the zero-copy pipeline
@@ -74,6 +77,11 @@ const PARALLEL_FLOOR: f64 = 1.05;
 /// Hard ceiling on the disabled-mode instrumentation overhead ratio: the sim-obs
 /// zero-overhead contract (one relaxed atomic load + branch per call site).
 const OBS_OVERHEAD_CEILING: f64 = 1.02;
+
+/// Hard ceiling on the disabled-mode fault-injection overhead ratio: `sim_fault::fire`
+/// with no plan installed must cost one relaxed atomic load and a branch, same
+/// contract as sim-obs.
+const FAULT_OVERHEAD_CEILING: f64 = 1.01;
 
 /// Minimum zero-copy replay speedup over the buffered per-record reader (the PR 2
 /// decode baseline). The batch decoder amortizes framing, bounds checks and branch
@@ -138,6 +146,33 @@ fn drive_llc_observed<L: LlcModel>(llc: &mut L, accesses: u64) -> f64 {
     accesses as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Same workload as [`drive_llc`] with one disabled `sim_fault::fire` probe per
+/// access — a fault-site density no real path approaches (the actual sites are per
+/// chunk/block/job, not per access). The fault section measures that delta.
+fn drive_llc_faulted<L: LlcModel>(llc: &mut L, accesses: u64) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..accesses {
+        let block = if i % 8 < 6 {
+            BlockAddr((i.wrapping_mul(2654435761)) % 6144)
+        } else {
+            BlockAddr(0x10_0000 + (i.wrapping_mul(40503)) % 32768)
+        };
+        let core = (i % 4) as usize;
+        let is_write = i % 7 == 0;
+        if sim_fault::fire("bench.access").is_some() {
+            unreachable!("no fault plan is installed in this section");
+        }
+        let lookup = llc.access(core, 0x400 + (i % 64), block, true, is_write, i);
+        if !lookup.hit {
+            llc.fill(core, 0x400 + (i % 64), block, is_write, i);
+        }
+        acc = acc.wrapping_add(lookup.latency);
+    }
+    black_box(acc);
+    accesses as f64 / start.elapsed().as_secs_f64()
+}
+
 struct ObsNumbers {
     accesses: u64,
     plain_per_sec: f64,
@@ -174,6 +209,48 @@ fn obs_section() -> ObsNumbers {
         accesses,
         plain_per_sec,
         observed_per_sec,
+    }
+}
+
+struct FaultNumbers {
+    accesses: u64,
+    plain_per_sec: f64,
+    faulted_per_sec: f64,
+}
+
+/// Measure the disabled-mode fault-injection overhead: identical LLC micro-loops, one
+/// with a per-access `sim_fault::fire` probe, no plan installed. Same best-of-5
+/// interleaved discipline as [`obs_section`], and always full-size for the same reason.
+fn fault_section() -> FaultNumbers {
+    assert!(
+        !sim_fault::is_active(),
+        "no fault plan may be installed for this section"
+    );
+    let cfg = SystemConfig::scaled(4);
+    let accesses: u64 = 2_000_000;
+
+    let policy = build_baseline_any(BaselineKind::TaDrrip, &cfg.llc, 4);
+    let mut plain = SharedLlc::new(cfg.llc, 4, 1_000_000, policy);
+    let policy = build_baseline_any(BaselineKind::TaDrrip, &cfg.llc, 4);
+    let mut faulted = SharedLlc::new(cfg.llc, 4, 1_000_000, policy);
+
+    drive_llc(&mut plain, accesses / 4);
+    drive_llc_faulted(&mut faulted, accesses / 4);
+    let mut plain_per_sec = 0f64;
+    let mut faulted_per_sec = 0f64;
+    for _ in 0..5 {
+        plain_per_sec = plain_per_sec.max(drive_llc(&mut plain, accesses));
+        faulted_per_sec = faulted_per_sec.max(drive_llc_faulted(&mut faulted, accesses));
+    }
+    assert_eq!(
+        plain.global_stats(),
+        faulted.global_stats(),
+        "fault-probed micro workload diverged from plain"
+    );
+    FaultNumbers {
+        accesses,
+        plain_per_sec,
+        faulted_per_sec,
     }
 }
 
@@ -526,6 +603,23 @@ fn main() {
          {OBS_OVERHEAD_CEILING}x ceiling"
     );
 
+    println!("sim_perf: disabled-mode fault-injection overhead (sim-fault contract)...");
+    let fault = fault_section();
+    let fault_overhead = fault.plain_per_sec / fault.faulted_per_sec.max(1e-9);
+    println!(
+        "  plain       : {:>10.2} M accesses/s\n  fault-probed: {:>10.2} M accesses/s  \
+         ({:.2}% overhead, ceiling {:.0}%)",
+        fault.plain_per_sec / 1e6,
+        fault.faulted_per_sec / 1e6,
+        (fault_overhead - 1.0) * 100.0,
+        (FAULT_OVERHEAD_CEILING - 1.0) * 100.0,
+    );
+    assert!(
+        fault_overhead <= FAULT_OVERHEAD_CEILING,
+        "disabled-mode fault-injection overhead {fault_overhead:.4}x exceeds the \
+         {FAULT_OVERHEAD_CEILING}x ceiling"
+    );
+
     if parallel_speedup < PARALLEL_FLOOR {
         if workers == 1 {
             // A single-worker host cannot show parallel speedup; skipping the floor
@@ -580,6 +674,8 @@ fn main() {
          \"parallel_speedup\": {:.3}\n  }},\n  \
          \"obs\": {{\n    \"accesses\": {},\n    \"plain_accesses_per_sec\": {:.0},\n    \
          \"instrumented_accesses_per_sec\": {:.0},\n    \"disabled_overhead_ratio\": {:.4}\n  }},\n  \
+         \"fault\": {{\n    \"accesses\": {},\n    \"plain_accesses_per_sec\": {:.0},\n    \
+         \"probed_accesses_per_sec\": {:.0},\n    \"disabled_overhead_ratio\": {:.4}\n  }},\n  \
          \"decode\": {{\n    \"records_per_pass\": {},\n    \"cores\": {},\n    \
          \"buffered_records_per_sec\": {:.0},\n    \"zero_copy_records_per_sec\": {:.0},\n    \
          \"zero_copy_first_pass_records_per_sec\": {:.0},\n    \
@@ -605,6 +701,10 @@ fn main() {
         obs.plain_per_sec,
         obs.observed_per_sec,
         obs_overhead,
+        fault.accesses,
+        fault.plain_per_sec,
+        fault.faulted_per_sec,
+        fault_overhead,
         decode.records,
         decode.cores,
         decode.buffered_per_sec,

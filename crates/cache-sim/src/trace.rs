@@ -235,6 +235,50 @@ pub trait BatchSource: Send {
     fn label(&self) -> String;
 }
 
+/// Typed unwind payload for replay infrastructure that hits corruption *after* its
+/// sources were validated.
+///
+/// The [`TraceSource`]/[`BatchSource`] contracts are infallible by design — the
+/// simulator hot loop cannot plumb `Result` — so a decode failure discovered
+/// mid-replay can only surface as a panic. Raising it with
+/// [`raise_replay_fault`] makes the panic *typed*: an unwind boundary (sweepd's
+/// worker `catch_unwind`) downcasts the payload with [`replay_fault_from`] to
+/// tell recoverable replay corruption (quarantine the corpus, answer a typed
+/// 503) apart from arbitrary bugs (500). CLI tools that install no boundary
+/// keep plain panic-on-corruption semantics.
+#[derive(Debug, Clone)]
+pub struct ReplayFault {
+    /// Label of the stream that failed (see [`BatchSource::label`]).
+    pub stream: String,
+    /// Human-readable description of the corruption.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay fault on stream {}: {}",
+            self.stream, self.message
+        )
+    }
+}
+
+/// Unwind with a [`ReplayFault`] payload. The message is also written to stderr
+/// first, because `panic_any` payloads render opaquely in default panic hooks.
+pub fn raise_replay_fault(stream: &str, message: String) -> ! {
+    eprintln!("replay fault on stream {stream}: {message}");
+    std::panic::panic_any(ReplayFault {
+        stream: stream.to_string(),
+        message,
+    })
+}
+
+/// Downcast a `catch_unwind` payload to the [`ReplayFault`] it carries, if any.
+pub fn replay_fault_from(payload: &(dyn std::any::Any + Send)) -> Option<&ReplayFault> {
+    payload.downcast_ref::<ReplayFault>()
+}
+
 /// Process-wide accounting of live replay-arena bytes (see [`ArenaTracker`]).
 static ARENA_CURRENT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 /// High-water mark of [`ARENA_CURRENT`]; read by [`arena_peak_bytes`].

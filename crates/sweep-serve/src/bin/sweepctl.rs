@@ -13,12 +13,15 @@
 //! ```
 //!
 //! Prints the response body to stdout; exits non-zero on any non-200 answer.
+//! `eval` and `sweep` absorb `429 Too Many Requests` backpressure with capped
+//! exponential backoff (jittered, honoring the server's `Retry-After` hint)
+//! before giving up.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 
 use sweep_serve::client;
-use sweep_serve::HttpResponse;
+use sweep_serve::{BackoffPolicy, Client, HttpResponse};
 
 fn usage() -> String {
     "usage: sweepctl [--addr HOST:PORT] <health|stats|corpora|shutdown>\n       \
@@ -49,7 +52,11 @@ fn run(addr: SocketAddr, command: &str, opts: &Opts) -> Result<HttpResponse, Str
                 json_str(corpus),
                 json_str(policy)
             );
-            client::post(addr, "/eval", &body, opts.client.as_deref()).map_err(io)
+            let mut client = Client::connect(addr, opts.client.as_deref()).map_err(io)?;
+            client
+                .eval_with_retry(&body, &BackoffPolicy::default())
+                .map(|(resp, _)| resp)
+                .map_err(io)
         }
         "sweep" => {
             let corpus = opts.corpus.as_deref().ok_or("sweep requires --corpus")?;
@@ -63,7 +70,11 @@ fn run(addr: SocketAddr, command: &str, opts: &Opts) -> Result<HttpResponse, Str
                 body.push_str(&format!(",\"mix_ids\":[{}]", ids.join(",")));
             }
             body.push('}');
-            client::post(addr, "/sweep", &body, opts.client.as_deref()).map_err(io)
+            let mut client = Client::connect(addr, opts.client.as_deref()).map_err(io)?;
+            client
+                .post_with_retry("/sweep", &body, &BackoffPolicy::default())
+                .map(|(resp, _)| resp)
+                .map_err(io)
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }

@@ -133,6 +133,110 @@ impl Client {
         self.writer.flush()?;
         read_response(&mut self.reader)
     }
+
+    /// `POST path`, absorbing `429 Too Many Requests` backpressure per `policy`.
+    /// Returns the final response (the last 429 if retries ran out) plus how many
+    /// 429s were absorbed. I/O errors are not retried — on this keep-alive client a
+    /// broken connection needs a reconnect, not a resend.
+    pub fn post_with_retry(
+        &mut self,
+        path: &str,
+        body: &str,
+        policy: &BackoffPolicy,
+    ) -> io::Result<(HttpResponse, u64)> {
+        // Jitter stream seeded per client identity so synchronized clients spread.
+        let mut jitter = policy.jitter_seed;
+        if let Some(id) = &self.client_id {
+            for b in id.bytes() {
+                jitter = (jitter ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut retries = 0u64;
+        loop {
+            let resp = self.post(path, body)?;
+            if resp.status != 429 || retries >= policy.max_retries as u64 {
+                return Ok((resp, retries));
+            }
+            let hint = resp
+                .header("retry-after")
+                .and_then(|v| v.trim().parse::<u64>().ok());
+            std::thread::sleep(policy.wait(retries as u32, hint, &mut jitter));
+            retries += 1;
+        }
+    }
+
+    /// [`Client::post_with_retry`] against `/eval` — the common cell-evaluation
+    /// request shape shared by `sweepctl` and the load harness.
+    pub fn eval_with_retry(
+        &mut self,
+        body: &str,
+        policy: &BackoffPolicy,
+    ) -> io::Result<(HttpResponse, u64)> {
+        self.post_with_retry("/eval", body, policy)
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter for 429 responses,
+/// honoring the server's `Retry-After` hint.
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    /// Maximum 429 retries before the last response is returned as-is.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each subsequent retry.
+    pub base: Duration,
+    /// Upper bound on any single wait (also caps the `Retry-After` hint).
+    pub cap: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(200),
+            cap: Duration::from_secs(5),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Policy tuned for in-process load tests: short waits, many retries (the
+    /// load harness hammers an intentionally saturated queue).
+    pub fn aggressive(max_retries: u32) -> BackoffPolicy {
+        BackoffPolicy {
+            max_retries,
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(100),
+            ..BackoffPolicy::default()
+        }
+    }
+
+    /// The wait before retry `attempt` (0-based): exponential from `base`, raised
+    /// to the server's `Retry-After` hint when larger, capped at `cap`, then
+    /// jittered into the upper half `[w/2, w]` so synchronized clients spread out.
+    pub fn wait(
+        &self,
+        attempt: u32,
+        retry_after_secs: Option<u64>,
+        jitter_state: &mut u64,
+    ) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        let hinted = retry_after_secs
+            .map(Duration::from_secs)
+            .unwrap_or(Duration::ZERO);
+        let capped = exp.max(hinted).min(self.cap);
+        // xorshift64: cheap, deterministic, never zero.
+        let mut x = *jitter_state | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *jitter_state = x;
+        let half_ns = (capped.as_nanos() / 2) as u64;
+        let jitter_ns = if half_ns == 0 { 0 } else { x % (half_ns + 1) };
+        Duration::from_nanos(half_ns + jitter_ns)
+    }
 }
 
 /// One-shot `GET` on a fresh connection.
@@ -164,4 +268,45 @@ pub fn raw_roundtrip(addr: SocketAddr, bytes: &[u8], half_close: bool) -> io::Re
         stream.shutdown(std::net::Shutdown::Write)?;
     }
     read_response(&mut BufReader::new(stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_honors_hints_and_caps() {
+        let p = BackoffPolicy::default();
+        let mut j = 1u64;
+        let w0 = p.wait(0, None, &mut j);
+        assert!(
+            w0 >= p.base / 2 && w0 <= p.base,
+            "attempt 0 jitters within [base/2, base]: {w0:?}"
+        );
+        let w1 = p.wait(1, None, &mut j);
+        assert!(
+            w1 >= p.base && w1 <= p.base * 2,
+            "attempt 1 doubles: {w1:?}"
+        );
+        let hinted = p.wait(0, Some(3), &mut j);
+        assert!(
+            hinted >= Duration::from_millis(1500) && hinted <= Duration::from_secs(3),
+            "a larger Retry-After hint raises the wait: {hinted:?}"
+        );
+        let capped = p.wait(30, Some(9999), &mut j);
+        assert!(
+            capped <= p.cap && capped >= p.cap / 2,
+            "the cap bounds every wait: {capped:?}"
+        );
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic() {
+        let p = BackoffPolicy::default();
+        let run = || {
+            let mut j = p.jitter_seed;
+            (0..6).map(|a| p.wait(a, None, &mut j)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
 }

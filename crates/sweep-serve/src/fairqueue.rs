@@ -310,6 +310,26 @@ mod tests {
     }
 
     #[test]
+    fn blocking_push_times_out_when_space_never_frees() {
+        // No consumer ever pops: push_blocking must give up at its deadline with
+        // `Full` (→ 429 upstream), leaving the queued job untouched. This is the
+        // /sweep story when the worker pool is wedged by faults.
+        let q: FairQueue<u32> = FairQueue::new(1);
+        q.try_push("a", 1).unwrap();
+        let timeout = Duration::from_millis(120);
+        let start = Instant::now();
+        assert_eq!(q.push_blocking("b", 2, timeout), Err(PushError::Full));
+        assert!(
+            start.elapsed() >= timeout,
+            "the full wait elapsed before giving up: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(q.totals().2, 1, "the expiry is counted as a rejection");
+        assert_eq!(q.depth(), 1, "the resident job is untouched");
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+
+    #[test]
     fn close_drops_queued_work_and_unblocks_everyone() {
         let q: FairQueue<u32> = FairQueue::new(4);
         q.try_push("a", 1).unwrap();

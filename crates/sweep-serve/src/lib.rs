@@ -30,6 +30,6 @@ pub mod memo;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, HttpResponse};
+pub use client::{BackoffPolicy, Client, HttpResponse};
 pub use load::{run_load, LoadReport, LoadSpec};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -16,11 +16,11 @@
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use sim_obs::JsonValue;
 
-use crate::client::Client;
+use crate::client::{BackoffPolicy, Client};
 use crate::json::{fmt_f64, json_str};
 use crate::server::CONNECTION_STACK_BYTES;
 
@@ -94,30 +94,6 @@ fn eval_body(corpus: &str, policy: &str, mix_id: usize) -> String {
     )
 }
 
-/// POST one `/eval`, absorbing 429 backpressure with bounded retries. Returns the
-/// final status and how many 429s were absorbed.
-fn eval_with_retry(
-    client: &mut Client,
-    body: &str,
-    max_retries: u32,
-) -> std::io::Result<(u16, u64)> {
-    let mut retries = 0u64;
-    loop {
-        let resp = client.post("/eval", body)?;
-        if resp.status == 429 && retries < max_retries as u64 {
-            retries += 1;
-            let wait = resp
-                .header("retry-after")
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or(1)
-                .min(2);
-            std::thread::sleep(Duration::from_millis(50 * wait.max(1)));
-            continue;
-        }
-        return Ok((resp.status, retries));
-    }
-}
-
 fn stats_numbers(addr: SocketAddr) -> Result<(u64, u64, f64), String> {
     let resp = crate::client::get(addr, "/stats").map_err(|e| format!("GET /stats: {e}"))?;
     if resp.status != 200 {
@@ -168,10 +144,11 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> Result<LoadReport, String>
                     errors.fetch_add(1, Ordering::Relaxed);
                     return;
                 };
+                let backoff = BackoffPolicy::aggressive(200);
                 for (policy, mix) in cells.iter().skip(w).step_by(warm_clients) {
                     let body = eval_body(corpus, policy, *mix);
-                    match eval_with_retry(&mut client, &body, 200) {
-                        Ok((200, _)) => {}
+                    match client.eval_with_retry(&body, &backoff) {
+                        Ok((resp, _)) if resp.status == 200 => {}
                         _ => {
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
@@ -225,12 +202,13 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> Result<LoadReport, String>
                         return;
                     };
                     let mut local = Vec::with_capacity(n);
+                    let backoff = BackoffPolicy::aggressive(50);
                     for i in 0..n {
                         let (policy, mix) = &cells[(t * 31 + i * 7) % cells.len()];
                         let body = eval_body(corpus, policy, *mix);
                         let start = Instant::now();
-                        match eval_with_retry(&mut client, &body, 50) {
-                            Ok((200, r)) => {
+                        match client.eval_with_retry(&body, &backoff) {
+                            Ok((resp, r)) if resp.status == 200 => {
                                 local.push(start.elapsed().as_secs_f64() * 1e3);
                                 retries.fetch_add(r, Ordering::Relaxed);
                                 requests.fetch_add(1, Ordering::Relaxed);

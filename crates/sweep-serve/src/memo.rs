@@ -34,9 +34,9 @@
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Version tag of the progress-file format (bump when [`crate::json::evaluation_json`]
@@ -224,11 +224,20 @@ pub fn load_progress(path: &Path, expected: &ProgressHeader) -> Option<Vec<Progr
 /// Append-only writer for a corpus's progress file.
 ///
 /// [`ProgressWriter::open`] validates or (re)creates the file so its header always
-/// matches the daemon's current view of the corpus; appends are flushed per cell so a
-/// kill loses at most the line being written.
+/// matches the daemon's current view of the corpus; each appended cell is flushed
+/// *and* `sync_all`ed (flush alone only reaches userspace buffers), so a kill — even
+/// one between the write and the sync — loses at most the line being written.
+///
+/// The first append that fails latches the writer into **degraded, memo-only mode**:
+/// no further bytes are written (later appends could glue onto a torn tail and
+/// corrupt good lines), serving continues from the in-memory memo store, and the
+/// condition is surfaced in `/stats` under `health.progress_degraded`. The latch
+/// holds until the corpus is reloaded (restart or `/revalidate`).
 pub struct ProgressWriter {
-    file: Mutex<BufWriter<File>>,
+    /// `None` once persistence is lost (degraded mode or a failed open).
+    file: Mutex<Option<BufWriter<File>>>,
     path: PathBuf,
+    degraded: AtomicBool,
 }
 
 impl ProgressWriter {
@@ -239,42 +248,119 @@ impl ProgressWriter {
         path: &Path,
         header: &ProgressHeader,
     ) -> std::io::Result<(ProgressWriter, Vec<ProgressCell>)> {
+        sim_fault::fail_io("progress.open")?;
         let recovered = load_progress(path, header);
         let (file, cells) = match recovered {
-            Some(cells) => (OpenOptions::new().append(true).open(path)?, cells),
+            Some(cells) => {
+                let mut f = OpenOptions::new().read(true).append(true).open(path)?;
+                // A torn trailing line (kill or fault mid-append) carries no newline;
+                // terminate it so the next cell starts on a fresh line instead of
+                // gluing onto the torn prefix and corrupting a good cell.
+                let len = f.metadata()?.len();
+                if len > 0 {
+                    f.seek(SeekFrom::End(-1))?;
+                    let mut last = [0u8; 1];
+                    f.read_exact(&mut last)?;
+                    if last[0] != b'\n' {
+                        f.write_all(b"\n")?;
+                    }
+                }
+                (f, cells)
+            }
             None => {
                 let mut f = File::create(path)?;
                 f.write_all(render_header(header).as_bytes())?;
                 f.flush()?;
+                sim_fault::fail_io("progress.sync")?;
+                f.sync_all()?;
+                // Durability of the *name* too: a freshly created file needs its
+                // directory entry synced, or a crash can lose the whole file.
+                // Best-effort — not every filesystem lets a directory be opened.
+                sync_parent_dir(path);
                 (f, Vec::new())
             }
         };
         Ok((
             ProgressWriter {
-                file: Mutex::new(BufWriter::new(file)),
+                file: Mutex::new(Some(BufWriter::new(file))),
                 path: path.to_path_buf(),
+                degraded: AtomicBool::new(false),
             },
             cells,
         ))
+    }
+
+    /// A writer that persists nothing — used when the progress file cannot be
+    /// opened, so the corpus still serves (memo-only) instead of failing startup.
+    pub fn disabled(path: &Path) -> ProgressWriter {
+        ProgressWriter {
+            file: Mutex::new(None),
+            path: path.to_path_buf(),
+            degraded: AtomicBool::new(true),
+        }
+    }
+
+    /// Whether persistence has been lost (memo-only mode).
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Append one computed cell. The result JSON never contains a newline (the
     /// serializer emits none), so the line-oriented format stays unambiguous.
     pub fn append(&self, policy: &str, mix_id: usize, instructions: u64, json: &str) {
         debug_assert!(!json.contains('\n'));
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(file) = guard.as_mut() else {
+            return;
+        };
         let line = format!("cell {policy} {mix_id} {instructions} {json}\n");
-        // A failed append degrades persistence, not serving: log and carry on.
-        if file
-            .write_all(line.as_bytes())
-            .and_then(|()| file.flush())
-            .is_err()
-        {
+        if let Err(e) = append_line(file, &line) {
+            // A failed append degrades persistence, not serving — and it latches:
+            // the file may now end in a torn line, so writing anything further
+            // would corrupt it. Serving continues from the memo store alone.
+            self.degraded.store(true, Ordering::Relaxed);
+            *guard = None;
             sim_obs::obs_warn!(
                 "sweepd",
-                "failed to append progress cell to {}",
+                "progress persistence degraded to memo-only for {}: {e}",
                 self.path.display()
             );
+        }
+    }
+}
+
+/// Write one cell line durably: write + flush + `sync_all`.
+fn append_line(file: &mut BufWriter<File>, line: &str) -> std::io::Result<()> {
+    match sim_fault::fire("progress.write") {
+        Some(sim_fault::FaultKind::TornWrite) => {
+            // A torn write lands a prefix of the line on disk, then errors.
+            file.write_all(&line.as_bytes()[..line.len() / 2])?;
+            let _ = file.flush();
+            return Err(sim_fault::injected_io_error(
+                sim_fault::FaultKind::TornWrite,
+                "progress.write",
+            ));
+        }
+        Some(kind) => sim_fault::apply_io(kind, "progress.write")?,
+        None => {}
+    }
+    file.write_all(line.as_bytes())?;
+    file.flush()?;
+    sim_fault::fail_io("progress.sync")?;
+    file.get_ref().sync_all()
+}
+
+/// Best-effort fsync of `path`'s containing directory.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            if dir.sync_all().is_err() {
+                sim_obs::obs_warn!(
+                    "sweepd",
+                    "could not sync directory {} after creating progress file",
+                    parent.display()
+                );
+            }
         }
     }
 }

@@ -129,8 +129,19 @@ impl LoadedCorpus {
             cores: cores as u32,
             seed,
         };
-        let (progress, cells) = ProgressWriter::open(&dir.join(PROGRESS_FILE), &header)
-            .map_err(|e| format!("opening progress file for corpus {name:?}: {e}"))?;
+        // An unwritable progress file costs resumability, not serving: degrade to
+        // memo-only mode (flagged in `/stats`) instead of failing startup.
+        let progress_path = dir.join(PROGRESS_FILE);
+        let (progress, cells) = match ProgressWriter::open(&progress_path, &header) {
+            Ok(opened) => opened,
+            Err(e) => {
+                sim_obs::obs_warn!(
+                    "sweepd",
+                    "corpus {name:?}: progress file unavailable ({e}); serving memo-only"
+                );
+                (ProgressWriter::disabled(&progress_path), Vec::new())
+            }
+        };
         let loaded = LoadedCorpus {
             name: name.to_string(),
             corpus,
@@ -202,9 +213,18 @@ impl LoadedCorpus {
     }
 }
 
-/// The daemon's immutable name → corpus map, built once at startup.
+/// The daemon's name → corpus map, built at startup.
+///
+/// The *name set* is fixed for the daemon's lifetime, but an entry can be
+/// **quarantined** — taken out of service with a reason — when its replay path
+/// hits corruption mid-evaluation, and later **revalidated**: reloaded from disk
+/// and readmitted without a restart. Quarantined corpora answer 503 with a typed
+/// body; `/stats` lists them under `health.quarantined`.
 pub struct Registry {
-    corpora: HashMap<String, Arc<LoadedCorpus>>,
+    corpora: std::sync::RwLock<HashMap<String, Arc<LoadedCorpus>>>,
+    quarantined: std::sync::Mutex<HashMap<String, String>>,
+    scale: ExperimentScale,
+    replay: ReplayConfig,
 }
 
 impl Registry {
@@ -224,25 +244,123 @@ impl Registry {
                 return Err(format!("duplicate corpus name {name:?}"));
             }
         }
-        Ok((Registry { corpora }, recovered))
+        Ok((
+            Registry {
+                corpora: std::sync::RwLock::new(corpora),
+                quarantined: std::sync::Mutex::new(HashMap::new()),
+                scale,
+                replay: replay.clone(),
+            },
+            recovered,
+        ))
     }
 
-    /// Look a corpus up by registry name.
-    pub fn get(&self, name: &str) -> Option<&Arc<LoadedCorpus>> {
-        self.corpora.get(name)
+    /// Look a corpus up by registry name (quarantined corpora are still returned;
+    /// callers gate on [`Registry::quarantine_reason`]).
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedCorpus>> {
+        self.corpora
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
     }
 
     /// Registry names, sorted for deterministic listings.
-    pub fn names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.corpora.keys().map(String::as_str).collect();
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .corpora
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
         names.sort_unstable();
         names
     }
 
     /// All loaded corpora, sorted by name.
-    pub fn iter(&self) -> Vec<&Arc<LoadedCorpus>> {
-        let mut all: Vec<&Arc<LoadedCorpus>> = self.corpora.values().collect();
+    pub fn iter(&self) -> Vec<Arc<LoadedCorpus>> {
+        let mut all: Vec<Arc<LoadedCorpus>> = self
+            .corpora
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
         all.sort_by(|a, b| a.name.cmp(&b.name));
         all
+    }
+
+    /// Take `name` out of service. The first reason wins (later faults on jobs
+    /// already queued don't rewrite history). Returns whether this call newly
+    /// quarantined the corpus.
+    pub fn quarantine(&self, name: &str, reason: &str) -> bool {
+        let mut map = self.quarantined.lock().unwrap_or_else(|e| e.into_inner());
+        match map.entry(name.to_string()) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                sim_obs::obs_warn!("sweepd", "quarantining corpus {name:?}: {reason}");
+                slot.insert(reason.to_string());
+                true
+            }
+        }
+    }
+
+    /// Why `name` is out of service, if it is.
+    pub fn quarantine_reason(&self, name: &str) -> Option<String> {
+        self.quarantined
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// `(name, reason)` of every quarantined corpus, sorted by name.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        let mut all: Vec<(String, String)> = self
+            .quarantined
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, r)| (n.clone(), r.clone()))
+            .collect();
+        all.sort();
+        all
+    }
+
+    /// Reload `name` from disk and readmit it: re-hash, re-materialize, re-open the
+    /// progress file, and clear the quarantine flag. If the bytes changed, every
+    /// memo cell of the old corpus is invalidated first. On failure the corpus
+    /// stays quarantined with the fresh error as its reason.
+    pub fn revalidate(&self, name: &str, memo: &MemoStore) -> Result<usize, String> {
+        let existing = self
+            .get(name)
+            .ok_or_else(|| format!("no corpus named {name:?}"))?;
+        let dir = existing.corpus.dir().to_path_buf();
+        match LoadedCorpus::load(name, &dir, self.scale, &self.replay, memo) {
+            Ok((loaded, recovered)) => {
+                if loaded.hash != existing.hash {
+                    // The bytes changed under us: the old corpus's cells are stale.
+                    memo.invalidate_corpus(existing.hash);
+                }
+                self.corpora
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(name.to_string(), Arc::new(loaded));
+                self.quarantined
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(name);
+                sim_obs::obs_info!("sweepd", "corpus {name:?} revalidated and readmitted");
+                Ok(recovered)
+            }
+            Err(e) => {
+                self.quarantined
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(name.to_string(), e.clone());
+                Err(e)
+            }
+        }
     }
 }

@@ -49,12 +49,18 @@ use crate::registry::{LoadedCorpus, Registry};
 /// backstop; workers normally answer in milliseconds).
 const REPLY_TIMEOUT: Duration = Duration::from_secs(600);
 
-/// Per-cell bound on `/sweep`'s blocking enqueue.
+/// Default per-cell bound on `/sweep`'s blocking enqueue
+/// ([`ServerConfig::sweep_push_timeout`]).
 const SWEEP_PUSH_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Idle read timeout on accepted sockets: bounds torn-body stalls (408) and reclaims
 /// abandoned keep-alive connections.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Write timeout on accepted sockets: a client that accepts its response slower
+/// than this (slowloris on the response path) loses the connection instead of
+/// pinning a connection thread forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Stack size for connection and client threads: they parse, route and block on
 /// channels — no simulation — so small stacks let thousands coexist.
@@ -77,6 +83,9 @@ pub struct ServerConfig {
     pub replay: ReplayConfig,
     /// `(name, directory)` pairs of corpora to load at startup.
     pub corpora: Vec<(String, PathBuf)>,
+    /// Per-cell bound on `/sweep`'s blocking enqueue: how long one grid cell may
+    /// wait for queue space before the whole sweep answers 429.
+    pub sweep_push_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +98,7 @@ impl Default for ServerConfig {
             scale: ExperimentScale::Scaled,
             replay: ReplayConfig::default(),
             corpora: Vec::new(),
+            sweep_push_timeout: SWEEP_PUSH_TIMEOUT,
         }
     }
 }
@@ -104,6 +114,8 @@ struct Job {
 enum WorkerReply {
     Done(Arc<String>),
     Panicked,
+    /// Replay corruption: the job's corpus has been quarantined with this reason.
+    Faulted(String),
 }
 
 struct Shared {
@@ -115,6 +127,7 @@ struct Shared {
     recovered_cells: usize,
     workers: usize,
     addr: SocketAddr,
+    sweep_push_timeout: Duration,
 }
 
 /// A running daemon; dropping (or [`ServerHandle::stop`]) shuts it down.
@@ -131,6 +144,10 @@ impl Server {
     /// Bind `config.addr`, load every corpus (recovering persisted sweep progress into
     /// the memo store), start the worker pool and the accept loop.
     pub fn spawn(config: ServerConfig) -> Result<ServerHandle, String> {
+        // Arm the fault-injection layer from `SIM_FAULT_PLAN` if set (no-op and
+        // zero-cost otherwise); a malformed spec is a startup error, not a
+        // silently fault-free run.
+        sim_fault::init_from_env().map_err(|e| format!("SIM_FAULT_PLAN: {e}"))?;
         let memo = MemoStore::new();
         let (registry, recovered_cells) =
             Registry::load(&config.corpora, config.scale, &config.replay, &memo)?;
@@ -149,6 +166,7 @@ impl Server {
             recovered_cells,
             workers,
             addr,
+            sweep_push_timeout: config.sweep_push_timeout,
         });
         let worker_handles = (0..workers)
             .map(|i| {
@@ -243,6 +261,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 
 fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let Ok(reader_stream) = stream.try_clone() else {
         return;
@@ -264,6 +283,11 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(req) => {
                 let resp = catch_unwind(AssertUnwindSafe(|| route(shared, &req)))
                     .unwrap_or_else(|_| Response::error(500, "internal error"));
+                if sim_fault::fire("serve.conn.close").is_some() {
+                    // Injected connection drop: the client sees EOF — a visible
+                    // failure, never silently wrong bytes.
+                    return;
+                }
                 let headers: Vec<(&str, String)> =
                     resp.headers.iter().map(|(n, v)| (*n, v.clone())).collect();
                 if write_response(&mut writer, resp.status, &headers, &resp.body, req.close)
@@ -294,33 +318,58 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some((client, job)) = shared.queue.pop() {
+        let reply = execute_job(shared, &job);
+        shared.queue.note_completed(&client);
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Run one job to a reply. The whole execution — including any injected
+/// scheduling fault — happens under `catch_unwind`, so no fault or bug can kill a
+/// worker thread. A typed `ReplayFault` unwind (mid-replay corruption) quarantines
+/// the job's corpus and answers a typed 503; any other panic answers 500.
+fn execute_job(shared: &Arc<Shared>, job: &Job) -> WorkerReply {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        match sim_fault::fire("serve.worker") {
+            Some(sim_fault::FaultKind::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(sim_fault::FaultKind::Panic) => panic!("injected fault at serve.worker: panic"),
+            _ => {}
+        }
+        if let Some(reason) = shared.registry.quarantine_reason(&job.corpus.name) {
+            // The corpus was quarantined while this job sat queued: refuse fast
+            // instead of re-running the replay that just failed.
+            return Err(reason);
+        }
         // Another worker (or a restart recovery) may have filled this cell while the
         // job sat queued; the re-check is quiet so /stats counters only reflect what
         // requests observed.
-        let result = match shared.memo.peek(&job.key) {
-            Some(hit) => Some(hit),
-            None => catch_unwind(AssertUnwindSafe(|| {
-                job.corpus.evaluate(job.policy, job.key.mix_id)
-            }))
-            .ok()
-            .flatten()
-            .map(|eval| {
-                let json = Arc::new(evaluation_json(&eval));
-                shared.memo.insert(job.key.clone(), json.clone());
-                job.corpus.progress.append(
-                    &job.key.policy,
-                    job.key.mix_id,
-                    job.key.instructions,
-                    &json,
-                );
-                json
-            }),
-        };
-        shared.queue.note_completed(&client);
-        let _ = job.reply.send(match result {
-            Some(json) => WorkerReply::Done(json),
+        if let Some(hit) = shared.memo.peek(&job.key) {
+            return Ok(Some(hit));
+        }
+        Ok(job.corpus.evaluate(job.policy, job.key.mix_id).map(|eval| {
+            let json = Arc::new(evaluation_json(&eval));
+            shared.memo.insert(job.key.clone(), json.clone());
+            job.corpus.progress.append(
+                &job.key.policy,
+                job.key.mix_id,
+                job.key.instructions,
+                &json,
+            );
+            json
+        }))
+    }));
+    match outcome {
+        Ok(Ok(Some(json))) => WorkerReply::Done(json),
+        // The mix disappeared between parse and execution — treated like a crash.
+        Ok(Ok(None)) => WorkerReply::Panicked,
+        Ok(Err(reason)) => WorkerReply::Faulted(reason),
+        Err(payload) => match cache_sim::trace::replay_fault_from(payload.as_ref()) {
+            Some(fault) => {
+                shared.registry.quarantine(&job.corpus.name, &fault.message);
+                WorkerReply::Faulted(fault.message.clone())
+            }
             None => WorkerReply::Panicked,
-        });
+        },
     }
 }
 
@@ -364,13 +413,14 @@ fn route(shared: &Arc<Shared>, req: &crate::http::Request) -> Response {
         ("GET", "/corpora") => Response::ok(corpora_body(shared)),
         ("POST", "/eval") => eval_endpoint(shared, &client, &req.body),
         ("POST", "/sweep") => sweep_endpoint(shared, &client, &req.body),
+        ("POST", "/revalidate") => revalidate_endpoint(shared, &req.body),
         ("POST", "/shutdown") => Response {
             status: 200,
             headers: Vec::new(),
             body: "{\"status\":\"shutting-down\"}".to_string(),
             shutdown: true,
         },
-        ("GET", "/eval" | "/sweep" | "/shutdown")
+        ("GET", "/eval" | "/sweep" | "/revalidate" | "/shutdown")
         | ("POST", "/healthz" | "/stats" | "/corpora") => {
             Response::error(405, "wrong method for this endpoint")
         }
@@ -378,11 +428,26 @@ fn route(shared: &Arc<Shared>, req: &crate::http::Request) -> Response {
     }
 }
 
+/// The typed 503 a quarantined corpus answers with: machine-readable flag plus the
+/// quarantine reason, so clients can tell "broken corpus" from "shutting down".
+fn quarantined_response(name: &str, reason: &str) -> Response {
+    Response {
+        status: 503,
+        headers: Vec::new(),
+        body: format!(
+            "{{\"error\":{},\"quarantined\":true,\"corpus\":{}}}",
+            json_str(&format!("corpus {name:?} is quarantined: {reason}")),
+            json_str(name)
+        ),
+        shutdown: false,
+    }
+}
+
 /// Parse and validate the common `(corpus, policy, mix_id)` request triple.
-fn parse_cell<'a>(
-    shared: &'a Shared,
+fn parse_cell(
+    shared: &Shared,
     body: &JsonValue,
-) -> Result<(&'a Arc<LoadedCorpus>, PolicyKind), Response> {
+) -> Result<(Arc<LoadedCorpus>, PolicyKind), Response> {
     let corpus_name = body
         .get("corpus")
         .and_then(JsonValue::as_str)
@@ -391,6 +456,9 @@ fn parse_cell<'a>(
         .registry
         .get(corpus_name)
         .ok_or_else(|| Response::error(404, &format!("no corpus named {corpus_name:?}")))?;
+    if let Some(reason) = shared.registry.quarantine_reason(corpus_name) {
+        return Err(quarantined_response(corpus_name, &reason));
+    }
     let policy_label = body
         .get("policy")
         .and_then(JsonValue::as_str)
@@ -438,7 +506,7 @@ fn eval_endpoint(shared: &Arc<Shared>, client: &str, raw_body: &[u8]) -> Respons
         Ok(v) => v,
         Err(resp) => return resp,
     };
-    let mix_id = match parse_mix_id(&body, corpus) {
+    let mix_id = match parse_mix_id(&body, &corpus) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
@@ -466,6 +534,7 @@ fn eval_endpoint(shared: &Arc<Shared>, client: &str, raw_body: &[u8]) -> Respons
             Response::ok(json.as_str().to_string()).with_header("X-Memo", "miss".to_string())
         }
         Ok(WorkerReply::Panicked) => Response::error(500, "evaluation panicked"),
+        Ok(WorkerReply::Faulted(reason)) => quarantined_response(&corpus.name, &reason),
         Err(_) => Response::error(503, "server is shutting down"),
     }
 }
@@ -487,6 +556,9 @@ fn sweep_endpoint(shared: &Arc<Shared>, client: &str, raw_body: &[u8]) -> Respon
     let Some(corpus) = shared.registry.get(corpus_name) else {
         return Response::error(404, &format!("no corpus named {corpus_name:?}"));
     };
+    if let Some(reason) = shared.registry.quarantine_reason(corpus_name) {
+        return quarantined_response(corpus_name, &reason);
+    }
     // Default lineup = `repro sweep`'s: TA-DRRIP plus the Figure 3 legend.
     let policies: Vec<PolicyKind> = match body.get("policies") {
         None => {
@@ -564,7 +636,10 @@ fn sweep_endpoint(shared: &Arc<Shared>, client: &str, raw_body: &[u8]) -> Respon
                 key,
                 reply: tx,
             };
-            match shared.queue.push_blocking(client, job, SWEEP_PUSH_TIMEOUT) {
+            match shared
+                .queue
+                .push_blocking(client, job, shared.sweep_push_timeout)
+            {
                 Ok(()) => slots.push(Slot::Pending(rx)),
                 Err(PushError::Full) => {
                     return Response::error(429, "evaluation queue is saturated")
@@ -583,6 +658,9 @@ fn sweep_endpoint(shared: &Arc<Shared>, client: &str, raw_body: &[u8]) -> Respon
             Slot::Pending(rx) => match rx.recv_timeout(REPLY_TIMEOUT) {
                 Ok(WorkerReply::Done(json)) => results.push(json),
                 Ok(WorkerReply::Panicked) => return Response::error(500, "evaluation panicked"),
+                Ok(WorkerReply::Faulted(reason)) => {
+                    return quarantined_response(corpus_name, &reason)
+                }
                 Err(_) => return Response::error(503, "server is shutting down"),
             },
         }
@@ -604,6 +682,30 @@ fn sweep_endpoint(shared: &Arc<Shared>, client: &str, raw_body: &[u8]) -> Respon
     Response::ok(out).with_header("X-Memo-Hits", hits.to_string())
 }
 
+/// `POST /revalidate` — reload a (typically quarantined) corpus from disk and
+/// readmit it without a restart. Answers 200 with the number of progress cells
+/// recovered, or the typed quarantine 503 if the reload failed (the corpus stays
+/// out of service with the fresh reason).
+fn revalidate_endpoint(shared: &Arc<Shared>, raw_body: &[u8]) -> Response {
+    let body = match parse_json_body(raw_body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(name) = body.get("corpus").and_then(JsonValue::as_str) else {
+        return Response::error(400, "missing string field \"corpus\"");
+    };
+    if shared.registry.get(name).is_none() {
+        return Response::error(404, &format!("no corpus named {name:?}"));
+    }
+    match shared.registry.revalidate(name, &shared.memo) {
+        Ok(recovered) => Response::ok(format!(
+            "{{\"status\":\"readmitted\",\"corpus\":{},\"recovered\":{recovered}}}",
+            json_str(name)
+        )),
+        Err(reason) => quarantined_response(name, &reason),
+    }
+}
+
 fn stats_body(shared: &Shared) -> String {
     let (enqueued, completed, rejected) = shared.queue.totals();
     let (hits, misses) = shared.memo.counters();
@@ -621,11 +723,38 @@ fn stats_body(shared: &Shared) -> String {
             s.completed
         ));
     }
+    // Degraded-mode surface: quarantined corpora (with reasons) and corpora whose
+    // progress persistence has latched into memo-only mode.
+    let mut quarantined = String::new();
+    for (i, (name, reason)) in shared.registry.quarantined().iter().enumerate() {
+        if i > 0 {
+            quarantined.push(',');
+        }
+        quarantined.push_str(&format!(
+            "{{\"corpus\":{},\"reason\":{}}}",
+            json_str(name),
+            json_str(reason)
+        ));
+    }
+    let mut degraded = String::new();
+    for (i, corpus) in shared
+        .registry
+        .iter()
+        .into_iter()
+        .filter(|c| c.progress.degraded())
+        .enumerate()
+    {
+        if i > 0 {
+            degraded.push(',');
+        }
+        degraded.push_str(&json_str(&corpus.name));
+    }
     format!(
         "{{\"queue\":{{\"depth\":{},\"capacity\":{}}},\
          \"jobs\":{{\"enqueued\":{enqueued},\"completed\":{completed},\"rejected\":{rejected}}},\
          \"memo\":{{\"entries\":{},\"hits\":{hits},\"misses\":{misses},\"recovered\":{}}},\
          \"workers\":{},\
+         \"health\":{{\"quarantined\":[{quarantined}],\"progress_degraded\":[{degraded}]}},\
          \"fairness\":{{\"min_completed\":{},\"max_completed\":{},\"min_max_ratio\":{},\
          \"clients\":[{clients}]}}}}",
         shared.queue.depth(),

@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 
-use cache_sim::trace::{ArenaTracker, BatchSource, MemAccess};
+use cache_sim::trace::{raise_replay_fault, ArenaTracker, BatchSource, MemAccess};
 
 use crate::error::TraceError;
 use crate::format::{
@@ -97,6 +97,7 @@ impl MappedTrace {
     /// verified once, lazily, as blocks are first decoded.
     pub fn open(path: impl AsRef<Path>) -> Result<MappedTrace, TraceError> {
         let path = path.as_ref().to_path_buf();
+        sim_fault::fail_io("mmap.open").map_err(TraceError::Io)?;
         let file = File::open(&path).map_err(TraceError::Io)?;
         // SAFETY: trace corpora are immutable once written (`TraceWriter::finish` is the
         // last write); the repo-wide contract is that files are not mutated during
@@ -154,6 +155,14 @@ impl MappedTrace {
         arena: &mut Vec<MemAccess>,
         scratch: &mut Vec<u8>,
     ) -> Result<(), TraceError> {
+        // Injected before checksum validation so the validated high-water mark does
+        // not advance: any fault here reads as corruption of this chunk.
+        if sim_fault::fire("replay.decode").is_some() {
+            return Err(TraceError::Corrupt(format!(
+                "injected decode fault (core {core}, stream offset {})",
+                chunk.stream_offset
+            )));
+        }
         let payload =
             &self.bytes[chunk.payload_off..chunk.payload_off + chunk.payload_len as usize];
         if let Some(stored) = chunk.checksum {
@@ -385,24 +394,32 @@ impl MappedStreamDecoder {
         self.trace.header.cores[self.core].label.clone()
     }
 
-    fn panic_on(&self, e: TraceError) -> ! {
-        panic!(
+    /// Surface decode-time corruption as a typed [`cache_sim::trace::ReplayFault`]
+    /// unwind: `fill` is infallible by trait contract, and the serving layer's
+    /// unwind boundary downcasts the payload to quarantine the corpus instead of
+    /// crashing a worker repeatedly. CLI tools (`tracectl`, `repro`) install no
+    /// boundary, so for them this keeps plain panic-on-corruption semantics.
+    fn raise_fault(&self, e: TraceError) -> ! {
+        let message = format!(
             "zero-copy replay failed for core {} of {}: {e}",
             self.core,
             self.trace.path.display()
-        )
+        );
+        sim_obs::obs_error!("trace-io", "{message}");
+        raise_replay_fault(&self.stream_label(), message)
     }
 }
 
 impl BatchSource for MappedStreamDecoder {
     /// Infallible by trait contract, like `TraceSource::next_access`: an error here
-    /// means the file changed or was corrupted after `open` succeeded, and panics with
-    /// context.
+    /// means the file changed or was corrupted after `open` succeeded, and unwinds
+    /// with a typed `ReplayFault` payload (`cache_sim::trace::raise_replay_fault`)
+    /// so the consumer's `catch_unwind` can recover the failure.
     fn fill(&mut self, arena: &mut Vec<MemAccess>) -> bool {
         let _span = sim_obs::span("trace-io", "zero_copy_batch");
         match self.try_fill(arena) {
             Ok(ended_pass) => ended_pass,
-            Err(e) => self.panic_on(e),
+            Err(e) => self.raise_fault(e),
         }
     }
 
@@ -467,11 +484,22 @@ impl PrefetchingSource {
         self.slot_rx = Some(rx);
     }
 
-    /// Block for the in-flight batch.
+    /// Block for the in-flight batch. A worker that died without reporting (its
+    /// decode panicked outright, rather than returning an error) is surfaced as a
+    /// typed replay fault, not an opaque `expect`.
     fn await_slot(&mut self) -> PrefetchSlot {
         let rx = self.slot_rx.take().expect("a prefetch is always in flight");
-        rx.recv()
-            .expect("prefetch worker dropped its result (background decode panicked)")
+        match rx.recv() {
+            Ok(slot) => slot,
+            Err(_) => raise_replay_fault(
+                &self.label,
+                format!(
+                    "prefetch worker for stream {} dropped its result \
+                     (background decode panicked)",
+                    self.label
+                ),
+            ),
+        }
     }
 }
 
@@ -481,7 +509,7 @@ impl BatchSource for PrefetchingSource {
         let slot = self.await_slot();
         let ended_pass = match slot.outcome {
             Ok(ended_pass) => ended_pass,
-            Err(e) => slot.decoder.panic_on(e),
+            Err(e) => slot.decoder.raise_fault(e),
         };
         // Hand the decoded arena to the caller; its drained buffer becomes the next
         // decode target.

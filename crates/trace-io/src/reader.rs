@@ -238,6 +238,7 @@ impl TraceReader {
     /// Read and decode the next block of this core's stream into `self.block`,
     /// skipping interleaved chunks that belong to other cores (v2 only).
     fn load_next_block(&mut self) -> Result<(), TraceError> {
+        sim_fault::fail_io("atrc.read").map_err(TraceError::Io)?;
         if self.consumed >= self.info.bytes {
             if self.consumed > self.info.bytes {
                 return Err(TraceError::Corrupt(format!(

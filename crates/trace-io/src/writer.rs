@@ -223,6 +223,22 @@ impl TraceWriter {
         if self.opts.checksums {
             put_u32(&mut self.frame, fnv1a32(&self.scratch));
         }
+        match sim_fault::fire("atrc.write") {
+            Some(sim_fault::FaultKind::TornWrite) => {
+                // A torn write reaches disk as a prefix of the chunk: the frame lands
+                // but the payload is cut short, then the device errors.
+                self.out.write_all(&self.frame)?;
+                self.out
+                    .write_all(&self.scratch[..self.scratch.len() / 2])?;
+                let _ = self.out.flush();
+                return Err(sim_fault::injected_io_error(
+                    sim_fault::FaultKind::TornWrite,
+                    "atrc.write",
+                ));
+            }
+            Some(kind) => sim_fault::apply_io(kind, "atrc.write")?,
+            None => {}
+        }
         self.out.write_all(&self.frame)?;
         self.out.write_all(&self.scratch)?;
         let total = (self.frame.len() + self.scratch.len()) as u64;
@@ -267,6 +283,7 @@ impl TraceWriter {
         let footer = header.encode_footer(self.offset);
         self.out.write_all(&footer)?;
         self.out.flush()?;
+        sim_fault::fail_io("atrc.sync")?;
         self.out.get_ref().sync_all()?;
         Ok(TraceSummary {
             path: self.path.clone(),

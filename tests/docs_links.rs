@@ -139,6 +139,7 @@ fn documentation_set_contains_the_expected_guides() {
         "atrc-format.md",
         "policies.md",
         "repro-guide.md",
+        "robustness.md",
         "serving.md",
     ] {
         assert!(names.contains(&required.to_string()), "missing {required}");
