@@ -25,7 +25,13 @@
 //!    **fault** section holds `sim_fault::fire` to the same discipline with an even
 //!    tighter [`FAULT_OVERHEAD_CEILING`] (1%): with no plan installed, the
 //!    fault-injection layer must be a relaxed load and a branch.
-//! 5. **decode** — what a sweep pays to turn a captured 4-core `.atrc` mix into
+//! 5. **memsys** — the memory-system head-to-head: the 4-policy lineup on the same
+//!    mixes under flat, FCFS-contended and FR-FCFS+NUCA DRAM models, each variant
+//!    asserted bit-identical between the fast and reference engines, the flat variant
+//!    hard-asserted identical (config and results) to the pre-row-model flat path, and
+//!    the section floor-asserted to cover every policy × memory-system pair — in quick
+//!    mode too.
+//! 6. **decode** — what a sweep pays to turn a captured 4-core `.atrc` mix into
 //!    records: buffered `decode_all` (the PR 2 materialize path — per-mix `Vec`s,
 //!    block-buffered reads, validation, decode) vs. the zero-copy pipeline
 //!    (`MappedTrace` + batch decode into a reused arena) in sweep steady state, with
@@ -52,7 +58,7 @@ use experiments::runner::{
     evaluate_policies_on_mixes, evaluate_policies_serial, evaluate_policies_serial_reference,
     warm_alone_cache, MixEvaluation,
 };
-use experiments::{ExperimentScale, PolicyKind};
+use experiments::{ExperimentScale, MemSystem, PolicyKind};
 use llc_policies::{build_baseline, build_baseline_any, BaselineKind};
 use trace_io::{
     decode_all, decode_all_mapped, MappedStreamDecoder, MappedTrace, TraceWriter,
@@ -304,6 +310,7 @@ fn assert_grid_identical(a: &[MixEvaluation], b: &[MixEvaluation], what: &str) {
         assert_eq!(x.weighted_speedup(), y.weighted_speedup(), "{what}");
         assert_eq!(x.llc_global, y.llc_global, "{what}");
         assert_eq!(x.llc_banks, y.llc_banks, "{what}");
+        assert_eq!(x.core_stalls, y.core_stalls, "{what}");
         assert_eq!(x.final_cycle, y.final_cycle, "{what}");
         for (p, q) in x.per_app.iter().zip(&y.per_app) {
             assert_eq!(p.ipc, q.ipc, "{what}: {} IPC", p.name);
@@ -374,6 +381,144 @@ fn grid_section() -> GridNumbers {
         reference_serial_secs,
         fast_serial_secs,
         parallel_secs,
+    }
+}
+
+struct MemsysRow {
+    memsys: &'static str,
+    policy: String,
+    mean_weighted_speedup: f64,
+    speedup_over_baseline: f64,
+    mean_fairness: f64,
+    mean_bank_stall_share: f64,
+    mean_stall_imbalance: f64,
+}
+
+struct MemsysNumbers {
+    mixes: usize,
+    rows: Vec<MemsysRow>,
+    secs: f64,
+}
+
+/// The memory-system head-to-head on the 4-core lineup: the same mixes evaluated under
+/// flat, FCFS-contended and FR-FCFS+NUCA DRAM, every variant asserted bit-identical
+/// between the fast and reference engines. The flat variant is the identity wall for
+/// the row-model refactor: its config must equal the pre-change flat scaling config and
+/// its results must be bit-identical to a grid run through that config, with zero NUCA
+/// cycles — the flat default *is* the old model, not merely close to it.
+fn memsys_section() -> MemsysNumbers {
+    let scale = ExperimentScale::Scaled;
+    let num_mixes = if quick() { 2 } else { 4 };
+    let mixes = generate_mixes(StudyKind::Cores4, num_mixes, scale.seed());
+    let policies = [
+        PolicyKind::TaDrrip,
+        PolicyKind::AdaptBp32,
+        PolicyKind::Eaf,
+        PolicyKind::Ship,
+    ];
+
+    let start = Instant::now();
+    let mut rows = Vec::new();
+    for memsys in MemSystem::all() {
+        let cfg = scale.scaling_config_memsys(4, memsys);
+        warm_alone_cache(&cfg, &mixes, INSTRUCTIONS, SEED);
+        let fast = evaluate_policies_serial(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+        let reference =
+            evaluate_policies_serial_reference(&cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+        assert_grid_identical(
+            &fast,
+            &reference,
+            &format!("memsys {}: fast vs reference", memsys.label()),
+        );
+
+        match memsys {
+            MemSystem::Flat => {
+                let plain_cfg = scale.scaling_config(4, false);
+                assert_eq!(
+                    cfg, plain_cfg,
+                    "flat memsys config must equal the pre-change flat scaling config"
+                );
+                let plain =
+                    evaluate_policies_serial(&plain_cfg, &mixes, &policies, INSTRUCTIONS, SEED);
+                assert_grid_identical(&fast, &plain, "memsys flat vs pre-change flat model");
+                for e in &fast {
+                    assert_eq!(
+                        e.llc_global.nuca_cycles, 0,
+                        "flat runs must not pay NUCA hop latency"
+                    );
+                }
+            }
+            MemSystem::FrFcfsNuca => {
+                for e in &fast {
+                    assert!(
+                        e.llc_global.nuca_cycles > 0,
+                        "FR-FCFS+NUCA runs must accumulate NUCA hop cycles"
+                    );
+                }
+            }
+            MemSystem::FcfsContended => {}
+        }
+
+        let baseline = amean(
+            &fast
+                .iter()
+                .filter(|e| e.policy == PolicyKind::TaDrrip)
+                .map(|e| e.weighted_speedup())
+                .collect::<Vec<_>>(),
+        );
+        for &policy in &policies {
+            let of_policy: Vec<&MixEvaluation> =
+                fast.iter().filter(|e| e.policy == policy).collect();
+            assert_eq!(of_policy.len(), mixes.len(), "one evaluation per mix");
+            let ws = amean(
+                &of_policy
+                    .iter()
+                    .map(|e| e.weighted_speedup())
+                    .collect::<Vec<_>>(),
+            );
+            rows.push(MemsysRow {
+                memsys: memsys.label(),
+                policy: of_policy[0].policy_label.clone(),
+                mean_weighted_speedup: ws,
+                speedup_over_baseline: if baseline > 0.0 { ws / baseline } else { 0.0 },
+                mean_fairness: amean(&of_policy.iter().map(|e| e.fairness()).collect::<Vec<_>>()),
+                mean_bank_stall_share: amean(
+                    &of_policy
+                        .iter()
+                        .map(|e| e.bank_stall_share())
+                        .collect::<Vec<_>>(),
+                ),
+                mean_stall_imbalance: amean(
+                    &of_policy
+                        .iter()
+                        .map(|e| e.stall_imbalance())
+                        .collect::<Vec<_>>(),
+                ),
+            });
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    // Coverage floor: every memory system × policy pair must be present — this asserts
+    // in quick mode too, so CI smoke runs guard the section's shape.
+    assert_eq!(
+        rows.len(),
+        MemSystem::all().len() * policies.len(),
+        "memsys section must cover every memory-system x policy pair"
+    );
+
+    MemsysNumbers {
+        mixes: mixes.len(),
+        rows,
+        secs,
+    }
+}
+
+fn amean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
     }
 }
 
@@ -560,6 +705,27 @@ fn main() {
     );
     println!("  results bit-identical across all three engines (and with profiling on)");
 
+    println!("sim_perf: memory-system head-to-head (flat vs fcfs vs frfcfs+nuca)...");
+    let memsys = memsys_section();
+    println!(
+        "  {} mixes per variant, {:.1}s total; every variant bit-identical fast vs \
+         reference, flat bit-identical to the pre-row-model path",
+        memsys.mixes, memsys.secs
+    );
+    for row in &memsys.rows {
+        println!(
+            "  {:>12}  {:<22} WS {:.4}  vs TA-DRRIP {:.3}x  fairness {:.4}  \
+             stall share {:.4}  imbalance {:.2}",
+            row.memsys,
+            row.policy,
+            row.mean_weighted_speedup,
+            row.speedup_over_baseline,
+            row.mean_fairness,
+            row.mean_bank_stall_share,
+            row.mean_stall_imbalance,
+        );
+    }
+
     println!("sim_perf: trace replay decode (buffered reader vs zero-copy pipeline)...");
     let decode = decode_section();
     let decode_speedup = decode.zero_copy_per_sec / decode.buffered_per_sec.max(1e-9);
@@ -663,6 +829,31 @@ fn main() {
         );
     }
 
+    let memsys_rows_json = memsys
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"memsys\": \"{}\", \"policy\": \"{}\", \
+                 \"mean_weighted_speedup\": {:.4}, \"speedup_over_baseline\": {:.4}, \
+                 \"mean_fairness\": {:.4}, \"mean_bank_stall_share\": {:.4}, \
+                 \"mean_stall_imbalance\": {:.4}}}",
+                r.memsys,
+                r.policy,
+                r.mean_weighted_speedup,
+                r.speedup_over_baseline,
+                r.mean_fairness,
+                r.mean_bank_stall_share,
+                r.mean_stall_imbalance,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let memsys_json = format!(
+        "{{\n    \"mixes\": {},\n    \"secs\": {:.2},\n    \"rows\": [\n{}\n    ]\n  }}",
+        memsys.mixes, memsys.secs, memsys_rows_json
+    );
+
     let json = format!(
         "{{\n  \"schema\": \"bench-sim/1\",\n  \"quick\": {},\n  \"workers\": {},\n  \
          \"micro\": {{\n    \"accesses\": {},\n    \"fast_accesses_per_sec\": {:.0},\n    \
@@ -676,6 +867,7 @@ fn main() {
          \"instrumented_accesses_per_sec\": {:.0},\n    \"disabled_overhead_ratio\": {:.4}\n  }},\n  \
          \"fault\": {{\n    \"accesses\": {},\n    \"plain_accesses_per_sec\": {:.0},\n    \
          \"probed_accesses_per_sec\": {:.0},\n    \"disabled_overhead_ratio\": {:.4}\n  }},\n  \
+         \"memsys\": {},\n  \
          \"decode\": {{\n    \"records_per_pass\": {},\n    \"cores\": {},\n    \
          \"buffered_records_per_sec\": {:.0},\n    \"zero_copy_records_per_sec\": {:.0},\n    \
          \"zero_copy_first_pass_records_per_sec\": {:.0},\n    \
@@ -705,6 +897,7 @@ fn main() {
         fault.plain_per_sec,
         fault.faulted_per_sec,
         fault_overhead,
+        memsys_json,
         decode.records,
         decode.cores,
         decode.buffered_per_sec,

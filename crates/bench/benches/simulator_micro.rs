@@ -83,12 +83,13 @@ fn bench_dram(c: &mut Criterion) {
             xor_mapping: true,
             bank_busy_cycles: 16,
             contention: cache_sim::config::BankContentionConfig::flat(),
+            row_model: cache_sim::config::RowModelConfig::disabled(),
         });
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
             black_box(
-                dram.access(BlockAddr(i * 37 % 100_000), i, i.is_multiple_of(5))
+                dram.access(BlockAddr(i * 37 % 100_000), i, i.is_multiple_of(5), 0)
                     .latency,
             )
         })

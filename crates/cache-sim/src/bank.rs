@@ -26,6 +26,36 @@
 //! the flat-latency model — a property enforced by the regression tests in this module
 //! and in `llc.rs`.
 //!
+//! # Row-buffer-aware FR-FCFS scheduling
+//!
+//! When constructed with an enabled [`RowModelConfig`] (see
+//! [`BankModel::with_row_model`]), each bank additionally keeps a row register and
+//! [`BankModel::schedule`] classifies every request FR-FCFS style:
+//!
+//! * a request to the **open row** is *ready* and is granted the row-hit latency —
+//!   the scheduler serves it ahead of older queued requests to other rows, so each
+//!   such grant increments the bypass count of every queued request to another row;
+//! * a request to an **idle (closed) bank** pays the row-miss latency (activate only);
+//! * a request that must **close another row** pays the row-conflict latency.
+//!
+//! A starvation cap bounds the reordering: once any queued request has been bypassed
+//! [`RowModelConfig::starvation_cap`] times, the bank reverts to oldest-first — later
+//! ready arrivals lose their priority and are charged the conflict latency (by the
+//! time the aged request has been served, it has changed the open row), until the aged
+//! request drains. Retirement order remains the deterministic arrival order of the
+//! FCFS skeleton (ties broken by port index): FR-FCFS here is a *latency-class*
+//! model layered on the cycle-accounted queue, not an out-of-order replay of it —
+//! the approximation is documented in `docs/architecture.md`. With the row model
+//! disabled, `schedule` is bit-identical to [`BankModel::request`], which the
+//! property wall in `crates/cache-sim/tests/frfcfs_properties.rs` enforces.
+//!
+//! # Per-core stall attribution
+//!
+//! [`BankModel::request_from`] and [`BankModel::schedule`] take the requesting core
+//! and charge the same queue/admission cycle deltas that flow into [`BankStats`] to a
+//! per-core [`CoreBankStalls`] vector, so `Σ_core` attribution equals the global bank
+//! accounting exactly (the conservation law tested in `tests/scaling_study.rs`).
+//!
 //! The model relies on request times being non-decreasing across calls, which the
 //! multi-core driver guarantees by advancing cores in global (cycle, core) order.
 
@@ -33,7 +63,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::BankContentionConfig;
+use crate::config::{BankContentionConfig, RowModelConfig};
 
 /// Occupancy/stall statistics for one bank.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,6 +81,18 @@ pub struct BankStats {
     pub busy_cycles: u64,
     /// Peak number of simultaneously waiting (admitted, not yet started) requests.
     pub peak_waiting: usize,
+    /// Requests that hit the open row (always zero when the row model is disabled).
+    pub row_hits: u64,
+    /// Requests to an idle bank that only had to activate a row.
+    pub row_misses: u64,
+    /// Requests that had to close another row first (includes ready requests demoted
+    /// by the starvation cap).
+    pub row_conflicts: u64,
+    /// Times the bank reverted to oldest-first because a queued request reached the
+    /// starvation cap.
+    pub starvation_pins: u64,
+    /// Highest bypass count any queued request ever accumulated (<= starvation cap).
+    pub max_bypass: u32,
 }
 
 impl BankStats {
@@ -96,6 +138,62 @@ pub struct BankRequest {
     pub completion: u64,
 }
 
+/// Row-buffer outcome of a scheduled request (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowClass {
+    /// The request hit the bank's open row.
+    Hit,
+    /// The bank's row buffer was closed; the request only had to activate.
+    Miss,
+    /// Another row was open (or the request lost its ready priority to an aged
+    /// request under the starvation cap) and had to precharge first.
+    Conflict,
+}
+
+impl RowClass {
+    /// Latency class in cycles under `rm`.
+    pub fn cycles(self, rm: &RowModelConfig) -> u64 {
+        match self {
+            RowClass::Hit => rm.row_hit_cycles,
+            RowClass::Miss => rm.row_miss_cycles,
+            RowClass::Conflict => rm.row_conflict_cycles,
+        }
+    }
+}
+
+/// Stall cycles attributed to one requesting core across all banks of a model.
+///
+/// The deltas are exactly the amounts simultaneously added to the global
+/// [`BankStats`], so summing this vector over cores reproduces the global
+/// accounting bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreBankStalls {
+    /// Cycles this core's requests spent admitted but waiting for a free port.
+    pub queue_cycles: u64,
+    /// Cycles this core's requests spent refused admission (full finite queue).
+    pub admission_stall_cycles: u64,
+}
+
+impl CoreBankStalls {
+    /// Total stall cycles attributed to the core (admission + port wait).
+    pub fn stall_cycles(&self) -> u64 {
+        self.queue_cycles + self.admission_stall_cycles
+    }
+}
+
+/// Outcome of [`BankModel::schedule`]: the queue-accounted request plus the
+/// row-buffer latency class (when the row model is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankSchedule {
+    /// The underlying cycle-accounted bank request (queuing delay, start, completion).
+    pub request: BankRequest,
+    /// Row-buffer outcome, `None` when the row model is disabled.
+    pub class: Option<RowClass>,
+    /// Latency class in cycles to charge for the access (0 when the row model is
+    /// disabled — the caller then applies its own legacy latency classification).
+    pub class_cycles: u64,
+}
+
 /// Per-bank state: port free times plus the admitted-but-unstarted request queue.
 #[derive(Debug, Clone)]
 struct Bank {
@@ -106,18 +204,56 @@ struct Bank {
     waiting: VecDeque<u64>,
 }
 
+/// A queued request tracked by the row scheduler: when it starts service, which row
+/// it targets, and how many times a ready request has been granted ahead of it.
+#[derive(Debug, Clone, Copy)]
+struct PendingRow {
+    start: u64,
+    row: u64,
+    bypassed: u32,
+}
+
+/// Row-buffer state of one bank: the open-row register plus the bypass-tracked
+/// queue of admitted-but-unstarted requests.
+#[derive(Debug, Clone, Default)]
+struct RowState {
+    open_row: Option<u64>,
+    pending: VecDeque<PendingRow>,
+}
+
 /// A group of cycle-accounted banks (see the module documentation).
 #[derive(Debug, Clone)]
 pub struct BankModel {
     config: BankContentionConfig,
     banks: Vec<Bank>,
     stats: Vec<BankStats>,
+    /// FR-FCFS row model; `None` keeps the seed's pure FCFS behaviour.
+    row_model: Option<RowModelConfig>,
+    /// Row-buffer state, one per bank (empty when the row model is disabled).
+    rows: Vec<RowState>,
+    /// Stall attribution per requesting core, grown on demand.
+    core_stalls: Vec<CoreBankStalls>,
 }
 
 impl BankModel {
-    /// Create `num_banks` banks governed by `config`.
+    /// Create `num_banks` banks governed by `config` (no row model — the seed's
+    /// FCFS behaviour).
     pub fn new(num_banks: usize, config: BankContentionConfig) -> Self {
+        Self::with_row_model(num_banks, config, RowModelConfig::disabled())
+    }
+
+    /// Create `num_banks` banks with an explicit row-buffer scheduling model. A
+    /// disabled `row_model` is bit-identical to [`BankModel::new`].
+    pub fn with_row_model(
+        num_banks: usize,
+        config: BankContentionConfig,
+        row_model: RowModelConfig,
+    ) -> Self {
         assert!(config.ports >= 1, "banks need at least one service port");
+        let enabled = row_model.enabled;
+        if enabled {
+            assert!(row_model.starvation_cap >= 1, "starvation cap must be >= 1");
+        }
         BankModel {
             banks: vec![
                 Bank {
@@ -127,6 +263,9 @@ impl BankModel {
                 num_banks
             ],
             stats: vec![BankStats::default(); num_banks],
+            row_model: enabled.then_some(row_model),
+            rows: vec![RowState::default(); if enabled { num_banks } else { 0 }],
+            core_stalls: Vec::new(),
             config,
         }
     }
@@ -146,10 +285,135 @@ impl BankModel {
         &self.stats
     }
 
+    /// Stall cycles attributed per requesting core. The vector covers cores
+    /// `0..=max core seen` on the attributed entry points ([`BankModel::request_from`]
+    /// and [`BankModel::schedule`]); anonymous [`BankModel::request`] calls are not
+    /// attributed.
+    pub fn core_stalls(&self) -> &[CoreBankStalls] {
+        &self.core_stalls
+    }
+
     /// Issue a request to `bank` at absolute cycle `now`, occupying a service port for
     /// `service_cycles`. Returns when the request started and completed; the queuing
     /// delay (`start - now`) is what the caller charges on top of its service latency.
     pub fn request(&mut self, bank: usize, now: u64, service_cycles: u64) -> BankRequest {
+        self.request_inner(bank, now, service_cycles, None)
+    }
+
+    /// [`BankModel::request`] with per-core stall attribution: the queue/admission
+    /// cycles this request contributes to [`BankStats`] are also charged to `core`.
+    pub fn request_from(
+        &mut self,
+        bank: usize,
+        now: u64,
+        service_cycles: u64,
+        core: usize,
+    ) -> BankRequest {
+        self.request_inner(bank, now, service_cycles, Some(core))
+    }
+
+    /// Schedule a request against `bank`'s row buffer (FR-FCFS, see module docs) and
+    /// the cycle-accounted queue. `row` is the DRAM row the request targets; `core`
+    /// receives the stall attribution. With the row model disabled this is exactly
+    /// [`BankModel::request_from`] with `class: None`.
+    pub fn schedule(
+        &mut self,
+        bank: usize,
+        now: u64,
+        service_cycles: u64,
+        core: usize,
+        row: u64,
+    ) -> BankSchedule {
+        let Some(rm) = self.row_model else {
+            return BankSchedule {
+                request: self.request_inner(bank, now, service_cycles, Some(core)),
+                class: None,
+                class_cycles: 0,
+            };
+        };
+
+        {
+            // Requests that have started service no longer constrain the scheduler;
+            // each one moves the row register to its row as it goes (the register
+            // tracks *served* requests, so a queued conflict does not clobber the
+            // open row before its service actually begins).
+            let rs = &mut self.rows[bank];
+            while let Some(&e) = rs.pending.front() {
+                if e.start > now {
+                    break;
+                }
+                rs.pending.pop_front();
+                rs.open_row = if rm.closed_page { None } else { Some(e.row) };
+            }
+        }
+
+        // Oldest-first pin: once any queued request has been bypassed to the cap, the
+        // bank stops granting ready-first priority until that request drains.
+        let pinned = self.rows[bank]
+            .pending
+            .iter()
+            .any(|e| e.bypassed >= rm.starvation_cap);
+        let ready = self.rows[bank].open_row == Some(row);
+        let class = if ready && !pinned {
+            RowClass::Hit
+        } else if ready {
+            // Demoted: by the time the aged request has been served ahead of us, it
+            // will have changed the open row, so the former hit pays a conflict.
+            RowClass::Conflict
+        } else if self.rows[bank].open_row.is_none() {
+            RowClass::Miss
+        } else {
+            RowClass::Conflict
+        };
+
+        let st = &mut self.stats[bank];
+        match class {
+            RowClass::Hit => st.row_hits += 1,
+            RowClass::Miss => st.row_misses += 1,
+            RowClass::Conflict => st.row_conflicts += 1,
+        }
+        if class == RowClass::Hit {
+            // A ready grant bypasses every queued request to another row.
+            let rs = &mut self.rows[bank];
+            for e in rs.pending.iter_mut() {
+                if e.row != row {
+                    e.bypassed += 1;
+                    if e.bypassed == rm.starvation_cap {
+                        st.starvation_pins += 1;
+                    }
+                    st.max_bypass = st.max_bypass.max(e.bypassed);
+                }
+            }
+        }
+        let request = self.request_inner(bank, now, service_cycles, Some(core));
+        if request.start > now {
+            // Queued: the row register moves to this request's row when its service
+            // begins (handled by the drain loop above on a later call).
+            self.rows[bank].pending.push_back(PendingRow {
+                start: request.start,
+                row,
+                bypassed: 0,
+            });
+        } else {
+            // Service begins immediately: the row opens (or closes again) now.
+            self.rows[bank].open_row = if rm.closed_page { None } else { Some(row) };
+        }
+        BankSchedule {
+            request,
+            class: Some(class),
+            class_cycles: class.cycles(&rm),
+        }
+    }
+
+    /// The seed-exact FCFS arithmetic shared by every entry point. `core`, when
+    /// present, receives exactly the stall deltas added to the global stats.
+    fn request_inner(
+        &mut self,
+        bank: usize,
+        now: u64,
+        service_cycles: u64,
+        core: Option<usize>,
+    ) -> BankRequest {
         let b = &mut self.banks[bank];
         let st = &mut self.stats[bank];
         st.requests += 1;
@@ -197,6 +461,20 @@ impl BankModel {
                 }
             }
             st.peak_waiting = st.peak_waiting.max(b.waiting.len() - lo);
+        }
+
+        if let Some(core) = core {
+            if core >= self.core_stalls.len() {
+                self.core_stalls.resize(core + 1, CoreBankStalls::default());
+            }
+            let cs = &mut self.core_stalls[core];
+            // Mirror the global increments exactly: `admit - now` is zero unless the
+            // admission branch fired, and queue cycles accrue only when the request
+            // actually waited — so summing over cores reproduces the bank totals.
+            cs.admission_stall_cycles += admit - now;
+            if start > now {
+                cs.queue_cycles += start - admit;
+            }
         }
 
         BankRequest {
@@ -335,6 +613,114 @@ mod tests {
         busy.request(0, 0, 10); // waits 10, serves 10
         let share = busy.stats()[0].stall_share();
         assert!((share - 10.0 / 30.0).abs() < 1e-12, "share {share}");
+    }
+
+    fn frfcfs(cap: u32) -> RowModelConfig {
+        RowModelConfig::frfcfs(180, 260, 340, cap)
+    }
+
+    #[test]
+    fn disabled_row_model_schedules_bit_identically_to_fcfs_request() {
+        let mut fcfs = BankModel::new(4, BankContentionConfig::contended(2, 4));
+        let mut sched = BankModel::with_row_model(
+            4,
+            BankContentionConfig::contended(2, 4),
+            RowModelConfig::disabled(),
+        );
+        let mut now = 0u64;
+        let mut x = 0xdead_beef_cafe_f00du64;
+        for _ in 0..5_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            now += x % 4;
+            let bank = (x >> 8) as usize % 4;
+            let expected = fcfs.request(bank, now, 9);
+            let got = sched.schedule(bank, now, 9, (x >> 16) as usize % 8, x % 64);
+            assert_eq!(got.request, expected);
+            assert_eq!(got.class, None);
+            assert_eq!(got.class_cycles, 0);
+        }
+        assert_eq!(fcfs.stats(), sched.stats());
+    }
+
+    #[test]
+    fn row_register_classifies_hit_miss_conflict() {
+        let mut m = BankModel::with_row_model(1, flat(), frfcfs(4));
+        let a = m.schedule(0, 0, 4, 0, 7);
+        assert_eq!(a.class, Some(RowClass::Miss), "idle bank activates only");
+        assert_eq!(a.class_cycles, 260);
+        let b = m.schedule(0, 100, 4, 0, 7);
+        assert_eq!(b.class, Some(RowClass::Hit));
+        assert_eq!(b.class_cycles, 180);
+        let c = m.schedule(0, 200, 4, 0, 9);
+        assert_eq!(c.class, Some(RowClass::Conflict));
+        assert_eq!(c.class_cycles, 340);
+        let st = &m.stats()[0];
+        assert_eq!((st.row_hits, st.row_misses, st.row_conflicts), (1, 1, 1));
+    }
+
+    #[test]
+    fn closed_page_policy_never_hits() {
+        let mut rm = frfcfs(4);
+        rm.closed_page = true;
+        let mut m = BankModel::with_row_model(1, flat(), rm);
+        for i in 0..10 {
+            let s = m.schedule(0, i * 1000, 4, 0, 7);
+            assert_eq!(s.class, Some(RowClass::Miss));
+        }
+        assert_eq!(m.stats()[0].row_hits, 0);
+    }
+
+    #[test]
+    fn starvation_cap_demotes_ready_requests_until_aged_request_drains() {
+        // Cap 2: queue a conflicting request behind a stream of row hits. After two
+        // bypasses the bank pins; further would-be hits are demoted to conflicts.
+        let mut m = BankModel::with_row_model(1, flat(), frfcfs(2));
+        m.schedule(0, 0, 100, 0, 7); // opens row 7, serves [0, 100)
+        let aged = m.schedule(0, 1, 100, 1, 9); // queued for row 9, starts at 100
+        assert_eq!(aged.class, Some(RowClass::Conflict));
+        assert_eq!(m.schedule(0, 2, 100, 0, 7).class, Some(RowClass::Hit));
+        assert_eq!(m.schedule(0, 3, 100, 0, 7).class, Some(RowClass::Hit));
+        // The aged request has now been bypassed twice (== cap): pinned.
+        let demoted = m.schedule(0, 4, 100, 0, 7);
+        assert_eq!(
+            demoted.class,
+            Some(RowClass::Conflict),
+            "ready request demoted"
+        );
+        let st = &m.stats()[0];
+        assert_eq!(st.starvation_pins, 1);
+        assert_eq!(st.max_bypass, 2);
+        // Once time passes the aged request's start, the pin lifts.
+        let later = m.schedule(0, 5_000, 100, 0, 7);
+        assert_eq!(later.class, Some(RowClass::Hit));
+    }
+
+    #[test]
+    fn per_core_stalls_sum_to_global_accounting() {
+        let mut m = BankModel::new(2, BankContentionConfig::contended(1, 2));
+        let mut now = 0u64;
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..4_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            now += x % 3;
+            m.request_from((x >> 4) as usize % 2, now, 6, (x >> 9) as usize % 5);
+        }
+        let global_queue: u64 = m.stats().iter().map(|s| s.queue_cycles).sum();
+        let global_adm: u64 = m.stats().iter().map(|s| s.admission_stall_cycles).sum();
+        let core_queue: u64 = m.core_stalls().iter().map(|c| c.queue_cycles).sum();
+        let core_adm: u64 = m
+            .core_stalls()
+            .iter()
+            .map(|c| c.admission_stall_cycles)
+            .sum();
+        assert!(global_queue > 0, "test must exercise queuing");
+        assert_eq!(core_queue, global_queue);
+        assert_eq!(core_adm, global_adm);
+        assert_eq!(m.core_stalls().len(), 5);
     }
 
     #[test]

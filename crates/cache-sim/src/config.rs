@@ -117,6 +117,130 @@ impl Default for BankContentionConfig {
     }
 }
 
+/// Row-buffer scheduling model for DRAM banks (see [`crate::bank`]).
+///
+/// When enabled, each DRAM bank keeps a row register and the bank model schedules
+/// requests FR-FCFS style: requests to the open row are served with the row-hit
+/// latency ahead of queued requests to other rows (each such pass increments the
+/// queued request's bypass count), a request to a closed row pays the row-miss
+/// latency, and a request that must close another row pays the row-conflict
+/// latency. Once any queued request has been bypassed [`RowModelConfig::starvation_cap`]
+/// times the bank reverts to oldest-first: later arrivals lose their row-hit
+/// priority (they are charged the conflict latency, since the aged request will
+/// have changed the row by the time they are served) until the aged request starts.
+///
+/// The default is **disabled**, which leaves the bank model's arithmetic bit-identical
+/// to the seed's FCFS banking (regression-tested in `crate::bank` and `crate::dram`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowModelConfig {
+    /// Enable row-buffer-aware FR-FCFS scheduling in the DRAM bank model.
+    pub enabled: bool,
+    /// Latency of a request that hits the bank's open row.
+    pub row_hit_cycles: u64,
+    /// Latency of a request to a bank whose row buffer is closed (activate only).
+    pub row_miss_cycles: u64,
+    /// Latency of a request that must precharge another row first.
+    pub row_conflict_cycles: u64,
+    /// Close the row buffer after every access (closed-page policy): every request
+    /// is then a row miss, trading hit locality for conflict immunity.
+    pub closed_page: bool,
+    /// Maximum times a queued request may be bypassed by row hits before the bank
+    /// reverts to oldest-first arbitration (>= 1 when enabled).
+    pub starvation_cap: u32,
+}
+
+impl RowModelConfig {
+    /// The seed behaviour: no row model in the bank scheduler (the legacy open-row
+    /// register in [`crate::dram`] still provides hit/conflict latencies).
+    pub fn disabled() -> Self {
+        RowModelConfig {
+            enabled: false,
+            row_hit_cycles: 180,
+            row_miss_cycles: 260,
+            row_conflict_cycles: 340,
+            closed_page: false,
+            starvation_cap: 4,
+        }
+    }
+
+    /// FR-FCFS open-page scheduling with explicit latency classes and starvation cap.
+    pub fn frfcfs(
+        row_hit_cycles: u64,
+        row_miss_cycles: u64,
+        row_conflict_cycles: u64,
+        starvation_cap: u32,
+    ) -> Self {
+        RowModelConfig {
+            enabled: true,
+            row_hit_cycles,
+            row_miss_cycles,
+            row_conflict_cycles,
+            closed_page: false,
+            starvation_cap,
+        }
+    }
+}
+
+impl Default for RowModelConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// NUCA (non-uniform cache access) wire-latency model for the shared LLC.
+///
+/// Cores and LLC banks sit on the smallest square mesh holding the core count
+/// (see [`mesh_side`]); a request pays [`NucaConfig::hop_cycles`] per Manhattan hop
+/// between the requesting core's tile and the bank's tile ([`mesh_hops`]). The
+/// default of 0 hop cycles disables the model and adds exactly zero latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct NucaConfig {
+    /// Cycles added per mesh hop between requester tile and bank tile; 0 disables.
+    pub hop_cycles: u64,
+}
+
+impl NucaConfig {
+    /// The seed behaviour: distance-independent (uniform) bank latency.
+    pub fn disabled() -> Self {
+        NucaConfig { hop_cycles: 0 }
+    }
+
+    /// Mesh NUCA with the given per-hop wire latency.
+    pub fn mesh(hop_cycles: u64) -> Self {
+        NucaConfig { hop_cycles }
+    }
+
+    /// True when this configuration adds no distance-dependent latency.
+    pub fn is_disabled(&self) -> bool {
+        self.hop_cycles == 0
+    }
+}
+
+/// Side of the smallest square mesh that holds `tiles` tiles.
+pub fn mesh_side(tiles: usize) -> usize {
+    let mut side = 1usize;
+    while side * side < tiles {
+        side += 1;
+    }
+    side
+}
+
+/// Manhattan hop distance between core `core` and LLC bank `bank`.
+///
+/// Cores occupy tiles `0..num_cores` of a [`mesh_side`]`(num_cores)`-wide mesh in
+/// row-major order; the banks are spread evenly across the same tiles
+/// (bank `b` sits at tile `b * num_cores / num_banks`), so distances are a pure
+/// deterministic function of the topology.
+pub fn mesh_hops(core: usize, num_cores: usize, bank: usize, num_banks: usize) -> u64 {
+    let cores = num_cores.max(1);
+    let side = mesh_side(cores);
+    let banks = num_banks.max(1);
+    let bank_tile = bank % banks * cores / banks;
+    let (cx, cy) = (core % side, core / side);
+    let (bx, by) = (bank_tile % side, bank_tile / side);
+    (cx.abs_diff(bx) + cy.abs_diff(by)) as u64
+}
+
 /// Configuration of a private cache level (L1D or L2).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PrivateCacheConfig {
@@ -159,6 +283,9 @@ pub struct LlcConfig {
     /// Cycle-accounted bank contention model (ports, queue depth, MSHR back-pressure).
     /// Defaults to [`BankContentionConfig::flat`], the seed's latency-only banking.
     pub contention: BankContentionConfig,
+    /// NUCA mesh wire-latency model; [`NucaConfig::disabled`] (0 hop cycles) keeps the
+    /// seed's uniform bank latency.
+    pub nuca: NucaConfig,
 }
 
 /// DDR2-style memory model configuration (paper Table 3).
@@ -179,6 +306,9 @@ pub struct DramConfig {
     /// Cycle-accounted bank contention model. `mshr_backpressure` is ignored here (the
     /// MSHRs belong to the LLC); defaults to the seed's flat banking.
     pub contention: BankContentionConfig,
+    /// Row-buffer-aware FR-FCFS bank scheduling; [`RowModelConfig::disabled`] (the
+    /// default) keeps the seed's FCFS banking and legacy open-row latency classes.
+    pub row_model: RowModelConfig,
 }
 
 /// Approximate out-of-order core model configuration.
@@ -247,6 +377,7 @@ impl SystemConfig {
                 wb_entries: 128,
                 wb_retire_at: 96,
                 contention: BankContentionConfig::flat(),
+                nuca: NucaConfig::disabled(),
             },
             dram: DramConfig {
                 row_hit_cycles: 180,
@@ -256,6 +387,7 @@ impl SystemConfig {
                 xor_mapping: true,
                 bank_busy_cycles: 16,
                 contention: BankContentionConfig::flat(),
+                row_model: RowModelConfig::disabled(),
             },
             l1_next_line_prefetch: true,
             interval_misses: 1_000_000,
@@ -345,6 +477,25 @@ impl SystemConfig {
         cfg
     }
 
+    /// Enable the realistic memory system on `self`: FR-FCFS row-buffer scheduling in
+    /// the DRAM banks (row-hit latency from the DDR2 table, row-miss halfway between
+    /// hit and conflict, conflict from the table, starvation cap of 4) and mesh NUCA
+    /// with the given per-hop wire latency on the LLC banks. With `hop_cycles == 0`
+    /// only the row model is enabled.
+    pub fn with_frfcfs_nuca(mut self, hop_cycles: u64) -> Self {
+        let hit = self.dram.row_hit_cycles;
+        let conflict = self.dram.row_conflict_cycles;
+        self.dram.row_model = RowModelConfig::frfcfs(hit, (hit + conflict) / 2, conflict, 4);
+        self.llc.nuca = NucaConfig::mesh(hop_cycles);
+        self
+    }
+
+    /// NUCA wire delay in cycles for a request from `core` to LLC bank `bank` under
+    /// this configuration's mesh topology (0 when NUCA is disabled).
+    pub fn nuca_delay(&self, core: usize, bank: usize) -> u64 {
+        self.llc.nuca.hop_cycles * mesh_hops(core, self.num_cores, bank, self.llc.banks)
+    }
+
     /// Very small configuration for unit tests and micro-benchmarks.
     pub fn tiny(num_cores: usize) -> Self {
         let mut cfg = Self::paper_baseline(num_cores);
@@ -368,6 +519,20 @@ impl SystemConfig {
         }
         if self.llc.contention.ports == 0 || self.dram.contention.ports == 0 {
             return Err("bank contention models need at least one service port".into());
+        }
+        if self.dram.row_model.enabled {
+            let rm = self.dram.row_model;
+            if rm.row_hit_cycles == 0 {
+                return Err("row model row_hit_cycles must be > 0".into());
+            }
+            if !(rm.row_hit_cycles <= rm.row_miss_cycles
+                && rm.row_miss_cycles <= rm.row_conflict_cycles)
+            {
+                return Err("row model latencies must satisfy hit <= miss <= conflict".into());
+            }
+            if rm.starvation_cap == 0 {
+                return Err("row model starvation_cap must be >= 1".into());
+            }
         }
         if self.interval_misses == 0 {
             return Err("interval_misses must be > 0".into());
@@ -434,6 +599,52 @@ mod tests {
         // Set count stays at the 16 MB/16-way baseline's 16K sets.
         assert_eq!(c24.llc.geometry.num_sets(), 16 * 1024);
         assert_eq!(c32.llc.geometry.num_sets(), 16 * 1024);
+    }
+
+    #[test]
+    fn mesh_hops_are_symmetric_bounded_and_zero_on_self() {
+        // Core 0 to bank tiled at 0 is distance zero on every topology.
+        assert_eq!(mesh_hops(0, 16, 0, 4), 0);
+        for cores in [1usize, 4, 16, 48, 128, 256] {
+            let side = mesh_side(cores);
+            assert!(side * side >= cores);
+            assert!(side == 1 || (side - 1) * (side - 1) < cores);
+            for bank in 0..8 {
+                for core in 0..cores {
+                    let h = mesh_hops(core, cores, bank, 8);
+                    assert!(h <= 2 * (side as u64 - 1), "hop distance exceeds mesh span");
+                }
+            }
+        }
+        // Distance is a pure function: same inputs, same hops.
+        assert_eq!(mesh_hops(7, 16, 3, 4), mesh_hops(7, 16, 3, 4));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_row_models() {
+        let mut cfg = SystemConfig::tiny(4);
+        cfg.validate().unwrap();
+        cfg = cfg.with_frfcfs_nuca(2);
+        cfg.validate().unwrap();
+        assert!(cfg.dram.row_model.enabled);
+        assert_eq!(cfg.dram.row_model.row_hit_cycles, 180);
+        assert_eq!(cfg.dram.row_model.row_miss_cycles, 260);
+        assert_eq!(cfg.dram.row_model.row_conflict_cycles, 340);
+        assert_eq!(cfg.llc.nuca.hop_cycles, 2);
+
+        let mut bad = cfg.clone();
+        bad.dram.row_model.row_miss_cycles = 100; // < hit
+        assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.dram.row_model.starvation_cap = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.dram.row_model.row_hit_cycles = 0;
+        assert!(bad.validate().is_err());
+        // Disabled row models are never validated for latency ordering.
+        let mut flat = SystemConfig::tiny(4);
+        flat.dram.row_model.row_miss_cycles = 0;
+        flat.validate().unwrap();
     }
 
     #[test]

@@ -64,11 +64,12 @@ pub mod system;
 pub mod trace;
 
 pub use addr::{block_of, BlockAddr, BLOCK_BYTES, BLOCK_SHIFT};
-pub use bank::{BankModel, BankStats};
+pub use bank::{BankModel, BankStats, CoreBankStalls, RowClass};
 pub use config::{
-    BankContentionConfig, CacheGeometry, CoreConfig, DramConfig, LlcConfig, SystemConfig,
+    BankContentionConfig, CacheGeometry, CoreConfig, DramConfig, LlcConfig, NucaConfig,
+    RowModelConfig, SystemConfig,
 };
 pub use replacement::{AccessContext, InsertionDecision, LineView, LlcReplacementPolicy};
-pub use stats::{CoreStats, LlcStats, SystemResults};
+pub use stats::{CoreStallAttribution, CoreStats, LlcStats, SystemResults};
 pub use system::MultiCoreSystem;
 pub use trace::{capture_into, MemAccess, TraceSink, TraceSource};

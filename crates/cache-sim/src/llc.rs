@@ -75,6 +75,9 @@ pub struct LlcGlobalStats {
     pub mshr_stall_cycles: u64,
     pub mshr_full_events: u64,
     pub wb_stall_cycles: u64,
+    /// NUCA mesh wire cycles charged on top of bank latency, summed across requests.
+    /// Always zero with [`crate::config::NucaConfig::disabled`] (the default).
+    pub nuca_cycles: u64,
 }
 
 /// Upper bound on LLC associativity: the valid/dirty state of one set is packed into a
@@ -121,10 +124,10 @@ pub trait LlcModel {
     ) -> LlcFill;
     /// A write-back arriving from a private L2 (see [`SharedLlc::writeback`]).
     fn writeback(&mut self, core_id: usize, block: BlockAddr, now: u64) -> bool;
-    /// Reserve an MSHR entry for a miss (see [`SharedLlc::reserve_mshr`]).
-    fn reserve_mshr(&mut self, now: u64, fill_latency: u64) -> u64;
-    /// Back-pressure MSHR acquire (see [`SharedLlc::begin_mshr`]).
-    fn begin_mshr(&mut self, now: u64) -> u64;
+    /// Reserve an MSHR entry for a miss from `core_id` (see [`SharedLlc::reserve_mshr`]).
+    fn reserve_mshr(&mut self, core_id: usize, now: u64, fill_latency: u64) -> u64;
+    /// Back-pressure MSHR acquire from `core_id` (see [`SharedLlc::begin_mshr`]).
+    fn begin_mshr(&mut self, core_id: usize, now: u64) -> u64;
     /// Complete a back-pressure MSHR acquire (see [`SharedLlc::complete_mshr`]).
     fn complete_mshr(&mut self, completion: u64);
     /// Per-core statistics.
@@ -178,6 +181,11 @@ pub struct SharedLlc<P: LlcReplacementPolicy = Box<dyn LlcReplacementPolicy>> {
     wb_buffer: OccupancyWindow,
     per_core: Vec<LlcCoreStats>,
     global: LlcGlobalStats,
+    /// NUCA wire delay per `(core, bank)` pair, `core * banks + bank`; empty when the
+    /// mesh model is disabled (the flat default adds exactly zero cycles).
+    nuca: Vec<u64>,
+    /// MSHR stall cycles attributed per requesting core.
+    mshr_core_stalls: Vec<u64>,
     interval_misses: u64,
     misses_in_interval: u64,
 }
@@ -195,6 +203,20 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
             "associativity must be in 1..={MAX_WAYS}"
         );
         assert!(config.banks > 0, "need at least one bank");
+        let nuca = if config.nuca.is_disabled() {
+            Vec::new()
+        } else {
+            let mut table = Vec::with_capacity(num_cores * config.banks);
+            for core in 0..num_cores {
+                for bank in 0..config.banks {
+                    table.push(
+                        config.nuca.hop_cycles
+                            * crate::config::mesh_hops(core, num_cores, bank, config.banks),
+                    );
+                }
+            }
+            table
+        };
         SharedLlc {
             num_sets,
             ways,
@@ -213,6 +235,8 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
             wb_buffer: OccupancyWindow::new(config.wb_entries),
             per_core: vec![LlcCoreStats::default(); num_cores],
             global: LlcGlobalStats::default(),
+            nuca,
+            mshr_core_stalls: vec![0; num_cores],
             interval_misses,
             misses_in_interval: 0,
             config,
@@ -277,16 +301,28 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
         bank
     }
 
-    /// Charge bank occupancy for an access arriving at `now`; returns the queuing delay
-    /// (port wait plus any admission stall from a full bank queue).
-    fn bank_delay(&mut self, set: usize, now: u64) -> u64 {
+    /// Charge bank occupancy for an access from `core_id` arriving at `now`; returns
+    /// the queuing delay (port wait plus any admission stall from a full bank queue)
+    /// plus the NUCA wire delay between the core's tile and the bank's tile. Queue
+    /// and admission cycles are attributed to `core_id`; NUCA cycles are pure wire
+    /// latency and never enter the bank's queue accounting (the flat default table is
+    /// empty, keeping this function bit-identical to the seed's arithmetic).
+    fn bank_delay(&mut self, core_id: usize, set: usize, now: u64) -> u64 {
         let bank = self.bank_of(set);
         let before = self.banks.stats()[bank].admission_stall_cycles;
-        let req = self.banks.request(bank, now, self.config.bank_busy_cycles);
+        let req = self
+            .banks
+            .request_from(bank, now, self.config.bank_busy_cycles, core_id);
         let admission = self.banks.stats()[bank].admission_stall_cycles - before;
         self.global.bank_queue_cycles += req.delay - admission;
         self.global.bank_admission_stall_cycles += admission;
-        req.delay
+        let nuca = if self.nuca.is_empty() {
+            0
+        } else {
+            self.nuca[core_id * self.config.banks + bank]
+        };
+        self.global.nuca_cycles += nuca;
+        req.delay + nuca
     }
 
     /// Way lookup over the set's contiguous tag slice: iterate the valid bitmask in way
@@ -333,7 +369,7 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
         if !is_demand {
             // Prefetch path: no policy involvement at all, so no context is built.
             self.per_core[core_id].prefetch_accesses += 1;
-            let delay = self.bank_delay(set, now);
+            let delay = self.bank_delay(core_id, set, now);
             let latency = self.config.latency + delay;
             return match self.find_way(set, tag) {
                 Some(way) => {
@@ -355,7 +391,7 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
         let ctx = self.ctx_at(core_id, pc, block, set, true, is_write);
         self.policy.on_access(&ctx);
 
-        let delay = self.bank_delay(set, now);
+        let delay = self.bank_delay(core_id, set, now);
         let latency = self.config.latency + delay;
 
         match self.find_way(set, tag) {
@@ -395,11 +431,13 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
         }
     }
 
-    /// Reserve an MSHR entry for a miss issued at `now` whose fill completes after
-    /// `fill_latency` cycles. Returns the extra stall if the MSHRs were full.
-    pub fn reserve_mshr(&mut self, now: u64, fill_latency: u64) -> u64 {
+    /// Reserve an MSHR entry for a miss from `core_id` issued at `now` whose fill
+    /// completes after `fill_latency` cycles. Returns the extra stall if the MSHRs
+    /// were full; the stall is attributed to `core_id`.
+    pub fn reserve_mshr(&mut self, core_id: usize, now: u64, fill_latency: u64) -> u64 {
         let (extra, _) = self.mshr.reserve(now, fill_latency);
         self.global.mshr_stall_cycles += extra;
+        self.mshr_core_stalls[core_id] += extra;
         if extra > 0 {
             self.global.mshr_full_events += 1;
         }
@@ -410,10 +448,12 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
     /// the stall) **without** occupying it, so the caller can delay the downstream DRAM
     /// issue by the stall and then record the true completion via
     /// [`SharedLlc::complete_mshr`]. Used when
-    /// [`crate::config::BankContentionConfig::mshr_backpressure`] is enabled.
-    pub fn begin_mshr(&mut self, now: u64) -> u64 {
+    /// [`crate::config::BankContentionConfig::mshr_backpressure`] is enabled. The
+    /// stall is attributed to `core_id`.
+    pub fn begin_mshr(&mut self, core_id: usize, now: u64) -> u64 {
         let extra = self.mshr.acquire(now);
         self.global.mshr_stall_cycles += extra;
+        self.mshr_core_stalls[core_id] += extra;
         if extra > 0 {
             self.global.mshr_full_events += 1;
         }
@@ -519,7 +559,7 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
     pub fn writeback(&mut self, core_id: usize, block: BlockAddr, now: u64) -> bool {
         let (set, tag) = self.decompose(block);
         self.per_core[core_id].writebacks_in += 1;
-        let _ = self.bank_delay(set, now);
+        let _ = self.bank_delay(core_id, set, now);
         if let Some(way) = self.find_way(set, tag) {
             self.hint[set] = way as u8;
             self.dirty[set] |= 1 << way;
@@ -573,6 +613,19 @@ impl<P: LlcReplacementPolicy> SharedLlc<P> {
     pub fn occupancy(&self) -> usize {
         self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
+
+    /// Bank queue/admission stall cycles attributed per requesting core. Summing the
+    /// vector reproduces [`LlcGlobalStats::bank_queue_cycles`] and
+    /// [`LlcGlobalStats::bank_admission_stall_cycles`] exactly.
+    pub fn bank_core_stalls(&self) -> &[crate::bank::CoreBankStalls] {
+        self.banks.core_stalls()
+    }
+
+    /// MSHR stall cycles attributed per requesting core. Sums to
+    /// [`LlcGlobalStats::mshr_stall_cycles`].
+    pub fn mshr_core_stalls(&self) -> &[u64] {
+        &self.mshr_core_stalls
+    }
 }
 
 impl<P: LlcReplacementPolicy> LlcModel for SharedLlc<P> {
@@ -603,12 +656,12 @@ impl<P: LlcReplacementPolicy> LlcModel for SharedLlc<P> {
         SharedLlc::writeback(self, core_id, block, now)
     }
 
-    fn reserve_mshr(&mut self, now: u64, fill_latency: u64) -> u64 {
-        SharedLlc::reserve_mshr(self, now, fill_latency)
+    fn reserve_mshr(&mut self, core_id: usize, now: u64, fill_latency: u64) -> u64 {
+        SharedLlc::reserve_mshr(self, core_id, now, fill_latency)
     }
 
-    fn begin_mshr(&mut self, now: u64) -> u64 {
-        SharedLlc::begin_mshr(self, now)
+    fn begin_mshr(&mut self, core_id: usize, now: u64) -> u64 {
+        SharedLlc::begin_mshr(self, core_id, now)
     }
 
     fn complete_mshr(&mut self, completion: u64) {
@@ -699,6 +752,7 @@ mod tests {
             wb_entries: 8,
             wb_retire_at: 6,
             contention: crate::config::BankContentionConfig::flat(),
+            nuca: crate::config::NucaConfig::disabled(),
         }
     }
 
@@ -890,8 +944,8 @@ mod tests {
         let mut llc = make_llc();
         let mut two_phase = make_llc();
         for now in [0u64, 0, 0, 0, 0, 0, 0, 0, 5, 10] {
-            let a = llc.reserve_mshr(now, 1000);
-            let b = two_phase.begin_mshr(now);
+            let a = llc.reserve_mshr(0, now, 1000);
+            let b = two_phase.begin_mshr(0, now);
             two_phase.complete_mshr(now + b + 1000);
             assert_eq!(a, b);
         }
@@ -932,12 +986,83 @@ mod tests {
         let mut llc = make_llc();
         let mut total_extra = 0;
         for _ in 0..10 {
-            total_extra += llc.reserve_mshr(0, 1000);
+            total_extra += llc.reserve_mshr(0, 0, 1000);
         }
         assert!(
             total_extra > 0,
             "9th/10th reservations should stall on an 8-entry MSHR"
         );
         assert!(llc.global_stats().mshr_full_events > 0);
+        // All of it was charged to core 0, none elsewhere.
+        assert_eq!(llc.mshr_core_stalls()[0], total_extra);
+        assert_eq!(llc.mshr_core_stalls()[1], 0);
+        assert_eq!(
+            llc.mshr_core_stalls().iter().sum::<u64>(),
+            llc.global_stats().mshr_stall_cycles
+        );
+    }
+
+    #[test]
+    fn ninety_six_banks_map_uniformly_and_account_peak_waiting() {
+        // Regression for non-power-of-two bank counts >= 96: the modulo fallback must
+        // spread sets over all 96 banks, and `peak_waiting` must reflect the true
+        // instantaneous queue population on whichever bank the burst lands on.
+        let mut cfg = llc_config();
+        cfg.banks = 96;
+        // 1024 sets so every one of the 96 banks owns 10 or 11 sets (the default
+        // 64-set test geometry would leave banks 64..95 without any sets at all).
+        cfg.geometry = CacheGeometry::new(1024 * 1024, 16);
+        let sets = cfg.geometry.num_sets();
+        let ways = cfg.geometry.ways;
+        let mut llc = SharedLlc::new(cfg, 1, 100, Box::new(TestSrrip::new(sets, ways)));
+        for pass in 0..3u64 {
+            for s in 0..sets as u64 {
+                llc.access(0, 0, BlockAddr(s), true, false, pass * 100_000);
+            }
+        }
+        let per_bank: Vec<u64> = llc.bank_stats().iter().map(|b| b.requests).collect();
+        assert_eq!(per_bank.len(), 96);
+        assert_eq!(per_bank.iter().sum::<u64>(), 3 * sets as u64);
+        let max = per_bank.iter().max().unwrap();
+        let min = per_bank.iter().min().unwrap();
+        assert!(*min > 0, "a bank saw no requests: {per_bank:?}");
+        assert!(max - min <= 3, "non-uniform 96-bank mapping: {per_bank:?}");
+
+        // Direct peak accounting at 96 banks: k same-cycle requests to one bank leave
+        // k-1 of them simultaneously waiting.
+        let mut m = BankModel::new(96, crate::config::BankContentionConfig::flat());
+        for _ in 0..7 {
+            m.request(95, 0, 10);
+        }
+        assert_eq!(m.stats()[95].peak_waiting, 6);
+        assert!(m.stats()[..95].iter().all(|s| s.peak_waiting == 0));
+    }
+
+    #[test]
+    fn nuca_adds_distance_dependent_latency_without_touching_queues() {
+        let mut cfg = llc_config();
+        cfg.nuca = crate::config::NucaConfig::mesh(3);
+        let sets = cfg.geometry.num_sets();
+        let ways = cfg.geometry.ways;
+        let cores = 16;
+        let mut llc = SharedLlc::new(cfg, cores, 100, Box::new(TestSrrip::new(sets, ways)));
+        let mut flat = make_llc();
+        // Single isolated access per (core, set): latency differs from the flat model
+        // by exactly hop_cycles * mesh_hops, and bank queue accounting is untouched.
+        let mut any_distance = false;
+        for core in 0..2 {
+            for set in 0..4u64 {
+                let now = 1_000_000 * (core as u64 * 4 + set + 1);
+                let block = BlockAddr(set);
+                let got = llc.access(core, 0, block, true, false, now);
+                let base = flat.access(core.min(1), 0, block, true, false, now);
+                let hops = crate::config::mesh_hops(core, cores, set as usize & 3, 4);
+                assert_eq!(got.latency, base.latency + 3 * hops);
+                any_distance |= hops > 0;
+            }
+        }
+        assert!(any_distance, "test must cover a nonzero-distance pair");
+        assert_eq!(llc.global_stats().bank_queue_cycles, 0);
+        assert!(llc.global_stats().nuca_cycles > 0);
     }
 }

@@ -56,6 +56,10 @@ pub struct ReferenceLlc {
     wb_buffer: OccupancyWindow,
     per_core: Vec<LlcCoreStats>,
     global: LlcGlobalStats,
+    /// NUCA wire delay per `(core, bank)`; empty when the mesh model is disabled.
+    nuca: Vec<u64>,
+    /// MSHR stall cycles attributed per requesting core.
+    mshr_core_stalls: Vec<u64>,
     interval_misses: u64,
     misses_in_interval: u64,
 }
@@ -70,6 +74,20 @@ impl ReferenceLlc {
     ) -> Self {
         let num_sets = config.geometry.num_sets();
         let ways = config.geometry.ways;
+        let nuca = if config.nuca.is_disabled() {
+            Vec::new()
+        } else {
+            let mut table = Vec::with_capacity(num_cores * config.banks);
+            for core in 0..num_cores {
+                for bank in 0..config.banks {
+                    table.push(
+                        config.nuca.hop_cycles
+                            * crate::config::mesh_hops(core, num_cores, bank, config.banks),
+                    );
+                }
+            }
+            table
+        };
         ReferenceLlc {
             num_sets,
             ways,
@@ -80,6 +98,8 @@ impl ReferenceLlc {
             wb_buffer: OccupancyWindow::new(config.wb_entries),
             per_core: vec![LlcCoreStats::default(); num_cores],
             global: LlcGlobalStats::default(),
+            nuca,
+            mshr_core_stalls: vec![0; num_cores],
             interval_misses,
             misses_in_interval: 0,
             config,
@@ -108,14 +128,22 @@ impl ReferenceLlc {
         set % self.config.banks
     }
 
-    fn bank_delay(&mut self, set: usize, now: u64) -> u64 {
+    fn bank_delay(&mut self, core_id: usize, set: usize, now: u64) -> u64 {
         let bank = self.bank_of(set);
         let before = self.banks.stats()[bank].admission_stall_cycles;
-        let req = self.banks.request(bank, now, self.config.bank_busy_cycles);
+        let req = self
+            .banks
+            .request_from(bank, now, self.config.bank_busy_cycles, core_id);
         let admission = self.banks.stats()[bank].admission_stall_cycles - before;
         self.global.bank_queue_cycles += req.delay - admission;
         self.global.bank_admission_stall_cycles += admission;
-        req.delay
+        let nuca = if self.nuca.is_empty() {
+            0
+        } else {
+            self.nuca[core_id * self.config.banks + bank]
+        };
+        self.global.nuca_cycles += nuca;
+        req.delay + nuca
     }
 
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
@@ -149,7 +177,7 @@ impl ReferenceLlc {
             self.policy.on_access(&ctx);
         }
 
-        let delay = self.bank_delay(set, now);
+        let delay = self.bank_delay(core_id, set, now);
         let latency = self.config.latency + delay;
 
         match self.find_way(set, tag) {
@@ -317,7 +345,7 @@ impl LlcModel for ReferenceLlc {
         let set = block.set_index(self.num_sets);
         let tag = block.tag(self.num_sets);
         self.per_core[core_id].writebacks_in += 1;
-        let _ = self.bank_delay(set, now);
+        let _ = self.bank_delay(core_id, set, now);
         if let Some(way) = self.find_way(set, tag) {
             self.lines[set * self.ways + way].dirty = true;
             true
@@ -326,18 +354,20 @@ impl LlcModel for ReferenceLlc {
         }
     }
 
-    fn reserve_mshr(&mut self, now: u64, fill_latency: u64) -> u64 {
+    fn reserve_mshr(&mut self, core_id: usize, now: u64, fill_latency: u64) -> u64 {
         let (extra, _) = self.mshr.reserve(now, fill_latency);
         self.global.mshr_stall_cycles += extra;
+        self.mshr_core_stalls[core_id] += extra;
         if extra > 0 {
             self.global.mshr_full_events += 1;
         }
         extra
     }
 
-    fn begin_mshr(&mut self, now: u64) -> u64 {
+    fn begin_mshr(&mut self, core_id: usize, now: u64) -> u64 {
         let extra = self.mshr.acquire(now);
         self.global.mshr_stall_cycles += extra;
+        self.mshr_core_stalls[core_id] += extra;
         if extra > 0 {
             self.global.mshr_full_events += 1;
         }
@@ -751,6 +781,12 @@ impl ReferenceSystem {
             llc_global: *self.llc.global_stats(),
             llc_banks: self.llc.bank_stats().to_vec(),
             dram: *self.dram.stats(),
+            core_stalls: crate::stats::assemble_core_stalls(
+                n,
+                self.llc.banks.core_stalls(),
+                &self.llc.mshr_core_stalls,
+                self.dram.core_stalls(),
+            ),
             final_cycle,
         }
     }
@@ -820,16 +856,18 @@ impl ReferenceSystem {
                 latency = l2_latency + llc_lookup.latency;
             } else {
                 let (mshr_stall, dram_latency) = if self.config.llc.contention.mshr_backpressure {
-                    let stall = self.llc.begin_mshr(now);
+                    let stall = self.llc.begin_mshr(core_id, now);
                     let issue = now + llc_lookup.latency + stall;
-                    let dram_out = self.dram.access(block, issue, false);
+                    let dram_out = self.dram.access(block, issue, false, core_id);
                     self.llc.complete_mshr(issue + dram_out.latency);
                     (stall, dram_out.latency)
                 } else {
-                    let dram_out = self.dram.access(block, now + llc_lookup.latency, false);
-                    let stall = self
-                        .llc
-                        .reserve_mshr(now, llc_lookup.latency + dram_out.latency);
+                    let dram_out =
+                        self.dram
+                            .access(block, now + llc_lookup.latency, false, core_id);
+                    let stall =
+                        self.llc
+                            .reserve_mshr(core_id, now, llc_lookup.latency + dram_out.latency);
                     (stall, dram_out.latency)
                 };
                 latency = l2_latency + llc_lookup.latency + mshr_stall + dram_latency;
@@ -838,7 +876,7 @@ impl ReferenceSystem {
                 let fill = self.llc.fill(core_id, pc, block, false, now);
                 if let Some(evicted) = fill.evicted {
                     if evicted.dirty {
-                        self.dram.access(evicted.block, now, true);
+                        self.dram.access(evicted.block, now, true, core_id);
                     }
                 }
             }
@@ -861,7 +899,7 @@ impl ReferenceSystem {
 
     fn writeback_from_l2(&mut self, core_id: usize, block: BlockAddr, now: u64) {
         if !self.llc.writeback(core_id, block, now) {
-            self.dram.access(block, now, true);
+            self.dram.access(block, now, true, core_id);
         }
     }
 
@@ -872,7 +910,8 @@ impl ReferenceSystem {
         if !self.cores[core_id].l2.probe(block) {
             let llc_lookup = self.llc.access(core_id, pc, block, false, false, now);
             if !llc_lookup.hit {
-                self.dram.access(block, now + llc_lookup.latency, false);
+                self.dram
+                    .access(block, now + llc_lookup.latency, false, core_id);
                 self.cores[core_id].dram_reads += 1;
             }
             if let Some(evicted) = self.cores[core_id].l2.fill(block, false, true) {
@@ -915,6 +954,7 @@ mod tests {
             wb_entries: 8,
             wb_retire_at: 6,
             contention: crate::config::BankContentionConfig::flat(),
+            nuca: crate::config::NucaConfig::disabled(),
         }
     }
 

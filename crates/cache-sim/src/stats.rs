@@ -70,6 +70,67 @@ impl CoreStats {
     }
 }
 
+/// Stall cycles attributed to one requesting core across the whole memory system.
+///
+/// Each field mirrors, delta for delta, an increment made to the corresponding global
+/// accounting ([`LlcGlobalStats`], [`crate::bank::BankStats`], [`DramStats`]), so the
+/// per-core vectors sum exactly to the global totals — the conservation law enforced
+/// by `tests/scaling_study.rs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStallAttribution {
+    pub core_id: usize,
+    /// Cycles this core's LLC requests waited for a bank port
+    /// (sums to [`LlcGlobalStats::bank_queue_cycles`]).
+    pub llc_queue_cycles: u64,
+    /// Cycles this core's LLC requests were refused admission by a full bank queue
+    /// (sums to [`LlcGlobalStats::bank_admission_stall_cycles`]).
+    pub llc_admission_cycles: u64,
+    /// Cycles this core's DRAM requests waited for a bank port.
+    pub dram_queue_cycles: u64,
+    /// Cycles this core's DRAM requests were refused admission. Together with
+    /// `dram_queue_cycles` this sums to [`DramStats::queue_cycles`].
+    pub dram_admission_cycles: u64,
+    /// Cycles this core stalled on full LLC MSHRs
+    /// (sums to [`LlcGlobalStats::mshr_stall_cycles`]).
+    pub mshr_stall_cycles: u64,
+}
+
+impl CoreStallAttribution {
+    /// Total memory-system stall cycles attributed to this core.
+    pub fn total(&self) -> u64 {
+        self.llc_queue_cycles
+            + self.llc_admission_cycles
+            + self.dram_queue_cycles
+            + self.dram_admission_cycles
+            + self.mshr_stall_cycles
+    }
+}
+
+/// Assemble per-core stall attribution from the component-level vectors. The inputs
+/// may be shorter than `num_cores` (attribution vectors grow on demand); missing
+/// entries are zero.
+pub fn assemble_core_stalls(
+    num_cores: usize,
+    llc_banks: &[crate::bank::CoreBankStalls],
+    mshr: &[u64],
+    dram_banks: &[crate::bank::CoreBankStalls],
+) -> Vec<CoreStallAttribution> {
+    (0..num_cores)
+        .map(|core_id| {
+            let llc = llc_banks.get(core_id).copied().unwrap_or_default();
+            let dram = dram_banks.get(core_id).copied().unwrap_or_default();
+            CoreStallAttribution {
+                core_id,
+                llc_queue_cycles: llc.queue_cycles,
+                llc_admission_cycles: llc.admission_stall_cycles,
+                dram_queue_cycles: dram.queue_cycles,
+                dram_admission_cycles: dram.admission_stall_cycles,
+                mshr_stall_cycles: mshr.get(core_id).copied().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
 /// Results of a complete multi-core simulation.
 #[derive(Debug, Clone, Default)]
 pub struct SystemResults {
@@ -80,6 +141,9 @@ pub struct SystemResults {
     /// Per-bank LLC occupancy/stall statistics, indexed by bank.
     pub llc_banks: Vec<BankStats>,
     pub dram: DramStats,
+    /// Memory-system stall cycles attributed per requesting core (see
+    /// [`CoreStallAttribution`]), indexed by core.
+    pub core_stalls: Vec<CoreStallAttribution>,
     /// Cycle at which the last core reached its instruction target.
     pub final_cycle: u64,
 }
@@ -203,6 +267,35 @@ mod tests {
         assert_eq!(geometric_mean(&[]), 0.0);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn assemble_core_stalls_pads_short_vectors_and_totals() {
+        use crate::bank::CoreBankStalls;
+        let llc = [CoreBankStalls {
+            queue_cycles: 10,
+            admission_stall_cycles: 2,
+        }];
+        let dram = [
+            CoreBankStalls::default(),
+            CoreBankStalls {
+                queue_cycles: 7,
+                admission_stall_cycles: 0,
+            },
+        ];
+        let out = assemble_core_stalls(3, &llc, &[0, 5], &dram);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].total(), 12);
+        assert_eq!(out[1].total(), 12);
+        assert_eq!(out[1].dram_queue_cycles, 7);
+        assert_eq!(out[1].mshr_stall_cycles, 5);
+        assert_eq!(
+            out[2],
+            CoreStallAttribution {
+                core_id: 2,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]

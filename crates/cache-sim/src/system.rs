@@ -240,6 +240,12 @@ impl<P: LlcReplacementPolicy> MultiCoreSystem<P> {
             llc_global: *self.llc.global_stats(),
             llc_banks: self.llc.bank_stats().to_vec(),
             dram: *self.dram.stats(),
+            core_stalls: crate::stats::assemble_core_stalls(
+                n,
+                self.llc.bank_core_stalls(),
+                self.llc.mshr_core_stalls(),
+                self.dram.core_stalls(),
+            ),
             final_cycle,
         }
     }
@@ -481,14 +487,14 @@ fn demand_access<P: LlcReplacementPolicy>(
             // request at the cycle it could actually be tracked; the flat seed
             // path times the DRAM access first and charges the stall afterwards.
             let (mshr_stall, dram_latency) = if config.llc.contention.mshr_backpressure {
-                let stall = llc.begin_mshr(now);
+                let stall = llc.begin_mshr(core_id, now);
                 let issue = now + llc_lookup.latency + stall;
-                let dram_out = dram.access(block, issue, false);
+                let dram_out = dram.access(block, issue, false, core_id);
                 llc.complete_mshr(issue + dram_out.latency);
                 (stall, dram_out.latency)
             } else {
-                let dram_out = dram.access(block, now + llc_lookup.latency, false);
-                let stall = llc.reserve_mshr(now, llc_lookup.latency + dram_out.latency);
+                let dram_out = dram.access(block, now + llc_lookup.latency, false, core_id);
+                let stall = llc.reserve_mshr(core_id, now, llc_lookup.latency + dram_out.latency);
                 (stall, dram_out.latency)
             };
             latency = l2_latency + llc_lookup.latency + mshr_stall + dram_latency;
@@ -499,7 +505,7 @@ fn demand_access<P: LlcReplacementPolicy>(
             if let Some(evicted) = fill.evicted {
                 if evicted.dirty {
                     // Write-back drains in the background; costs DRAM bandwidth only.
-                    dram.access(evicted.block, now, true);
+                    dram.access(evicted.block, now, true, core_id);
                 }
             }
         }
@@ -532,7 +538,7 @@ fn writeback_from_l2<P: LlcReplacementPolicy>(
     now: u64,
 ) {
     if !llc.writeback(core_id, block, now) {
-        dram.access(block, now, true);
+        dram.access(block, now, true, core_id);
     }
 }
 
@@ -555,7 +561,7 @@ fn prefetch_access<P: LlcReplacementPolicy>(
         let llc_lookup = llc.access(core_id, pc, block, false, false, now);
         if !llc_lookup.hit {
             // Fetch from memory; prefetches do not allocate in the LLC.
-            dram.access(block, now + llc_lookup.latency, false);
+            dram.access(block, now + llc_lookup.latency, false, core_id);
             core.dram_reads += 1;
         }
         if let Some(evicted) = core.l2.fill(block, false, true) {

@@ -31,7 +31,7 @@
 //!            smaller than the run).
 //!
 //! scaling study:
-//!   scale  [--cores 32,48,64] [--mixes N] [--flat]
+//!   scale  [--cores 32,48,64,128,256] [--mixes N] [--flat] [--memsys]
 //!            Many-core scaling study beyond the paper's 24 cores, run under the
 //!            cycle-accounted bank contention model (finite ports, bounded per-bank
 //!            queues, MSHR back-pressure): per-policy throughput, fairness and
@@ -69,7 +69,8 @@ fn usage() -> String {
      [--paper-scale|--smoke]\n       repro corpus --dir DIR [--study 4|8|...|64] [--mixes N] \
      [--compress] [--paper-scale|--smoke]\n       repro sweep --dir DIR [--paper-scale|--smoke]\n         \
      [--arena-bytes N] [--prefetch on|off] [--spill-dir DIR] [--spill-accesses N]\n       \
-     repro scale [--cores 32,48,64] [--mixes N] [--flat] [--paper-scale|--smoke]\n\n\
+     repro scale [--cores 32,48,64,128,256] [--mixes N] [--flat] [--memsys] \
+     [--paper-scale|--smoke]\n\n\
      sweep replay knobs (flags win over the REPLAY_ARENA_BYTES / REPLAY_PREFETCH /\n\
      REPLAY_SPILL_DIR / REPLAY_SPILL_ACCESSES environment variables):\n\
        --arena-bytes N     replay arena budget per mix in bytes (default 256 MiB)\n\
@@ -77,8 +78,9 @@ fn usage() -> String {
        --spill-dir DIR     spill oversized synthetic mixes to .atrc files under DIR\n\
        --spill-accesses N  per-core accesses to capture when spilling (0 disables)\n\n\
      scale: many-core scaling study under the cycle-accounted bank contention model\n\
-     (throughput / fairness / bank-stall share per policy; --flat reruns the same\n\
-     geometry with the latency-only seed banking)\n\n\
+     (throughput / fairness / bank-stall share / per-core stall attribution per policy;\n\
+     --flat reruns the same geometry with the latency-only seed banking; --memsys runs\n\
+     the flat vs FCFS vs FR-FCFS+NUCA memory-system head-to-head instead)\n\n\
      global: --profile [DIR]   record a sim-obs profile and export trace.json /\n\
                                intervals.csv / summary.txt into DIR (default 'profile';\n\
                                REPRO_PROFILE=1 does the same)\n\
@@ -91,7 +93,9 @@ fn parse_study(cores: &str) -> Result<StudyKind, String> {
         .parse::<usize>()
         .ok()
         .and_then(StudyKind::by_cores)
-        .ok_or_else(|| format!("--study must be one of 4|8|16|20|24|32|48|64, got {cores:?}"))
+        .ok_or_else(|| {
+            format!("--study must be one of 4|8|16|20|24|32|48|64|128|256, got {cores:?}")
+        })
 }
 
 fn parse_cores_list(list: &str) -> Result<Vec<usize>, String> {
@@ -180,13 +184,21 @@ fn sweep_cmd(scale: ExperimentScale, dir: &PathBuf, replay: &ReplayConfig) -> Re
     Ok(())
 }
 
-/// Run the many-core scaling study (see `experiments::scaling`).
+/// Run the many-core scaling study (see `experiments::scaling`). With `memsys` the
+/// flat vs FCFS-contended vs FR-FCFS+NUCA head-to-head replaces the single-model study.
 fn scale_cmd(
     scale: ExperimentScale,
     cores: &[usize],
     contention: bool,
+    memsys: bool,
     mixes_override: Option<usize>,
 ) -> Result<(), String> {
+    if memsys {
+        sim_obs::obs_info!("repro", "memory-system head-to-head over {cores:?} cores");
+        let result = scaling::run_memsys(scale, cores, mixes_override)?;
+        print!("{}", scaling::render_memsys(&result));
+        return Ok(());
+    }
     sim_obs::obs_info!(
         "repro",
         "scaling study over {cores:?} cores ({} banking)",
@@ -393,6 +405,7 @@ fn main() -> ExitCode {
     let mut mixes_override: Option<usize> = None;
     let mut cores_list: Vec<usize> = vec![32, 48, 64];
     let mut flat = false;
+    let mut memsys = false;
     let mut compress = false;
     // Replay knobs: environment first (the documented REPLAY_* variables), explicit
     // flags win.
@@ -422,6 +435,10 @@ fn main() -> ExitCode {
             "--cores" => value("--cores").and_then(|v| parse_cores_list(v).map(|c| cores_list = c)),
             "--flat" => {
                 flat = true;
+                Ok(())
+            }
+            "--memsys" => {
+                memsys = true;
                 Ok(())
             }
             "--compress" => {
@@ -495,7 +512,7 @@ fn main() -> ExitCode {
                 sweep_cmd(scale, &dir, &replay)
             }
         }
-        "scale" => scale_cmd(scale, &cores_list, !flat, mixes_override),
+        "scale" => scale_cmd(scale, &cores_list, !flat, memsys, mixes_override),
         name => run_one(name, scale),
     };
     // Export the profile even when the experiment failed: the partial timeline is

@@ -46,4 +46,4 @@ pub use runner::{
     evaluate_policies_serial, sweep_policies_on_corpus, sweep_policies_on_sources, MixEvaluation,
     MixSource, PerAppOutcome, SweepOutcome,
 };
-pub use scale::ExperimentScale;
+pub use scale::{ExperimentScale, MemSystem};

@@ -102,6 +102,9 @@ pub struct MixEvaluation {
     pub llc_global: cache_sim::llc::LlcGlobalStats,
     /// Per-bank LLC occupancy/stall statistics of the shared run, indexed by bank.
     pub llc_banks: Vec<cache_sim::bank::BankStats>,
+    /// Per-core memory-system stall attribution (LLC bank queue/admission, MSHR,
+    /// DRAM bank queue/admission), indexed by core.
+    pub core_stalls: Vec<cache_sim::stats::CoreStallAttribution>,
     /// Cycle at which the last application reached its instruction target.
     pub final_cycle: u64,
 }
@@ -121,6 +124,18 @@ impl MixEvaluation {
     /// (`stall / (stall + busy)` summed over banks; 0 with no LLC traffic).
     pub fn bank_stall_share(&self) -> f64 {
         cache_sim::bank::aggregate_stall_share(&self.llc_banks)
+    }
+
+    /// Total attributed memory-system stall cycles per core, indexed by core
+    /// (LLC bank queue/admission + MSHR + DRAM bank queue/admission).
+    pub fn core_stall_totals(&self) -> Vec<u64> {
+        self.core_stalls.iter().map(|c| c.total()).collect()
+    }
+
+    /// Max/mean imbalance of the per-core attributed stall cycles
+    /// ([`mc_metrics::stall_imbalance`]); 1.0 means perfectly balanced.
+    pub fn stall_imbalance(&self) -> f64 {
+        mc_metrics::stall_imbalance(&self.core_stall_totals())
     }
 
     /// Look up an application's outcome by benchmark name (first occurrence).
@@ -259,7 +274,7 @@ impl MixSource {
         let cores = header.cores.len();
         let study = StudyKind::by_cores(cores).ok_or_else(|| {
             TraceError::Corrupt(format!(
-                "trace has {cores} cores, which matches no study (4/8/16/20/24/32/48/64)"
+                "trace has {cores} cores, which matches no study (4/8/16/20/24/32/48/64/128/256)"
             ))
         })?;
         for core in &header.cores {
@@ -900,6 +915,7 @@ fn summarize(
         metrics,
         llc_global: results.llc_global,
         llc_banks: results.llc_banks,
+        core_stalls: results.core_stalls,
         final_cycle: results.final_cycle,
     }
 }
@@ -1246,6 +1262,10 @@ mod tests {
             }
             assert_eq!(x.llc_global, y.llc_global, "LLC global stats differ");
             assert_eq!(x.llc_banks, y.llc_banks, "per-bank stats differ");
+            assert_eq!(
+                x.core_stalls, y.core_stalls,
+                "per-core stall attribution differs"
+            );
             assert_eq!(x.final_cycle, y.final_cycle);
         }
     }

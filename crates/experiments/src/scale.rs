@@ -15,6 +15,47 @@ use cache_sim::config::SystemConfig;
 use serde::{Deserialize, Serialize};
 use workloads::StudyKind;
 
+/// Which memory-system model the many-core scaling study runs under. The three
+/// variants form the head-to-head reported by `repro scale --memsys`:
+///
+/// * [`MemSystem::Flat`] — infinite bank bandwidth, no row model, zero NUCA
+///   distance. Algebraically identical to the pre-contention model; the
+///   bit-identity walls pin this variant.
+/// * [`MemSystem::FcfsContended`] — cycle-accounted FCFS bank service (finite
+///   ports, bounded queues, MSHR back-pressure), single bank latency.
+/// * [`MemSystem::FrFcfsNuca`] — the contended model plus row-buffer-aware
+///   FR-FCFS scheduling (distinct row-hit/miss/conflict latencies, starvation
+///   cap) and mesh-NUCA distance-dependent LLC bank latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSystem {
+    /// Infinite bandwidth, no row model, zero distance.
+    Flat,
+    /// Cycle-accounted FCFS bank contention, single bank latency.
+    FcfsContended,
+    /// FR-FCFS row-buffer scheduling plus mesh NUCA on the contended model.
+    FrFcfsNuca,
+}
+
+impl MemSystem {
+    /// Head-to-head order used in reports.
+    pub fn all() -> [MemSystem; 3] {
+        [
+            MemSystem::Flat,
+            MemSystem::FcfsContended,
+            MemSystem::FrFcfsNuca,
+        ]
+    }
+
+    /// Column label used in reports and `BENCH_sim.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemSystem::Flat => "flat",
+            MemSystem::FcfsContended => "fcfs",
+            MemSystem::FrFcfsNuca => "frfcfs+nuca",
+        }
+    }
+}
+
 /// How big the experiments should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExperimentScale {
@@ -76,6 +117,18 @@ impl ExperimentScale {
         cfg
     }
 
+    /// Core-count-generic configuration for a given memory-system variant of the
+    /// scaling study. `Flat` and `FcfsContended` match `scaling_config(cores, false)`
+    /// and `scaling_config(cores, true)` exactly; `FrFcfsNuca` layers the FR-FCFS row
+    /// model and a 2-cycle-per-hop mesh NUCA on the contended configuration.
+    pub fn scaling_config_memsys(&self, cores: usize, memsys: MemSystem) -> SystemConfig {
+        match memsys {
+            MemSystem::Flat => self.scaling_config(cores, false),
+            MemSystem::FcfsContended => self.scaling_config(cores, true),
+            MemSystem::FrFcfsNuca => self.scaling_config(cores, true).with_frfcfs_nuca(2),
+        }
+    }
+
     /// System configuration with an explicit LLC size/associativity (Figure 7).
     pub fn system_config_with_llc(
         &self,
@@ -125,6 +178,7 @@ impl ExperimentScale {
                 StudyKind::Cores20 | StudyKind::Cores24 => 8,
                 StudyKind::Cores32 => 6,
                 StudyKind::Cores48 | StudyKind::Cores64 => 4,
+                StudyKind::Cores128 | StudyKind::Cores256 => 2,
             },
             ExperimentScale::Smoke => 2,
         }
@@ -189,6 +243,31 @@ mod tests {
     fn scaled_preserves_cores_vs_ways_regime() {
         let cfg = ExperimentScale::Scaled.system_config(StudyKind::Cores24);
         assert!(cfg.num_cores >= cfg.llc.geometry.ways);
+    }
+
+    #[test]
+    fn memsys_variants_validate_and_match_their_base_configs() {
+        for scale in [ExperimentScale::Scaled, ExperimentScale::Smoke] {
+            for cores in [32, 64, 128, 256] {
+                let flat = scale.scaling_config_memsys(cores, MemSystem::Flat);
+                assert_eq!(flat, scale.scaling_config(cores, false));
+                assert!(flat.llc.nuca.is_disabled());
+                assert!(!flat.dram.row_model.enabled);
+
+                let fcfs = scale.scaling_config_memsys(cores, MemSystem::FcfsContended);
+                assert_eq!(fcfs, scale.scaling_config(cores, true));
+
+                let frfcfs = scale.scaling_config_memsys(cores, MemSystem::FrFcfsNuca);
+                frfcfs.validate().unwrap();
+                assert!(frfcfs.dram.row_model.enabled);
+                assert_eq!(frfcfs.llc.nuca.hop_cycles, 2);
+                assert!(frfcfs.nuca_delay(cores - 1, 0) > 0);
+            }
+        }
+        assert_eq!(
+            MemSystem::all().map(|m| m.label()).join("/"),
+            "flat/fcfs/frfcfs+nuca"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use workloads::{generate_mixes, StudyKind};
 use crate::policies::PolicyKind;
 use crate::report::{amean, gmean, pct, render_table};
 use crate::runner::{self, MixEvaluation, MixSource};
-use crate::scale::ExperimentScale;
+use crate::scale::{ExperimentScale, MemSystem};
 
 /// One policy's scores at one core count.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -42,6 +42,36 @@ pub struct PolicyScalingRow {
     pub mean_fairness: f64,
     /// Arithmetic mean of the per-mix LLC bank-stall shares.
     pub mean_bank_stall_share: f64,
+    /// Arithmetic mean of the per-mix per-core stall imbalance (max/mean attributed
+    /// stall cycles; 1.0 = balanced, 0.0 = no memory-system stalls at all).
+    pub mean_stall_imbalance: f64,
+}
+
+/// Attributed memory-system stall cycles of one core, aggregated over a study's
+/// baseline-policy runs (the per-core view `cache_sim::stats::CoreStallAttribution`
+/// provides per run).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreStallSummary {
+    /// Core index.
+    pub core: usize,
+    /// Cycles queued behind busy LLC bank ports.
+    pub llc_queue_cycles: u64,
+    /// Cycles refused admission at full LLC bank queues.
+    pub llc_admission_cycles: u64,
+    /// Cycles stalled on a full LLC MSHR file.
+    pub mshr_stall_cycles: u64,
+    /// Cycles queued behind busy DRAM banks (including admission refusals).
+    pub dram_stall_cycles: u64,
+}
+
+impl CoreStallSummary {
+    /// Total attributed stall cycles for this core.
+    pub fn total(&self) -> u64 {
+        self.llc_queue_cycles
+            + self.llc_admission_cycles
+            + self.mshr_stall_cycles
+            + self.dram_stall_cycles
+    }
 }
 
 /// Aggregated occupancy/stall picture of one LLC bank across a study's runs.
@@ -72,6 +102,12 @@ pub struct ScalingPoint {
     pub rows: Vec<PolicyScalingRow>,
     /// Per-bank occupancy/stall metrics aggregated over the baseline policy's runs.
     pub per_bank: Vec<BankSummary>,
+    /// The most-stalled cores (top 8 by attributed stall cycles) aggregated over the
+    /// baseline policy's runs, descending; empty when nothing stalled.
+    pub top_stalled_cores: Vec<CoreStallSummary>,
+    /// Max/mean imbalance of the aggregated per-core stall cycles (see
+    /// [`mc_metrics::stall_imbalance`]).
+    pub stall_imbalance: f64,
     /// Total replay wraps reported by the sweep engine (0 for synthetic runs).
     pub replay_wraps: u64,
 }
@@ -150,6 +186,12 @@ fn build_point(
                         .map(|e| e.bank_stall_share())
                         .collect::<Vec<_>>(),
                 ),
+                mean_stall_imbalance: amean(
+                    &of_policy
+                        .iter()
+                        .map(|e| e.stall_imbalance())
+                        .collect::<Vec<_>>(),
+                ),
             }
         })
         .collect();
@@ -184,12 +226,43 @@ fn build_point(
         })
         .collect();
 
+    // Per-core stall attribution aggregated over the baseline policy's runs.
+    let mut core_totals = vec![
+        CoreStallSummary {
+            core: 0,
+            llc_queue_cycles: 0,
+            llc_admission_cycles: 0,
+            mshr_stall_cycles: 0,
+            dram_stall_cycles: 0,
+        };
+        config.num_cores
+    ];
+    for (core, summary) in core_totals.iter_mut().enumerate() {
+        summary.core = core;
+        for e in &base_evals {
+            if let Some(c) = e.core_stalls.get(core) {
+                summary.llc_queue_cycles += c.llc_queue_cycles;
+                summary.llc_admission_cycles += c.llc_admission_cycles;
+                summary.mshr_stall_cycles += c.mshr_stall_cycles;
+                summary.dram_stall_cycles += c.dram_queue_cycles + c.dram_admission_cycles;
+            }
+        }
+    }
+    let stall_imbalance =
+        mc_metrics::stall_imbalance(&core_totals.iter().map(|c| c.total()).collect::<Vec<_>>());
+    let mut top_stalled_cores: Vec<CoreStallSummary> =
+        core_totals.into_iter().filter(|c| c.total() > 0).collect();
+    top_stalled_cores.sort_by(|a, b| b.total().cmp(&a.total()).then(a.core.cmp(&b.core)));
+    top_stalled_cores.truncate(8);
+
     ScalingPoint {
         cores: config.num_cores,
         banks: config.llc.banks,
         workloads,
         rows,
         per_bank,
+        top_stalled_cores,
+        stall_imbalance,
         replay_wraps: outcome.total_replay_wraps(),
     }
 }
@@ -205,8 +278,9 @@ pub fn run(
     let points = core_counts
         .iter()
         .map(|&cores| {
-            let study = StudyKind::by_cores(cores)
-                .ok_or_else(|| format!("no study with {cores} cores (4/8/16/20/24/32/48/64)"))?;
+            let study = StudyKind::by_cores(cores).ok_or_else(|| {
+                format!("no study with {cores} cores (4/8/16/20/24/32/48/64/128/256)")
+            })?;
             Ok(run_point(scale, study, contention, mixes_override))
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -245,6 +319,7 @@ pub fn render(r: &ScalingStudyResult) -> String {
                 "vs TA-DRRIP",
                 "fairness",
                 "bank-stall share",
+                "stall imbalance",
             ],
             &p.rows
                 .iter()
@@ -255,6 +330,7 @@ pub fn render(r: &ScalingStudyResult) -> String {
                         pct(row.speedup_over_baseline - 1.0),
                         format!("{:.4}", row.mean_fairness),
                         format!("{:.4}", row.mean_bank_stall_share),
+                        format!("{:.2}", row.mean_stall_imbalance),
                     ]
                 })
                 .collect::<Vec<_>>(),
@@ -277,6 +353,201 @@ pub fn render(r: &ScalingStudyResult) -> String {
                         format!("{:.4}", b.busy_share),
                         format!("{:.4}", b.stall_share),
                         b.peak_waiting.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ));
+        if !p.top_stalled_cores.is_empty() {
+            out.push_str(&format!(
+                "\nMost-stalled cores (TA-DRRIP runs, stall imbalance {:.2}):\n",
+                p.stall_imbalance
+            ));
+            out.push_str(&render_table(
+                &[
+                    "core",
+                    "llc queue",
+                    "llc admission",
+                    "mshr",
+                    "dram",
+                    "total",
+                ],
+                &p.top_stalled_cores
+                    .iter()
+                    .map(|c| {
+                        vec![
+                            c.core.to_string(),
+                            c.llc_queue_cycles.to_string(),
+                            c.llc_admission_cycles.to_string(),
+                            c.mshr_stall_cycles.to_string(),
+                            c.dram_stall_cycles.to_string(),
+                            c.total().to_string(),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            ));
+        }
+    }
+    out
+}
+
+/// One (memory system, policy) cell of the head-to-head study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemsysPolicyRow {
+    /// Memory-system label (`flat` / `fcfs` / `frfcfs+nuca`).
+    pub memsys: String,
+    /// Display name of the policy.
+    pub policy: String,
+    /// Arithmetic mean of the per-mix weighted speedups.
+    pub mean_weighted_speedup: f64,
+    /// Geometric mean of the per-mix weighted-speedup ratios over TA-DRRIP under the
+    /// *same* memory system (each variant is its own baseline frame).
+    pub speedup_over_baseline: f64,
+    /// Arithmetic mean of the per-mix fairness scores.
+    pub mean_fairness: f64,
+    /// Arithmetic mean of the per-mix LLC bank-stall shares.
+    pub mean_bank_stall_share: f64,
+    /// Arithmetic mean of the per-mix per-core stall imbalance.
+    pub mean_stall_imbalance: f64,
+}
+
+/// The memory-system head-to-head at one core count: every policy of the lineup
+/// evaluated under every [`MemSystem`] variant on the same mixes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemsysPoint {
+    /// Cores (= applications per mix).
+    pub cores: usize,
+    /// Workload mixes evaluated per variant.
+    pub workloads: usize,
+    /// One row per (memory system, policy), grouped by memory system in
+    /// [`MemSystem::all`] order, baseline policy first within each group.
+    pub rows: Vec<MemsysPolicyRow>,
+}
+
+/// The full memory-system head-to-head study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemsysStudyResult {
+    /// Scale the study ran at.
+    pub scale: String,
+    /// One entry per core count, in request order.
+    pub points: Vec<MemsysPoint>,
+}
+
+/// Run the memory-system head-to-head at one core count: the scaling lineup under
+/// flat, FCFS-contended and FR-FCFS+NUCA memory systems on identical mixes, so any
+/// ranking shift between rows is attributable to the memory model alone.
+pub fn run_memsys_point(
+    scale: ExperimentScale,
+    study: StudyKind,
+    mixes_override: Option<usize>,
+) -> MemsysPoint {
+    let count = mixes_override
+        .unwrap_or_else(|| scale.mixes_for(study))
+        .max(1);
+    let mixes = generate_mixes(study, count, scale.seed());
+    let sources: Vec<MixSource> = mixes.iter().cloned().map(MixSource::synthetic).collect();
+    let policies = scaling_lineup();
+    let baseline = policies[0];
+    let mut rows = Vec::new();
+    for memsys in MemSystem::all() {
+        let config = scale.scaling_config_memsys(study.num_cores(), memsys);
+        let outcome = runner::sweep_policies_on_sources(
+            &config,
+            &sources,
+            &policies,
+            scale.instructions_per_core(),
+            scale.seed(),
+        )
+        .expect("synthetic sweeps cannot fail to materialize");
+        let evals = &outcome.evaluations;
+        for &p in &policies {
+            let of_policy: Vec<&MixEvaluation> = evals.iter().filter(|e| e.policy == p).collect();
+            rows.push(MemsysPolicyRow {
+                memsys: memsys.label().to_string(),
+                policy: p.label(),
+                mean_weighted_speedup: amean(
+                    &of_policy
+                        .iter()
+                        .map(|e| e.weighted_speedup())
+                        .collect::<Vec<_>>(),
+                ),
+                speedup_over_baseline: gmean(&runner::speedups_over_baseline(evals, p, baseline)),
+                mean_fairness: amean(&of_policy.iter().map(|e| e.fairness()).collect::<Vec<_>>()),
+                mean_bank_stall_share: amean(
+                    &of_policy
+                        .iter()
+                        .map(|e| e.bank_stall_share())
+                        .collect::<Vec<_>>(),
+                ),
+                mean_stall_imbalance: amean(
+                    &of_policy
+                        .iter()
+                        .map(|e| e.stall_imbalance())
+                        .collect::<Vec<_>>(),
+                ),
+            });
+        }
+    }
+    MemsysPoint {
+        cores: study.num_cores(),
+        workloads: mixes.len(),
+        rows,
+    }
+}
+
+/// Run the memory-system head-to-head over `core_counts`.
+pub fn run_memsys(
+    scale: ExperimentScale,
+    core_counts: &[usize],
+    mixes_override: Option<usize>,
+) -> Result<MemsysStudyResult, String> {
+    let points = core_counts
+        .iter()
+        .map(|&cores| {
+            let study = StudyKind::by_cores(cores).ok_or_else(|| {
+                format!("no study with {cores} cores (4/8/16/20/24/32/48/64/128/256)")
+            })?;
+            Ok(run_memsys_point(scale, study, mixes_override))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(MemsysStudyResult {
+        scale: scale.label().to_string(),
+        points,
+    })
+}
+
+/// Render the memory-system head-to-head as one table per core count.
+pub fn render_memsys(r: &MemsysStudyResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Memory-system head-to-head ({} scale): flat vs FCFS-contended vs FR-FCFS+NUCA\n",
+        r.scale
+    ));
+    for p in &r.points {
+        out.push_str(&format!(
+            "\n== {} cores, {} workloads per memory system ==\n",
+            p.cores, p.workloads
+        ));
+        out.push_str(&render_table(
+            &[
+                "memsys",
+                "policy",
+                "wt.speedup",
+                "vs TA-DRRIP",
+                "fairness",
+                "bank-stall share",
+                "stall imbalance",
+            ],
+            &p.rows
+                .iter()
+                .map(|row| {
+                    vec![
+                        row.memsys.clone(),
+                        row.policy.clone(),
+                        format!("{:.4}", row.mean_weighted_speedup),
+                        pct(row.speedup_over_baseline - 1.0),
+                        format!("{:.4}", row.mean_fairness),
+                        format!("{:.4}", row.mean_bank_stall_share),
+                        format!("{:.2}", row.mean_stall_imbalance),
                     ]
                 })
                 .collect::<Vec<_>>(),
@@ -322,5 +593,54 @@ mod tests {
     #[test]
     fn unknown_core_count_is_an_error() {
         assert!(run(ExperimentScale::Smoke, &[12], true, Some(1)).is_err());
+        assert!(run_memsys(ExperimentScale::Smoke, &[12], Some(1)).is_err());
+    }
+
+    #[test]
+    fn contended_point_attributes_stalls_to_cores() {
+        let point = run_point(ExperimentScale::Smoke, StudyKind::Cores32, true, Some(1));
+        assert!(
+            !point.top_stalled_cores.is_empty(),
+            "a contended 32-core run must attribute some stalls"
+        );
+        assert!(point.stall_imbalance >= 1.0);
+        // Descending by total, tie-broken by core index.
+        for w in point.top_stalled_cores.windows(2) {
+            assert!(w[0].total() >= w[1].total());
+        }
+        let text = render(&ScalingStudyResult {
+            scale: "smoke".into(),
+            contention: true,
+            points: vec![point],
+        });
+        assert!(text.contains("Most-stalled cores"));
+        assert!(text.contains("stall imbalance"));
+    }
+
+    #[test]
+    fn memsys_head_to_head_covers_every_variant_and_policy() {
+        let point = run_memsys_point(ExperimentScale::Smoke, StudyKind::Cores4, Some(1));
+        let lineup = scaling_lineup().len();
+        assert_eq!(point.rows.len(), 3 * lineup);
+        for (i, memsys) in MemSystem::all().iter().enumerate() {
+            let group = &point.rows[i * lineup..(i + 1) * lineup];
+            assert!(group.iter().all(|r| r.memsys == memsys.label()));
+            // TA-DRRIP is its own baseline within each memory-system frame.
+            assert!((group[0].speedup_over_baseline - 1.0).abs() < 1e-12);
+            assert!(group.iter().all(|r| r.mean_weighted_speedup > 0.0));
+        }
+        // Shares are well-formed fractions; the flat variant has no admission
+        // stalls to attribute, so its imbalance is either 0 (nothing stalled) or
+        // a proper max/mean ratio >= 1.
+        for r in &point.rows {
+            assert!((0.0..=1.0).contains(&r.mean_bank_stall_share));
+            assert!(r.mean_stall_imbalance == 0.0 || r.mean_stall_imbalance >= 1.0);
+        }
+        let text = render_memsys(&MemsysStudyResult {
+            scale: "smoke".into(),
+            points: vec![point],
+        });
+        assert!(text.contains("frfcfs+nuca"));
+        assert!(text.contains("head-to-head"));
     }
 }

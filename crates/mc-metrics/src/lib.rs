@@ -184,6 +184,26 @@ impl MulticoreMetrics {
     }
 }
 
+/// Max/mean imbalance of per-core stall cycles: `max_i(stalls_i) / mean(stalls)`.
+///
+/// The fairness lens on per-core memory-system stall attribution: 1.0 means every core
+/// pays the same queue/admission/MSHR price; N means one core absorbs the entire
+/// N-core system's stall budget. Returns 0.0 for empty input or when no core stalled
+/// at all (a flat, contention-free run), so reports can distinguish "balanced" from
+/// "nothing to balance".
+pub fn stall_imbalance(stalls: &[u64]) -> f64 {
+    if stalls.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = stalls.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = *stalls.iter().max().expect("non-empty") as f64;
+    let mean = total as f64 / stalls.len() as f64;
+    max / mean
+}
+
 /// Build an "s-curve": the per-workload speedups sorted ascending, the presentation used by
 /// the paper's Figures 3 and 8.
 pub fn s_curve(speedups: &[f64]) -> Vec<f64> {
@@ -272,6 +292,19 @@ mod tests {
         assert_eq!(fairness(&[], &[]), 0.0);
         let m = MulticoreMetrics::compute(&[1.0, 2.0], &[2.0, 2.0]);
         assert!((m.fairness - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_imbalance_is_max_over_mean() {
+        // mean 2, max 4 => 2.0.
+        assert!((stall_imbalance(&[0, 2, 2, 4]) - 2.0).abs() < 1e-12);
+        // Perfectly balanced.
+        assert!((stall_imbalance(&[3, 3, 3]) - 1.0).abs() < 1e-12);
+        // One core absorbing everything in an N-core system scores N.
+        assert!((stall_imbalance(&[8, 0, 0, 0]) - 4.0).abs() < 1e-12);
+        // Empty and all-zero inputs are 0, not NaN.
+        assert_eq!(stall_imbalance(&[]), 0.0);
+        assert_eq!(stall_imbalance(&[0, 0]), 0.0);
     }
 
     #[test]

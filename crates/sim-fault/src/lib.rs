@@ -24,6 +24,8 @@
 //! | `progress.write` | per-cell progress append (supports torn writes)         |
 //! | `progress.sync`  | per-cell progress `sync_all`                            |
 //! | `serve.worker`   | sweepd worker, per job (supports stall/panic)           |
+//! | `bank.schedule`  | DRAM bank scheduling, per access (stall keeps results   |
+//! |                  | bit-identical; any other kind panics → typed error)     |
 //! | `serve.conn.close` | sweepd connection, before writing a response          |
 //! | `bench.access`   | `sim_perf` only — measures the disabled-mode overhead   |
 //!

@@ -308,7 +308,11 @@ fn chaos_wall_requests_are_bit_identical_or_typed_errors() {
             .rule("progress.write", FaultKind::TornWrite, 250, 0)
             .rule("progress.sync", FaultKind::Io, 250, 0)
             .rule("serve.worker", FaultKind::Panic, 60, 0)
-            .rule("serve.conn.close", FaultKind::Close, 100, 0);
+            .rule("serve.conn.close", FaultKind::Close, 100, 0)
+            // The DRAM bank scheduler: a rare stall must leave results
+            // bit-identical, a rare panic must surface as a typed error.
+            .rule("bank.schedule", FaultKind::Stall(1), 2, 40)
+            .rule("bank.schedule", FaultKind::Panic, 1, 2);
         guard.install(plan);
 
         let mut client = Client::connect(addr, Some("chaos")).ok();
@@ -370,6 +374,68 @@ fn chaos_wall_requests_are_bit_identical_or_typed_errors() {
                 "seed {seed}: post-fault service is bit-identical"
             );
         }
+    }
+    server.stop();
+}
+
+#[test]
+fn faulted_bank_scheduler_never_wedges_a_sweep() {
+    // The DRAM bank scheduler sits on the innermost simulation loop. A stalled
+    // bank (wall-clock sleep, no simulated-state change) must keep every answer
+    // bit-identical; an injected scheduler panic must surface as a typed 500
+    // from the worker's panic isolation — in neither case may the sweep wedge:
+    // every request gets a terminating answer and the daemon stays live.
+    let guard = sim_fault::exclusive();
+    let dir = test_dir("chaos_bank_schedule");
+    materialize_corpus(&dir, "chaos-b", 1);
+    let replay = streamed_replay();
+    let policies = [PolicyKind::TaDrrip, PolicyKind::Lru];
+    let reference = reference_with(&dir, &policies, &replay);
+    let server = spawn_with(vec![("c".to_string(), dir)], 2, replay);
+    let addr = server.addr();
+
+    // Phase 1: stalls only. Results must be bit-identical to the fault-free
+    // reference — the scheduler loses wall-clock time, never simulated cycles.
+    guard.install(FaultPlan::new(11).rule("bank.schedule", FaultKind::Stall(1), 1000, 25));
+    for (policy, mix_id, expected) in &reference {
+        let resp =
+            client::post(addr, "/eval", &eval_body("c", policy, *mix_id), None).expect("eval");
+        assert_eq!(resp.status, 200, "stalled bank: {}", resp.body);
+        assert_eq!(
+            &resp.body, expected,
+            "a stalled bank must not change simulation results"
+        );
+    }
+
+    // Phase 2: every access panics. Evaluations must fail typed, not hang, and
+    // memoized fault-free answers must keep serving bit-identically.
+    guard.install(FaultPlan::new(12).rule("bank.schedule", FaultKind::Panic, 1000, 0));
+    for (policy, mix_id, expected) in &reference {
+        let resp =
+            client::post(addr, "/eval", &eval_body("c", policy, *mix_id), None).expect("eval");
+        match resp.status {
+            // Served from the memo cache warmed in phase 1 — must be exact.
+            200 => assert_eq!(&resp.body, expected, "memoized answer must stay exact"),
+            500 | 503 => {
+                let v = JsonValue::parse(&resp.body).expect("typed error body parses");
+                assert!(v.get("error").is_some(), "error body names the failure");
+            }
+            other => panic!("faulted bank: unexpected status {other}: {}", resp.body),
+        }
+    }
+    assert_eq!(
+        client::get(addr, "/healthz").expect("healthz").status,
+        200,
+        "daemon survives a panicking bank scheduler"
+    );
+
+    // Phase 3: faults cleared — full fault-free service restores bit-identically.
+    guard.clear();
+    for (policy, mix_id, expected) in &reference {
+        let resp =
+            client::post(addr, "/eval", &eval_body("c", policy, *mix_id), None).expect("eval");
+        assert_eq!(resp.status, 200, "post-fault: {}", resp.body);
+        assert_eq!(&resp.body, expected, "post-fault service is bit-identical");
     }
     server.stop();
 }

@@ -10,6 +10,8 @@
 //! | 32-core  | (extrapolated) 40 | at least 4 from each class        |
 //! | 48-core  | (extrapolated) 40 | at least 5 from each class        |
 //! | 64-core  | (extrapolated) 40 | at least 6 from each class        |
+//! | 128-core | (extrapolated) 40 | at least 8 from each class        |
+//! | 256-core | (extrapolated) 40 | at least 10 from each class       |
 //!
 //! The paper stops at 24 cores; the 32/48/64-core rows extend its composition rules for
 //! the many-core scaling study (`experiments::scaling`). A mix never repeats a benchmark
@@ -48,6 +50,12 @@ pub enum StudyKind {
     /// Many-core scaling study beyond the paper; wider than the Table 4 roster, so
     /// mixes contain repeated benchmarks.
     Cores64,
+    /// Many-core scaling study beyond the paper; wider than the Table 4 roster, so
+    /// mixes contain repeated benchmarks.
+    Cores128,
+    /// Many-core scaling study beyond the paper; wider than the Table 4 roster, so
+    /// mixes contain repeated benchmarks.
+    Cores256,
 }
 
 impl StudyKind {
@@ -62,6 +70,8 @@ impl StudyKind {
             StudyKind::Cores32 => 32,
             StudyKind::Cores48 => 48,
             StudyKind::Cores64 => 64,
+            StudyKind::Cores128 => 128,
+            StudyKind::Cores256 => 256,
         }
     }
 
@@ -73,7 +83,11 @@ impl StudyKind {
             StudyKind::Cores8 => 80,
             StudyKind::Cores16 => 60,
             StudyKind::Cores20 | StudyKind::Cores24 => 40,
-            StudyKind::Cores32 | StudyKind::Cores48 | StudyKind::Cores64 => 40,
+            StudyKind::Cores32
+            | StudyKind::Cores48
+            | StudyKind::Cores64
+            | StudyKind::Cores128
+            | StudyKind::Cores256 => 40,
         }
     }
 
@@ -90,6 +104,8 @@ impl StudyKind {
             StudyKind::Cores32 => 4,
             StudyKind::Cores48 => 5,
             StudyKind::Cores64 => 6,
+            StudyKind::Cores128 => 8,
+            StudyKind::Cores256 => 10,
         }
     }
 
@@ -97,7 +113,11 @@ impl StudyKind {
     pub fn is_scaling(&self) -> bool {
         matches!(
             self,
-            StudyKind::Cores32 | StudyKind::Cores48 | StudyKind::Cores64
+            StudyKind::Cores32
+                | StudyKind::Cores48
+                | StudyKind::Cores64
+                | StudyKind::Cores128
+                | StudyKind::Cores256
         )
     }
 
@@ -112,13 +132,19 @@ impl StudyKind {
         ]
     }
 
-    /// The many-core scaling studies beyond the paper (32/48/64 cores).
-    pub fn scaling_studies() -> [StudyKind; 3] {
-        [StudyKind::Cores32, StudyKind::Cores48, StudyKind::Cores64]
+    /// The many-core scaling studies beyond the paper (32/48/64/128/256 cores).
+    pub fn scaling_studies() -> [StudyKind; 5] {
+        [
+            StudyKind::Cores32,
+            StudyKind::Cores48,
+            StudyKind::Cores64,
+            StudyKind::Cores128,
+            StudyKind::Cores256,
+        ]
     }
 
     /// Every study, paper order first, then the scaling studies.
-    pub fn all() -> [StudyKind; 8] {
+    pub fn all() -> [StudyKind; 10] {
         [
             StudyKind::Cores4,
             StudyKind::Cores8,
@@ -128,6 +154,8 @@ impl StudyKind {
             StudyKind::Cores32,
             StudyKind::Cores48,
             StudyKind::Cores64,
+            StudyKind::Cores128,
+            StudyKind::Cores256,
         ]
     }
 
@@ -285,7 +313,10 @@ mod tests {
         assert!(!StudyKind::Cores24.is_scaling());
         assert_eq!(StudyKind::by_cores(48), Some(StudyKind::Cores48));
         assert_eq!(StudyKind::by_cores(12), None);
-        assert_eq!(StudyKind::paper_studies().len() + 3, StudyKind::all().len());
+        assert_eq!(StudyKind::paper_studies().len() + 5, StudyKind::all().len());
+        assert_eq!(StudyKind::Cores128.min_per_class(), 8);
+        assert_eq!(StudyKind::Cores256.min_per_class(), 10);
+        assert_eq!(StudyKind::by_cores(256), Some(StudyKind::Cores256));
         for m in generate_mixes(StudyKind::Cores32, 5, 17) {
             for class in MemIntensity::all() {
                 let n = m.specs().iter().filter(|s| s.paper_class == class).count();

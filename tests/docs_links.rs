@@ -146,6 +146,40 @@ fn documentation_set_contains_the_expected_guides() {
     }
 }
 
+/// The memory-system documentation is load-bearing (the architecture anchor is linked
+/// from the repro guide and vice versa, and CI's memsys step follows the recipes), so
+/// its headings and recipes must not silently disappear in a docs rewrite.
+#[test]
+fn memory_system_docs_are_registered() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let architecture = fs::read_to_string(root.join("docs/architecture.md")).unwrap();
+    assert!(
+        heading_slugs(&architecture).contains(&"memory-system".to_string()),
+        "architecture.md must document the memory system (FR-FCFS, NUCA, attribution)"
+    );
+    for term in ["FR-FCFS", "NUCA", "starvation_cap", "stall_imbalance"] {
+        assert!(
+            architecture.contains(term),
+            "architecture.md memory-system section must mention {term}"
+        );
+    }
+    let guide = fs::read_to_string(root.join("docs/repro-guide.md")).unwrap();
+    assert!(
+        heading_slugs(&guide).contains(&"memory-system-head-to-head".to_string()),
+        "repro-guide.md must document the memory-system head-to-head"
+    );
+    for recipe in [
+        "--cores 128,256",
+        "--memsys",
+        "--smoke --cores 128 --mixes 2",
+    ] {
+        assert!(
+            guide.contains(recipe),
+            "repro-guide.md must keep the {recipe} recipe"
+        );
+    }
+}
+
 #[test]
 fn link_extraction_and_slugging_behave() {
     let md =

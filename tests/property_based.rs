@@ -232,6 +232,7 @@ proptest! {
             } else {
                 BankContentionConfig::flat()
             },
+            nuca: cache_sim::config::NucaConfig::disabled(),
         };
         let kinds = [
             BaselineKind::Lru,

@@ -1,8 +1,9 @@
 //! End-to-end tests of the many-core scaling study and the cycle-accounted bank
 //! contention model: a 64-core run completes through the corpus sweep engine with
 //! per-bank occupancy/stall metrics, serial and parallel engines stay bit-identical
-//! under contention, and zero-contention configurations reproduce the seed's
-//! flat-latency banking exactly.
+//! under contention, per-core stall attribution sums exactly to the global
+//! accounting (serial and parallel, at 4 and 128 cores), and zero-contention
+//! configurations reproduce the seed's flat-latency banking exactly.
 
 use cache_sim::addr::BlockAddr;
 use cache_sim::config::SystemConfig;
@@ -40,6 +41,10 @@ fn sixty_four_core_run_completes_with_bank_metrics_and_engine_bit_identity() {
         assert_eq!(s.weighted_speedup(), g.weighted_speedup());
         assert_eq!(s.llc_global, g.llc_global, "global LLC stats must match");
         assert_eq!(s.llc_banks, g.llc_banks, "per-bank stats must match");
+        assert_eq!(
+            s.core_stalls, g.core_stalls,
+            "per-core stall attribution must match"
+        );
         assert_eq!(s.final_cycle, g.final_cycle);
         for (a, b) in s.per_app.iter().zip(&g.per_app) {
             assert_eq!(a.ipc, b.ipc);
@@ -89,6 +94,94 @@ fn scaling_study_is_deterministic_across_repeated_runs() {
             .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
+}
+
+/// Per-core stall attribution must sum exactly to the global accounting: LLC bank
+/// queue/admission and MSHR stalls against `LlcGlobalStats`, DRAM queue+admission
+/// against `DramStats.queue_cycles` (whose delay is the sum of both phases).
+fn assert_stall_conservation(evals: &[experiments::runner::MixEvaluation], num_cores: usize) {
+    for e in evals {
+        assert_eq!(e.core_stalls.len(), num_cores);
+        let llc_queue: u64 = e.core_stalls.iter().map(|c| c.llc_queue_cycles).sum();
+        let llc_admission: u64 = e.core_stalls.iter().map(|c| c.llc_admission_cycles).sum();
+        let mshr: u64 = e.core_stalls.iter().map(|c| c.mshr_stall_cycles).sum();
+        assert_eq!(
+            llc_queue, e.llc_global.bank_queue_cycles,
+            "policy {:?}: LLC bank queue cycles must be conserved",
+            e.policy
+        );
+        assert_eq!(
+            llc_admission, e.llc_global.bank_admission_stall_cycles,
+            "policy {:?}: LLC admission stalls must be conserved",
+            e.policy
+        );
+        assert_eq!(
+            mshr, e.llc_global.mshr_stall_cycles,
+            "policy {:?}: MSHR stalls must be conserved",
+            e.policy
+        );
+        // Per-bank and per-core views aggregate the same underlying cycles.
+        let bank_stalls: u64 = e.llc_banks.iter().map(|b| b.stall_cycles()).sum();
+        assert_eq!(
+            bank_stalls,
+            llc_queue + llc_admission,
+            "per-bank and per-core LLC stall views must agree"
+        );
+    }
+}
+
+#[test]
+fn per_core_stall_attribution_is_conserved_at_4_cores_serial_and_parallel() {
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.scaling_config(4, true);
+    let mixes = generate_mixes(StudyKind::Cores4, 1, scale.seed());
+    let policies = [PolicyKind::TaDrrip, PolicyKind::AdaptBp32];
+    let serial = evaluate_policies_serial(&cfg, &mixes, &policies, INSTRUCTIONS, scale.seed());
+    let grid = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, scale.seed());
+    assert_stall_conservation(&serial, 4);
+    assert_stall_conservation(&grid, 4);
+    for (s, g) in serial.iter().zip(&grid) {
+        assert_eq!(s.core_stalls, g.core_stalls);
+    }
+    // A contended 4-core run actually attributes something.
+    assert!(
+        serial
+            .iter()
+            .any(|e| e.core_stalls.iter().any(|c| c.total() > 0)),
+        "contended runs must attribute stall cycles to cores"
+    );
+}
+
+#[test]
+fn per_core_stall_attribution_is_conserved_at_128_cores_serial_and_parallel() {
+    // The 128-core wall: the widest point the memsys study reports, under the
+    // realistic FR-FCFS + NUCA memory system so every attribution path is exercised
+    // (row classes, NUCA wire delay, MSHR pressure, DRAM queues).
+    let scale = ExperimentScale::Smoke;
+    let cfg = scale.scaling_config_memsys(128, experiments::scale::MemSystem::FrFcfsNuca);
+    assert_eq!(cfg.num_cores, 128);
+    assert!(cfg.dram.row_model.enabled);
+    let mixes = generate_mixes(StudyKind::Cores128, 1, scale.seed());
+    let policies = [PolicyKind::TaDrrip];
+    let serial = evaluate_policies_serial(&cfg, &mixes, &policies, INSTRUCTIONS, scale.seed());
+    let grid = evaluate_policies_on_mixes(&cfg, &mixes, &policies, INSTRUCTIONS, scale.seed());
+    assert_stall_conservation(&serial, 128);
+    assert_stall_conservation(&grid, 128);
+    for (s, g) in serial.iter().zip(&grid) {
+        assert_eq!(
+            s.core_stalls, g.core_stalls,
+            "128-core grid must stay bit-identical"
+        );
+        assert_eq!(s.llc_global, g.llc_global);
+        assert_eq!(s.final_cycle, g.final_cycle);
+    }
+    // The realistic memory system classified rows and accumulated NUCA cycles.
+    for e in &serial {
+        assert!(
+            e.llc_global.nuca_cycles > 0,
+            "mesh NUCA must add wire latency"
+        );
+    }
 }
 
 #[test]
